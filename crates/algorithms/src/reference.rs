@@ -1,0 +1,674 @@
+//! Independent Rust reference implementations of the Table 4 algorithms.
+//!
+//! Each type here implements its algorithm directly — idiomatic Rust over
+//! native state (`Vec<i32>`, scalars), written from the *algorithm's*
+//! description, not from the Domino source. Differential tests run
+//! compiled Banzai pipelines against these on the workload traces: if the
+//! Domino program, the compiler, and the machine model are all correct,
+//! the designated output fields and exported state must agree exactly.
+//!
+//! The only shared code is the hash/intrinsic library
+//! ([`domino_ast::intrinsics`]) — both sides must hash identically for
+//! outputs to be comparable; everything else (control flow, state layout,
+//! arithmetic) is independent.
+
+use domino_ast::intrinsics::eval as intr;
+use domino_ir::{Packet, StateValue};
+
+/// A reference implementation: processes packets serially and can export
+/// its state for comparison with a Banzai machine's state store.
+pub trait Reference {
+    /// Processes one packet, setting the algorithm's output fields.
+    fn process(&mut self, pkt: &mut Packet);
+
+    /// Exports state as `(variable name, value)` pairs matching the Domino
+    /// program's state declarations.
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        Vec::new()
+    }
+}
+
+/// Builds the reference implementation for an algorithm by name.
+///
+/// # Panics
+///
+/// Panics on an unknown name; callers go through the
+/// [`crate::Algorithm`] registry.
+pub fn build(name: &str) -> Box<dyn Reference> {
+    match name {
+        "bloom_filter" => Box::new(BloomFilter::new()),
+        "heavy_hitters" => Box::new(HeavyHitters::new()),
+        "flowlet" => Box::new(Flowlet::new()),
+        "rcp" => Box::new(Rcp::default()),
+        "sampled_netflow" => Box::new(SampledNetflow::new()),
+        "hull" => Box::new(Hull::default()),
+        "avq" => Box::new(Avq::new()),
+        "stfq" => Box::new(Stfq::new()),
+        "dns_ttl_change" => Box::new(DnsTtlChange::new()),
+        "conga" => Box::new(Conga::new()),
+        "codel" => Box::new(Codel::default()),
+        "codel_lut" => Box::new(CodelLut::default()),
+        other => panic!("no reference implementation for `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bloom filter (3 hash functions)
+// ---------------------------------------------------------------------
+
+/// Three-bank Bloom filter over the (sport, dport) flow key.
+pub struct BloomFilter {
+    banks: [Vec<bool>; 3],
+}
+
+impl BloomFilter {
+    const ENTRIES: i32 = 1024;
+
+    /// Empty filter.
+    pub fn new() -> Self {
+        BloomFilter { banks: std::array::from_fn(|_| vec![false; Self::ENTRIES as usize]) }
+    }
+
+    fn hashes(sport: i32, dport: i32) -> [usize; 3] {
+        [
+            (intr("hash2", &[sport, dport]) % Self::ENTRIES) as usize,
+            (intr("hash2", &[dport, sport]) % Self::ENTRIES) as usize,
+            (intr("hash3", &[sport, dport, 48879]) % Self::ENTRIES) as usize,
+        ]
+    }
+}
+
+impl Default for BloomFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reference for BloomFilter {
+    fn process(&mut self, pkt: &mut Packet) {
+        let hs = Self::hashes(pkt.expect("sport"), pkt.expect("dport"));
+        let member = self.banks.iter().zip(hs).all(|(bank, h)| bank[h]);
+        pkt.set("member", member as i32);
+        for (bank, h) in self.banks.iter_mut().zip(hs) {
+            bank[h] = true;
+        }
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        self.banks
+            .iter()
+            .enumerate()
+            .map(|(i, bank)| {
+                (
+                    format!("filter{}", i + 1),
+                    StateValue::Array(bank.iter().map(|&b| b as i32).collect()),
+                )
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Heavy hitters (count-min sketch)
+// ---------------------------------------------------------------------
+
+/// Count-min sketch with three rows plus threshold flagging.
+pub struct HeavyHitters {
+    rows: [Vec<i32>; 3],
+}
+
+impl HeavyHitters {
+    const ENTRIES: i32 = 4096;
+    const THRESHOLD: i32 = 100;
+
+    /// Empty sketch.
+    pub fn new() -> Self {
+        HeavyHitters { rows: std::array::from_fn(|_| vec![0; Self::ENTRIES as usize]) }
+    }
+
+    /// The sketch estimate for a flow (without updating).
+    pub fn estimate(&self, sport: i32, dport: i32) -> i32 {
+        let hs = Self::hashes(sport, dport);
+        self.rows.iter().zip(hs).map(|(row, h)| row[h]).min().unwrap()
+    }
+
+    fn hashes(sport: i32, dport: i32) -> [usize; 3] {
+        [
+            (intr("hash2", &[sport, dport]) % Self::ENTRIES) as usize,
+            (intr("hash2", &[dport, sport]) % Self::ENTRIES) as usize,
+            (intr("hash3", &[sport, dport, 51966]) % Self::ENTRIES) as usize,
+        ]
+    }
+}
+
+impl Default for HeavyHitters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reference for HeavyHitters {
+    fn process(&mut self, pkt: &mut Packet) {
+        let hs = Self::hashes(pkt.expect("sport"), pkt.expect("dport"));
+        let mut counts = [0i32; 3];
+        for ((row, h), c) in self.rows.iter_mut().zip(hs).zip(&mut counts) {
+            row[h] = row[h].wrapping_add(1);
+            *c = row[h];
+        }
+        let estimate = counts.into_iter().min().unwrap();
+        pkt.set("estimate", estimate);
+        pkt.set("is_heavy", (estimate > Self::THRESHOLD) as i32);
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, row)| (format!("cms{}", i + 1), StateValue::Array(row.clone())))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flowlet switching
+// ---------------------------------------------------------------------
+
+/// Flowlet load balancer (Figure 3a semantics).
+pub struct Flowlet {
+    last_time: Vec<i32>,
+    saved_hop: Vec<i32>,
+}
+
+impl Flowlet {
+    const NUM_FLOWLETS: i32 = 8000;
+    const THRESHOLD: i32 = 5;
+    const NUM_HOPS: i32 = 10;
+
+    /// Fresh tables.
+    pub fn new() -> Self {
+        Flowlet {
+            last_time: vec![0; Self::NUM_FLOWLETS as usize],
+            saved_hop: vec![0; Self::NUM_FLOWLETS as usize],
+        }
+    }
+}
+
+impl Default for Flowlet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reference for Flowlet {
+    fn process(&mut self, pkt: &mut Packet) {
+        let (sport, dport, arrival) =
+            (pkt.expect("sport"), pkt.expect("dport"), pkt.expect("arrival"));
+        let new_hop = intr("hash3", &[sport, dport, arrival]) % Self::NUM_HOPS;
+        let id = (intr("hash2", &[sport, dport]) % Self::NUM_FLOWLETS) as usize;
+        if arrival.wrapping_sub(self.last_time[id]) > Self::THRESHOLD {
+            self.saved_hop[id] = new_hop;
+        }
+        self.last_time[id] = arrival;
+        pkt.set("id", id as i32);
+        pkt.set("new_hop", new_hop);
+        pkt.set("next_hop", self.saved_hop[id]);
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        vec![
+            ("last_time".into(), StateValue::Array(self.last_time.clone())),
+            ("saved_hop".into(), StateValue::Array(self.saved_hop.clone())),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// RCP accumulation
+// ---------------------------------------------------------------------
+
+/// RCP egress byte/RTT accumulators.
+#[derive(Default)]
+pub struct Rcp {
+    input_traffic_bytes: i32,
+    sum_rtt_tr: i32,
+    num_pkts_with_rtt: i32,
+}
+
+impl Rcp {
+    const MAX_ALLOWABLE_RTT: i32 = 30;
+}
+
+impl Reference for Rcp {
+    fn process(&mut self, pkt: &mut Packet) {
+        self.input_traffic_bytes =
+            self.input_traffic_bytes.wrapping_add(pkt.expect("size_bytes"));
+        let rtt = pkt.expect("rtt");
+        if rtt < Self::MAX_ALLOWABLE_RTT {
+            self.sum_rtt_tr = self.sum_rtt_tr.wrapping_add(rtt);
+            self.num_pkts_with_rtt = self.num_pkts_with_rtt.wrapping_add(1);
+        }
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        vec![
+            ("input_traffic_bytes".into(), StateValue::Scalar(self.input_traffic_bytes)),
+            ("sum_rtt_tr".into(), StateValue::Scalar(self.sum_rtt_tr)),
+            ("num_pkts_with_rtt".into(), StateValue::Scalar(self.num_pkts_with_rtt)),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sampled NetFlow
+// ---------------------------------------------------------------------
+
+/// Per-bucket 1-in-N packet sampler.
+pub struct SampledNetflow {
+    count: Vec<i32>,
+}
+
+impl SampledNetflow {
+    const SAMPLE_RATE: i32 = 30;
+    const NUM_BUCKETS: i32 = 4096;
+
+    /// Fresh counters.
+    pub fn new() -> Self {
+        SampledNetflow { count: vec![0; Self::NUM_BUCKETS as usize] }
+    }
+}
+
+impl Default for SampledNetflow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reference for SampledNetflow {
+    fn process(&mut self, pkt: &mut Packet) {
+        let idx = (intr("hash2", &[pkt.expect("sport"), pkt.expect("dport")])
+            % Self::NUM_BUCKETS) as usize;
+        if self.count[idx] == Self::SAMPLE_RATE - 1 {
+            pkt.set("sample", 1);
+            self.count[idx] = 0;
+        } else {
+            pkt.set("sample", 0);
+            self.count[idx] += 1;
+        }
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        vec![("count".into(), StateValue::Array(self.count.clone()))]
+    }
+}
+
+// ---------------------------------------------------------------------
+// HULL phantom queue
+// ---------------------------------------------------------------------
+
+/// HULL's phantom (virtual) queue with ECN marking.
+#[derive(Default)]
+pub struct Hull {
+    last_update: i32,
+    vq: i32,
+}
+
+impl Hull {
+    const DRAIN_SHIFT: u32 = 3;
+    const MARK_THRESH: i32 = 3000;
+}
+
+impl Reference for Hull {
+    fn process(&mut self, pkt: &mut Packet) {
+        let arrival = pkt.expect("arrival");
+        let size = pkt.expect("size_bytes");
+        let elapsed = arrival.wrapping_sub(self.last_update);
+        self.last_update = arrival;
+        let drained = elapsed.wrapping_shl(Self::DRAIN_SHIFT);
+        // vq' = max(vq - drained, 0) + size
+        self.vq = if drained > self.vq {
+            size
+        } else {
+            self.vq.wrapping_sub(drained.wrapping_sub(size))
+        };
+        pkt.set("mark", (self.vq > Self::MARK_THRESH) as i32);
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        vec![
+            ("last_update".into(), StateValue::Scalar(self.last_update)),
+            ("vq".into(), StateValue::Scalar(self.vq)),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptive Virtual Queue
+// ---------------------------------------------------------------------
+
+/// AVQ's virtual queue + adaptive virtual capacity (line-rate
+/// formulation: drain by shift, halt adaptation at the cap).
+pub struct Avq {
+    last_update: i32,
+    vq: i32,
+    vcap: i32,
+}
+
+impl Avq {
+    const VQ_LIMIT: i32 = 3000;
+    const CAP_SHIFT: u32 = 3;
+    const CAP_MAX: i32 = 4000;
+    const ALPHA_SHIFT: u32 = 4;
+
+    /// Initial capacity matches the Domino source.
+    pub fn new() -> Self {
+        Avq { last_update: 0, vq: 0, vcap: 1000 }
+    }
+}
+
+impl Default for Avq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reference for Avq {
+    fn process(&mut self, pkt: &mut Packet) {
+        let arrival = pkt.expect("arrival");
+        let size = pkt.expect("size_bytes");
+        let elapsed = arrival.wrapping_sub(self.last_update);
+        self.last_update = arrival;
+        let drained = elapsed.wrapping_shl(Self::CAP_SHIFT);
+        let thresh = Self::VQ_LIMIT - size + drained;
+        let mut mark = 0;
+        if drained > self.vq {
+            self.vq = size; // drained empty, then enqueue
+        } else if self.vq > thresh {
+            mark = 1; // would overflow the virtual buffer
+            self.vq = self.vq.wrapping_sub(drained);
+        } else {
+            self.vq = self.vq.wrapping_sub(drained.wrapping_sub(size));
+        }
+        pkt.set("mark", mark);
+        let gain = elapsed.wrapping_shr(Self::ALPHA_SHIFT);
+        if self.vcap < Self::CAP_MAX {
+            self.vcap = self.vcap.wrapping_add(gain);
+        }
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        vec![
+            ("last_update".into(), StateValue::Scalar(self.last_update)),
+            ("vq".into(), StateValue::Scalar(self.vq)),
+            ("vcap".into(), StateValue::Scalar(self.vcap)),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// STFQ priorities
+// ---------------------------------------------------------------------
+
+/// Start-time fair queueing: per-flow virtual start/finish bookkeeping.
+pub struct Stfq {
+    last_finish: Vec<i32>,
+}
+
+impl Stfq {
+    const NUM_FLOWS: i32 = 2048;
+
+    /// Fresh flow table.
+    pub fn new() -> Self {
+        Stfq { last_finish: vec![0; Self::NUM_FLOWS as usize] }
+    }
+}
+
+impl Default for Stfq {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reference for Stfq {
+    fn process(&mut self, pkt: &mut Packet) {
+        let flow = pkt.expect("flow").rem_euclid(Self::NUM_FLOWS) as usize;
+        let (vt, length) = (pkt.expect("vt"), pkt.expect("length"));
+        let lf = self.last_finish[flow];
+        let start = if lf != 0 && lf > vt { lf } else { vt };
+        self.last_finish[flow] = start.wrapping_add(length);
+        pkt.set("start", start);
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        vec![("last_finish".into(), StateValue::Array(self.last_finish.clone()))]
+    }
+}
+
+// ---------------------------------------------------------------------
+// DNS TTL change tracking
+// ---------------------------------------------------------------------
+
+/// EXPOSURE-style per-domain TTL change counter.
+pub struct DnsTtlChange {
+    last_ttl: Vec<i32>,
+    num_changes: Vec<i32>,
+    ttl_streak: Vec<i32>,
+}
+
+impl DnsTtlChange {
+    const NUM_DOMAINS: i32 = 4096;
+
+    /// Fresh tables.
+    pub fn new() -> Self {
+        DnsTtlChange {
+            last_ttl: vec![0; Self::NUM_DOMAINS as usize],
+            num_changes: vec![0; Self::NUM_DOMAINS as usize],
+            ttl_streak: vec![0; Self::NUM_DOMAINS as usize],
+        }
+    }
+}
+
+impl Default for DnsTtlChange {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reference for DnsTtlChange {
+    fn process(&mut self, pkt: &mut Packet) {
+        let d = (intr("hash2", &[pkt.expect("domain"), 12289]) % Self::NUM_DOMAINS) as usize;
+        let ttl = pkt.expect("ttl");
+        let seen = self.last_ttl[d] != 0;
+        let changed = seen && self.last_ttl[d] != ttl;
+        self.last_ttl[d] = ttl;
+        self.num_changes[d] = self.num_changes[d].wrapping_add(changed as i32);
+        self.ttl_streak[d] = if !seen || changed { 1 } else { self.ttl_streak[d].wrapping_add(1) };
+        pkt.set("changed", changed as i32);
+        pkt.set("change_count", self.num_changes[d]);
+        pkt.set("streak", self.ttl_streak[d]);
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        vec![
+            ("last_ttl".into(), StateValue::Array(self.last_ttl.clone())),
+            ("num_changes".into(), StateValue::Array(self.num_changes.clone())),
+            ("ttl_streak".into(), StateValue::Array(self.ttl_streak.clone())),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// CONGA best-path tracking
+// ---------------------------------------------------------------------
+
+/// CONGA's per-source best-path (utilization, id) pair.
+pub struct Conga {
+    best_path_util: Vec<i32>,
+    best_path: Vec<i32>,
+}
+
+impl Conga {
+    const MAX_SRC: i32 = 256;
+
+    /// Fresh tables (utilization starts at +infinity).
+    pub fn new() -> Self {
+        Conga {
+            best_path_util: vec![i32::MAX; Self::MAX_SRC as usize],
+            best_path: vec![-1; Self::MAX_SRC as usize],
+        }
+    }
+}
+
+impl Default for Conga {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reference for Conga {
+    fn process(&mut self, pkt: &mut Packet) {
+        let src = pkt.expect("src").rem_euclid(Self::MAX_SRC) as usize;
+        let (util, path_id) = (pkt.expect("util"), pkt.expect("path_id"));
+        if util < self.best_path_util[src] {
+            self.best_path_util[src] = util;
+            self.best_path[src] = path_id;
+        } else if path_id == self.best_path[src] {
+            self.best_path_util[src] = util;
+        }
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        vec![
+            ("best_path_util".into(), StateValue::Array(self.best_path_util.clone())),
+            ("best_path".into(), StateValue::Array(self.best_path.clone())),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// CoDel (faithful, with the sqrt control law)
+// ---------------------------------------------------------------------
+
+/// CoDel AQM matching `codel.domino` semantics (integer control law).
+#[derive(Default)]
+pub struct Codel {
+    first_above_time: i32,
+    dropping: i32,
+    drop_next: i32,
+    count: i32,
+}
+
+impl Codel {
+    const TARGET: i32 = 5;
+    const INTERVAL: i32 = 100;
+}
+
+impl Reference for Codel {
+    fn process(&mut self, pkt: &mut Packet) {
+        let now = pkt.expect("now");
+        let sojourn = now.wrapping_sub(pkt.expect("enq_ts"));
+        let mut ok_to_drop = 0;
+        if sojourn < Self::TARGET {
+            self.first_above_time = 0;
+        } else if self.first_above_time == 0 {
+            self.first_above_time = now.wrapping_add(Self::INTERVAL);
+        } else if now >= self.first_above_time {
+            ok_to_drop = 1;
+        }
+        let gap = {
+            let s = domino_ast::intrinsics::isqrt(self.count);
+            // Matches Domino's total division: x / 0 == 0.
+            if s == 0 {
+                0
+            } else {
+                Self::INTERVAL / s
+            }
+        };
+        let mut drop = 0;
+        if self.dropping == 1 {
+            if ok_to_drop == 0 {
+                self.dropping = 0;
+            } else if now >= self.drop_next {
+                drop = 1;
+                self.count = self.count.wrapping_add(1);
+                self.drop_next = self.drop_next.wrapping_add(gap);
+            }
+        } else if ok_to_drop == 1 {
+            self.dropping = 1;
+            drop = 1;
+            self.count = 1;
+            self.drop_next = now.wrapping_add(gap);
+        }
+        pkt.set("ok_to_drop", ok_to_drop);
+        pkt.set("drop", drop);
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        vec![
+            ("first_above_time".into(), StateValue::Scalar(self.first_above_time)),
+            ("dropping".into(), StateValue::Scalar(self.dropping)),
+            ("drop_next".into(), StateValue::Scalar(self.drop_next)),
+            ("count".into(), StateValue::Scalar(self.count)),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------
+// CoDel, LUT variant (X1)
+// ---------------------------------------------------------------------
+
+/// CoDel with the time-based count estimate and LUT control law,
+/// matching `codel_lut.domino`.
+#[derive(Default)]
+pub struct CodelLut {
+    first_above_time: i32,
+    dropping: i32,
+    drop_start: i32,
+    drop_next: i32,
+}
+
+impl CodelLut {
+    const TARGET: i32 = 5;
+    const INTERVAL: i32 = 100;
+}
+
+impl Reference for CodelLut {
+    fn process(&mut self, pkt: &mut Packet) {
+        let now = pkt.expect("now");
+        let sojourn = now.wrapping_sub(pkt.expect("enq_ts"));
+        let mut ok_to_drop = 0;
+        if sojourn < Self::TARGET {
+            self.first_above_time = 0;
+        } else if self.first_above_time == 0 {
+            self.first_above_time = now.wrapping_add(Self::INTERVAL);
+        } else if now >= self.first_above_time {
+            ok_to_drop = 1;
+        }
+        self.dropping = ok_to_drop;
+        let drop_start_old = self.drop_start;
+        if ok_to_drop == 1 {
+            if self.drop_start == 0 {
+                self.drop_start = now;
+            }
+        } else {
+            self.drop_start = 0;
+        }
+        let elapsed = now.wrapping_sub(drop_start_old);
+        let count_est = elapsed.wrapping_shr(6);
+        let gap = intr("codel_gap", &[count_est, Self::INTERVAL]);
+        let mut time_to_drop = 0;
+        if ok_to_drop == 1 && now >= self.drop_next {
+            time_to_drop = 1;
+            self.drop_next = now.wrapping_add(gap);
+        }
+        pkt.set("drop", ok_to_drop & time_to_drop);
+    }
+
+    fn export_state(&self) -> Vec<(String, StateValue)> {
+        vec![
+            ("first_above_time".into(), StateValue::Scalar(self.first_above_time)),
+            ("dropping".into(), StateValue::Scalar(self.dropping)),
+            ("drop_start".into(), StateValue::Scalar(self.drop_start)),
+            ("drop_next".into(), StateValue::Scalar(self.drop_next)),
+        ]
+    }
+}

@@ -1,0 +1,231 @@
+//! Workload generators: seeded synthetic packet traces that exercise each
+//! algorithm's interesting regimes.
+//!
+//! The paper's evaluation is about compilability and hardware cost, not
+//! traffic statistics — these traces exist for *our* differential
+//! correctness testing (compiled pipeline vs. reference implementation vs.
+//! sequential interpreter) and for the throughput benchmarks. Each
+//! generator is deterministic given its seed.
+
+use domino_ir::Packet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a trace of `n` packets for the named algorithm.
+///
+/// # Panics
+///
+/// Panics on an unknown algorithm name.
+pub fn trace_for(name: &str, n: usize, seed: u64) -> Vec<Packet> {
+    match name {
+        "bloom_filter" | "heavy_hitters" => flow_trace(n, seed),
+        "flowlet" => flowlet_trace(n, seed),
+        "rcp" => rcp_trace(n, seed),
+        "sampled_netflow" => flow_trace(n, seed),
+        "hull" | "avq" => queue_trace(n, seed),
+        "stfq" => stfq_trace(n, seed),
+        "dns_ttl_change" => dns_trace(n, seed),
+        "conga" => conga_trace(n, seed),
+        "codel" | "codel_lut" => codel_trace(n, seed),
+        other => panic!("no workload generator for `{other}`"),
+    }
+}
+
+/// Zipf-ish flow mix over (sport, dport): a few elephant flows plus many
+/// mice, which is what Bloom filters, sketches, and samplers care about.
+pub fn flow_trace(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // 50%: one of 4 elephants; 30%: one of 32 medium; 20%: random mice.
+            let roll: f64 = rng.gen();
+            let (sport, dport) = if roll < 0.5 {
+                (rng.gen_range(0..4), 80)
+            } else if roll < 0.8 {
+                (rng.gen_range(100..132), 443)
+            } else {
+                (rng.gen_range(1024..65536), rng.gen_range(1..1024))
+            };
+            Packet::new().with("sport", sport).with("dport", dport)
+        })
+        .collect()
+}
+
+/// Bursty flow arrivals: packets of a flow cluster in time (flowlets),
+/// with inter-burst gaps exceeding the flowlet threshold.
+pub fn flowlet_trace(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clock = 0i32;
+    (0..n)
+        .map(|_| {
+            // Mostly back-to-back arrivals; occasionally a large gap that
+            // opens a new flowlet.
+            clock += if rng.gen_bool(0.15) { rng.gen_range(6..50) } else { rng.gen_range(0..3) };
+            Packet::new()
+                .with("sport", rng.gen_range(0..16))
+                .with("dport", 80 + rng.gen_range(0..4))
+                .with("arrival", clock)
+                .with("new_hop", 0)
+                .with("next_hop", 0)
+                .with("id", 0)
+        })
+        .collect()
+}
+
+/// Packet sizes plus a bimodal RTT distribution straddling RCP's
+/// max-allowable-RTT cutoff.
+pub fn rcp_trace(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let rtt =
+                if rng.gen_bool(0.7) { rng.gen_range(1..30) } else { rng.gen_range(30..90) };
+            Packet::new()
+                .with("size_bytes", rng.gen_range(64..1500))
+                .with("rtt", rtt)
+        })
+        .collect()
+}
+
+/// Arrivals with alternating overload/underload phases so virtual queues
+/// (HULL, AVQ) actually build up and drain.
+pub fn queue_trace(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clock = 0i32;
+    (0..n)
+        .map(|i| {
+            // Phase of 64 packets: overload (arrivals 1 tick apart) then
+            // underload (up to 20 apart).
+            let overload = (i / 64) % 2 == 0;
+            clock += if overload { 1 } else { rng.gen_range(5..20) };
+            Packet::new()
+                .with("arrival", clock)
+                .with("size_bytes", rng.gen_range(64..1500))
+        })
+        .collect()
+}
+
+/// Flows with lengths and a slowly advancing virtual time.
+pub fn stfq_trace(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vt = 0i32;
+    (0..n)
+        .map(|_| {
+            vt += rng.gen_range(0..80);
+            Packet::new()
+                .with("flow", rng.gen_range(0..24))
+                .with("length", rng.gen_range(64..1500))
+                .with("vt", vt)
+                .with("start", 0)
+        })
+        .collect()
+}
+
+/// DNS responses: stable domains with fixed TTLs plus fast-flux domains
+/// whose TTLs churn.
+pub fn dns_trace(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let fast_flux = rng.gen_bool(0.3);
+            let (domain, ttl) = if fast_flux {
+                (rng.gen_range(1..8), rng.gen_range(1..300))
+            } else {
+                let d = rng.gen_range(100..164);
+                (d, 3600 + d) // deterministic per-domain TTL
+            };
+            Packet::new().with("domain", domain).with("ttl", ttl)
+        })
+        .collect()
+}
+
+/// CONGA feedback packets: per-source path utilizations drifting over
+/// time, so best paths keep changing hands.
+pub fn conga_trace(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Packet::new()
+                .with("src", rng.gen_range(0..16))
+                .with("path_id", rng.gen_range(0..8))
+                .with("util", rng.gen_range(0..1000))
+        })
+        .collect()
+}
+
+/// Queue sojourn times with persistent-standing-queue episodes, which is
+/// what drives CoDel into and out of its dropping state.
+pub fn codel_trace(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut now = 0i32;
+    (0..n)
+        .map(|i| {
+            now += rng.gen_range(1..4);
+            // Alternate between low-delay and standing-queue phases.
+            let congested = (i / 200) % 2 == 1;
+            let sojourn =
+                if congested { rng.gen_range(6..40) } else { rng.gen_range(0..5) };
+            Packet::new()
+                .with("now", now)
+                .with("enq_ts", now - sojourn)
+                .with("drop", 0)
+                .with("ok_to_drop", 0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        assert_eq!(flow_trace(50, 1), flow_trace(50, 1));
+        assert_ne!(flow_trace(50, 1), flow_trace(50, 2));
+    }
+
+    #[test]
+    fn flowlet_arrivals_are_monotone() {
+        let t = flowlet_trace(500, 3);
+        let mut last = i32::MIN;
+        for p in &t {
+            let a = p.expect("arrival");
+            assert!(a >= last);
+            last = a;
+        }
+    }
+
+    #[test]
+    fn flowlet_trace_contains_gaps_beyond_threshold() {
+        let t = flowlet_trace(1000, 4);
+        let gaps = t
+            .windows(2)
+            .filter(|w| w[1].expect("arrival") - w[0].expect("arrival") > 5)
+            .count();
+        assert!(gaps > 20, "expected many flowlet gaps, got {gaps}");
+    }
+
+    #[test]
+    fn rcp_trace_straddles_cutoff() {
+        let t = rcp_trace(1000, 5);
+        let below = t.iter().filter(|p| p.expect("rtt") < 30).count();
+        assert!(below > 400 && below < 1000, "{below}");
+    }
+
+    #[test]
+    fn codel_trace_has_congestion_episodes() {
+        let t = codel_trace(1000, 6);
+        let high = t
+            .iter()
+            .filter(|p| p.expect("now") - p.expect("enq_ts") >= 5)
+            .count();
+        assert!(high > 200, "{high}");
+    }
+
+    #[test]
+    fn flow_trace_is_skewed() {
+        let t = flow_trace(2000, 7);
+        let elephants = t.iter().filter(|p| p.expect("dport") == 80).count();
+        assert!(elephants > 700, "{elephants}");
+    }
+}

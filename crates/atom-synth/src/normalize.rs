@@ -1,0 +1,558 @@
+//! Normalization of update expressions into atom predication trees.
+//!
+//! The synthesizer's fast path: rewrite each state variable's update
+//! expression ([`Sym`]) into the guarded-update normal form that atom
+//! templates implement —
+//!
+//! ```text
+//! if (a RELOP b)        // guard: one relational unit, mux-selected operands
+//!     x = x ⊕ v         // leaf: one ALU op (write / add / sub / keep)
+//! else ...
+//! ```
+//!
+//! The rewrites performed here are exactly the re-parameterizations SKETCH
+//! discovers by search in the paper (§4.3): lifting conditionals to the
+//! top (mux restructuring), negation elimination via relational inverses,
+//! and moving constants across equality guards (`old + 1 == N` ⇒
+//! `old == N − 1`). Anything beyond these does not fit the circuits of
+//! Table 6 and is rejected — which is the correct all-or-nothing answer,
+//! not a limitation of the search.
+
+use crate::sym::{CodeletSpec, Sym};
+use banzai::atom::{Guard, GuardOperand, RelOp, StatefulConfig, Tree, Update};
+use domino_ast::{BinOp, UnOp};
+use domino_ir::Operand;
+use std::fmt;
+
+/// Why an update expression does not fit the guarded-update normal form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizeError {
+    /// Human-readable reason, suitable for the compiler's rejection
+    /// diagnostic.
+    pub message: String,
+}
+
+impl NormalizeError {
+    fn new(msg: impl Into<String>) -> Self {
+        NormalizeError { message: msg.into() }
+    }
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// Guard against pathological conditional distribution blow-up.
+const MAX_NODES: usize = 4096;
+
+/// Normalizes a whole codelet specification into an atom configuration.
+pub fn normalize_spec(spec: &CodeletSpec) -> Result<StatefulConfig, NormalizeError> {
+    let trees = spec
+        .updates
+        .iter()
+        .enumerate()
+        .map(|(i, u)| normalize_update(u, i))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(StatefulConfig {
+        state_refs: spec.state_refs.clone(),
+        trees,
+        outputs: spec.outputs.clone(),
+    })
+}
+
+/// Normalizes one state variable's update expression into a predication
+/// tree.
+pub fn normalize_update(update: &Sym, var_idx: usize) -> Result<Tree, NormalizeError> {
+    let lifted = lift(update.clone(), &mut 0)?;
+    to_tree(&lifted, var_idx, &mut Vec::new())
+}
+
+fn node_count(s: &Sym) -> usize {
+    match s {
+        Sym::Field(_) | Sym::Const(_) | Sym::StateOld(_) => 1,
+        Sym::Unary(_, e) => 1 + node_count(e),
+        Sym::Binary(_, a, b) => 1 + node_count(a) + node_count(b),
+        Sym::Ternary(c, t, e) => 1 + node_count(c) + node_count(t) + node_count(e),
+    }
+}
+
+/// Lifts conditionals to the top of the expression by distributing
+/// operators over them: `(c ? t : e) + b  ⇒  c ? (t + b) : (e + b)`.
+fn lift(s: Sym, budget: &mut usize) -> Result<Sym, NormalizeError> {
+    *budget += node_count(&s);
+    if *budget > MAX_NODES {
+        return Err(NormalizeError::new(
+            "update expression explodes during conditional distribution; \
+             it cannot fit a bounded-depth atom",
+        ));
+    }
+    Ok(match s {
+        Sym::Field(_) | Sym::Const(_) | Sym::StateOld(_) => s,
+        Sym::Unary(op, e) => {
+            let e = lift(*e, budget)?;
+            if let Sym::Ternary(c, t, els) = e {
+                Sym::Ternary(
+                    c,
+                    Box::new(lift(Sym::Unary(op, t), budget)?),
+                    Box::new(lift(Sym::Unary(op, els), budget)?),
+                )
+            } else {
+                Sym::Unary(op, Box::new(e))
+            }
+        }
+        Sym::Binary(op, a, b) => {
+            let a = lift(*a, budget)?;
+            let b = lift(*b, budget)?;
+            if let Sym::Ternary(c, t, e) = a {
+                let then = Sym::Binary(op, t, Box::new(b.clone()));
+                let els = Sym::Binary(op, e, Box::new(b));
+                Sym::Ternary(c, Box::new(lift(then, budget)?), Box::new(lift(els, budget)?))
+            } else if let Sym::Ternary(c, t, e) = b {
+                let then = Sym::Binary(op, Box::new(a.clone()), t);
+                let els = Sym::Binary(op, Box::new(a), e);
+                Sym::Ternary(c, Box::new(lift(then, budget)?), Box::new(lift(els, budget)?))
+            } else {
+                Sym::Binary(op, Box::new(a), Box::new(b))
+            }
+        }
+        Sym::Ternary(c, t, e) => {
+            // The guard is extracted as a relation, not distributed.
+            Sym::Ternary(c, Box::new(lift(*t, budget)?), Box::new(lift(*e, budget)?))
+        }
+    })
+}
+
+/// Converts a conditional-at-top expression into a tree.
+///
+/// `assumptions` records the truth value of every ancestor guard. Inside a
+/// branch, occurrences of an ancestor's condition fold to that value —
+/// this is how chained `else if` code (whose hoisted condition temporaries
+/// textually embed the earlier conditions) regains its natural decision
+/// tree. SKETCH obtains the same effect from purely semantic search; here
+/// it is a syntactic rule.
+fn to_tree(
+    s: &Sym,
+    var_idx: usize,
+    assumptions: &mut Vec<(Sym, bool)>,
+) -> Result<Tree, NormalizeError> {
+    let s = simplify_under(s, assumptions);
+    match s {
+        Sym::Ternary(c, t, e) => {
+            // Constant guards fold statically.
+            if let Sym::Const(v) = c.as_ref() {
+                return to_tree(if *v != 0 { &t } else { &e }, var_idx, assumptions);
+            }
+            // Identical branches collapse (no predication needed).
+            if t == e {
+                return to_tree(&t, var_idx, assumptions);
+            }
+            let guard = guard_of(&c)?;
+            assumptions.push(((*c).clone(), true));
+            let then = to_tree(&t, var_idx, assumptions);
+            assumptions.pop();
+            let then = then?;
+            assumptions.push(((*c).clone(), false));
+            let els = to_tree(&e, var_idx, assumptions);
+            assumptions.pop();
+            let els = els?;
+            Ok(Tree::Branch { guard, then: Box::new(then), els: Box::new(els) })
+        }
+        other => Ok(Tree::Leaf(leaf_of(&other, var_idx)?)),
+    }
+}
+
+/// Rebuilds `s` bottom-up, replacing any subexpression structurally equal
+/// to an assumed ancestor guard with its known truth value, then folding
+/// the constants this exposes.
+fn simplify_under(s: &Sym, assumptions: &[(Sym, bool)]) -> Sym {
+    let rebuilt = match s {
+        Sym::Field(_) | Sym::Const(_) | Sym::StateOld(_) => s.clone(),
+        Sym::Unary(op, e) => Sym::Unary(*op, Box::new(simplify_under(e, assumptions))),
+        Sym::Binary(op, a, b) => Sym::Binary(
+            *op,
+            Box::new(simplify_under(a, assumptions)),
+            Box::new(simplify_under(b, assumptions)),
+        ),
+        Sym::Ternary(c, t, e) => Sym::Ternary(
+            Box::new(simplify_under(c, assumptions)),
+            Box::new(simplify_under(t, assumptions)),
+            Box::new(simplify_under(e, assumptions)),
+        ),
+    };
+    if let Some((_, v)) = assumptions.iter().find(|(a, _)| *a == rebuilt) {
+        return Sym::Const(*v as i32);
+    }
+    match rebuilt {
+        Sym::Unary(op, e) => match *e {
+            Sym::Const(v) => Sym::Const(op.eval(v)),
+            e => Sym::Unary(op, Box::new(e)),
+        },
+        Sym::Binary(op, a, b) => match (*a, *b) {
+            (Sym::Const(x), Sym::Const(y)) => Sym::Const(op.eval(x, y)),
+            (a, b) => Sym::Binary(op, Box::new(a), Box::new(b)),
+        },
+        Sym::Ternary(c, t, e) => match *c {
+            Sym::Const(v) => {
+                if v != 0 {
+                    *t
+                } else {
+                    *e
+                }
+            }
+            c => {
+                if t == e {
+                    *t
+                } else {
+                    Sym::Ternary(Box::new(c), t, e)
+                }
+            }
+        },
+        other => other,
+    }
+}
+
+/// Extracts a single-relation guard from a condition expression.
+fn guard_of(c: &Sym) -> Result<Guard, NormalizeError> {
+    match c {
+        Sym::Field(f) => Ok(Guard {
+            op: RelOp::Ne,
+            lhs: GuardOperand::Field(f.clone()),
+            rhs: GuardOperand::Const(0),
+        }),
+        Sym::StateOld(i) => Ok(Guard {
+            op: RelOp::Ne,
+            lhs: GuardOperand::State(*i),
+            rhs: GuardOperand::Const(0),
+        }),
+        Sym::Unary(UnOp::Not, inner) => {
+            let g = guard_of(inner)?;
+            Ok(Guard { op: g.op.negated(), lhs: g.lhs, rhs: g.rhs })
+        }
+        Sym::Binary(op, a, b) if op.is_relational() => {
+            let rel = relop_of(*op);
+            // Direct case: both operands are leaves.
+            if let (Some(l), Some(r)) = (guard_operand(a), guard_operand(b)) {
+                return Ok(Guard { op: rel, lhs: l, rhs: r });
+            }
+            // Equality rewrites: move a constant offset across `==`/`!=`
+            // (sound under wrapping arithmetic because x ↦ x + c is a
+            // bijection; *not* sound for ordered relations, which we
+            // therefore reject — as would SKETCH's exhaustive check).
+            if matches!(rel, RelOp::Eq | RelOp::Ne) {
+                if let (Some((x, c)), Sym::Const(k)) = (linear_offset(a), b.as_ref()) {
+                    return Ok(Guard {
+                        op: rel,
+                        lhs: x,
+                        rhs: GuardOperand::Const(k.wrapping_sub(c)),
+                    });
+                }
+                if let (Sym::Const(k), Some((x, c))) = (a.as_ref(), linear_offset(b)) {
+                    return Ok(Guard {
+                        op: rel,
+                        lhs: GuardOperand::Const(k.wrapping_sub(c)),
+                        rhs: x,
+                    });
+                }
+            }
+            Err(NormalizeError::new(format!(
+                "guard `{c}` is not a single relational operation over packet \
+                 fields, constants, and atom state; precompute it into a packet \
+                 field in an earlier stage if it is stateless"
+            )))
+        }
+        other => Err(NormalizeError::new(format!(
+            "guard `{other}` is not expressible by an atom's relational unit"
+        ))),
+    }
+}
+
+/// `x + c` / `x - c` / `c + x` with `x` a leaf → `(x, c)`.
+fn linear_offset(s: &Sym) -> Option<(GuardOperand, i32)> {
+    match s {
+        Sym::Binary(BinOp::Add, a, b) => match (guard_operand(a), b.as_ref()) {
+            (Some(x), Sym::Const(c)) => Some((x, *c)),
+            _ => match (a.as_ref(), guard_operand(b)) {
+                (Sym::Const(c), Some(x)) => Some((x, *c)),
+                _ => None,
+            },
+        },
+        Sym::Binary(BinOp::Sub, a, b) => match (guard_operand(a), b.as_ref()) {
+            (Some(x), Sym::Const(c)) => Some((x, c.wrapping_neg())),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn relop_of(op: BinOp) -> RelOp {
+    match op {
+        BinOp::Lt => RelOp::Lt,
+        BinOp::Gt => RelOp::Gt,
+        BinOp::Le => RelOp::Le,
+        BinOp::Ge => RelOp::Ge,
+        BinOp::Eq => RelOp::Eq,
+        BinOp::Ne => RelOp::Ne,
+        _ => unreachable!("caller checked is_relational"),
+    }
+}
+
+fn guard_operand(s: &Sym) -> Option<GuardOperand> {
+    match s {
+        Sym::Field(f) => Some(GuardOperand::Field(f.clone())),
+        Sym::Const(c) => Some(GuardOperand::Const(*c)),
+        Sym::StateOld(i) => Some(GuardOperand::State(*i)),
+        _ => None,
+    }
+}
+
+fn update_operand(s: &Sym) -> Option<Operand> {
+    match s {
+        Sym::Field(f) => Some(Operand::Field(f.clone())),
+        Sym::Const(c) => Some(Operand::Const(*c)),
+        _ => None,
+    }
+}
+
+/// Extracts a single-ALU update from a conditional-free expression.
+fn leaf_of(s: &Sym, var_idx: usize) -> Result<Update, NormalizeError> {
+    match s {
+        Sym::StateOld(i) if *i == var_idx => Ok(Update::Keep),
+        Sym::StateOld(_) => Err(NormalizeError::new(
+            "cross-variable assignment (x = y) is not supported by any atom; \
+             route the value through a packet field in an earlier stage",
+        )),
+        Sym::Field(_) | Sym::Const(_) => Ok(Update::Write(update_operand(s).unwrap())),
+        Sym::Binary(BinOp::Add, a, b) => {
+            if matches!(a.as_ref(), Sym::StateOld(i) if *i == var_idx) {
+                if let Some(v) = update_operand(b) {
+                    return Ok(Update::Add(v));
+                }
+            }
+            if matches!(b.as_ref(), Sym::StateOld(i) if *i == var_idx) {
+                if let Some(v) = update_operand(a) {
+                    return Ok(Update::Add(v));
+                }
+            }
+            Err(too_complex(s))
+        }
+        Sym::Binary(BinOp::Sub, a, b) => {
+            if matches!(a.as_ref(), Sym::StateOld(i) if *i == var_idx) {
+                if let Some(v) = update_operand(b) {
+                    return Ok(Update::Sub(v));
+                }
+            }
+            Err(too_complex(s))
+        }
+        other => Err(too_complex(other)),
+    }
+}
+
+fn too_complex(s: &Sym) -> NormalizeError {
+    NormalizeError::new(format!(
+        "update `{s}` does not fit a single-ALU atom update \
+         (x = v, x = x + v, or x = x - v with v a packet field or constant); \
+         compute stateless subexpressions into packet fields in earlier stages"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fld(n: &str) -> Sym {
+        Sym::Field(n.into())
+    }
+    fn cst(v: i32) -> Sym {
+        Sym::Const(v)
+    }
+    fn old() -> Sym {
+        Sym::StateOld(0)
+    }
+    fn bin(op: BinOp, a: Sym, b: Sym) -> Sym {
+        Sym::Binary(op, Box::new(a), Box::new(b))
+    }
+    fn tern(c: Sym, t: Sym, e: Sym) -> Sym {
+        Sym::Ternary(Box::new(c), Box::new(t), Box::new(e))
+    }
+
+    #[test]
+    fn plain_increment_is_depth_zero_add() {
+        let tree = normalize_update(&bin(BinOp::Add, old(), cst(1)), 0).unwrap();
+        assert_eq!(tree, Tree::Leaf(Update::Add(Operand::Const(1))));
+    }
+
+    #[test]
+    fn reversed_operands_still_add() {
+        let tree = normalize_update(&bin(BinOp::Add, fld("size"), old()), 0).unwrap();
+        assert_eq!(tree, Tree::Leaf(Update::Add(Operand::Field("size".into()))));
+    }
+
+    #[test]
+    fn write_and_keep_leaves() {
+        assert_eq!(
+            normalize_update(&cst(0), 0).unwrap(),
+            Tree::Leaf(Update::Write(Operand::Const(0)))
+        );
+        assert_eq!(normalize_update(&old(), 0).unwrap(), Tree::Leaf(Update::Keep));
+    }
+
+    #[test]
+    fn guarded_update_becomes_branch() {
+        // tmp2 ? new_hop : old   (flowlet saved_hop)
+        let tree =
+            normalize_update(&tern(fld("tmp2"), fld("new_hop"), old()), 0).unwrap();
+        let Tree::Branch { guard, then, els } = tree else { panic!() };
+        assert_eq!(guard.to_string(), "pkt.tmp2 != 0");
+        assert_eq!(*then, Tree::Leaf(Update::Write(Operand::Field("new_hop".into()))));
+        assert_eq!(*els, Tree::Leaf(Update::Keep));
+    }
+
+    #[test]
+    fn wraparound_counter_normalizes() {
+        // (old < 99) ? old + 1 : 0
+        let tree = normalize_update(
+            &tern(bin(BinOp::Lt, old(), cst(99)), bin(BinOp::Add, old(), cst(1)), cst(0)),
+            0,
+        )
+        .unwrap();
+        assert_eq!(tree.depth(), 1);
+        let Tree::Branch { guard, .. } = &tree else { panic!() };
+        assert_eq!(guard.to_string(), "state[0] < 99");
+    }
+
+    #[test]
+    fn equality_constant_rewrite() {
+        // (old + 1 == 30) ? 0 : old + 1  — sampled-NetFlow shape: SKETCH
+        // finds the equivalent parameterization old == 29.
+        let update = tern(
+            bin(BinOp::Eq, bin(BinOp::Add, old(), cst(1)), cst(30)),
+            cst(0),
+            bin(BinOp::Add, old(), cst(1)),
+        );
+        let tree = normalize_update(&update, 0).unwrap();
+        let Tree::Branch { guard, .. } = &tree else { panic!() };
+        assert_eq!(guard.to_string(), "state[0] == 29");
+    }
+
+    #[test]
+    fn subtraction_offset_rewrite() {
+        // old - 1 != 5  ⇒  old != 6
+        let update = tern(
+            bin(BinOp::Ne, bin(BinOp::Sub, old(), cst(1)), cst(5)),
+            cst(0),
+            old(),
+        );
+        let tree = normalize_update(&update, 0).unwrap();
+        let Tree::Branch { guard, .. } = &tree else { panic!() };
+        assert_eq!(guard.to_string(), "state[0] != 6");
+    }
+
+    #[test]
+    fn ordered_offset_guard_rejected() {
+        // (old + 1 > 30) is NOT rewritten (unsound under wrapping).
+        let update = tern(
+            bin(BinOp::Gt, bin(BinOp::Add, old(), cst(1)), cst(30)),
+            cst(0),
+            old(),
+        );
+        let err = normalize_update(&update, 0).unwrap_err();
+        assert!(err.message.contains("not a single relational"), "{err}");
+    }
+
+    #[test]
+    fn negated_guard_flips_relation() {
+        // !(a > 5) ? 1 : old  ⇒  guard a <= 5
+        let update = tern(
+            Sym::Unary(UnOp::Not, Box::new(bin(BinOp::Gt, fld("a"), cst(5)))),
+            cst(1),
+            old(),
+        );
+        let tree = normalize_update(&update, 0).unwrap();
+        let Tree::Branch { guard, .. } = &tree else { panic!() };
+        assert_eq!(guard.to_string(), "pkt.a <= 5");
+    }
+
+    #[test]
+    fn ternary_inside_operand_is_lifted() {
+        // old + (cond ? 1 : 2)  ⇒  cond ? old + 1 : old + 2
+        let update = bin(BinOp::Add, old(), tern(fld("cond"), cst(1), cst(2)));
+        let tree = normalize_update(&update, 0).unwrap();
+        assert_eq!(tree.depth(), 1);
+        let Tree::Branch { then, els, .. } = &tree else { panic!() };
+        assert_eq!(**then, Tree::Leaf(Update::Add(Operand::Const(1))));
+        assert_eq!(**els, Tree::Leaf(Update::Add(Operand::Const(2))));
+    }
+
+    #[test]
+    fn constant_guard_folds() {
+        let update = tern(cst(1), bin(BinOp::Add, old(), cst(4)), cst(0));
+        assert_eq!(
+            normalize_update(&update, 0).unwrap(),
+            Tree::Leaf(Update::Add(Operand::Const(4)))
+        );
+    }
+
+    #[test]
+    fn identical_branches_collapse() {
+        let update = tern(fld("c"), old(), old());
+        assert_eq!(normalize_update(&update, 0).unwrap(), Tree::Leaf(Update::Keep));
+    }
+
+    #[test]
+    fn two_operand_update_rejected() {
+        // old + a - b: needs two ALU inputs.
+        let update = bin(BinOp::Sub, bin(BinOp::Add, old(), fld("a")), fld("b"));
+        let err = normalize_update(&update, 0).unwrap_err();
+        assert!(err.message.contains("single-ALU"), "{err}");
+    }
+
+    #[test]
+    fn const_minus_state_rejected() {
+        let update = bin(BinOp::Sub, cst(100), old());
+        assert!(normalize_update(&update, 0).is_err());
+    }
+
+    #[test]
+    fn multiply_on_state_rejected() {
+        // x = x * x — the paper's canonical unmappable codelet (§4.3).
+        let update = bin(BinOp::Mul, old(), old());
+        let err = normalize_update(&update, 0).unwrap_err();
+        assert!(err.message.contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn cross_variable_write_rejected() {
+        let err = normalize_update(&Sym::StateOld(1), 0).unwrap_err();
+        assert!(err.message.contains("cross-variable"), "{err}");
+    }
+
+    #[test]
+    fn nested_two_level_tree() {
+        // p1 ? (p2 ? x+1 : x) : 0
+        let update = tern(
+            fld("p1"),
+            tern(fld("p2"), bin(BinOp::Add, old(), cst(1)), old()),
+            cst(0),
+        );
+        let tree = normalize_update(&update, 0).unwrap();
+        assert_eq!(tree.depth(), 2);
+    }
+
+    #[test]
+    fn guards_may_reference_other_state_vars() {
+        // CONGA: best_path update guarded by best_util comparison.
+        let update = tern(
+            bin(BinOp::Lt, fld("util"), Sym::StateOld(0)),
+            fld("path_id"),
+            Sym::StateOld(1),
+        );
+        let tree = normalize_update(&update, 1).unwrap();
+        let Tree::Branch { guard, .. } = &tree else { panic!() };
+        assert!(guard.reads_state());
+        assert_eq!(guard.to_string(), "pkt.util < state[0]");
+    }
+}

@@ -1,0 +1,424 @@
+//! Symbolic collapse of a codelet into a functional specification.
+//!
+//! A stateful codelet is a short sequential TAC block — one SCC of the
+//! dependency graph (§4.2). To decide whether it fits an atom template, we
+//! first collapse it into a *specification*: for each state variable, a
+//! symbolic expression for its new value in terms of
+//!
+//! * the variable's pre-update value ([`Sym::StateOld`]),
+//! * packet fields computed by *earlier* stages ([`Sym::Field`]),
+//! * constants.
+//!
+//! This is the "codelet as functional specification of the atom" view of
+//! §4.3. Intrinsic calls can never appear here: their arguments are
+//! stateless (enforced by sema), so an intrinsic statement never sits on a
+//! read→write cycle and is always scheduled as its own stateless codelet.
+
+use domino_ast::{BinOp, UnOp};
+use domino_ir::{Codelet, Operand, Packet, StateRef, TacRhs, TacStmt};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbolic expression over pre-update state values, external packet
+/// fields, and constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sym {
+    /// An external packet field (produced before this atom runs).
+    Field(String),
+    /// A constant.
+    Const(i32),
+    /// Pre-update value of the codelet's `i`-th state variable.
+    StateOld(usize),
+    /// Unary operation.
+    Unary(UnOp, Box<Sym>),
+    /// Binary operation.
+    Binary(BinOp, Box<Sym>, Box<Sym>),
+    /// Conditional.
+    Ternary(Box<Sym>, Box<Sym>, Box<Sym>),
+}
+
+impl Sym {
+    /// Evaluates the expression against concrete old state values and a
+    /// packet (used by the CEGIS verifier).
+    pub fn eval(&self, olds: &[i32], pkt: &Packet) -> i32 {
+        match self {
+            Sym::Field(f) => pkt.get_or_zero(f),
+            Sym::Const(c) => *c,
+            Sym::StateOld(i) => olds[*i],
+            Sym::Unary(op, e) => op.eval(e.eval(olds, pkt)),
+            Sym::Binary(op, a, b) => op.eval(a.eval(olds, pkt), b.eval(olds, pkt)),
+            Sym::Ternary(c, t, e) => {
+                if c.eval(olds, pkt) != 0 {
+                    t.eval(olds, pkt)
+                } else {
+                    e.eval(olds, pkt)
+                }
+            }
+        }
+    }
+
+    /// True if the expression references any pre-update state value.
+    pub fn reads_state(&self) -> bool {
+        match self {
+            Sym::Field(_) | Sym::Const(_) => false,
+            Sym::StateOld(_) => true,
+            Sym::Unary(_, e) => e.reads_state(),
+            Sym::Binary(_, a, b) => a.reads_state() || b.reads_state(),
+            Sym::Ternary(c, t, e) => c.reads_state() || t.reads_state() || e.reads_state(),
+        }
+    }
+
+    /// True if the expression contains a conditional.
+    pub fn has_ternary(&self) -> bool {
+        match self {
+            Sym::Field(_) | Sym::Const(_) | Sym::StateOld(_) => false,
+            Sym::Unary(_, e) => e.has_ternary(),
+            Sym::Binary(_, a, b) => a.has_ternary() || b.has_ternary(),
+            Sym::Ternary(..) => true,
+        }
+    }
+
+    /// All external field names referenced.
+    pub fn fields(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_fields(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_fields<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Sym::Field(f) => out.push(f),
+            Sym::Const(_) | Sym::StateOld(_) => {}
+            Sym::Unary(_, e) => e.collect_fields(out),
+            Sym::Binary(_, a, b) => {
+                a.collect_fields(out);
+                b.collect_fields(out);
+            }
+            Sym::Ternary(c, t, e) => {
+                c.collect_fields(out);
+                t.collect_fields(out);
+                e.collect_fields(out);
+            }
+        }
+    }
+
+    /// All constants appearing in the expression.
+    pub fn constants(&self) -> Vec<i32> {
+        let mut out = Vec::new();
+        self.collect_consts(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_consts(&self, out: &mut Vec<i32>) {
+        match self {
+            Sym::Const(c) => out.push(*c),
+            Sym::Field(_) | Sym::StateOld(_) => {}
+            Sym::Unary(_, e) => e.collect_consts(out),
+            Sym::Binary(_, a, b) => {
+                a.collect_consts(out);
+                b.collect_consts(out);
+            }
+            Sym::Ternary(c, t, e) => {
+                c.collect_consts(out);
+                t.collect_consts(out);
+                e.collect_consts(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sym::Field(n) => write!(f, "pkt.{n}"),
+            Sym::Const(c) => write!(f, "{c}"),
+            Sym::StateOld(i) => write!(f, "old{i}"),
+            Sym::Unary(op, e) => write!(f, "{}({e})", op.symbol()),
+            Sym::Binary(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Sym::Ternary(c, t, e) => write!(f, "({c} ? {t} : {e})"),
+        }
+    }
+}
+
+/// The functional specification extracted from a stateful codelet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeletSpec {
+    /// The state variables, in first-access order. `StateOld(i)` refers to
+    /// `state_refs[i]`.
+    pub state_refs: Vec<StateRef>,
+    /// `updates[i]` is the new value of `state_refs[i]`. A variable that is
+    /// read but never written gets `Sym::StateOld(i)` (identity).
+    pub updates: Vec<Sym>,
+    /// Packet fields receiving pre-update state values (read flanks):
+    /// `(field, state index)`.
+    pub outputs: Vec<(String, usize)>,
+}
+
+impl CodeletSpec {
+    /// Number of state variables.
+    pub fn num_vars(&self) -> usize {
+        self.state_refs.len()
+    }
+}
+
+/// Errors during symbolic collapse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollapseError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for CollapseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CollapseError {}
+
+/// Collapses a stateful codelet into its functional specification.
+///
+/// Walks the codelet's statements in order, maintaining a symbolic
+/// environment for packet fields produced inside the codelet; state reads
+/// introduce `StateOld` leaves, and the (single) state write per variable
+/// defines its update expression.
+pub fn collapse(codelet: &Codelet) -> Result<CodeletSpec, CollapseError> {
+    let mut env: BTreeMap<String, Sym> = BTreeMap::new();
+    let mut state_refs: Vec<StateRef> = Vec::new();
+    let mut updates: Vec<Option<Sym>> = Vec::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+
+    let var_index = |sref: &StateRef,
+                         state_refs: &mut Vec<StateRef>,
+                         updates: &mut Vec<Option<Sym>>|
+     -> usize {
+        if let Some(i) = state_refs.iter().position(|r| r == sref) {
+            i
+        } else {
+            state_refs.push(sref.clone());
+            updates.push(None);
+            state_refs.len() - 1
+        }
+    };
+
+    let lookup = |env: &BTreeMap<String, Sym>, op: &Operand| -> Sym {
+        match op {
+            Operand::Const(c) => Sym::Const(*c),
+            Operand::Field(f) => env.get(f).cloned().unwrap_or_else(|| Sym::Field(f.clone())),
+        }
+    };
+
+    for stmt in &codelet.stmts {
+        match stmt {
+            TacStmt::ReadState { dst, state } => {
+                let i = var_index(state, &mut state_refs, &mut updates);
+                env.insert(dst.clone(), Sym::StateOld(i));
+                outputs.push((dst.clone(), i));
+            }
+            TacStmt::WriteState { state, src } => {
+                let i = var_index(state, &mut state_refs, &mut updates);
+                if updates[i].is_some() {
+                    return Err(CollapseError {
+                        message: format!(
+                            "state variable `{}` is written more than once in a codelet \
+                             (normalization should produce a single write flank)",
+                            state.name()
+                        ),
+                    });
+                }
+                updates[i] = Some(lookup(&env, src));
+            }
+            TacStmt::Assign { dst, rhs } => {
+                let sym = match rhs {
+                    TacRhs::Copy(o) => lookup(&env, o),
+                    TacRhs::Unary(op, o) => Sym::Unary(*op, Box::new(lookup(&env, o))),
+                    TacRhs::Binary(op, a, b) => Sym::Binary(
+                        *op,
+                        Box::new(lookup(&env, a)),
+                        Box::new(lookup(&env, b)),
+                    ),
+                    TacRhs::Ternary(c, a, b) => Sym::Ternary(
+                        Box::new(lookup(&env, c)),
+                        Box::new(lookup(&env, a)),
+                        Box::new(lookup(&env, b)),
+                    ),
+                    TacRhs::Intrinsic { name, .. } => {
+                        return Err(CollapseError {
+                            message: format!(
+                                "intrinsic `{name}` inside a stateful codelet: intrinsic \
+                                 results must be computed in a stateless stage first"
+                            ),
+                        })
+                    }
+                };
+                env.insert(dst.clone(), sym);
+            }
+        }
+    }
+
+    let updates: Vec<Sym> = updates
+        .into_iter()
+        .enumerate()
+        .map(|(i, u)| u.unwrap_or(Sym::StateOld(i)))
+        .collect();
+
+    if state_refs.is_empty() {
+        return Err(CollapseError {
+            message: "codelet touches no state; it should be mapped to a stateless atom".into(),
+        });
+    }
+
+    Ok(CodeletSpec { state_refs, updates, outputs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_ast::BinOp;
+
+    fn fld(n: &str) -> Operand {
+        Operand::Field(n.into())
+    }
+
+    fn counter_codelet() -> Codelet {
+        Codelet::new(vec![
+            TacStmt::ReadState { dst: "old".into(), state: StateRef::Scalar("c".into()) },
+            TacStmt::Assign {
+                dst: "new".into(),
+                rhs: TacRhs::Binary(BinOp::Add, fld("old"), Operand::Const(1)),
+            },
+            TacStmt::WriteState { state: StateRef::Scalar("c".into()), src: fld("new") },
+        ])
+    }
+
+    #[test]
+    fn collapses_counter_to_old_plus_one() {
+        let spec = collapse(&counter_codelet()).unwrap();
+        assert_eq!(spec.num_vars(), 1);
+        assert_eq!(spec.updates[0].to_string(), "(old0 + 1)");
+        assert_eq!(spec.outputs, vec![("old".into(), 0)]);
+    }
+
+    #[test]
+    fn collapses_conditional_update() {
+        // saved_hop-style: read, write (tmp2 ? new_hop : old).
+        let c = Codelet::new(vec![
+            TacStmt::ReadState {
+                dst: "saved".into(),
+                state: StateRef::Array { name: "saved_hop".into(), index: fld("id") },
+            },
+            TacStmt::Assign {
+                dst: "next".into(),
+                rhs: TacRhs::Ternary(fld("tmp2"), fld("new_hop"), fld("saved")),
+            },
+            TacStmt::WriteState {
+                state: StateRef::Array { name: "saved_hop".into(), index: fld("id") },
+                src: fld("next"),
+            },
+        ]);
+        let spec = collapse(&c).unwrap();
+        assert_eq!(spec.updates[0].to_string(), "(pkt.tmp2 ? pkt.new_hop : old0)");
+        assert!(spec.updates[0].has_ternary());
+        assert!(spec.updates[0].reads_state());
+    }
+
+    #[test]
+    fn read_only_var_gets_identity_update() {
+        let c = Codelet::new(vec![TacStmt::ReadState {
+            dst: "v".into(),
+            state: StateRef::Scalar("virtual_time".into()),
+        }]);
+        let spec = collapse(&c).unwrap();
+        assert_eq!(spec.updates[0], Sym::StateOld(0));
+    }
+
+    #[test]
+    fn write_only_var_is_fine() {
+        let c = Codelet::new(vec![TacStmt::WriteState {
+            state: StateRef::Scalar("x".into()),
+            src: Operand::Const(1),
+        }]);
+        let spec = collapse(&c).unwrap();
+        assert_eq!(spec.updates[0], Sym::Const(1));
+        assert!(spec.outputs.is_empty());
+    }
+
+    #[test]
+    fn two_variables_tracked_separately() {
+        // CONGA-style pair.
+        let c = Codelet::new(vec![
+            TacStmt::ReadState { dst: "bpu".into(), state: StateRef::Scalar("best_util".into()) },
+            TacStmt::ReadState { dst: "bp".into(), state: StateRef::Scalar("best_path".into()) },
+            TacStmt::Assign {
+                dst: "better".into(),
+                rhs: TacRhs::Binary(BinOp::Lt, fld("util"), fld("bpu")),
+            },
+            TacStmt::Assign {
+                dst: "nbu".into(),
+                rhs: TacRhs::Ternary(fld("better"), fld("util"), fld("bpu")),
+            },
+            TacStmt::Assign {
+                dst: "nbp".into(),
+                rhs: TacRhs::Ternary(fld("better"), fld("path_id"), fld("bp")),
+            },
+            TacStmt::WriteState { state: StateRef::Scalar("best_util".into()), src: fld("nbu") },
+            TacStmt::WriteState { state: StateRef::Scalar("best_path".into()), src: fld("nbp") },
+        ]);
+        let spec = collapse(&c).unwrap();
+        assert_eq!(spec.num_vars(), 2);
+        assert_eq!(
+            spec.updates[0].to_string(),
+            "((pkt.util < old0) ? pkt.util : old0)"
+        );
+        assert_eq!(
+            spec.updates[1].to_string(),
+            "((pkt.util < old0) ? pkt.path_id : old1)"
+        );
+    }
+
+    #[test]
+    fn double_write_rejected() {
+        let c = Codelet::new(vec![
+            TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: Operand::Const(1) },
+            TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: Operand::Const(2) },
+        ]);
+        let err = collapse(&c).unwrap_err();
+        assert!(err.message.contains("written more than once"), "{err}");
+    }
+
+    #[test]
+    fn stateless_codelet_rejected() {
+        let c = Codelet::new(vec![TacStmt::Assign {
+            dst: "t".into(),
+            rhs: TacRhs::Copy(fld("a")),
+        }]);
+        assert!(collapse(&c).is_err());
+    }
+
+    #[test]
+    fn intrinsic_inside_codelet_rejected() {
+        let c = Codelet::new(vec![
+            TacStmt::ReadState { dst: "old".into(), state: StateRef::Scalar("x".into()) },
+            TacStmt::Assign {
+                dst: "h".into(),
+                rhs: TacRhs::Intrinsic { name: "hash2".into(), args: vec![fld("a"), fld("b")], modulo: None },
+            },
+            TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: fld("h") },
+        ]);
+        let err = collapse(&c).unwrap_err();
+        assert!(err.message.contains("hash2"), "{err}");
+    }
+
+    #[test]
+    fn sym_eval_and_accessors() {
+        let spec = collapse(&counter_codelet()).unwrap();
+        let pkt = Packet::new();
+        assert_eq!(spec.updates[0].eval(&[41], &pkt), 42);
+        assert_eq!(spec.updates[0].constants(), vec![1]);
+        assert!(spec.updates[0].fields().is_empty());
+    }
+}

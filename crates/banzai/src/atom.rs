@@ -1,0 +1,561 @@
+//! Atom configurations — the "filled-in templates" of §4.3.
+//!
+//! An atom template (Figure 2b) is a program with *holes* (configuration
+//! parameters). The synthesizer fills the holes, producing a
+//! [`StatefulConfig`]: per state variable, a predication tree whose guards
+//! are single relational operations and whose leaves are single-ALU updates
+//! (`x = v`, `x = x + v`, `x = x − v`, or keep). This mirrors the circuits
+//! of Table 6: operand muxes feeding a relational unit and an adder, with
+//! result muxes selecting the update.
+//!
+//! The configuration serves three purposes:
+//!
+//! 1. it is the *proof* that a codelet fits a given [`AtomKind`],
+//! 2. it drives the hardware cost model (every hole is a mux input),
+//! 3. it can be executed, and is differentially tested against the
+//!    codelet's sequential body.
+
+use crate::kind::AtomKind;
+use domino_ir::interp::eval_operand;
+use domino_ir::{Operand, Packet, StateRef, StateStore};
+use std::fmt;
+
+/// Relational operators available to atom guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names are their C spellings
+pub enum RelOp {
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl RelOp {
+    /// Evaluates the relation.
+    pub fn eval(self, a: i32, b: i32) -> bool {
+        match self {
+            RelOp::Lt => a < b,
+            RelOp::Gt => a > b,
+            RelOp::Le => a <= b,
+            RelOp::Ge => a >= b,
+            RelOp::Eq => a == b,
+            RelOp::Ne => a != b,
+        }
+    }
+
+    /// C spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            RelOp::Lt => "<",
+            RelOp::Gt => ">",
+            RelOp::Le => "<=",
+            RelOp::Ge => ">=",
+            RelOp::Eq => "==",
+            RelOp::Ne => "!=",
+        }
+    }
+
+    /// The relation with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> RelOp {
+        match self {
+            RelOp::Lt => RelOp::Gt,
+            RelOp::Gt => RelOp::Lt,
+            RelOp::Le => RelOp::Ge,
+            RelOp::Ge => RelOp::Le,
+            RelOp::Eq => RelOp::Eq,
+            RelOp::Ne => RelOp::Ne,
+        }
+    }
+
+    /// The negated relation (`!(a < b)` ⇔ `a >= b`).
+    pub fn negated(self) -> RelOp {
+        match self {
+            RelOp::Lt => RelOp::Ge,
+            RelOp::Gt => RelOp::Le,
+            RelOp::Le => RelOp::Gt,
+            RelOp::Ge => RelOp::Lt,
+            RelOp::Eq => RelOp::Ne,
+            RelOp::Ne => RelOp::Eq,
+        }
+    }
+}
+
+/// An operand of a guard: a packet field, a constant, or one of the atom's
+/// state variables (only predicated atoms from PRAW up have guards, and
+/// Pairs guards may read both variables).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GuardOperand {
+    /// Packet field.
+    Field(String),
+    /// Immediate constant.
+    Const(i32),
+    /// The atom's `i`-th state variable (pre-update value).
+    State(usize),
+}
+
+impl GuardOperand {
+    fn eval(&self, olds: &[i32], pkt: &Packet) -> i32 {
+        match self {
+            GuardOperand::Field(f) => pkt.get_or_zero(f),
+            GuardOperand::Const(c) => *c,
+            GuardOperand::State(i) => olds[*i],
+        }
+    }
+
+    /// True if this operand reads atom state.
+    pub fn reads_state(&self) -> bool {
+        matches!(self, GuardOperand::State(_))
+    }
+}
+
+impl fmt::Display for GuardOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuardOperand::Field(n) => write!(f, "pkt.{n}"),
+            GuardOperand::Const(c) => write!(f, "{c}"),
+            GuardOperand::State(i) => write!(f, "state[{i}]"),
+        }
+    }
+}
+
+/// A guard: one relational operation (the RELOP unit of Table 6's
+/// circuits).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// The relational operator.
+    pub op: RelOp,
+    /// Left operand.
+    pub lhs: GuardOperand,
+    /// Right operand.
+    pub rhs: GuardOperand,
+}
+
+impl Guard {
+    /// Evaluates the guard against pre-update state values and the packet.
+    pub fn eval(&self, olds: &[i32], pkt: &Packet) -> bool {
+        self.op.eval(self.lhs.eval(olds, pkt), self.rhs.eval(olds, pkt))
+    }
+
+    /// True if either operand reads atom state.
+    pub fn reads_state(&self) -> bool {
+        self.lhs.reads_state() || self.rhs.reads_state()
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op.symbol(), self.rhs)
+    }
+}
+
+/// A leaf update applied to one state variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Update {
+    /// Leave the state variable unchanged.
+    Keep,
+    /// `x = v`
+    Write(Operand),
+    /// `x = x + v`
+    Add(Operand),
+    /// `x = x - v`
+    Sub(Operand),
+}
+
+impl Update {
+    /// Applies the update to the variable's old value.
+    pub fn apply(&self, old: i32, pkt: &Packet) -> i32 {
+        match self {
+            Update::Keep => old,
+            Update::Write(o) => eval_operand(o, pkt),
+            Update::Add(o) => old.wrapping_add(eval_operand(o, pkt)),
+            Update::Sub(o) => old.wrapping_sub(eval_operand(o, pkt)),
+        }
+    }
+
+    /// True if this update is expressible with the given capabilities.
+    pub fn allowed_by(&self, caps: &crate::kind::StatefulCaps) -> bool {
+        match self {
+            Update::Keep | Update::Write(_) => true,
+            Update::Add(_) => caps.allow_add,
+            Update::Sub(_) => caps.allow_sub,
+        }
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Update::Keep => write!(f, "x = x"),
+            Update::Write(o) => write!(f, "x = {o}"),
+            Update::Add(o) => write!(f, "x = x + {o}"),
+            Update::Sub(o) => write!(f, "x = x - {o}"),
+        }
+    }
+}
+
+/// A predication tree over one state variable: depth 0 is an unconditional
+/// update, depth 1 is PRAW/IfElseRAW-style 2-way predication, depth 2 is
+/// Nested's 4-way predication.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Tree {
+    /// Unconditional update.
+    Leaf(Update),
+    /// `if (guard) then else els`.
+    Branch {
+        /// The predicate.
+        guard: Guard,
+        /// Taken when the guard holds.
+        then: Box<Tree>,
+        /// Taken otherwise.
+        els: Box<Tree>,
+    },
+}
+
+impl Tree {
+    /// Depth of the tree (0 for a leaf).
+    pub fn depth(&self) -> u8 {
+        match self {
+            Tree::Leaf(_) => 0,
+            Tree::Branch { then, els, .. } => 1 + then.depth().max(els.depth()),
+        }
+    }
+
+    /// Computes the variable's new value.
+    pub fn eval(&self, var_idx: usize, olds: &[i32], pkt: &Packet) -> i32 {
+        match self {
+            Tree::Leaf(u) => u.apply(olds[var_idx], pkt),
+            Tree::Branch { guard, then, els } => {
+                if guard.eval(olds, pkt) {
+                    then.eval(var_idx, olds, pkt)
+                } else {
+                    els.eval(var_idx, olds, pkt)
+                }
+            }
+        }
+    }
+
+    /// Iterates all leaf updates.
+    pub fn leaves(&self) -> Vec<&Update> {
+        match self {
+            Tree::Leaf(u) => vec![u],
+            Tree::Branch { then, els, .. } => {
+                let mut v = then.leaves();
+                v.extend(els.leaves());
+                v
+            }
+        }
+    }
+
+    /// Iterates all guards.
+    pub fn guards(&self) -> Vec<&Guard> {
+        match self {
+            Tree::Leaf(_) => vec![],
+            Tree::Branch { guard, then, els } => {
+                let mut v = vec![guard];
+                v.extend(then.guards());
+                v.extend(els.guards());
+                v
+            }
+        }
+    }
+
+    /// The `els` subtree at depth 1, if this is a branch (used for the PRAW
+    /// "else leave unchanged" capability check).
+    fn else_is_keep(&self) -> bool {
+        match self {
+            Tree::Leaf(_) => true,
+            Tree::Branch { els, .. } => matches!(els.as_ref(), Tree::Leaf(Update::Keep)),
+        }
+    }
+
+    fn render(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            Tree::Leaf(u) => writeln!(f, "{pad}{u}"),
+            Tree::Branch { guard, then, els } => {
+                writeln!(f, "{pad}if ({guard})")?;
+                then.render(f, depth + 1)?;
+                writeln!(f, "{pad}else")?;
+                els.render(f, depth + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render(f, 0)
+    }
+}
+
+/// A fully configured stateful atom: bound state references, one predication
+/// tree per state variable, and the packet fields receiving the pre-update
+/// state values (read flanks are free register reads in hardware).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatefulConfig {
+    /// The state variables this atom owns (1, or 2 for Pairs).
+    pub state_refs: Vec<StateRef>,
+    /// `trees[i]` computes the new value of `state_refs[i]`.
+    pub trees: Vec<Tree>,
+    /// `(field, i)`: deliver the pre-update value of `state_refs[i]` into
+    /// packet field `field`.
+    pub outputs: Vec<(String, usize)>,
+}
+
+impl StatefulConfig {
+    /// Executes the atom for one packet: read old values, expose them to the
+    /// packet, evaluate the trees, write back — all within one "cycle".
+    pub fn execute(&self, state: &mut StateStore, pkt: &mut Packet) {
+        let olds: Vec<i32> = self
+            .state_refs
+            .iter()
+            .map(|r| domino_ir::interp::read_state(r, state, pkt))
+            .collect();
+        for (field, i) in &self.outputs {
+            pkt.set(field, olds[*i]);
+        }
+        let news: Vec<i32> = self
+            .trees
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.eval(i, &olds, pkt))
+            .collect();
+        for (r, v) in self.state_refs.iter().zip(news) {
+            domino_ir::interp::write_state(r, v, state, pkt);
+        }
+    }
+
+    /// Checks whether this configuration is within the capabilities of
+    /// `kind` (the containment-hierarchy check of §5.3).
+    pub fn fits(&self, kind: AtomKind) -> bool {
+        let caps = kind.caps();
+        if self.state_refs.len() > caps.max_state_vars as usize {
+            return false;
+        }
+        for tree in &self.trees {
+            if tree.depth() > caps.max_tree_depth {
+                return false;
+            }
+            if !caps.else_may_update && !tree.else_is_keep() {
+                return false;
+            }
+            if !tree.leaves().iter().all(|u| u.allowed_by(&caps)) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The least expressive kind that can hold this configuration, if any.
+    pub fn minimal_kind(&self) -> Option<AtomKind> {
+        AtomKind::ALL.into_iter().find(|k| self.fits(*k))
+    }
+}
+
+impl fmt::Display for StatefulConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (r, t)) in self.state_refs.iter().zip(&self.trees).enumerate() {
+            writeln!(f, "state[{i}] = {r}:")?;
+            write!(f, "{t}")?;
+        }
+        for (field, i) in &self.outputs {
+            writeln!(f, "pkt.{field} <- old(state[{i}])")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_ast::{StateKind, StateVar};
+
+    fn scalar_store(name: &str, init: i32) -> StateStore {
+        StateStore::from_decls(&[StateVar {
+            name: name.into(),
+            kind: StateKind::Scalar,
+            init,
+        }])
+    }
+
+    fn counter_config() -> StatefulConfig {
+        // The wrap-around counter of §2.3:
+        //   if (counter < 99) counter++; else counter = 0;
+        StatefulConfig {
+            state_refs: vec![StateRef::Scalar("counter".into())],
+            trees: vec![Tree::Branch {
+                guard: Guard {
+                    op: RelOp::Lt,
+                    lhs: GuardOperand::State(0),
+                    rhs: GuardOperand::Const(99),
+                },
+                then: Box::new(Tree::Leaf(Update::Add(Operand::Const(1)))),
+                els: Box::new(Tree::Leaf(Update::Write(Operand::Const(0)))),
+            }],
+            outputs: vec![],
+        }
+    }
+
+    #[test]
+    fn relop_eval_and_inverses() {
+        assert!(RelOp::Lt.eval(1, 2));
+        assert!(!RelOp::Lt.eval(2, 2));
+        for op in [RelOp::Lt, RelOp::Gt, RelOp::Le, RelOp::Ge, RelOp::Eq, RelOp::Ne] {
+            for a in [-2, 0, 3] {
+                for b in [-2, 0, 3] {
+                    assert_eq!(op.eval(a, b), op.flipped().eval(b, a), "{op:?} flip");
+                    assert_eq!(op.eval(a, b), !op.negated().eval(a, b), "{op:?} neg");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_counter_executes_like_the_paper() {
+        let cfg = counter_config();
+        let mut state = scalar_store("counter", 98);
+        let mut pkt = Packet::new();
+        cfg.execute(&mut state, &mut pkt);
+        assert_eq!(state.read_scalar("counter"), 99);
+        cfg.execute(&mut state, &mut pkt);
+        assert_eq!(state.read_scalar("counter"), 0); // wrapped
+        cfg.execute(&mut state, &mut pkt);
+        assert_eq!(state.read_scalar("counter"), 1);
+    }
+
+    #[test]
+    fn counter_needs_ifelse_raw() {
+        // Both branches update (add vs write), so PRAW is not enough.
+        let cfg = counter_config();
+        assert!(!cfg.fits(AtomKind::Write));
+        assert!(!cfg.fits(AtomKind::Raw));
+        assert!(!cfg.fits(AtomKind::Praw));
+        assert!(cfg.fits(AtomKind::IfElseRaw));
+        assert_eq!(cfg.minimal_kind(), Some(AtomKind::IfElseRaw));
+    }
+
+    #[test]
+    fn praw_accepts_guarded_update_with_keep_else() {
+        let cfg = StatefulConfig {
+            state_refs: vec![StateRef::Scalar("x".into())],
+            trees: vec![Tree::Branch {
+                guard: Guard {
+                    op: RelOp::Gt,
+                    lhs: GuardOperand::Field("a".into()),
+                    rhs: GuardOperand::Const(0),
+                },
+                then: Box::new(Tree::Leaf(Update::Add(Operand::Field("a".into())))),
+                els: Box::new(Tree::Leaf(Update::Keep)),
+            }],
+            outputs: vec![],
+        };
+        assert_eq!(cfg.minimal_kind(), Some(AtomKind::Praw));
+    }
+
+    #[test]
+    fn sub_required_for_subtraction() {
+        let cfg = StatefulConfig {
+            state_refs: vec![StateRef::Scalar("x".into())],
+            trees: vec![Tree::Leaf(Update::Sub(Operand::Const(1)))],
+            outputs: vec![],
+        };
+        // Depth 0, but subtraction first appears in the Sub atom.
+        assert_eq!(cfg.minimal_kind(), Some(AtomKind::Sub));
+    }
+
+    #[test]
+    fn two_vars_require_pairs() {
+        let keep = Tree::Leaf(Update::Keep);
+        let cfg = StatefulConfig {
+            state_refs: vec![StateRef::Scalar("a".into()), StateRef::Scalar("b".into())],
+            trees: vec![keep.clone(), keep],
+            outputs: vec![],
+        };
+        assert_eq!(cfg.minimal_kind(), Some(AtomKind::Pairs));
+    }
+
+    #[test]
+    fn depth_two_requires_nested() {
+        let inner = Tree::Branch {
+            guard: Guard {
+                op: RelOp::Eq,
+                lhs: GuardOperand::Field("a".into()),
+                rhs: GuardOperand::Const(1),
+            },
+            then: Box::new(Tree::Leaf(Update::Write(Operand::Const(5)))),
+            els: Box::new(Tree::Leaf(Update::Keep)),
+        };
+        let cfg = StatefulConfig {
+            state_refs: vec![StateRef::Scalar("x".into())],
+            trees: vec![Tree::Branch {
+                guard: Guard {
+                    op: RelOp::Ne,
+                    lhs: GuardOperand::Field("b".into()),
+                    rhs: GuardOperand::Const(0),
+                },
+                then: Box::new(inner),
+                els: Box::new(Tree::Leaf(Update::Keep)),
+            }],
+            outputs: vec![],
+        };
+        assert_eq!(cfg.minimal_kind(), Some(AtomKind::Nested));
+    }
+
+    #[test]
+    fn outputs_deliver_pre_update_value() {
+        let cfg = StatefulConfig {
+            state_refs: vec![StateRef::Scalar("x".into())],
+            trees: vec![Tree::Leaf(Update::Add(Operand::Const(1)))],
+            outputs: vec![("old_x".into(), 0)],
+        };
+        let mut state = scalar_store("x", 41);
+        let mut pkt = Packet::new();
+        cfg.execute(&mut state, &mut pkt);
+        assert_eq!(pkt.get("old_x"), Some(41)); // pre-update
+        assert_eq!(state.read_scalar("x"), 42);
+    }
+
+    #[test]
+    fn array_state_ref_uses_packet_index() {
+        let mut state = StateStore::new();
+        state.insert_array("tbl", 8, 0);
+        let cfg = StatefulConfig {
+            state_refs: vec![StateRef::Array {
+                name: "tbl".into(),
+                index: Operand::Field("id".into()),
+            }],
+            trees: vec![Tree::Leaf(Update::Write(Operand::Field("v".into())))],
+            outputs: vec![],
+        };
+        let mut pkt = Packet::new().with("id", 3).with("v", 7);
+        cfg.execute(&mut state, &mut pkt);
+        assert_eq!(state.read_array("tbl", 3), 7);
+        assert_eq!(state.read_array("tbl", 2), 0);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let cfg = counter_config();
+        let text = cfg.to_string();
+        assert!(text.contains("if (state[0] < 99)"), "{text}");
+        assert!(text.contains("x = x + 1"), "{text}");
+    }
+
+    #[test]
+    fn guard_state_detection() {
+        let g = Guard {
+            op: RelOp::Lt,
+            lhs: GuardOperand::Field("util".into()),
+            rhs: GuardOperand::State(0),
+        };
+        assert!(g.reads_state());
+        let g2 = Guard {
+            op: RelOp::Lt,
+            lhs: GuardOperand::Field("a".into()),
+            rhs: GuardOperand::Const(1),
+        };
+        assert!(!g2.reads_state());
+    }
+}

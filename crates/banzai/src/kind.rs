@@ -1,0 +1,215 @@
+//! The seven stateful atom kinds of Table 3.
+//!
+//! The paper designs "a containment hierarchy of stateful atoms, where each
+//! atom can express all stateful operations that its predecessor can"
+//! (§5.2). Each kind is characterized here by a set of *capabilities*; the
+//! synthesizer ([`atom-synth`](../../atom-synth)) maps a codelet onto a kind
+//! by finding a configuration within these capabilities.
+
+use std::fmt;
+
+/// A stateful atom kind, ordered from least to most expressive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AtomKind {
+    /// Read/Write: read the state variable into a packet field, or write a
+    /// packet field/constant into it.
+    Write,
+    /// ReadAddWrite (RAW): additionally add a packet field/constant to the
+    /// state variable.
+    Raw,
+    /// Predicated ReadAddWrite (PRAW): execute a RAW only if a predicate
+    /// holds, else leave the state unchanged.
+    Praw,
+    /// IfElse ReadAddWrite: two separate RAWs, one for each predicate
+    /// outcome.
+    IfElseRaw,
+    /// Subtract: like IfElseRAW but updates may also subtract.
+    Sub,
+    /// Nested Ifs: two predication levels (4-way predication).
+    Nested,
+    /// Paired updates: like Nested, on a *pair* of state variables whose
+    /// predicates may read both.
+    Pairs,
+}
+
+/// What a stateful atom kind can express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatefulCaps {
+    /// Maximum depth of the predication tree (0 = unconditional update).
+    pub max_tree_depth: u8,
+    /// Whether the non-taken branch of a depth-1 tree may do anything other
+    /// than keep the state unchanged (false for PRAW: "else leave
+    /// unchanged").
+    pub else_may_update: bool,
+    /// Whether updates may add (`x = x + v`).
+    pub allow_add: bool,
+    /// Whether updates may subtract (`x = x - v`).
+    pub allow_sub: bool,
+    /// Number of state variables managed atomically.
+    pub max_state_vars: u8,
+}
+
+impl AtomKind {
+    /// All kinds, least to most expressive (the containment hierarchy).
+    pub const ALL: [AtomKind; 7] = [
+        AtomKind::Write,
+        AtomKind::Raw,
+        AtomKind::Praw,
+        AtomKind::IfElseRaw,
+        AtomKind::Sub,
+        AtomKind::Nested,
+        AtomKind::Pairs,
+    ];
+
+    /// The capability set of this kind.
+    pub fn caps(self) -> StatefulCaps {
+        match self {
+            AtomKind::Write => StatefulCaps {
+                max_tree_depth: 0,
+                else_may_update: false,
+                allow_add: false,
+                allow_sub: false,
+                max_state_vars: 1,
+            },
+            AtomKind::Raw => StatefulCaps {
+                max_tree_depth: 0,
+                else_may_update: false,
+                allow_add: true,
+                allow_sub: false,
+                max_state_vars: 1,
+            },
+            AtomKind::Praw => StatefulCaps {
+                max_tree_depth: 1,
+                else_may_update: false,
+                allow_add: true,
+                allow_sub: false,
+                max_state_vars: 1,
+            },
+            AtomKind::IfElseRaw => StatefulCaps {
+                max_tree_depth: 1,
+                else_may_update: true,
+                allow_add: true,
+                allow_sub: false,
+                max_state_vars: 1,
+            },
+            AtomKind::Sub => StatefulCaps {
+                max_tree_depth: 1,
+                else_may_update: true,
+                allow_add: true,
+                allow_sub: true,
+                max_state_vars: 1,
+            },
+            AtomKind::Nested => StatefulCaps {
+                max_tree_depth: 2,
+                else_may_update: true,
+                allow_add: true,
+                allow_sub: true,
+                max_state_vars: 1,
+            },
+            AtomKind::Pairs => StatefulCaps {
+                max_tree_depth: 2,
+                else_may_update: true,
+                allow_add: true,
+                allow_sub: true,
+                max_state_vars: 2,
+            },
+        }
+    }
+
+    /// The paper's name for this atom (Table 3).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            AtomKind::Write => "Read/Write",
+            AtomKind::Raw => "ReadAddWrite (RAW)",
+            AtomKind::Praw => "Predicated ReadAddWrite (PRAW)",
+            AtomKind::IfElseRaw => "IfElse ReadAddWrite (IfElseRAW)",
+            AtomKind::Sub => "Subtract (Sub)",
+            AtomKind::Nested => "Nested Ifs (Nested)",
+            AtomKind::Pairs => "Paired updates (Pairs)",
+        }
+    }
+
+    /// Short identifier used in target names and CLI flags.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            AtomKind::Write => "write",
+            AtomKind::Raw => "raw",
+            AtomKind::Praw => "praw",
+            AtomKind::IfElseRaw => "ifelse_raw",
+            AtomKind::Sub => "sub",
+            AtomKind::Nested => "nested",
+            AtomKind::Pairs => "pairs",
+        }
+    }
+
+    /// Parses a short identifier.
+    pub fn from_short_name(s: &str) -> Option<AtomKind> {
+        AtomKind::ALL.iter().copied().find(|k| k.short_name() == s)
+    }
+
+    /// True if `self` can express everything `other` can (containment
+    /// hierarchy: every kind contains all its predecessors).
+    pub fn contains(self, other: AtomKind) -> bool {
+        self >= other
+    }
+}
+
+impl fmt::Display for AtomKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_is_ordered() {
+        for w in AtomKind::ALL.windows(2) {
+            assert!(w[1] > w[0], "{:?} should be more expressive than {:?}", w[1], w[0]);
+            assert!(w[1].contains(w[0]));
+            assert!(!w[0].contains(w[1]));
+        }
+    }
+
+    #[test]
+    fn caps_grow_monotonically() {
+        // Each successor's capabilities are a superset of its predecessor's.
+        for w in AtomKind::ALL.windows(2) {
+            let (a, b) = (w[0].caps(), w[1].caps());
+            assert!(b.max_tree_depth >= a.max_tree_depth);
+            assert!(b.else_may_update >= a.else_may_update);
+            assert!(b.allow_add >= a.allow_add);
+            assert!(b.allow_sub >= a.allow_sub);
+            assert!(b.max_state_vars >= a.max_state_vars);
+        }
+    }
+
+    #[test]
+    fn praw_cannot_update_on_else() {
+        assert!(!AtomKind::Praw.caps().else_may_update);
+        assert!(AtomKind::IfElseRaw.caps().else_may_update);
+    }
+
+    #[test]
+    fn only_pairs_handles_two_state_vars() {
+        for k in AtomKind::ALL {
+            let expected = if k == AtomKind::Pairs { 2 } else { 1 };
+            assert_eq!(k.caps().max_state_vars, expected, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn short_names_round_trip() {
+        for k in AtomKind::ALL {
+            assert_eq!(AtomKind::from_short_name(k.short_name()), Some(k));
+        }
+        assert_eq!(AtomKind::from_short_name("bogus"), None);
+    }
+
+    #[test]
+    fn display_uses_paper_names() {
+        assert_eq!(AtomKind::Praw.to_string(), "Predicated ReadAddWrite (PRAW)");
+    }
+}

@@ -1,0 +1,36 @@
+//! # banzai — a machine model for programmable line-rate switches
+//!
+//! Banzai (§2 of *Packet Transactions*, SIGCOMM 2016) abstracts
+//! programmable switch pipelines (RMT, Intel FlexPipe, Cavium XPliant): a
+//! feed-forward pipeline of stages, each stage a vector of **atoms** that
+//! execute within one clock cycle, one packet per cycle. Atoms are the
+//! machine's instruction set; stateful atoms own their state exclusively —
+//! state is never shared across atoms or stages.
+//!
+//! This crate provides:
+//!
+//! * [`kind::AtomKind`] — the seven stateful atom kinds of Table 3 and
+//!   their capability lattice,
+//! * [`atom`] — filled-in atom templates ([`atom::StatefulConfig`]):
+//!   predication trees with relational guards and single-ALU updates,
+//! * [`target::Target`] — concrete compiler targets (§5.2): atom kind +
+//!   resource limits + available intrinsics,
+//! * [`machine`] — the executable machine: [`machine::AtomPipeline`] and
+//!   [`machine::Machine`] with both transactional and cycle-accurate
+//!   (packets-in-flight) execution, which are observably identical — the
+//!   packet-transaction guarantee.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod kind;
+pub mod machine;
+pub mod switch;
+pub mod target;
+
+pub use atom::{Guard, GuardOperand, RelOp, StatefulConfig, Tree, Update};
+pub use kind::{AtomKind, StatefulCaps};
+pub use machine::{AtomPipeline, AtomRole, CompiledAtom, Machine};
+pub use switch::Switch;
+pub use target::Target;

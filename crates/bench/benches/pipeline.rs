@@ -1,0 +1,82 @@
+//! Criterion benchmarks.
+//!
+//! * `compile/*` — experiment E8 (§5.3 "Compilation time"): end-to-end
+//!   compilation of every Table 4 algorithm for its least-expressive
+//!   target. The paper's times are SKETCH-dominated (up to 10 s for the
+//!   CoDel worst case); ours measure the synthesis-search substitute.
+//! * `reject/codel` — the §5.3 worst case: proving CoDel unmappable on
+//!   the most expressive target.
+//! * `simulate/*` — Banzai machine throughput (packets/second through the
+//!   compiled flowlet and CMS pipelines, serial and cycle-accurate).
+//! * `synthesize/*` — codelet→atom mapping alone.
+
+use banzai::{AtomKind, Machine, Target};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for algo in algorithms::TABLE4.iter() {
+        let Some(kind) = algo.paper.least_atom else { continue };
+        let target = Target::banzai(kind);
+        group.bench_function(algo.name, |b| {
+            b.iter(|| domino_compiler::compile(black_box(algo.source), &target).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_reject(c: &mut Criterion) {
+    let algo = algorithms::by_name("codel").unwrap();
+    let target = Target::banzai(AtomKind::Pairs);
+    c.bench_function("reject/codel_on_pairs", |b| {
+        b.iter(|| {
+            let err = domino_compiler::compile(black_box(algo.source), &target);
+            assert!(err.is_err());
+        })
+    });
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    for (name, mode_pipelined) in
+        [("flowlet_serial", false), ("flowlet_pipelined", true), ("heavy_hitters_serial", false)]
+    {
+        let algo_name = if name.starts_with("flowlet") { "flowlet" } else { "heavy_hitters" };
+        let algo = algorithms::by_name(algo_name).unwrap();
+        let target = Target::banzai(algo.paper.least_atom.unwrap());
+        let pipeline = domino_compiler::compile(algo.source, &target).unwrap();
+        let trace = algo.trace(1000, 42);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut machine = Machine::new(pipeline.clone());
+                if mode_pipelined {
+                    black_box(machine.run_trace_pipelined(&trace))
+                } else {
+                    black_box(machine.run_trace(&trace))
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthesize(c: &mut Criterion) {
+    // The flowlet saved_hop codelet: read + guarded write.
+    let compilation =
+        domino_compiler::normalize(algorithms::by_name("flowlet").unwrap().source).unwrap();
+    let codelet = compilation
+        .pvsm
+        .iter_codelets()
+        .map(|(_, cl)| cl)
+        .find(|cl| cl.state_vars().contains("saved_hop"))
+        .unwrap()
+        .clone();
+    c.bench_function("synthesize/saved_hop_praw", |b| {
+        b.iter(|| atom_synth::map_to_kind(black_box(&codelet), AtomKind::Praw).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_reject, bench_simulate, bench_synthesize);
+criterion_main!(benches);

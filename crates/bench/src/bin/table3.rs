@@ -1,0 +1,35 @@
+//! Experiment E1 — regenerate **Table 3**: atom areas in a 32 nm
+//! standard-cell library (computed from the circuit model, next to the
+//! paper's published values).
+
+use banzai::AtomKind;
+use bench::render_table;
+use hardware_model::{paper_area, stateful_circuit, stateless_circuit, PAPER_STATELESS_AREA};
+
+fn main() {
+    println!("Table 3 — atom areas (um^2), 32 nm library, 1 GHz\n");
+    let mut rows = Vec::new();
+    let stateless = stateless_circuit();
+    rows.push(vec![
+        "Stateless".to_string(),
+        format!("{:.0}", stateless.area()),
+        format!("{PAPER_STATELESS_AREA:.0}"),
+        format!("{:+.1}%", 100.0 * (stateless.area() - PAPER_STATELESS_AREA) / PAPER_STATELESS_AREA),
+    ]);
+    for kind in AtomKind::ALL {
+        let circuit = stateful_circuit(kind);
+        let got = circuit.area();
+        let want = paper_area(kind);
+        rows.push(vec![
+            kind.paper_name().to_string(),
+            format!("{got:.0}"),
+            format!("{want:.0}"),
+            format!("{:+.1}%", 100.0 * (got - want) / want),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Atom", "Model area", "Paper area", "Residual"], &rows)
+    );
+    println!("All atoms meet timing at 1 GHz (delay < 1000 ps): see table6.");
+}

@@ -1,0 +1,66 @@
+//! Experiment E2 — regenerate **Table 4**: for every data-plane algorithm,
+//! the least expressive atom, pipeline shape, and Domino/P4 LOC, next to
+//! the paper's values. `--with-lut` appends the X1 CoDel row compiled for
+//! the look-up-table-extended target.
+
+use bench::{evaluate_algorithm, kind_cell, render_table};
+
+fn main() {
+    let with_lut = std::env::args().any(|a| a == "--with-lut");
+    println!("Table 4 — data-plane algorithms (measured vs paper)\n");
+    let mut rows = Vec::new();
+    for algo in &algorithms::TABLE4 {
+        let r = evaluate_algorithm(algo, false);
+        rows.push(vec![
+            r.name.to_string(),
+            kind_cell(r.least_atom),
+            kind_cell(algo.paper.least_atom),
+            format!("{}, {}", r.stages, r.max_atoms_per_stage),
+            format!("{}, {}", algo.paper.stages, algo.paper.max_atoms_per_stage),
+            algo.paper.pipeline.to_string(),
+            format!("{}", r.domino_loc),
+            format!("{}", algo.paper.domino_loc),
+            r.p4_loc.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            format!("{}", algo.paper.p4_loc),
+        ]);
+    }
+    if with_lut {
+        let r = evaluate_algorithm(&algorithms::CODEL_LUT, true);
+        rows.push(vec![
+            "codel_lut (X1)".to_string(),
+            kind_cell(r.least_atom),
+            "n/a".into(),
+            format!("{}, {}", r.stages, r.max_atoms_per_stage),
+            "n/a".into(),
+            "Egress".into(),
+            format!("{}", r.domino_loc),
+            "n/a".into(),
+            r.p4_loc.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            "n/a".into(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Algorithm",
+                "Least atom",
+                "(paper)",
+                "Stages, atoms",
+                "(paper)",
+                "Pipeline",
+                "Dom LOC",
+                "(paper)",
+                "P4 LOC",
+                "(paper)",
+            ],
+            &rows
+        )
+    );
+    for algo in &algorithms::TABLE4 {
+        let r = evaluate_algorithm(algo, false);
+        if let Some(reason) = r.reject_reason {
+            println!("{}: rejected on every target — {}", r.name, reason);
+        }
+    }
+}

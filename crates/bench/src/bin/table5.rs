@@ -1,0 +1,68 @@
+//! Experiment E3 — regenerate **Table 5**: programmability (how many of
+//! the Table 4 algorithms each atom can run) versus performance (minimum
+//! delay and the resulting maximum line rate).
+
+use banzai::{AtomKind, Target};
+use bench::render_table;
+use hardware_model::{paper_delay, stateful_circuit};
+
+fn main() {
+    println!("Table 5 — programmability vs performance\n");
+    // Programmability: compile all Table 4 algorithms per target.
+    let compilations: Vec<_> = algorithms::TABLE4
+        .iter()
+        .map(|a| (a.name, domino_compiler::normalize(a.source).expect("normalizes")))
+        .collect();
+
+    let mut rows = Vec::new();
+    for kind in AtomKind::ALL {
+        let target = Target::banzai(kind);
+        let supported = compilations
+            .iter()
+            .filter(|(_, c)| domino_compiler::lower(c, &target).is_ok())
+            .count();
+        let circuit = stateful_circuit(kind);
+        let delay = circuit.min_delay_ps();
+        rows.push(vec![
+            kind.paper_name().to_string(),
+            format!("{delay:.0}"),
+            format!("{:.0}", paper_delay(kind)),
+            format!("{supported}"),
+            format!("{}", paper_programmability(kind)),
+            format!("{:.2}", circuit.max_line_rate_gpps()),
+            format!("{:.2}", 1000.0 / paper_delay(kind)),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Atom",
+                "Delay ps",
+                "(paper)",
+                "# algos",
+                "(paper)",
+                "Gpkts/s",
+                "(paper)",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Programmability counts our 11 Table 4 algorithms; the paper counted 10 of\n\
+         its 11 at Pairs because CoDel never maps (same here)."
+    );
+}
+
+/// The paper's Table 5 programmability column.
+fn paper_programmability(kind: AtomKind) -> usize {
+    match kind {
+        AtomKind::Write => 1,
+        AtomKind::Raw => 2,
+        AtomKind::Praw => 4,
+        AtomKind::IfElseRaw => 5,
+        AtomKind::Sub => 6,
+        AtomKind::Nested => 9,
+        AtomKind::Pairs => 10,
+    }
+}

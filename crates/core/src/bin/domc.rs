@@ -1,0 +1,185 @@
+//! `domc` — the Domino compiler command-line driver.
+//!
+//! ```text
+//! domc <file.domino> [--target <atom>] [--lut] [--emit <what>]
+//!
+//!   --target <atom>   stateful atom of the Banzai target: write, raw,
+//!                     praw, ifelse_raw, sub, nested, pairs (default: pairs)
+//!   --lut             extend the target with the look-up-table unit (X1)
+//!   --emit <what>     pipeline (default) | p4 | tac | pvsm | dot |
+//!                     normalized | json
+//!   --all-targets     try every standard target and report the least
+//!                     expressive atom that runs the program (Table 4 view)
+//! ```
+
+use banzai::{AtomKind, Target};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut file: Option<&str> = None;
+    let mut kind = AtomKind::Pairs;
+    let mut lut = false;
+    let mut emit = "pipeline";
+    let mut all_targets = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--target" => {
+                i += 1;
+                let name = args.get(i).ok_or("--target needs a value")?;
+                kind = AtomKind::from_short_name(name).ok_or_else(|| {
+                    format!(
+                        "unknown atom `{name}` (expected one of: {})",
+                        AtomKind::ALL.map(|k| k.short_name()).join(", ")
+                    )
+                })?;
+            }
+            "--lut" => lut = true,
+            "--emit" => {
+                i += 1;
+                emit = args.get(i).ok_or("--emit needs a value")?;
+            }
+            "--all-targets" => all_targets = true,
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                return Ok(());
+            }
+            other if !other.starts_with('-') && file.is_none() => {
+                file = Some(other);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+
+    let file = file.ok_or("usage: domc <file.domino> [options] (try --help)")?;
+    let source = std::fs::read_to_string(file)
+        .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+
+    let compilation =
+        domino_compiler::normalize(&source).map_err(|e| e.to_string())?;
+
+    if all_targets {
+        for k in AtomKind::ALL {
+            let target = make_target(k, lut);
+            match domino_compiler::lower(&compilation, &target) {
+                Ok(p) => {
+                    println!(
+                        "{:<12} OK   ({} stages, max {} atoms/stage)",
+                        k.short_name(),
+                        p.depth(),
+                        p.max_atoms_per_stage()
+                    );
+                }
+                Err(e) => {
+                    let first = e.message.lines().next().unwrap_or("");
+                    println!("{:<12} FAIL {first}", k.short_name());
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    let target = make_target(kind, lut);
+    match emit {
+        "normalized" => {
+            print!(
+                "{}",
+                domino_compiler::Compilation::render_assigns(&compilation.ssa)
+            );
+        }
+        "tac" => print!("{}", compilation.tac),
+        "pvsm" => print!("{}", compilation.pvsm),
+        "dot" => {
+            let graph = domino_compiler::depgraph::DepGraph::build(&compilation.tac.stmts);
+            print!("{}", graph.to_dot(&compilation.tac.stmts));
+        }
+        "pipeline" => {
+            let pipeline =
+                domino_compiler::lower(&compilation, &target).map_err(|e| e.to_string())?;
+            print!("{pipeline}");
+        }
+        "p4" => {
+            let pipeline =
+                domino_compiler::lower(&compilation, &target).map_err(|e| e.to_string())?;
+            print!("{}", p4_backend::generate(&compilation, &pipeline));
+        }
+        "json" => {
+            let pipeline =
+                domino_compiler::lower(&compilation, &target).map_err(|e| e.to_string())?;
+            let stages: Vec<serde_json::Value> = pipeline
+                .stages
+                .iter()
+                .map(|stage| {
+                    serde_json::Value::Array(
+                        stage
+                            .iter()
+                            .map(|atom| {
+                                serde_json::json!({
+                                    "stateful": atom.is_stateful(),
+                                    "statements": atom
+                                        .codelet
+                                        .stmts
+                                        .iter()
+                                        .map(|s| s.to_string())
+                                        .collect::<Vec<_>>(),
+                                })
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            let doc = serde_json::json!({
+                "name": pipeline.name,
+                "target": pipeline.target_name,
+                "depth": pipeline.depth(),
+                "max_atoms_per_stage": pipeline.max_atoms_per_stage(),
+                "max_stateful_kind": pipeline
+                    .max_stateful_kind()
+                    .map(|k| k.short_name()),
+                "stages": stages,
+            });
+            println!("{}", serde_json::to_string_pretty(&doc).expect("json"));
+        }
+        other => {
+            return Err(format!(
+                "unknown --emit `{other}` (pipeline, p4, tac, pvsm, dot, normalized, json)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn make_target(kind: AtomKind, lut: bool) -> Target {
+    if lut {
+        Target::banzai_with_lut(kind)
+    } else {
+        Target::banzai(kind)
+    }
+}
+
+const HELP: &str = "\
+domc — compile Domino packet transactions to Banzai atom pipelines
+
+USAGE:
+    domc <file.domino> [--target <atom>] [--lut] [--emit <what>]
+    domc <file.domino> --all-targets
+
+OPTIONS:
+    --target <atom>  write | raw | praw | ifelse_raw | sub | nested | pairs
+                     (default: pairs)
+    --lut            add the look-up-table unit (isqrt/codel_gap)
+    --emit <what>    pipeline | p4 | tac | pvsm | dot | normalized | json
+    --all-targets    report which standard targets can run the program";

@@ -1,0 +1,109 @@
+//! # domino — packet transactions for line-rate switches
+//!
+//! A faithful, complete Rust implementation of *Packet Transactions:
+//! High-Level Programming for Line-Rate Switches* (Sivaraman et al.,
+//! SIGCOMM 2016): the **Domino** language, its all-or-nothing compiler,
+//! and the **Banzai** machine model for programmable line-rate switch
+//! pipelines, plus the paper's hardware cost model, P4 backend, and the
+//! Table 4 algorithm suite.
+//!
+//! This crate is the facade: it re-exports the workspace and offers
+//! one-call helpers for the common path.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use domino::prelude::*;
+//!
+//! // A packet transaction: sequential code, atomic and isolated across
+//! // packets.
+//! let src = r#"
+//!     struct Packet { int sport; int dport; int bucket; int count; };
+//!     int counters[256] = {0};
+//!     void count_flows(struct Packet pkt) {
+//!         pkt.bucket = hash2(pkt.sport, pkt.dport) % 256;
+//!         counters[pkt.bucket] = counters[pkt.bucket] + 1;
+//!         pkt.count = counters[pkt.bucket];
+//!     }
+//! "#;
+//!
+//! // Compile for a Banzai machine whose stateful atom is ReadAddWrite.
+//! let target = Target::banzai(AtomKind::Raw);
+//! let pipeline = domino::compile(src, &target).expect("compiles at line rate");
+//! assert_eq!(pipeline.max_stateful_kind(), Some(AtomKind::Raw));
+//!
+//! // Run packets through the machine: one packet per clock cycle.
+//! let mut machine = Machine::new(pipeline);
+//! let out = machine.process(Packet::new().with("sport", 99).with("dport", 80));
+//! assert_eq!(out.get("count"), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use atom_synth;
+pub use banzai;
+pub use domino_ast;
+pub use domino_compiler;
+pub use domino_ir;
+pub use hardware_model;
+pub use p4_backend;
+
+use banzai::machine::AtomPipeline;
+use banzai::Target;
+use domino_ast::Diagnostic;
+
+/// Commonly used types, for `use domino::prelude::*`.
+pub mod prelude {
+    pub use banzai::{AtomKind, Machine, Target};
+    pub use domino_ir::{Packet, StateStore};
+}
+
+/// Compiles a Domino source program for a Banzai target (all-or-nothing:
+/// the pipeline runs at line rate, or compilation fails with a diagnostic).
+pub fn compile(source: &str, target: &Target) -> Result<AtomPipeline, Diagnostic> {
+    domino_compiler::compile(source, target)
+}
+
+/// Compiles and immediately instantiates a machine with fresh state.
+pub fn machine(source: &str, target: &Target) -> Result<banzai::Machine, Diagnostic> {
+    Ok(banzai::Machine::new(compile(source, target)?))
+}
+
+/// Compiles a program and emits the equivalent P4 (the code a programmer
+/// would otherwise write by hand, §5.1).
+pub fn compile_to_p4(source: &str, target: &Target) -> Result<String, Diagnostic> {
+    let compilation = domino_compiler::normalize(source)?;
+    let pipeline = domino_compiler::lower(&compilation, target)?;
+    Ok(p4_backend::generate(&compilation, &pipeline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banzai::AtomKind;
+    use domino_ir::Packet;
+
+    const SRC: &str = "struct P { int a; int total; };\nint sum = 0;\n\
+                       void acc(struct P pkt) { sum = sum + pkt.a; pkt.total = sum; }";
+
+    #[test]
+    fn facade_compile_and_run() {
+        let mut m = machine(SRC, &Target::banzai(AtomKind::Raw)).unwrap();
+        let out = m.process(Packet::new().with("a", 5).with("total", 0));
+        assert_eq!(out.get("total"), Some(5));
+        let out = m.process(Packet::new().with("a", 7).with("total", 0));
+        assert_eq!(out.get("total"), Some(12));
+    }
+
+    #[test]
+    fn facade_p4_generation() {
+        let p4 = compile_to_p4(SRC, &Target::banzai(AtomKind::Raw)).unwrap();
+        assert!(p4.contains("register<bit<32>>(1) sum;"), "{p4}");
+    }
+
+    #[test]
+    fn facade_rejects_like_compiler() {
+        assert!(compile(SRC, &Target::banzai(AtomKind::Write)).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Compiler diagnostics.
+//!
+//! All front-end and middle-end failures are reported as [`Diagnostic`]s.
+//! The Domino compiler is *all-or-nothing* (§4 of the paper): a program
+//! either compiles to a line-rate pipeline or is rejected with one of these
+//! diagnostics; there is no degraded mode.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Which stage of the compiler rejected the program.
+///
+/// The stage matters to users: a [`Stage::CodeGen`] rejection means the
+/// program is valid Domino but exceeds what the chosen Banzai target can do
+/// at line rate, while earlier stages indicate a malformed program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Tokenization errors (stray characters, malformed literals).
+    Lex,
+    /// Grammar errors.
+    Parse,
+    /// Violations of the Domino language restrictions (Table 1) and name or
+    /// type errors.
+    Sema,
+    /// Failures while normalizing or pipelining (should be rare; indicates
+    /// an internal inconsistency surfaced to the user).
+    Transform,
+    /// The program cannot run at line rate on the chosen target: a codelet
+    /// does not map to any atom, or resource limits are exceeded.
+    CodeGen,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Sema => "semantic analysis",
+            Stage::Transform => "transform",
+            Stage::CodeGen => "code generation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single compiler diagnostic: a message, the stage that produced it, and
+/// an optional source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stage that rejected the program.
+    pub stage: Stage,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Location in the original Domino source, when known.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with a source location.
+    pub fn new(stage: Stage, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { stage, message: message.into(), span: Some(span) }
+    }
+
+    /// Creates a diagnostic with no source location (e.g. whole-program
+    /// resource-limit violations).
+    pub fn global(stage: Stage, message: impl Into<String>) -> Self {
+        Diagnostic { stage, message: message.into(), span: None }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) if !span.is_synthesized() => {
+                write!(f, "error[{}] at {}: {}", self.stage, span, self.message)
+            }
+            _ => write!(f, "error[{}]: {}", self.stage, self.message),
+        }
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Convenience alias used throughout the front end.
+pub type Result<T> = std::result::Result<T, Diagnostic>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_span() {
+        let d = Diagnostic::new(Stage::Sema, "unknown field `foo`", Span::new(3, 6, 2, 5));
+        assert_eq!(d.to_string(), "error[semantic analysis] at 2:5: unknown field `foo`");
+    }
+
+    #[test]
+    fn display_without_span() {
+        let d = Diagnostic::global(Stage::CodeGen, "pipeline depth 40 exceeds limit 32");
+        assert_eq!(d.to_string(), "error[code generation]: pipeline depth 40 exceeds limit 32");
+    }
+
+    #[test]
+    fn synthesized_span_renders_like_global() {
+        let d = Diagnostic::new(Stage::Transform, "oops", Span::SYNTH);
+        assert_eq!(d.to_string(), "error[transform]: oops");
+    }
+}

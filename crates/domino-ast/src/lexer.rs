@@ -1,0 +1,448 @@
+//! Hand-written lexer for the Domino language.
+//!
+//! Domino is lexically a small subset of C: identifiers, integer literals
+//! (decimal and hexadecimal), the usual operator set, `//` and `/* */`
+//! comments, and the `#define` directive. Keywords that C has but Domino
+//! bans (Table 1: `for`, `while`, `do`, `goto`, `break`, `continue`,
+//! `return`, ...) are lexed as [`TokenKind::KwBanned`] so the parser can
+//! emit a targeted "not allowed in Domino" diagnostic instead of a generic
+//! syntax error.
+
+use crate::diag::{Diagnostic, Result, Stage};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Keywords Domino rejects outright, with the Table 1 reason.
+const BANNED_KEYWORDS: &[&str] = &[
+    "for", "while", "do", "goto", "break", "continue", "return", "switch", "case", "default",
+    "float", "double", "char", "long", "short", "unsigned", "signed", "static", "const",
+    "sizeof", "typedef", "union", "enum",
+];
+
+/// Tokenizes `source`, returning the token stream terminated by
+/// [`TokenKind::Eof`].
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.col)
+    }
+
+    fn span_from(&self, start: (usize, u32, u32)) -> Span {
+        Span::new(start.0, self.pos, start.1, start.2)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: (usize, u32, u32)) {
+        let span = self.span_from(start);
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn error(&self, msg: impl Into<String>, start: (usize, u32, u32)) -> Diagnostic {
+        Diagnostic::new(Stage::Lex, msg, self.span_from(start))
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.here();
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match c {
+                b'0'..=b'9' => self.lex_number(start)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                b'#' => self.lex_directive(start)?,
+                _ => self.lex_operator(start)?,
+            }
+        }
+    }
+
+    /// Skips whitespace and comments. Unterminated block comments are an
+    /// error.
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => return Err(self.error("unterminated block comment", start)),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: (usize, u32, u32)) -> Result<()> {
+        let mut text = String::new();
+        let hex = self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x') | Some(b'X'));
+        if hex {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    text.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if text.is_empty() {
+                return Err(self.error("hexadecimal literal needs at least one digit", start));
+            }
+            let value = i64::from_str_radix(&text, 16)
+                .map_err(|_| self.error("hexadecimal literal out of range", start))?;
+            self.check_range(value, start)?;
+            self.push(TokenKind::Int(value), start);
+        } else {
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    text.push(c as char);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.')) {
+                return Err(self.error("malformed numeric literal", start));
+            }
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.error("integer literal out of range", start))?;
+            self.check_range(value, start)?;
+            self.push(TokenKind::Int(value), start);
+        }
+        Ok(())
+    }
+
+    /// Domino integers are 32-bit; literals must fit in `i32` (negative
+    /// values are produced by unary minus at parse time, so the positive
+    /// magnitude bound is `i32::MAX` + 1 handled there — we allow up to
+    /// `u32::MAX` so `0xFFFFFFFF`-style masks still work and wrap).
+    fn check_range(&self, value: i64, start: (usize, u32, u32)) -> Result<()> {
+        if value > u32::MAX as i64 {
+            return Err(self.error(
+                format!("integer literal {value} does not fit in 32 bits"),
+                start,
+            ));
+        }
+        Ok(())
+    }
+
+    fn lex_ident(&mut self, start: (usize, u32, u32)) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                text.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kind = match text.as_str() {
+            "int" => TokenKind::KwInt,
+            "void" => TokenKind::KwVoid,
+            "struct" => TokenKind::KwStruct,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            other => {
+                if let Some(b) = BANNED_KEYWORDS.iter().find(|k| **k == other) {
+                    TokenKind::KwBanned(b)
+                } else {
+                    TokenKind::Ident(text)
+                }
+            }
+        };
+        self.push(kind, start);
+    }
+
+    fn lex_directive(&mut self, start: (usize, u32, u32)) -> Result<()> {
+        // Only `#define` is supported.
+        self.bump(); // '#'
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphabetic() {
+                word.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if word == "define" {
+            self.push(TokenKind::HashDefine, start);
+            Ok(())
+        } else {
+            Err(self.error(
+                format!("unsupported preprocessor directive `#{word}` (only #define is supported)"),
+                start,
+            ))
+        }
+    }
+
+    fn lex_operator(&mut self, start: (usize, u32, u32)) -> Result<()> {
+        let c = self.bump().expect("operator byte");
+        let two = |l: &Self| l.peek();
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b';' => TokenKind::Semi,
+            b',' => TokenKind::Comma,
+            b'.' => TokenKind::Dot,
+            b'?' => TokenKind::Question,
+            b':' => TokenKind::Colon,
+            b'~' => TokenKind::Tilde,
+            b'+' => match two(self) {
+                Some(b'+') => {
+                    self.bump();
+                    TokenKind::PlusPlus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::PlusAssign
+                }
+                _ => TokenKind::Plus,
+            },
+            b'-' => match two(self) {
+                Some(b'-') => {
+                    self.bump();
+                    TokenKind::MinusMinus
+                }
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::MinusAssign
+                }
+                _ => TokenKind::Minus,
+            },
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'=' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ne
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'<' => match two(self) {
+                Some(b'<') => {
+                    self.bump();
+                    TokenKind::Shl
+                }
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::Le
+                }
+                _ => TokenKind::Lt,
+            },
+            b'>' => match two(self) {
+                Some(b'>') => {
+                    self.bump();
+                    TokenKind::Shr
+                }
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::Ge
+                }
+                _ => TokenKind::Gt,
+            },
+            b'&' => {
+                if two(self) == Some(b'&') {
+                    self.bump();
+                    TokenKind::AmpAmp
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            b'|' => {
+                if two(self) == Some(b'|') {
+                    self.bump();
+                    TokenKind::PipePipe
+                } else {
+                    TokenKind::Pipe
+                }
+            }
+            b'^' => TokenKind::Caret,
+            other => {
+                return Err(self.error(
+                    format!("unexpected character `{}`", other as char),
+                    start,
+                ))
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_eof() {
+        assert_eq!(kinds(""), vec![T::Eof]);
+    }
+
+    #[test]
+    fn lexes_integers() {
+        assert_eq!(kinds("42 0 0x1F"), vec![T::Int(42), T::Int(0), T::Int(31), T::Eof]);
+    }
+
+    #[test]
+    fn rejects_overlarge_integer() {
+        let err = lex("4294967296").unwrap_err();
+        assert!(err.message.contains("32 bits"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_malformed_number() {
+        assert!(lex("12ab").is_err());
+        assert!(lex("0x").is_err());
+    }
+
+    #[test]
+    fn lexes_identifiers_and_keywords() {
+        assert_eq!(
+            kinds("int void struct if else pkt"),
+            vec![T::KwInt, T::KwVoid, T::KwStruct, T::KwIf, T::KwElse, T::Ident("pkt".into()), T::Eof]
+        );
+    }
+
+    #[test]
+    fn banned_keywords_are_flagged() {
+        assert_eq!(kinds("while"), vec![T::KwBanned("while"), T::Eof]);
+        assert_eq!(kinds("goto"), vec![T::KwBanned("goto"), T::Eof]);
+        assert_eq!(kinds("return"), vec![T::KwBanned("return"), T::Eof]);
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("<< >> <= >= == != && || += -= ++ --"),
+            vec![
+                T::Shl, T::Shr, T::Le, T::Ge, T::EqEq, T::Ne, T::AmpAmp, T::PipePipe,
+                T::PlusAssign, T::MinusAssign, T::PlusPlus, T::MinusMinus, T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(kinds("a // comment\n b /* c */ d"), vec![
+            T::Ident("a".into()), T::Ident("b".into()), T::Ident("d".into()), T::Eof
+        ]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn lexes_define_directive() {
+        assert_eq!(kinds("#define N 10"), vec![T::HashDefine, T::Ident("N".into()), T::Int(10), T::Eof]);
+    }
+
+    #[test]
+    fn rejects_other_directives() {
+        let err = lex("#include <stdio.h>").unwrap_err();
+        assert!(err.message.contains("#include"), "{}", err.message);
+    }
+
+    #[test]
+    fn tracks_line_and_column() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[0].span.col, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("@").unwrap_err();
+        assert!(err.message.contains('@'), "{}", err.message);
+    }
+
+    #[test]
+    fn hex_mask_fits() {
+        assert_eq!(kinds("0xFFFFFFFF"), vec![T::Int(0xFFFF_FFFF), T::Eof]);
+    }
+}

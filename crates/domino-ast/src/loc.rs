@@ -1,0 +1,111 @@
+//! Lines-of-code counting, used for Table 4's "Domino LOC" and "P4 LOC"
+//! columns.
+//!
+//! Following the paper ("231 lines of *uncommented* P4, in comparison to the
+//! 37 lines of Domino code"), we count non-blank lines after stripping `//`
+//! and `/* */` comments. The same counter is applied to Domino sources and
+//! to generated P4, so the comparison is apples-to-apples.
+
+/// Counts non-blank, non-comment lines of `source`.
+pub fn count(source: &str) -> usize {
+    strip_comments(source)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
+}
+
+/// Removes `//` line comments and `/* */` block comments, preserving line
+/// structure (newlines inside block comments are kept so line counts of the
+/// surrounding code are unaffected).
+fn strip_comments(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i < bytes.len() {
+                if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                if bytes[i] == b'\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_plain_lines() {
+        assert_eq!(count("a\nb\nc\n"), 3);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        assert_eq!(count("a\n\n\nb\n"), 2);
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        assert_eq!(count("a\n// only a comment\nb // trailing\n"), 2);
+    }
+
+    #[test]
+    fn skips_block_comments_preserving_structure() {
+        assert_eq!(count("a\n/* one\ntwo\nthree */\nb\n"), 2);
+        assert_eq!(count("a /* inline */ b\n"), 1);
+    }
+
+    #[test]
+    fn whitespace_only_lines_do_not_count() {
+        assert_eq!(count("a\n   \n\t\nb"), 2);
+    }
+
+    #[test]
+    fn flowlet_fig3a_counts_like_the_paper() {
+        // Figure 3a is "37 lines of Domino code" including blank-stripped
+        // declarations; our equivalent source (with the same structure but
+        // one-line field decls) lands in the same ballpark.
+        let src = r#"
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+struct Packet {
+  int sport;
+  int dport;
+  int new_hop;
+  int arrival;
+  int next_hop;
+  int id;
+};
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+  pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+  if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+    saved_hop[pkt.id] = pkt.new_hop;
+  }
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+"#;
+        let n = count(src);
+        assert!((20..=40).contains(&n), "LOC = {n}");
+    }
+}

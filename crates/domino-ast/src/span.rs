@@ -1,0 +1,101 @@
+//! Source locations.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics from any
+//! compiler stage (lexing through code generation) can point back at the
+//! offending Domino source text.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the source text, together with
+/// the 1-based line and column of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes (e.g. statements
+    /// introduced by compiler passes).
+    pub const SYNTH: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+
+    /// Creates a new span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// Returns a span covering both `self` and `other`.
+    ///
+    /// The line/column information of the earlier span is kept. Joining with
+    /// a synthesized span yields the non-synthesized one.
+    pub fn join(self, other: Span) -> Span {
+        if self == Span::SYNTH {
+            return other;
+        }
+        if other == Span::SYNTH {
+            return self;
+        }
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// True if this span was synthesized by the compiler rather than read
+    /// from source text.
+    pub fn is_synthesized(&self) -> bool {
+        *self == Span::SYNTH
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthesized() {
+            write!(f, "<synthesized>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_orders_spans() {
+        let a = Span::new(10, 14, 2, 3);
+        let b = Span::new(20, 25, 3, 1);
+        let j = a.join(b);
+        assert_eq!(j.start, 10);
+        assert_eq!(j.end, 25);
+        assert_eq!(j.line, 2);
+        assert_eq!(j.col, 3);
+        // Join is symmetric in extent.
+        let k = b.join(a);
+        assert_eq!(k.start, 10);
+        assert_eq!(k.end, 25);
+    }
+
+    #[test]
+    fn join_with_synthesized_keeps_real_span() {
+        let a = Span::new(5, 9, 1, 6);
+        assert_eq!(Span::SYNTH.join(a), a);
+        assert_eq!(a.join(Span::SYNTH), a);
+    }
+
+    #[test]
+    fn display_formats_line_col() {
+        assert_eq!(Span::new(0, 1, 4, 7).to_string(), "4:7");
+        assert_eq!(Span::SYNTH.to_string(), "<synthesized>");
+    }
+}

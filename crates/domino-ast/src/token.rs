@@ -1,0 +1,139 @@
+//! Token definitions for the Domino language.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // punctuation/operator variants are their own documentation
+pub enum TokenKind {
+    // Literals and identifiers
+    /// An integer literal (decimal or `0x` hexadecimal), already parsed.
+    Int(i64),
+    /// An identifier or a keyword not otherwise special-cased.
+    Ident(String),
+
+    // Keywords
+    KwInt,
+    KwVoid,
+    KwStruct,
+    KwIf,
+    KwElse,
+    /// `#define` directive introducer (lexed as a single token).
+    HashDefine,
+    /// Keywords that exist in C but are *banned* in Domino (Table 1). The
+    /// lexer accepts them so the parser can produce a targeted diagnostic.
+    KwBanned(&'static str),
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Question,
+    Colon,
+
+    // Operators
+    Assign,     // =
+    PlusAssign, // +=
+    MinusAssign, // -=
+    PlusPlus,   // ++
+    MinusMinus, // --
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Shl, // <<
+    Shr, // >>
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Amp,     // &
+    Pipe,    // |
+    Caret,   // ^
+    AmpAmp,  // &&
+    PipePipe, // ||
+    Bang,    // !
+    Tilde,   // ~
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human-readable name for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::KwInt => "`int`".into(),
+            TokenKind::KwVoid => "`void`".into(),
+            TokenKind::KwStruct => "`struct`".into(),
+            TokenKind::KwIf => "`if`".into(),
+            TokenKind::KwElse => "`else`".into(),
+            TokenKind::HashDefine => "`#define`".into(),
+            TokenKind::KwBanned(k) => format!("`{k}`"),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Question => "`?`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::PlusAssign => "`+=`".into(),
+            TokenKind::MinusAssign => "`-=`".into(),
+            TokenKind::PlusPlus => "`++`".into(),
+            TokenKind::MinusMinus => "`--`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::Shl => "`<<`".into(),
+            TokenKind::Shr => "`>>`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Amp => "`&`".into(),
+            TokenKind::Pipe => "`|`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::AmpAmp => "`&&`".into(),
+            TokenKind::PipePipe => "`||`".into(),
+            TokenKind::Bang => "`!`".into(),
+            TokenKind::Tilde => "`~`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}

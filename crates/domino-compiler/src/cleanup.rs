@@ -1,0 +1,234 @@
+//! Post-TAC cleanup: copy propagation and dead-code elimination.
+//!
+//! The paper's Figure 8 shows both effects: the write flank
+//! `last_time[pkt.id] = pkt.arrival` stores `pkt.arrival` directly (the
+//! copy created by the flank-rewriting pass has been propagated), and no
+//! dead temporaries remain. SSA makes both transformations trivial and
+//! safe: every field has exactly one definition.
+//!
+//! Assignments that define the *final version of a declared packet field*
+//! are preserved even when they are pure copies — they are the observable
+//! outputs the deparser reads (this keeps pipelines like Figure 3b at
+//! their published depth, with the `pkt.next_hop` assignment as its own
+//! final stage).
+
+use domino_ir::{Operand, TacRhs, TacStmt};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs copy propagation then dead-code elimination.
+///
+/// `output_fields` are the internal names holding final values of declared
+/// fields (the deparser roots).
+pub fn cleanup(stmts: Vec<TacStmt>, output_fields: &BTreeSet<String>) -> Vec<TacStmt> {
+    let propagated = propagate_copies(stmts);
+    eliminate_dead_code(propagated, output_fields)
+}
+
+/// Replaces uses of copy-defined fields with their sources (following
+/// chains), except that definitions of output fields are left in place.
+fn propagate_copies(stmts: Vec<TacStmt>) -> Vec<TacStmt> {
+    // Map from field to the operand it is a pure copy of.
+    let mut alias: BTreeMap<String, Operand> = BTreeMap::new();
+    for s in &stmts {
+        if let TacStmt::Assign { dst, rhs: TacRhs::Copy(src) } = s {
+            // Resolve chains eagerly: dst -> root.
+            let root = match src {
+                Operand::Field(f) => alias
+                    .get(f)
+                    .cloned()
+                    .unwrap_or_else(|| Operand::Field(f.clone())),
+                c @ Operand::Const(_) => c.clone(),
+            };
+            alias.insert(dst.clone(), root);
+        }
+    }
+
+    let subst = |o: &Operand| -> Operand {
+        match o {
+            Operand::Field(f) => alias.get(f).cloned().unwrap_or_else(|| o.clone()),
+            Operand::Const(_) => o.clone(),
+        }
+    };
+
+    stmts
+        .into_iter()
+        .map(|s| match s {
+            TacStmt::Assign { dst, rhs } => {
+                let rhs = match rhs {
+                    // Keep the copy itself; DCE decides whether it is dead.
+                    // (But still forward its *source* through earlier
+                    // copies.)
+                    TacRhs::Copy(o) => TacRhs::Copy(subst(&o)),
+                    TacRhs::Unary(op, o) => TacRhs::Unary(op, subst(&o)),
+                    TacRhs::Binary(op, a, b) => TacRhs::Binary(op, subst(&a), subst(&b)),
+                    TacRhs::Ternary(c, a, b) => {
+                        TacRhs::Ternary(subst(&c), subst(&a), subst(&b))
+                    }
+                    TacRhs::Intrinsic { name, args, modulo } => TacRhs::Intrinsic {
+                        name,
+                        args: args.iter().map(&subst).collect(),
+                        modulo,
+                    },
+                };
+                TacStmt::Assign { dst, rhs }
+            }
+            TacStmt::ReadState { dst, state } => {
+                TacStmt::ReadState { dst, state: subst_state(state, &subst) }
+            }
+            TacStmt::WriteState { state, src } => TacStmt::WriteState {
+                state: subst_state(state, &subst),
+                src: subst(&src),
+            },
+        })
+        .collect()
+}
+
+fn subst_state(
+    state: domino_ir::StateRef,
+    subst: &impl Fn(&Operand) -> Operand,
+) -> domino_ir::StateRef {
+    match state {
+        domino_ir::StateRef::Scalar(n) => domino_ir::StateRef::Scalar(n),
+        domino_ir::StateRef::Array { name, index } => {
+            domino_ir::StateRef::Array { name, index: subst(&index) }
+        }
+    }
+}
+
+/// Removes assignments whose destination is never read and is not an
+/// output field. State writes are side effects and always kept; state
+/// reads are kept only if their destination is used (a write-only state
+/// variable needs no read flank in hardware).
+fn eliminate_dead_code(stmts: Vec<TacStmt>, output_fields: &BTreeSet<String>) -> Vec<TacStmt> {
+    // Iterate to a fixed point: removing one dead statement can kill
+    // another.
+    let mut stmts = stmts;
+    loop {
+        let used: BTreeSet<String> = stmts
+            .iter()
+            .flat_map(|s| s.fields_read().into_iter().map(str::to_string))
+            .collect();
+        let before = stmts.len();
+        stmts = stmts
+            .into_iter()
+            .filter(|s| match s {
+                TacStmt::WriteState { .. } => true,
+                TacStmt::ReadState { dst, .. } | TacStmt::Assign { dst, .. } => {
+                    used.contains(dst) || output_fields.contains(dst)
+                }
+            })
+            .collect();
+        if stmts.len() == before {
+            return stmts;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_ast::BinOp;
+    use domino_ir::StateRef;
+
+    fn fld(n: &str) -> Operand {
+        Operand::Field(n.into())
+    }
+    fn assign(dst: &str, rhs: TacRhs) -> TacStmt {
+        TacStmt::Assign { dst: dst.into(), rhs }
+    }
+    fn outputs(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn copy_propagates_into_state_write() {
+        // last_time1 = arrival; last_time[id0] = last_time1
+        // ⇒ write flank stores pkt.arrival directly (Figure 8 line 9).
+        let stmts = vec![
+            assign("last_time1", TacRhs::Copy(fld("arrival"))),
+            TacStmt::WriteState {
+                state: StateRef::Array { name: "last_time".into(), index: fld("id0") },
+                src: fld("last_time1"),
+            },
+        ];
+        let out = cleanup(stmts, &outputs(&[]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to_string(), "last_time[pkt.id0] = pkt.arrival;");
+    }
+
+    #[test]
+    fn copy_chains_resolve_to_root() {
+        let stmts = vec![
+            assign("a", TacRhs::Copy(fld("x"))),
+            assign("b", TacRhs::Copy(fld("a"))),
+            assign("r", TacRhs::Binary(BinOp::Add, fld("b"), Operand::Const(1))),
+        ];
+        let out = cleanup(stmts, &outputs(&["r"]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to_string(), "pkt.r = pkt.x + 1;");
+    }
+
+    #[test]
+    fn output_copies_are_materialized() {
+        // next_hop0 is the final version of a declared field: its copy
+        // stays (it is the pipeline's observable stage-6 statement).
+        let stmts = vec![
+            assign("saved_hop1", TacRhs::Ternary(fld("c"), fld("n"), fld("s"))),
+            assign("next_hop0", TacRhs::Copy(fld("saved_hop1"))),
+        ];
+        let out = cleanup(stmts, &outputs(&["next_hop0"]));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].to_string(), "pkt.next_hop0 = pkt.saved_hop1;");
+    }
+
+    #[test]
+    fn dead_read_flank_removed_for_write_only_state() {
+        // Bloom-filter style: the read flank result is never used.
+        let stmts = vec![
+            TacStmt::ReadState {
+                dst: "filter0".into(),
+                state: StateRef::Array { name: "filter".into(), index: fld("h") },
+            },
+            TacStmt::WriteState {
+                state: StateRef::Array { name: "filter".into(), index: fld("h") },
+                src: Operand::Const(1),
+            },
+        ];
+        let out = cleanup(stmts, &outputs(&[]));
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0], TacStmt::WriteState { .. }));
+    }
+
+    #[test]
+    fn used_read_flank_kept() {
+        let stmts = vec![
+            TacStmt::ReadState { dst: "c0".into(), state: StateRef::Scalar("c".into()) },
+            assign("c1", TacRhs::Binary(BinOp::Add, fld("c0"), Operand::Const(1))),
+            TacStmt::WriteState { state: StateRef::Scalar("c".into()), src: fld("c1") },
+        ];
+        let out = cleanup(stmts, &outputs(&[]));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn transitively_dead_chain_removed() {
+        let stmts = vec![
+            assign("a", TacRhs::Binary(BinOp::Add, fld("x"), Operand::Const(1))),
+            assign("b", TacRhs::Binary(BinOp::Add, fld("a"), Operand::Const(2))),
+            // Nothing uses b; both die.
+        ];
+        let out = cleanup(stmts, &outputs(&[]));
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn constant_copy_propagates() {
+        let stmts = vec![
+            assign("zero", TacRhs::Copy(Operand::Const(0))),
+            TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: fld("zero") },
+        ];
+        let out = cleanup(stmts, &outputs(&[]));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to_string(), "x = 0;");
+    }
+}

@@ -1,0 +1,262 @@
+//! Code generation (§4.3): map the PVSM codelet pipeline onto a concrete
+//! Banzai target, enforcing its computational and resource limits — or
+//! reject the program (all-or-nothing).
+//!
+//! * **Computational limits**: every stateless codelet must be one
+//!   operation from the stateless atom's op set; every stateful codelet
+//!   must be synthesized onto the target's stateful atom template
+//!   ([`atom_synth::map_to_kind`]).
+//! * **Resource limits**: at most `stateless_per_stage` +
+//!   `stateful_per_stage` atoms per stage — overfull stages are split by
+//!   inserting new stages and spreading codelets (they are mutually
+//!   independent by construction) — and at most `pipeline_depth` stages in
+//!   total, else the program is rejected.
+
+use banzai::machine::{AtomPipeline, AtomRole, CompiledAtom};
+use banzai::Target;
+use domino_ast::diag::{Diagnostic, Stage};
+use domino_ast::StateVar;
+use domino_ir::{Codelet, PvsmPipeline, TacStmt};
+
+/// Lowers a PVSM pipeline to a Banzai atom pipeline for `target`.
+///
+/// `output_map` is the deparser view (declared field → final SSA version).
+#[allow(clippy::too_many_arguments)]
+pub fn generate(
+    name: &str,
+    pvsm: &PvsmPipeline,
+    target: &Target,
+    state_decls: Vec<StateVar>,
+    declared_fields: Vec<String>,
+    output_map: Vec<(String, String)>,
+) -> Result<AtomPipeline, Diagnostic> {
+    // 1. Computational limits: map every codelet to an atom.
+    let mut mapped_stages: Vec<Vec<CompiledAtom>> = Vec::with_capacity(pvsm.stages.len());
+    for (si, stage) in pvsm.stages.iter().enumerate() {
+        let mut atoms = Vec::with_capacity(stage.len());
+        for codelet in stage {
+            atoms.push(map_codelet(codelet, target, si)?);
+        }
+        mapped_stages.push(atoms);
+    }
+
+    // 2. Resource limits: split overfull stages.
+    let mut final_stages: Vec<Vec<CompiledAtom>> = Vec::new();
+    for atoms in mapped_stages {
+        for chunk in split_stage(atoms, target) {
+            final_stages.push(chunk);
+        }
+    }
+    if final_stages.len() > target.pipeline_depth {
+        return Err(Diagnostic::global(
+            Stage::CodeGen,
+            format!(
+                "program needs {} pipeline stages but target `{}` has only {}",
+                final_stages.len(),
+                target.name,
+                target.pipeline_depth
+            ),
+        ));
+    }
+
+    let pipeline = AtomPipeline {
+        name: name.to_string(),
+        target_name: target.name.clone(),
+        stages: final_stages,
+        state_decls,
+        declared_fields,
+        output_map,
+    };
+    pipeline
+        .validate_state_confinement()
+        .map_err(|e| Diagnostic::global(Stage::CodeGen, format!("internal error: {e}")))?;
+    Ok(pipeline)
+}
+
+/// Maps one codelet to an atom, or explains why it cannot run at line rate.
+fn map_codelet(
+    codelet: &Codelet,
+    target: &Target,
+    stage_index: usize,
+) -> Result<CompiledAtom, Diagnostic> {
+    if codelet.is_stateless() {
+        debug_assert_eq!(
+            codelet.stmts.len(),
+            1,
+            "stateless SCCs are single statements"
+        );
+        let stmt = &codelet.stmts[0];
+        if let TacStmt::Assign { rhs, .. } = stmt {
+            target.check_stateless_rhs(rhs).map_err(|reason| {
+                Diagnostic::global(
+                    Stage::CodeGen,
+                    format!(
+                        "cannot run at line rate: stage {} statement `{stmt}`: {reason}",
+                        stage_index + 1
+                    ),
+                )
+            })?;
+        }
+        Ok(CompiledAtom { codelet: codelet.clone(), role: AtomRole::Stateless })
+    } else {
+        let synth =
+            atom_synth::map_to_kind(codelet, target.stateful_kind).map_err(|e| {
+                Diagnostic::global(
+                    Stage::CodeGen,
+                    format!(
+                        "cannot run at line rate: stage {} stateful codelet\n{}\n{}",
+                        stage_index + 1,
+                        codelet,
+                        e.message
+                    ),
+                )
+            })?;
+        Ok(CompiledAtom {
+            codelet: codelet.clone(),
+            role: AtomRole::Stateful { kind: synth.minimal_kind, config: synth.config },
+        })
+    }
+}
+
+/// Splits a stage whose atom counts exceed the target's per-stage limits
+/// into consecutive stages, spreading codelets evenly (§4.3 "insert as
+/// many new stages as required and spread codelets evenly across these
+/// stages"). Codelets within one PVSM stage are mutually independent, so
+/// any split preserves dependencies.
+fn split_stage(atoms: Vec<CompiledAtom>, target: &Target) -> Vec<Vec<CompiledAtom>> {
+    let (stateful, stateless): (Vec<_>, Vec<_>) =
+        atoms.into_iter().partition(|a| a.is_stateful());
+    let stages_for_stateful = stateful.len().div_ceil(target.stateful_per_stage.max(1));
+    let stages_for_stateless = stateless.len().div_ceil(target.stateless_per_stage.max(1));
+    let n_stages = stages_for_stateful.max(stages_for_stateless).max(1);
+
+    let mut out: Vec<Vec<CompiledAtom>> = vec![Vec::new(); n_stages];
+    for (i, a) in stateful.into_iter().enumerate() {
+        out[i % n_stages].push(a);
+    }
+    for (i, a) in stateless.into_iter().enumerate() {
+        out[i % n_stages].push(a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banzai::AtomKind;
+    use domino_ast::BinOp;
+    use domino_ir::{Operand, StateRef, TacRhs};
+
+    fn fld(n: &str) -> Operand {
+        Operand::Field(n.into())
+    }
+
+    fn stateless_codelet(dst: &str, rhs: TacRhs) -> Codelet {
+        Codelet::new(vec![TacStmt::Assign { dst: dst.into(), rhs }])
+    }
+
+    fn counter_codelet() -> Codelet {
+        Codelet::new(vec![
+            TacStmt::ReadState { dst: "c0".into(), state: StateRef::Scalar("c".into()) },
+            TacStmt::Assign {
+                dst: "c1".into(),
+                rhs: TacRhs::Binary(BinOp::Add, fld("c0"), Operand::Const(1)),
+            },
+            TacStmt::WriteState { state: StateRef::Scalar("c".into()), src: fld("c1") },
+        ])
+    }
+
+    fn pvsm(stages: Vec<Vec<Codelet>>) -> PvsmPipeline {
+        PvsmPipeline { stages }
+    }
+
+    #[test]
+    fn maps_mixed_pipeline() {
+        let p = pvsm(vec![
+            vec![counter_codelet()],
+            vec![stateless_codelet("f", TacRhs::Binary(BinOp::Gt, fld("c1"), Operand::Const(3)))],
+        ]);
+        let target = Target::banzai(AtomKind::Raw);
+        let out = generate("t", &p, &target, vec![], vec![], vec![]).unwrap();
+        assert_eq!(out.depth(), 2);
+        assert_eq!(out.max_stateful_kind(), Some(AtomKind::Raw));
+    }
+
+    #[test]
+    fn rejects_codelet_beyond_target_atom() {
+        let p = pvsm(vec![vec![counter_codelet()]]);
+        let target = Target::banzai(AtomKind::Write);
+        let err = generate("t", &p, &target, vec![], vec![], vec![]).unwrap_err();
+        assert!(err.message.contains("cannot run at line rate"), "{err}");
+        assert!(err.message.contains("RAW"), "{err}");
+    }
+
+    #[test]
+    fn rejects_multiplication_in_stateless_atom() {
+        let p = pvsm(vec![vec![stateless_codelet(
+            "m",
+            TacRhs::Binary(BinOp::Mul, fld("a"), fld("b")),
+        )]]);
+        let target = Target::banzai(AtomKind::Pairs);
+        let err = generate("t", &p, &target, vec![], vec![], vec![]).unwrap_err();
+        assert!(err.message.contains("not a line-rate operation"), "{err}");
+    }
+
+    #[test]
+    fn splits_overfull_stateless_stage() {
+        let mut target = Target::banzai(AtomKind::Write);
+        target.stateless_per_stage = 2;
+        let codelets: Vec<Codelet> = (0..5)
+            .map(|i| stateless_codelet(&format!("f{i}"), TacRhs::Copy(fld("x"))))
+            .collect();
+        let p = pvsm(vec![codelets]);
+        let out = generate("t", &p, &target, vec![], vec![], vec![]).unwrap();
+        // 5 codelets / 2 per stage = 3 stages, spread evenly (2,2,1).
+        assert_eq!(out.depth(), 3);
+        assert!(out.max_atoms_per_stage() <= 2);
+        assert_eq!(out.atom_count(), 5);
+    }
+
+    #[test]
+    fn splits_overfull_stateful_stage() {
+        let mut target = Target::banzai(AtomKind::Raw);
+        target.stateful_per_stage = 1;
+        let mk = |var: &str| {
+            Codelet::new(vec![
+                TacStmt::ReadState { dst: format!("{var}0"), state: StateRef::Scalar(var.into()) },
+                TacStmt::WriteState {
+                    state: StateRef::Scalar(var.into()),
+                    src: fld("x"),
+                },
+            ])
+        };
+        let p = pvsm(vec![vec![mk("a"), mk("b"), mk("c")]]);
+        let out = generate("t", &p, &target, vec![], vec![], vec![]).unwrap();
+        assert_eq!(out.depth(), 3);
+        assert_eq!(out.max_stateful_per_stage(), 1);
+    }
+
+    #[test]
+    fn rejects_when_depth_exceeded() {
+        let mut target = Target::banzai(AtomKind::Write);
+        target.pipeline_depth = 2;
+        let p = pvsm(vec![
+            vec![stateless_codelet("a", TacRhs::Copy(fld("x")))],
+            vec![stateless_codelet("b", TacRhs::Copy(fld("a")))],
+            vec![stateless_codelet("c", TacRhs::Copy(fld("b")))],
+        ]);
+        let err = generate("t", &p, &target, vec![], vec![], vec![]).unwrap_err();
+        assert!(err.message.contains("3 pipeline stages"), "{err}");
+        assert!(err.message.contains("only 2"), "{err}");
+    }
+
+    #[test]
+    fn lut_target_admits_isqrt() {
+        let rhs = TacRhs::Intrinsic { name: "isqrt".into(), args: vec![fld("x")], modulo: None };
+        let p = pvsm(vec![vec![stateless_codelet("r", rhs)]]);
+        let base = Target::banzai(AtomKind::Write);
+        assert!(generate("t", &p, &base, vec![], vec![], vec![]).is_err());
+        let lut = Target::banzai_with_lut(AtomKind::Write);
+        assert!(generate("t", &p, &lut, vec![], vec![], vec![]).is_ok());
+    }
+}

@@ -1,0 +1,405 @@
+//! Pipelining step 1+2 — dependency graph and SCC condensation (Figure 9,
+//! §4.2).
+//!
+//! Nodes are TAC statements. Edges are:
+//!
+//! 1. a **pair of edges in both directions** between the read and the
+//!    write of the same state variable — state must stay internal to one
+//!    codelet/atom;
+//! 2. **read-after-write** edges `(def → use)` for packet fields.
+//!
+//! Only RAW edges are needed because branch removal eliminated control
+//! dependencies and SSA eliminated WAR/WAW dependencies. Condensing the
+//! strongly connected components yields the DAG that critical-path
+//! scheduling turns into a pipeline; every SCC becomes one codelet.
+
+use domino_ir::TacStmt;
+use std::collections::BTreeMap;
+
+/// The statement-level dependency graph.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// Adjacency: `succs[i]` = statements depending on statement `i`.
+    pub succs: Vec<Vec<usize>>,
+    /// Number of nodes (== number of statements).
+    pub n: usize,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph for a TAC statement list.
+    pub fn build(stmts: &[TacStmt]) -> DepGraph {
+        let n = stmts.len();
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let add_edge = |from: usize, to: usize, succs: &mut Vec<Vec<usize>>| {
+            if from != to && !succs[from].contains(&to) {
+                succs[from].push(to);
+            }
+        };
+
+        // Read-after-write edges via the (unique, SSA) definition of each
+        // field.
+        let mut def: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, s) in stmts.iter().enumerate() {
+            if let Some(f) = s.field_written() {
+                def.insert(f, i);
+            }
+        }
+        for (j, s) in stmts.iter().enumerate() {
+            for f in s.fields_read() {
+                if let Some(&i) = def.get(f) {
+                    add_edge(i, j, &mut succs);
+                }
+            }
+        }
+
+        // Pairing edges between the read and write of each state variable.
+        let mut reads: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut writes: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, s) in stmts.iter().enumerate() {
+            if let Some(v) = s.state_read() {
+                reads.entry(v).or_default().push(i);
+            }
+            if let Some(v) = s.state_written() {
+                writes.entry(v).or_default().push(i);
+            }
+        }
+        for (var, rs) in &reads {
+            if let Some(ws) = writes.get(var) {
+                for &r in rs {
+                    for &w in ws {
+                        add_edge(r, w, &mut succs);
+                        add_edge(w, r, &mut succs);
+                    }
+                }
+            }
+        }
+
+        DepGraph { succs, n }
+    }
+
+    /// Tarjan's algorithm: strongly connected components in reverse
+    /// topological order (callees first); we re-sort by minimum statement
+    /// index for determinism.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let mut state = TarjanState {
+            graph: self,
+            index: vec![usize::MAX; self.n],
+            low: vec![0; self.n],
+            on_stack: vec![false; self.n],
+            stack: Vec::new(),
+            next_index: 0,
+            components: Vec::new(),
+        };
+        for v in 0..self.n {
+            if state.index[v] == usize::MAX {
+                state.strongconnect(v);
+            }
+        }
+        let mut components = state.components;
+        for c in &mut components {
+            c.sort_unstable();
+        }
+        components.sort_by_key(|c| c[0]);
+        components
+    }
+
+    /// Condenses the graph into a DAG over SCCs.
+    ///
+    /// Returns `(scc_of_statement, dag_successors)` where SCC ids index
+    /// into the vector returned by [`DepGraph::sccs`].
+    pub fn condense(&self, sccs: &[Vec<usize>]) -> (Vec<usize>, Vec<Vec<usize>>) {
+        let mut scc_of = vec![0usize; self.n];
+        for (id, comp) in sccs.iter().enumerate() {
+            for &v in comp {
+                scc_of[v] = id;
+            }
+        }
+        let mut dag: Vec<Vec<usize>> = vec![Vec::new(); sccs.len()];
+        for v in 0..self.n {
+            for &w in &self.succs[v] {
+                let (a, b) = (scc_of[v], scc_of[w]);
+                if a != b && !dag[a].contains(&b) {
+                    dag[a].push(b);
+                }
+            }
+        }
+        (scc_of, dag)
+    }
+
+    /// Renders the statement-level graph in Graphviz DOT format (Figure 9a
+    /// view), marking state reads/writes.
+    pub fn to_dot(&self, stmts: &[TacStmt]) -> String {
+        let mut out = String::from("digraph deps {\n  rankdir=TB;\n  node [shape=box];\n");
+        for (i, s) in stmts.iter().enumerate() {
+            let shape = if s.state_read().is_some() || s.state_written().is_some() {
+                ", style=filled, fillcolor=lightgrey"
+            } else {
+                ""
+            };
+            out.push_str(&format!("  n{i} [label=\"{}\"{shape}];\n", escape(&s.to_string())));
+        }
+        for (v, ws) in self.succs.iter().enumerate() {
+            for w in ws {
+                out.push_str(&format!("  n{v} -> n{w};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+struct TarjanState<'a> {
+    graph: &'a DepGraph,
+    index: Vec<usize>,
+    low: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<usize>,
+    next_index: usize,
+    components: Vec<Vec<usize>>,
+}
+
+impl TarjanState<'_> {
+    fn strongconnect(&mut self, v: usize) {
+        // Iterative Tarjan (explicit work stack) so deep dependency chains
+        // cannot overflow the call stack.
+        enum Frame {
+            Enter(usize),
+            Resume(usize, usize),
+        }
+        let mut work = vec![Frame::Enter(v)];
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    self.index[v] = self.next_index;
+                    self.low[v] = self.next_index;
+                    self.next_index += 1;
+                    self.stack.push(v);
+                    self.on_stack[v] = true;
+                    work.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut i) => {
+                    let mut descended = false;
+                    while i < self.graph.succs[v].len() {
+                        let w = self.graph.succs[v][i];
+                        i += 1;
+                        if self.index[w] == usize::MAX {
+                            work.push(Frame::Resume(v, i));
+                            work.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if self.on_stack[w] {
+                            self.low[v] = self.low[v].min(self.index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if self.low[v] == self.index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = self.stack.pop().expect("tarjan stack");
+                            self.on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        self.components.push(comp);
+                    }
+                    // Propagate lowlink to parent (if any).
+                    if let Some(Frame::Resume(p, _)) = work.last() {
+                        let p = *p;
+                        self.low[p] = self.low[p].min(self.low[v]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_ast::BinOp;
+    use domino_ir::{Operand, StateRef, TacRhs};
+
+    fn fld(n: &str) -> Operand {
+        Operand::Field(n.into())
+    }
+
+    /// The flowlet TAC of Figure 8 (post cleanup).
+    fn flowlet_tac() -> Vec<TacStmt> {
+        vec![
+            /* 0 */
+            TacStmt::Assign {
+                dst: "id0".into(),
+                rhs: TacRhs::Intrinsic {
+                    name: "hash2".into(),
+                    args: vec![fld("sport"), fld("dport")],
+                    modulo: Some(8000),
+                },
+            },
+            /* 1 */
+            TacStmt::ReadState {
+                dst: "saved_hop0".into(),
+                state: StateRef::Array { name: "saved_hop".into(), index: fld("id0") },
+            },
+            /* 2 */
+            TacStmt::ReadState {
+                dst: "last_time0".into(),
+                state: StateRef::Array { name: "last_time".into(), index: fld("id0") },
+            },
+            /* 3 */
+            TacStmt::Assign {
+                dst: "new_hop0".into(),
+                rhs: TacRhs::Intrinsic {
+                    name: "hash3".into(),
+                    args: vec![fld("sport"), fld("dport"), fld("arrival")],
+                    modulo: Some(10),
+                },
+            },
+            /* 4 */
+            TacStmt::Assign {
+                dst: "tmp".into(),
+                rhs: TacRhs::Binary(BinOp::Sub, fld("arrival"), fld("last_time0")),
+            },
+            /* 5 */
+            TacStmt::Assign {
+                dst: "tmp2".into(),
+                rhs: TacRhs::Binary(BinOp::Gt, fld("tmp"), Operand::Const(5)),
+            },
+            /* 6 */
+            TacStmt::Assign {
+                dst: "next_hop0".into(),
+                rhs: TacRhs::Ternary(fld("tmp2"), fld("new_hop0"), fld("saved_hop1")),
+            },
+            /* 7 */
+            TacStmt::Assign {
+                dst: "saved_hop1".into(),
+                rhs: TacRhs::Ternary(fld("tmp2"), fld("new_hop0"), fld("saved_hop0")),
+            },
+            /* 8 */
+            TacStmt::WriteState {
+                state: StateRef::Array { name: "saved_hop".into(), index: fld("id0") },
+                src: fld("saved_hop1"),
+            },
+            /* 9 */
+            TacStmt::WriteState {
+                state: StateRef::Array { name: "last_time".into(), index: fld("id0") },
+                src: fld("arrival"),
+            },
+        ]
+    }
+
+    #[test]
+    fn raw_edges_follow_defs() {
+        let tac = flowlet_tac();
+        let g = DepGraph::build(&tac);
+        // id0 (0) feeds both read flanks and both write flanks.
+        assert!(g.succs[0].contains(&1));
+        assert!(g.succs[0].contains(&2));
+        assert!(g.succs[0].contains(&8));
+        assert!(g.succs[0].contains(&9));
+        // tmp (4) feeds tmp2 (5); tmp2 feeds 6 and 7.
+        assert!(g.succs[4].contains(&5));
+        assert!(g.succs[5].contains(&6));
+        assert!(g.succs[5].contains(&7));
+    }
+
+    #[test]
+    fn pairing_edges_are_bidirectional() {
+        let tac = flowlet_tac();
+        let g = DepGraph::build(&tac);
+        // saved_hop read (1) ↔ write (8).
+        assert!(g.succs[1].contains(&8));
+        assert!(g.succs[8].contains(&1));
+        // last_time read (2) ↔ write (9).
+        assert!(g.succs[2].contains(&9));
+        assert!(g.succs[9].contains(&2));
+    }
+
+    #[test]
+    fn sccs_match_figure9b() {
+        let tac = flowlet_tac();
+        let g = DepGraph::build(&tac);
+        let sccs = g.sccs();
+        // Expected components:
+        //   {1,7,8} saved_hop codelet (read + ternary + write),
+        //   {2,9}   last_time codelet,
+        //   singletons: 0, 3, 4, 5, 6.
+        assert_eq!(sccs.len(), 7);
+        assert!(sccs.contains(&vec![1, 7, 8]), "{sccs:?}");
+        assert!(sccs.contains(&vec![2, 9]), "{sccs:?}");
+        assert!(sccs.contains(&vec![0]));
+        assert!(sccs.contains(&vec![6]));
+    }
+
+    #[test]
+    fn condensed_graph_is_acyclic() {
+        let tac = flowlet_tac();
+        let g = DepGraph::build(&tac);
+        let sccs = g.sccs();
+        let (_, dag) = g.condense(&sccs);
+        // Kahn's algorithm must consume every node.
+        let n = dag.len();
+        let mut indeg = vec![0usize; n];
+        for vs in &dag {
+            for &w in vs {
+                indeg[w] += 1;
+            }
+        }
+        let mut queue: Vec<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &w in &dag[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push(w);
+                }
+            }
+        }
+        assert_eq!(seen, n, "condensation left a cycle");
+    }
+
+    #[test]
+    fn independent_statements_have_no_edges() {
+        let tac = vec![
+            TacStmt::Assign { dst: "a".into(), rhs: TacRhs::Copy(fld("x")) },
+            TacStmt::Assign { dst: "b".into(), rhs: TacRhs::Copy(fld("y")) },
+        ];
+        let g = DepGraph::build(&tac);
+        assert!(g.succs[0].is_empty());
+        assert!(g.succs[1].is_empty());
+        assert_eq!(g.sccs().len(), 2);
+    }
+
+    #[test]
+    fn dot_output_marks_stateful_nodes() {
+        let tac = flowlet_tac();
+        let g = DepGraph::build(&tac);
+        let dot = g.to_dot(&tac);
+        assert!(dot.contains("digraph deps"), "{dot}");
+        assert!(dot.contains("lightgrey"), "{dot}");
+        assert!(dot.contains("n1 -> n8"), "{dot}");
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow_stack() {
+        // 20k-statement dependency chain — iterative Tarjan must cope.
+        let mut tac = vec![TacStmt::Assign { dst: "f0".into(), rhs: TacRhs::Copy(fld("in")) }];
+        for i in 1..20_000 {
+            tac.push(TacStmt::Assign {
+                dst: format!("f{i}"),
+                rhs: TacRhs::Binary(BinOp::Add, fld(&format!("f{}", i - 1)), Operand::Const(1)),
+            });
+        }
+        let g = DepGraph::build(&tac);
+        assert_eq!(g.sccs().len(), 20_000);
+    }
+}

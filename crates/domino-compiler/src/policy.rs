@@ -1,0 +1,287 @@
+//! Multi-transaction policies (§3.3–§3.4, extension X2).
+//!
+//! A switch runs several data-plane algorithms, each on its own traffic
+//! slice. A *policy* is a list of `(guard, transaction)` pairs: the guard
+//! is a predicate over packet fields (it becomes the match key of a
+//! match-action table, §3.3); the transaction runs on matching packets.
+//!
+//! When guards overlap, the paper's proposed composition semantics is to
+//! concatenate the transaction bodies in user order, "providing the
+//! illusion of a larger transaction" (§3.4). [`Policy::compose`]
+//! implements exactly that: it produces a single merged
+//! [`CheckedProgram`] in which each constituent body is wrapped in
+//! `if (guard) { ... }`, ready for the ordinary compilation pipeline.
+
+use domino_ast::ast::{Expr, Stmt};
+use domino_ast::diag::{Diagnostic, Result, Stage};
+use domino_ast::{CheckedProgram, Span, StateVar};
+
+/// One `(guard, transaction)` pair.
+#[derive(Debug, Clone)]
+pub struct GuardedTransaction {
+    /// Predicate over packet fields; `None` means "all packets".
+    pub guard: Option<Expr>,
+    /// The transaction to run when the guard matches.
+    pub program: CheckedProgram,
+}
+
+/// An ordered list of guarded transactions.
+#[derive(Debug, Clone, Default)]
+pub struct Policy {
+    entries: Vec<GuardedTransaction>,
+}
+
+impl Policy {
+    /// An empty policy.
+    pub fn new() -> Policy {
+        Policy::default()
+    }
+
+    /// Adds a transaction that runs on every packet.
+    pub fn add(mut self, program: CheckedProgram) -> Policy {
+        self.entries.push(GuardedTransaction { guard: None, program });
+        self
+    }
+
+    /// Adds a transaction guarded by a predicate (source text, e.g.
+    /// `"pkt.tcp_dst_port == 80"`). The guard is parsed immediately;
+    /// name resolution against the packet struct happens in
+    /// [`Policy::compose`].
+    pub fn add_guarded(mut self, guard_src: &str, program: CheckedProgram) -> Result<Policy> {
+        let guard = domino_ast::parse_expr(guard_src)?;
+        self.entries.push(GuardedTransaction { guard: Some(guard), program });
+        Ok(self)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the policy has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Composes all entries into one packet transaction by concatenating
+    /// bodies in order (§3.4), wrapping each guarded body in its guard.
+    ///
+    /// Requirements checked here:
+    /// * all transactions use the same packet parameter name,
+    /// * packet field sets are merged (duplicates must agree — they are
+    ///   just names),
+    /// * state variable names must be disjoint across transactions
+    ///   (algorithms own their state),
+    /// * guards reference only declared packet fields.
+    pub fn compose(&self, name: &str) -> Result<CheckedProgram> {
+        let Some(first) = self.entries.first() else {
+            return Err(Diagnostic::global(Stage::Sema, "policy has no transactions"));
+        };
+        let param = first.program.param.clone();
+
+        let mut packet_fields: Vec<String> = Vec::new();
+        let mut state: Vec<StateVar> = Vec::new();
+        let mut body: Vec<Stmt> = Vec::new();
+
+        for entry in &self.entries {
+            let p = &entry.program;
+            if p.param != param {
+                return Err(Diagnostic::global(
+                    Stage::Sema,
+                    format!(
+                        "cannot compose: transaction `{}` names its packet `{}` \
+                         but `{}` was used earlier (rename the parameter)",
+                        p.name, p.param, param
+                    ),
+                ));
+            }
+            for f in &p.packet_fields {
+                if !packet_fields.contains(f) {
+                    packet_fields.push(f.clone());
+                }
+            }
+            for sv in &p.state {
+                if state.iter().any(|s| s.name == sv.name) {
+                    return Err(Diagnostic::global(
+                        Stage::Sema,
+                        format!(
+                            "cannot compose: state variable `{}` is declared by \
+                             more than one transaction; algorithms must own \
+                             disjoint state",
+                            sv.name
+                        ),
+                    ));
+                }
+                state.push(sv.clone());
+            }
+        }
+
+        for entry in &self.entries {
+            match &entry.guard {
+                None => body.extend(entry.program.body.iter().cloned()),
+                Some(guard) => {
+                    let resolved = resolve_guard(guard, &param, &packet_fields)?;
+                    body.push(Stmt::If {
+                        cond: resolved,
+                        then_branch: entry.program.body.clone(),
+                        else_branch: Vec::new(),
+                        span: Span::SYNTH,
+                    });
+                }
+            }
+        }
+
+        Ok(CheckedProgram { name: name.to_string(), param, packet_fields, state, body })
+    }
+}
+
+/// Checks a guard references only packet fields of the merged struct.
+fn resolve_guard(guard: &Expr, param: &str, fields: &[String]) -> Result<Expr> {
+    let mut err: Option<Diagnostic> = None;
+    guard.walk(&mut |e| {
+        if err.is_some() {
+            return;
+        }
+        match e {
+            Expr::Field(base, f, s) => {
+                if base != param {
+                    err = Some(Diagnostic::new(
+                        Stage::Sema,
+                        format!("guard must reference the packet as `{param}`, found `{base}`"),
+                        *s,
+                    ));
+                } else if !fields.contains(f) {
+                    err = Some(Diagnostic::new(
+                        Stage::Sema,
+                        format!("guard references unknown packet field `{f}`"),
+                        *s,
+                    ));
+                }
+            }
+            Expr::Ident(n, s) | Expr::Index(n, _, s) => {
+                err = Some(Diagnostic::new(
+                    Stage::Sema,
+                    format!(
+                        "guard may only read packet fields (it becomes a \
+                         match-action key); `{n}` is not a packet field"
+                    ),
+                    *s,
+                ));
+            }
+            Expr::Call(n, _, s) => {
+                err = Some(Diagnostic::new(
+                    Stage::Sema,
+                    format!("guards cannot call intrinsics (`{n}`)"),
+                    *s,
+                ));
+            }
+            _ => {}
+        }
+    });
+    match err {
+        Some(e) => Err(e),
+        None => Ok(guard.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use banzai::{AtomKind, Machine, Target};
+    use domino_ast::parse_and_check;
+    use domino_ir::Packet;
+
+    fn counter_prog(var: &str) -> CheckedProgram {
+        parse_and_check(&format!(
+            "struct P {{ int port; int out_{var}; }};\nint {var} = 0;\n\
+             void f_{var}(struct P pkt) {{ {var} = {var} + 1; pkt.out_{var} = {var}; }}"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn unguarded_composition_concatenates() {
+        let policy = Policy::new().add(counter_prog("a")).add(counter_prog("b"));
+        let merged = policy.compose("both").unwrap();
+        assert_eq!(merged.state.len(), 2);
+        assert_eq!(merged.body.len(), 4);
+    }
+
+    #[test]
+    fn guarded_composition_compiles_and_runs() {
+        let policy = Policy::new()
+            .add_guarded("pkt.port == 80", counter_prog("web"))
+            .unwrap()
+            .add_guarded("pkt.port == 53", counter_prog("dns"))
+            .unwrap();
+        let merged = policy.compose("split_count").unwrap();
+        let pipeline =
+            crate::compile_checked(merged, &Target::banzai(AtomKind::Praw)).unwrap();
+        let mut m = Machine::new(pipeline);
+        for port in [80, 80, 53, 80, 22] {
+            m.process(Packet::new().with("port", port).with("out_web", 0).with("out_dns", 0));
+        }
+        assert_eq!(m.state().read_scalar("web"), 3);
+        assert_eq!(m.state().read_scalar("dns"), 1);
+    }
+
+    #[test]
+    fn overlapping_guards_serialize_in_order() {
+        // Both guards match port 80; both counters increment — the
+        // "one big transaction" illusion of §3.4.
+        let policy = Policy::new()
+            .add_guarded("pkt.port > 0", counter_prog("a"))
+            .unwrap()
+            .add_guarded("pkt.port > 10", counter_prog("b"))
+            .unwrap();
+        let merged = policy.compose("overlap").unwrap();
+        let pipeline =
+            crate::compile_checked(merged, &Target::banzai(AtomKind::Praw)).unwrap();
+        let mut m = Machine::new(pipeline);
+        m.process(Packet::new().with("port", 80).with("out_a", 0).with("out_b", 0));
+        m.process(Packet::new().with("port", 5).with("out_a", 0).with("out_b", 0));
+        assert_eq!(m.state().read_scalar("a"), 2);
+        assert_eq!(m.state().read_scalar("b"), 1);
+    }
+
+    #[test]
+    fn state_collision_rejected() {
+        let policy = Policy::new().add(counter_prog("a")).add(counter_prog("a"));
+        let err = policy.compose("dup").unwrap_err();
+        assert!(err.message.contains("disjoint state"), "{err}");
+    }
+
+    #[test]
+    fn guard_with_unknown_field_rejected() {
+        let policy = Policy::new()
+            .add_guarded("pkt.nonexistent == 1", counter_prog("a"))
+            .unwrap();
+        let err = policy.compose("bad").unwrap_err();
+        assert!(err.message.contains("unknown packet field"), "{err}");
+    }
+
+    #[test]
+    fn guard_reading_state_rejected() {
+        let policy = Policy::new()
+            .add_guarded("some_state == 1", counter_prog("a"))
+            .unwrap();
+        let err = policy.compose("bad").unwrap_err();
+        assert!(err.message.contains("match-action key"), "{err}");
+    }
+
+    #[test]
+    fn empty_policy_rejected() {
+        assert!(Policy::new().compose("none").is_err());
+    }
+
+    #[test]
+    fn mismatched_param_names_rejected() {
+        let a = counter_prog("a");
+        let b = parse_and_check(
+            "struct P { int port; };\nint z = 0;\nvoid g(struct P p) { z = z + 1; }",
+        )
+        .unwrap();
+        let err = Policy::new().add(a).add(b).compose("mix").unwrap_err();
+        assert!(err.message.contains("rename the parameter"), "{err}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Pipelining step 3 — critical-path scheduling (§4.2).
+//!
+//! Schedules the condensed SCC DAG into pipeline stages: a codelet runs in
+//! the stage after the latest of its predecessors (as-soon-as-possible
+//! scheduling, equivalent to critical-path scheduling when every codelet
+//! costs one stage). The result is the PVSM codelet pipeline — Figure 3b
+//! without resource or computational limits applied yet.
+
+use crate::depgraph::DepGraph;
+use domino_ir::{Codelet, PvsmPipeline, TacStmt};
+
+/// Schedules TAC statements into a PVSM codelet pipeline.
+pub fn schedule(stmts: &[TacStmt]) -> PvsmPipeline {
+    if stmts.is_empty() {
+        return PvsmPipeline::default();
+    }
+    let graph = DepGraph::build(stmts);
+    let sccs = graph.sccs();
+    let (_, dag) = graph.condense(&sccs);
+
+    // Longest-path level per SCC over the DAG (ASAP schedule).
+    let n = sccs.len();
+    let mut indeg = vec![0usize; n];
+    for vs in &dag {
+        for &w in vs {
+            indeg[w] += 1;
+        }
+    }
+    let mut level = vec![0usize; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut processed = 0;
+    while let Some(v) = queue.pop() {
+        processed += 1;
+        for &w in &dag[v] {
+            level[w] = level[w].max(level[v] + 1);
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    debug_assert_eq!(processed, n, "condensed graph must be acyclic");
+
+    let depth = level.iter().copied().max().unwrap_or(0) + 1;
+    let mut stages: Vec<Vec<Codelet>> = vec![Vec::new(); depth];
+    // SCCs are already ordered by minimum statement index, which keeps
+    // within-stage ordering deterministic and source-like.
+    for (id, comp) in sccs.iter().enumerate() {
+        let body: Vec<TacStmt> = comp.iter().map(|&i| stmts[i].clone()).collect();
+        stages[level[id]].push(Codelet::new(body));
+    }
+    PvsmPipeline { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_ast::BinOp;
+    use domino_ir::{Operand, StateRef, TacRhs};
+
+    fn fld(n: &str) -> Operand {
+        Operand::Field(n.into())
+    }
+
+    #[test]
+    fn empty_program_is_empty_pipeline() {
+        let p = schedule(&[]);
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn independent_statements_share_stage_one() {
+        let tac = vec![
+            TacStmt::Assign { dst: "a".into(), rhs: TacRhs::Copy(fld("x")) },
+            TacStmt::Assign { dst: "b".into(), rhs: TacRhs::Copy(fld("y")) },
+        ];
+        let p = schedule(&tac);
+        assert_eq!(p.depth(), 1);
+        assert_eq!(p.stages[0].len(), 2);
+    }
+
+    #[test]
+    fn chain_spreads_across_stages() {
+        let tac = vec![
+            TacStmt::Assign { dst: "a".into(), rhs: TacRhs::Copy(fld("x")) },
+            TacStmt::Assign {
+                dst: "b".into(),
+                rhs: TacRhs::Binary(BinOp::Add, fld("a"), Operand::Const(1)),
+            },
+            TacStmt::Assign {
+                dst: "c".into(),
+                rhs: TacRhs::Binary(BinOp::Add, fld("b"), Operand::Const(1)),
+            },
+        ];
+        let p = schedule(&tac);
+        assert_eq!(p.depth(), 3);
+        assert!(p.stages.iter().all(|s| s.len() == 1));
+    }
+
+    #[test]
+    fn state_codelet_is_one_unit() {
+        let tac = vec![
+            TacStmt::ReadState { dst: "c0".into(), state: StateRef::Scalar("c".into()) },
+            TacStmt::Assign {
+                dst: "c1".into(),
+                rhs: TacRhs::Binary(BinOp::Add, fld("c0"), Operand::Const(1)),
+            },
+            TacStmt::WriteState { state: StateRef::Scalar("c".into()), src: fld("c1") },
+        ];
+        let p = schedule(&tac);
+        assert_eq!(p.depth(), 1);
+        assert_eq!(p.stages[0].len(), 1);
+        assert_eq!(p.stages[0][0].stmts.len(), 3);
+        assert!(!p.stages[0][0].is_stateless());
+    }
+
+    #[test]
+    fn flowlet_schedules_to_six_stages_like_figure3b() {
+        // The Figure 8 TAC (same as the depgraph test).
+        let tac = vec![
+            TacStmt::Assign {
+                dst: "id0".into(),
+                rhs: TacRhs::Intrinsic {
+                    name: "hash2".into(),
+                    args: vec![fld("sport"), fld("dport")],
+                    modulo: Some(8000),
+                },
+            },
+            TacStmt::ReadState {
+                dst: "saved_hop0".into(),
+                state: StateRef::Array { name: "saved_hop".into(), index: fld("id0") },
+            },
+            TacStmt::ReadState {
+                dst: "last_time0".into(),
+                state: StateRef::Array { name: "last_time".into(), index: fld("id0") },
+            },
+            TacStmt::Assign {
+                dst: "new_hop0".into(),
+                rhs: TacRhs::Intrinsic {
+                    name: "hash3".into(),
+                    args: vec![fld("sport"), fld("dport"), fld("arrival")],
+                    modulo: Some(10),
+                },
+            },
+            TacStmt::Assign {
+                dst: "tmp".into(),
+                rhs: TacRhs::Binary(BinOp::Sub, fld("arrival"), fld("last_time0")),
+            },
+            TacStmt::Assign {
+                dst: "tmp2".into(),
+                rhs: TacRhs::Binary(BinOp::Gt, fld("tmp"), Operand::Const(5)),
+            },
+            TacStmt::Assign {
+                dst: "next_hop0".into(),
+                rhs: TacRhs::Ternary(fld("tmp2"), fld("new_hop0"), fld("saved_hop1")),
+            },
+            TacStmt::Assign {
+                dst: "saved_hop1".into(),
+                rhs: TacRhs::Ternary(fld("tmp2"), fld("new_hop0"), fld("saved_hop0")),
+            },
+            TacStmt::WriteState {
+                state: StateRef::Array { name: "saved_hop".into(), index: fld("id0") },
+                src: fld("saved_hop1"),
+            },
+            TacStmt::WriteState {
+                state: StateRef::Array { name: "last_time".into(), index: fld("id0") },
+                src: fld("arrival"),
+            },
+        ];
+        let p = schedule(&tac);
+        // Stage 1: hash2, hash3 — Stage 2: last_time codelet — Stage 3: tmp
+        // — Stage 4: tmp2 — Stage 5: saved_hop codelet — Stage 6: next_hop.
+        assert_eq!(p.depth(), 6, "\n{p}");
+        assert_eq!(p.max_width(), 2, "\n{p}");
+        assert_eq!(p.max_stateful_width(), 1, "\n{p}");
+        // Stage 2 holds the last_time read+write codelet.
+        assert!(!p.stages[1][0].is_stateless());
+        assert_eq!(p.stages[1][0].stmts.len(), 2);
+        // Stage 5 holds the saved_hop codelet (read + ternary + write).
+        let stage5 = &p.stages[4][0];
+        assert_eq!(stage5.stmts.len(), 3);
+        assert_eq!(
+            stage5.state_vars().into_iter().collect::<Vec<_>>(),
+            vec!["saved_hop"]
+        );
+        // Stage 6: the next_hop output ternary.
+        assert!(p.stages[5][0].is_stateless());
+    }
+}

@@ -1,0 +1,290 @@
+//! Pass 4 — flattening to three-address code (Figure 8, §4.1).
+//!
+//! Expression trees are decomposed into single-operation statements on
+//! packet fields (`pkt.f1 = pkt.f2 op pkt.f3`), introducing temporaries
+//! where needed. State statements become explicit
+//! [`TacStmt::ReadState`]/[`TacStmt::WriteState`] flanks. A `% CONST`
+//! applied to a hash intrinsic is folded into the intrinsic call (the hash
+//! unit delivers a bounded value), matching Figure 3b where
+//! `hash2(...) % NUM_FLOWLETS` is a single statement.
+
+use crate::branch_removal::Assign;
+use crate::fresh::FreshNames;
+use domino_ast::ast::{BinOp, Expr, LValue};
+use domino_ir::{Operand, StateRef, TacRhs, TacStmt};
+use std::fmt;
+
+/// Errors from flattening (internal invariant violations surfaced with
+/// context).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlattenError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for FlattenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for FlattenError {}
+
+/// Flattens SSA statements into TAC.
+pub fn flatten(stmts: &[Assign], fresh: &mut FreshNames) -> Result<Vec<TacStmt>, FlattenError> {
+    let mut out = Vec::new();
+    for a in stmts {
+        flatten_assign(a, fresh, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn flatten_assign(
+    a: &Assign,
+    fresh: &mut FreshNames,
+    out: &mut Vec<TacStmt>,
+) -> Result<(), FlattenError> {
+    match &a.lhs {
+        LValue::Field(_, dst, _) => match &a.rhs {
+            // Read flanks: pkt.tmp = state
+            Expr::Ident(var, _) => {
+                out.push(TacStmt::ReadState {
+                    dst: dst.clone(),
+                    state: StateRef::Scalar(var.clone()),
+                });
+                Ok(())
+            }
+            Expr::Index(var, idx, _) => {
+                let index = flatten_operand(idx, fresh, out)?;
+                out.push(TacStmt::ReadState {
+                    dst: dst.clone(),
+                    state: StateRef::Array { name: var.clone(), index },
+                });
+                Ok(())
+            }
+            rhs => {
+                let tac_rhs = flatten_rhs(rhs, fresh, out)?;
+                out.push(TacStmt::Assign { dst: dst.clone(), rhs: tac_rhs });
+                Ok(())
+            }
+        },
+        // Write flanks.
+        LValue::Scalar(var, _) => {
+            let src = flatten_operand(&a.rhs, fresh, out)?;
+            out.push(TacStmt::WriteState { state: StateRef::Scalar(var.clone()), src });
+            Ok(())
+        }
+        LValue::Array(var, idx, _) => {
+            let index = flatten_operand(idx, fresh, out)?;
+            let src = flatten_operand(&a.rhs, fresh, out)?;
+            out.push(TacStmt::WriteState {
+                state: StateRef::Array { name: var.clone(), index },
+                src,
+            });
+            Ok(())
+        }
+    }
+}
+
+/// Produces a top-level TAC right-hand side for an expression (one
+/// operation; operands flattened recursively).
+fn flatten_rhs(
+    e: &Expr,
+    fresh: &mut FreshNames,
+    out: &mut Vec<TacStmt>,
+) -> Result<TacRhs, FlattenError> {
+    match e {
+        Expr::Int(v, _) => Ok(TacRhs::Copy(Operand::Const(*v))),
+        Expr::Field(_, f, _) => Ok(TacRhs::Copy(Operand::Field(f.clone()))),
+        Expr::Unary(op, inner, _) => {
+            let o = flatten_operand(inner, fresh, out)?;
+            Ok(TacRhs::Unary(*op, o))
+        }
+        // hash(...) % CONST folds into the intrinsic call.
+        Expr::Binary(BinOp::Mod, lhs, rhs, _)
+            if matches!(lhs.as_ref(), Expr::Call(..))
+                && matches!(rhs.as_ref(), Expr::Int(..)) =>
+        {
+            let Expr::Call(name, args, _) = lhs.as_ref() else { unreachable!() };
+            let Expr::Int(m, _) = rhs.as_ref() else { unreachable!() };
+            let args = args
+                .iter()
+                .map(|arg| flatten_operand(arg, fresh, out))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(TacRhs::Intrinsic { name: name.clone(), args, modulo: Some(*m) })
+        }
+        Expr::Binary(op, a, b, _) => {
+            let fa = flatten_operand(a, fresh, out)?;
+            let fb = flatten_operand(b, fresh, out)?;
+            Ok(TacRhs::Binary(*op, fa, fb))
+        }
+        Expr::Ternary(c, t, els, _) => {
+            let fc = flatten_operand(c, fresh, out)?;
+            let ft = flatten_operand(t, fresh, out)?;
+            let fe = flatten_operand(els, fresh, out)?;
+            Ok(TacRhs::Ternary(fc, ft, fe))
+        }
+        Expr::Call(name, args, _) => {
+            let args = args
+                .iter()
+                .map(|arg| flatten_operand(arg, fresh, out))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(TacRhs::Intrinsic { name: name.clone(), args, modulo: None })
+        }
+        Expr::Ident(var, _) | Expr::Index(var, _, _) => Err(FlattenError {
+            message: format!(
+                "internal error: state variable `{var}` appears outside a flank \
+                 after the state-rewriting pass"
+            ),
+        }),
+    }
+}
+
+/// Reduces an expression to a single operand, emitting temporaries for
+/// anything that is not already a field or constant.
+fn flatten_operand(
+    e: &Expr,
+    fresh: &mut FreshNames,
+    out: &mut Vec<TacStmt>,
+) -> Result<Operand, FlattenError> {
+    match e {
+        Expr::Int(v, _) => Ok(Operand::Const(*v)),
+        Expr::Field(_, f, _) => Ok(Operand::Field(f.clone())),
+        Expr::Ident(var, _) | Expr::Index(var, _, _) => Err(FlattenError {
+            message: format!(
+                "internal error: state variable `{var}` appears outside a flank \
+                 after the state-rewriting pass"
+            ),
+        }),
+        other => {
+            let rhs = flatten_rhs(other, fresh, out)?;
+            let tmp = fresh.fresh("__t");
+            out.push(TacStmt::Assign { dst: tmp.clone(), rhs });
+            Ok(Operand::Field(tmp))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_removal::remove_branches;
+    use crate::ssa::to_ssa;
+    use crate::state_flank::rewrite_state_ops;
+    use domino_ast::parse_and_check;
+
+    fn run(src: &str) -> Vec<String> {
+        let p = parse_and_check(src).unwrap();
+        let mut fresh = FreshNames::new(p.packet_fields.iter().cloned());
+        let straight = remove_branches(&p.body, &mut fresh);
+        let (flanked, _) = rewrite_state_ops(&straight, &p, &mut fresh).unwrap();
+        let ssa = to_ssa(&flanked, &mut fresh);
+        flatten(&ssa.stmts, &mut fresh)
+            .unwrap()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn binary_expression_flattens_directly() {
+        let lines = run(
+            "struct P { int a; int b; int r; };\n\
+             void f(struct P pkt) { pkt.r = pkt.a + pkt.b; }",
+        );
+        assert_eq!(lines, vec!["pkt.r0 = pkt.a + pkt.b;"]);
+    }
+
+    #[test]
+    fn nested_expression_introduces_temp() {
+        let lines = run(
+            "struct P { int a; int b; int c; int r; };\n\
+             void f(struct P pkt) { pkt.r = pkt.a + pkt.b - pkt.c; }",
+        );
+        assert_eq!(
+            lines,
+            vec!["pkt.__t = pkt.a + pkt.b;", "pkt.r0 = pkt.__t - pkt.c;"]
+        );
+    }
+
+    #[test]
+    fn hash_modulo_folds_into_intrinsic() {
+        let lines = run(
+            "struct P { int sport; int dport; int id; };\n\
+             void f(struct P pkt) { pkt.id = hash2(pkt.sport, pkt.dport) % 8000; }",
+        );
+        assert_eq!(lines, vec!["pkt.id0 = hash2(pkt.sport, pkt.dport) % 8000;"]);
+    }
+
+    #[test]
+    fn unfolded_hash_stays_plain_intrinsic() {
+        let lines = run(
+            "struct P { int sport; int dport; int id; };\n\
+             void f(struct P pkt) { pkt.id = hash2(pkt.sport, pkt.dport); }",
+        );
+        assert_eq!(lines, vec!["pkt.id0 = hash2(pkt.sport, pkt.dport);"]);
+    }
+
+    #[test]
+    fn flanks_become_state_statements() {
+        let lines = run(
+            "struct P { int x; };\nint c = 0;\n\
+             void f(struct P pkt) { c = c + pkt.x; }",
+        );
+        assert_eq!(
+            lines,
+            vec![
+                "pkt.c0 = c;",
+                "pkt.c1 = pkt.c0 + pkt.x;",
+                "c = pkt.c1;",
+            ]
+        );
+    }
+
+    #[test]
+    fn flowlet_flattens_like_figure8() {
+        let lines = run(
+            "#define NUM_FLOWLETS 8000\n#define THRESHOLD 5\n#define NUM_HOPS 10\n\
+             struct Packet { int sport; int dport; int new_hop; int arrival; int next_hop; int id; };\n\
+             int last_time[NUM_FLOWLETS] = {0};\nint saved_hop[NUM_FLOWLETS] = {0};\n\
+             void flowlet(struct Packet pkt) {\n\
+               pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;\n\
+               pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;\n\
+               if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {\n\
+                 saved_hop[pkt.id] = pkt.new_hop;\n\
+               }\n\
+               last_time[pkt.id] = pkt.arrival;\n\
+               pkt.next_hop = saved_hop[pkt.id];\n\
+             }",
+        );
+        let text = lines.join("\n");
+        assert!(text.contains("pkt.new_hop0 = hash3(pkt.sport, pkt.dport, pkt.arrival) % 10;"), "{text}");
+        assert!(text.contains("pkt.id0 = hash2(pkt.sport, pkt.dport) % 8000;"), "{text}");
+        assert!(text.contains("pkt.last_time0 = last_time[pkt.id0];"), "{text}");
+        assert!(text.contains("pkt.saved_hop0 = saved_hop[pkt.id0];"), "{text}");
+        // The comparison flattens into subtract then relational (paper
+        // lines 5-6).
+        assert!(text.contains("pkt.__t = pkt.arrival - pkt.last_time0;"), "{text}");
+        assert!(text.contains("pkt.__br0 = pkt.__t > 5;"), "{text}");
+        // Write flanks address the same index field.
+        assert!(text.contains("last_time[pkt.id0] = pkt.last_time1;"), "{text}");
+        assert!(text.contains("saved_hop[pkt.id0] = pkt.saved_hop1;"), "{text}");
+    }
+
+    #[test]
+    fn ternary_flattens_with_three_operands() {
+        let lines = run(
+            "struct P { int c; int a; int b; int r; };\n\
+             void f(struct P pkt) { pkt.r = pkt.c ? pkt.a : pkt.b; }",
+        );
+        assert_eq!(lines, vec!["pkt.r0 = pkt.c ? pkt.a : pkt.b;"]);
+    }
+
+    #[test]
+    fn unary_not_flattens() {
+        let lines = run(
+            "struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = !pkt.a; }",
+        );
+        assert_eq!(lines, vec!["pkt.r0 = !pkt.a;"]);
+    }
+}

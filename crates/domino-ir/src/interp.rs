@@ -1,0 +1,343 @@
+//! Reference interpreters.
+//!
+//! Two interpreters define the *gold* semantics against which everything
+//! else is differentially tested:
+//!
+//! * [`run_ast`] executes the checked AST of a transaction — this is the
+//!   paper's programmer-facing model: "the switch invokes the packet
+//!   transaction function one packet at a time, with no concurrent packet
+//!   processing" (§3.1).
+//! * [`run_tac`] executes normalized three-address code the same way.
+//!
+//! Each compiler pass must preserve `run_ast`/`run_tac` behaviour, and the
+//! Banzai pipeline simulator must produce identical per-packet results —
+//! that equivalence *is* the packet-transaction guarantee.
+
+use crate::packet::Packet;
+use crate::state::StateStore;
+use crate::tac::{Operand, StateRef, TacProgram, TacRhs, TacStmt};
+use domino_ast::{ast, CheckedProgram, Expr, LValue, Stmt};
+
+/// Executes one packet through a checked transaction (serial semantics).
+pub fn step_ast(program: &CheckedProgram, state: &mut StateStore, pkt: &mut Packet) {
+    for stmt in &program.body {
+        exec_stmt(stmt, state, pkt);
+    }
+}
+
+/// Runs a whole trace through a checked transaction, returning the packets
+/// as they leave the transaction.
+pub fn run_ast(
+    program: &CheckedProgram,
+    state: &mut StateStore,
+    trace: &[Packet],
+) -> Vec<Packet> {
+    trace
+        .iter()
+        .map(|p| {
+            let mut pkt = p.clone();
+            step_ast(program, state, &mut pkt);
+            pkt
+        })
+        .collect()
+}
+
+fn exec_stmt(stmt: &Stmt, state: &mut StateStore, pkt: &mut Packet) {
+    match stmt {
+        Stmt::Assign { lhs, rhs, .. } => {
+            let value = eval_expr(rhs, state, pkt);
+            match lhs {
+                LValue::Field(_, field, _) => pkt.set(field, value),
+                LValue::Scalar(name, _) => state.write_scalar(name, value),
+                LValue::Array(name, idx, _) => {
+                    let i = eval_expr(idx, state, pkt);
+                    state.write_array(name, i, value);
+                }
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            if eval_expr(cond, state, pkt) != 0 {
+                for s in then_branch {
+                    exec_stmt(s, state, pkt);
+                }
+            } else {
+                for s in else_branch {
+                    exec_stmt(s, state, pkt);
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a resolved expression against packet and state.
+pub fn eval_expr(expr: &Expr, state: &StateStore, pkt: &Packet) -> i32 {
+    match expr {
+        Expr::Int(v, _) => *v,
+        Expr::Ident(name, _) => state.read_scalar(name),
+        Expr::Field(_, field, _) => pkt.get_or_zero(field),
+        Expr::Index(name, idx, _) => {
+            let i = eval_expr(idx, state, pkt);
+            state.read_array(name, i)
+        }
+        Expr::Unary(op, e, _) => op.eval(eval_expr(e, state, pkt)),
+        Expr::Binary(op, a, b, _) => {
+            // Note: Domino has no side effects inside expressions, so
+            // short-circuit vs. eager evaluation of &&/|| is unobservable;
+            // we evaluate eagerly.
+            op.eval(eval_expr(a, state, pkt), eval_expr(b, state, pkt))
+        }
+        Expr::Ternary(c, t, e, _) => {
+            if eval_expr(c, state, pkt) != 0 {
+                eval_expr(t, state, pkt)
+            } else {
+                eval_expr(e, state, pkt)
+            }
+        }
+        Expr::Call(name, args, _) => {
+            let vals: Vec<i32> = args.iter().map(|a| eval_expr(a, state, pkt)).collect();
+            domino_ast::intrinsics::eval(name, &vals)
+        }
+    }
+}
+
+/// Executes one packet through normalized TAC (serial semantics).
+pub fn step_tac(program: &TacProgram, state: &mut StateStore, pkt: &mut Packet) {
+    for stmt in &program.stmts {
+        exec_tac_stmt(stmt, state, pkt);
+    }
+}
+
+/// Runs a whole trace through TAC.
+pub fn run_tac(
+    program: &TacProgram,
+    state: &mut StateStore,
+    trace: &[Packet],
+) -> Vec<Packet> {
+    trace
+        .iter()
+        .map(|p| {
+            let mut pkt = p.clone();
+            step_tac(program, state, &mut pkt);
+            pkt
+        })
+        .collect()
+}
+
+/// Executes a single TAC statement (shared with the Banzai atom executor).
+pub fn exec_tac_stmt(stmt: &TacStmt, state: &mut StateStore, pkt: &mut Packet) {
+    match stmt {
+        TacStmt::ReadState { dst, state: sref } => {
+            let v = read_state(sref, state, pkt);
+            pkt.set(dst, v);
+        }
+        TacStmt::WriteState { state: sref, src } => {
+            let v = eval_operand(src, pkt);
+            write_state(sref, v, state, pkt);
+        }
+        TacStmt::Assign { dst, rhs } => {
+            let v = eval_rhs(rhs, pkt);
+            pkt.set(dst, v);
+        }
+    }
+}
+
+/// Evaluates a TAC operand against a packet.
+pub fn eval_operand(op: &Operand, pkt: &Packet) -> i32 {
+    match op {
+        Operand::Field(f) => pkt.get_or_zero(f),
+        Operand::Const(c) => *c,
+    }
+}
+
+/// Evaluates a TAC right-hand side against a packet.
+pub fn eval_rhs(rhs: &TacRhs, pkt: &Packet) -> i32 {
+    match rhs {
+        TacRhs::Copy(o) => eval_operand(o, pkt),
+        TacRhs::Unary(op, o) => op.eval(eval_operand(o, pkt)),
+        TacRhs::Binary(op, a, b) => op.eval(eval_operand(a, pkt), eval_operand(b, pkt)),
+        TacRhs::Ternary(c, a, b) => {
+            if eval_operand(c, pkt) != 0 {
+                eval_operand(a, pkt)
+            } else {
+                eval_operand(b, pkt)
+            }
+        }
+        TacRhs::Intrinsic { name, args, modulo } => {
+            let vals: Vec<i32> = args.iter().map(|a| eval_operand(a, pkt)).collect();
+            let raw = domino_ast::intrinsics::eval(name, &vals);
+            match modulo {
+                Some(m) => ast::BinOp::Mod.eval(raw, *m),
+                None => raw,
+            }
+        }
+    }
+}
+
+/// Reads through a state reference.
+pub fn read_state(sref: &StateRef, state: &StateStore, pkt: &Packet) -> i32 {
+    match sref {
+        StateRef::Scalar(n) => state.read_scalar(n),
+        StateRef::Array { name, index } => state.read_array(name, eval_operand(index, pkt)),
+    }
+}
+
+/// Writes through a state reference.
+pub fn write_state(sref: &StateRef, value: i32, state: &mut StateStore, pkt: &Packet) {
+    match sref {
+        StateRef::Scalar(n) => state.write_scalar(n, value),
+        StateRef::Array { name, index } => {
+            state.write_array(name, eval_operand(index, pkt), value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_ast::sema::parse_and_check;
+    use domino_ast::{BinOp, StateKind, StateVar};
+
+    const FLOWLET: &str = r#"
+#define NUM_FLOWLETS 8000
+#define THRESHOLD 5
+#define NUM_HOPS 10
+struct Packet { int sport; int dport; int new_hop; int arrival; int next_hop; int id; };
+int last_time[NUM_FLOWLETS] = {0};
+int saved_hop[NUM_FLOWLETS] = {0};
+void flowlet(struct Packet pkt) {
+  pkt.new_hop = hash3(pkt.sport, pkt.dport, pkt.arrival) % NUM_HOPS;
+  pkt.id = hash2(pkt.sport, pkt.dport) % NUM_FLOWLETS;
+  if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {
+    saved_hop[pkt.id] = pkt.new_hop;
+  }
+  last_time[pkt.id] = pkt.arrival;
+  pkt.next_hop = saved_hop[pkt.id];
+}
+"#;
+
+    #[test]
+    fn counter_increments_across_packets() {
+        let p = parse_and_check(
+            "struct P { int x; };\nint c = 0;\nvoid f(struct P pkt) { c = c + 1; pkt.x = c; }",
+        )
+        .unwrap();
+        let mut state = StateStore::from_decls(&p.state);
+        let trace = vec![Packet::new().with("x", 0); 3];
+        let out = run_ast(&p, &mut state, &trace);
+        assert_eq!(out[0].get("x"), Some(1));
+        assert_eq!(out[1].get("x"), Some(2));
+        assert_eq!(out[2].get("x"), Some(3));
+        assert_eq!(state.read_scalar("c"), 3);
+    }
+
+    #[test]
+    fn if_else_takes_correct_branch() {
+        let p = parse_and_check(
+            "struct P { int a; int r; };\n\
+             void f(struct P pkt) { if (pkt.a > 10) { pkt.r = 1; } else { pkt.r = 2; } }",
+        )
+        .unwrap();
+        let mut state = StateStore::from_decls(&p.state);
+        let out = run_ast(
+            &p,
+            &mut state,
+            &[Packet::new().with("a", 11), Packet::new().with("a", 10)],
+        );
+        assert_eq!(out[0].get("r"), Some(1));
+        assert_eq!(out[1].get("r"), Some(2));
+    }
+
+    #[test]
+    fn flowlet_same_burst_keeps_hop_new_flowlet_rehashes() {
+        let p = parse_and_check(FLOWLET).unwrap();
+        let mut state = StateStore::from_decls(&p.state);
+        // Two closely spaced packets of the same flow: same next_hop.
+        let mk = |arrival| {
+            Packet::new()
+                .with("sport", 42)
+                .with("dport", 80)
+                .with("arrival", arrival)
+                .with("new_hop", 0)
+                .with("next_hop", 0)
+                .with("id", 0)
+        };
+        let out = run_ast(&p, &mut state, &[mk(100), mk(102), mk(200)]);
+        // packet 2 arrives 2 ticks later (< THRESHOLD=5): same hop as pkt 1.
+        assert_eq!(out[0].get("next_hop"), out[1].get("next_hop"));
+        // packet 3 arrives 98 ticks later: flowlet expired, hop re-chosen
+        // with a different hash3(arrival) — overwhelmingly likely distinct.
+        assert_eq!(out[2].get("next_hop"), Some(
+            domino_ast::intrinsics::eval("hash3", &[42, 80, 200]) % 10
+        ));
+    }
+
+    #[test]
+    fn tac_interpreter_runs_flanked_counter() {
+        // pkt.tmp = c; c = pkt.tmp + 1  written as TAC:
+        let prog = TacProgram {
+            name: "count".into(),
+            declared_fields: vec!["x".into()],
+            state: vec![StateVar { name: "c".into(), kind: StateKind::Scalar, init: 0 }],
+            stmts: vec![
+                TacStmt::ReadState { dst: "tmp".into(), state: StateRef::Scalar("c".into()) },
+                TacStmt::Assign {
+                    dst: "tmp2".into(),
+                    rhs: TacRhs::Binary(
+                        BinOp::Add,
+                        Operand::Field("tmp".into()),
+                        Operand::Const(1),
+                    ),
+                },
+                TacStmt::WriteState {
+                    state: StateRef::Scalar("c".into()),
+                    src: Operand::Field("tmp2".into()),
+                },
+                TacStmt::Assign { dst: "x".into(), rhs: TacRhs::Copy(Operand::Field("tmp2".into())) },
+            ],
+        };
+        let mut state = StateStore::from_decls(&prog.state);
+        let out = run_tac(&prog, &mut state, &vec![Packet::new(); 4]);
+        assert_eq!(out[3].get("x"), Some(4));
+        assert_eq!(state.read_scalar("c"), 4);
+    }
+
+    #[test]
+    fn intrinsic_modulo_folding_matches_explicit_mod() {
+        let pkt = Packet::new().with("a", 17).with("b", 23);
+        let folded = TacRhs::Intrinsic {
+            name: "hash2".into(),
+            args: vec![Operand::Field("a".into()), Operand::Field("b".into())],
+            modulo: Some(100),
+        };
+        let raw = TacRhs::Intrinsic {
+            name: "hash2".into(),
+            args: vec![Operand::Field("a".into()), Operand::Field("b".into())],
+            modulo: None,
+        };
+        assert_eq!(eval_rhs(&folded, &pkt), eval_rhs(&raw, &pkt) % 100);
+    }
+
+    #[test]
+    fn ast_short_circuit_equivalence() {
+        // && evaluates both sides eagerly; with no side effects the result
+        // matches C's short-circuit semantics.
+        let p = parse_and_check(
+            "struct P { int a; int b; int r; };\n\
+             void f(struct P pkt) { pkt.r = pkt.a && pkt.b; }",
+        )
+        .unwrap();
+        let mut state = StateStore::from_decls(&p.state);
+        let out = run_ast(
+            &p,
+            &mut state,
+            &[
+                Packet::new().with("a", 0).with("b", 9),
+                Packet::new().with("a", 3).with("b", 9),
+                Packet::new().with("a", 3).with("b", 0),
+            ],
+        );
+        assert_eq!(out[0].get("r"), Some(0));
+        assert_eq!(out[1].get("r"), Some(1));
+        assert_eq!(out[2].get("r"), Some(0));
+    }
+}

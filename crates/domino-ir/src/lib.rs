@@ -1,0 +1,26 @@
+//! # domino-ir — shared intermediate representation and reference semantics
+//!
+//! This crate sits between the Domino front end ([`domino_ast`]) and the
+//! Banzai machine model: it defines
+//!
+//! * [`packet::Packet`] — parsed packets as named 32-bit fields,
+//! * [`state::StateStore`] — persistent switch state (registers/arrays),
+//! * [`tac`] — three-address code, the normalized form of a transaction,
+//! * [`codelet`] — codelets and the PVSM pipeline IR (§4.2),
+//! * [`interp`] — the sequential reference interpreters that define the
+//!   packet-transaction semantics every backend must preserve.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codelet;
+pub mod interp;
+pub mod packet;
+pub mod state;
+pub mod tac;
+
+pub use codelet::{Codelet, PvsmPipeline};
+pub use interp::{run_ast, run_tac, step_ast, step_tac};
+pub use packet::Packet;
+pub use state::{StateStore, StateValue};
+pub use tac::{Operand, StateRef, TacProgram, TacRhs, TacStmt};

@@ -1,0 +1,212 @@
+//! Persistent switch state: the registers and register arrays that a packet
+//! transaction creates and modifies, and that persist across packets.
+
+use domino_ast::{StateKind, StateVar};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The value of one state variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateValue {
+    /// A single register.
+    Scalar(i32),
+    /// A register array.
+    Array(Vec<i32>),
+}
+
+/// All state variables of a program.
+///
+/// Array indexing is defined for *any* i32 index by reducing it modulo the
+/// array size (`rem_euclid`), mirroring how a hardware address decoder uses
+/// only the low address bits. Domino programs normally produce in-range
+/// indices themselves (`hash2(...) % N`), so this is a safety net, not a
+/// semantic crutch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateStore {
+    vars: BTreeMap<String, StateValue>,
+}
+
+impl StateStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        StateStore::default()
+    }
+
+    /// Initializes the store from checked declarations: scalars start at
+    /// their initializer, arrays have every element set to it.
+    pub fn from_decls(decls: &[StateVar]) -> Self {
+        let mut vars = BTreeMap::new();
+        for d in decls {
+            let v = match d.kind {
+                StateKind::Scalar => StateValue::Scalar(d.init),
+                StateKind::Array { size } => StateValue::Array(vec![d.init; size as usize]),
+            };
+            vars.insert(d.name.clone(), v);
+        }
+        StateStore { vars }
+    }
+
+    /// Registers a scalar with an initial value (used by tests and by the
+    /// Banzai machine when installing atom-local state).
+    pub fn insert_scalar(&mut self, name: &str, init: i32) {
+        self.vars.insert(name.to_string(), StateValue::Scalar(init));
+    }
+
+    /// Registers an array.
+    pub fn insert_array(&mut self, name: &str, size: usize, init: i32) {
+        self.vars.insert(name.to_string(), StateValue::Array(vec![init; size]));
+    }
+
+    /// Reads a scalar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is missing or is an array — both indicate a
+    /// compiler/simulator bug (sema has already validated the program).
+    pub fn read_scalar(&self, name: &str) -> i32 {
+        match self.vars.get(name) {
+            Some(StateValue::Scalar(v)) => *v,
+            Some(StateValue::Array(_)) => {
+                panic!("internal error: `{name}` is an array, read as scalar")
+            }
+            None => panic!("internal error: unknown state variable `{name}`"),
+        }
+    }
+
+    /// Writes a scalar.
+    pub fn write_scalar(&mut self, name: &str, value: i32) {
+        match self.vars.get_mut(name) {
+            Some(StateValue::Scalar(v)) => *v = value,
+            Some(StateValue::Array(_)) => {
+                panic!("internal error: `{name}` is an array, written as scalar")
+            }
+            None => panic!("internal error: unknown state variable `{name}`"),
+        }
+    }
+
+    /// Reads an array element (index reduced modulo the size).
+    pub fn read_array(&self, name: &str, index: i32) -> i32 {
+        match self.vars.get(name) {
+            Some(StateValue::Array(v)) => v[Self::wrap(index, v.len())],
+            Some(StateValue::Scalar(_)) => {
+                panic!("internal error: `{name}` is a scalar, read as array")
+            }
+            None => panic!("internal error: unknown state variable `{name}`"),
+        }
+    }
+
+    /// Writes an array element (index reduced modulo the size).
+    pub fn write_array(&mut self, name: &str, index: i32, value: i32) {
+        match self.vars.get_mut(name) {
+            Some(StateValue::Array(v)) => {
+                let n = v.len();
+                v[Self::wrap(index, n)] = value;
+            }
+            Some(StateValue::Scalar(_)) => {
+                panic!("internal error: `{name}` is a scalar, written as array")
+            }
+            None => panic!("internal error: unknown state variable `{name}`"),
+        }
+    }
+
+    fn wrap(index: i32, len: usize) -> usize {
+        (index as i64).rem_euclid(len as i64) as usize
+    }
+
+    /// Direct access to a variable's value (for inspection in tests and
+    /// example binaries).
+    pub fn get(&self, name: &str) -> Option<&StateValue> {
+        self.vars.get(name)
+    }
+
+    /// Iterates `(name, value)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &StateValue)> {
+        self.vars.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of state variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True if no state is registered.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+}
+
+impl fmt::Display for StateStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.iter() {
+            match value {
+                StateValue::Scalar(v) => writeln!(f, "{name} = {v}")?,
+                StateValue::Array(v) => {
+                    let preview: Vec<String> = v.iter().take(8).map(|x| x.to_string()).collect();
+                    let ell = if v.len() > 8 { ", ..." } else { "" };
+                    writeln!(f, "{name}[{}] = [{}{}]", v.len(), preview.join(", "), ell)?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decls() -> Vec<StateVar> {
+        vec![
+            StateVar { name: "c".into(), kind: StateKind::Scalar, init: 7 },
+            StateVar { name: "arr".into(), kind: StateKind::Array { size: 4 }, init: -1 },
+        ]
+    }
+
+    #[test]
+    fn initializes_from_decls() {
+        let s = StateStore::from_decls(&decls());
+        assert_eq!(s.read_scalar("c"), 7);
+        for i in 0..4 {
+            assert_eq!(s.read_array("arr", i), -1);
+        }
+    }
+
+    #[test]
+    fn scalar_write_read() {
+        let mut s = StateStore::from_decls(&decls());
+        s.write_scalar("c", 42);
+        assert_eq!(s.read_scalar("c"), 42);
+    }
+
+    #[test]
+    fn array_write_read() {
+        let mut s = StateStore::from_decls(&decls());
+        s.write_array("arr", 2, 99);
+        assert_eq!(s.read_array("arr", 2), 99);
+        assert_eq!(s.read_array("arr", 1), -1);
+    }
+
+    #[test]
+    fn index_wraps_like_an_address_decoder() {
+        let mut s = StateStore::from_decls(&decls());
+        s.write_array("arr", 6, 5); // 6 % 4 == 2
+        assert_eq!(s.read_array("arr", 2), 5);
+        s.write_array("arr", -1, 8); // -1 rem_euclid 4 == 3
+        assert_eq!(s.read_array("arr", 3), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "read as scalar")]
+    fn kind_confusion_panics() {
+        let s = StateStore::from_decls(&decls());
+        s.read_scalar("arr");
+    }
+
+    #[test]
+    fn display_previews_arrays() {
+        let s = StateStore::from_decls(&decls());
+        let text = s.to_string();
+        assert!(text.contains("c = 7"), "{text}");
+        assert!(text.contains("arr[4]"), "{text}");
+    }
+}

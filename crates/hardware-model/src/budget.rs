@@ -1,0 +1,140 @@
+//! Chip-level resource budgeting (§5.2 "Resource limits").
+//!
+//! Reproduces the paper's arithmetic for deriving the targets' per-stage
+//! atom counts and total area overhead from the per-atom areas:
+//!
+//! * 200 mm² switching chip (the smallest in Gibb et al.),
+//! * 7% acceptable overhead for stateless atoms (RMT's action-unit
+//!   budget) → ~10,000 stateless atoms → ~300/stage over 32 stages,
+//! * stateful atoms limited to ~10/stage by memory-bank ports, costing
+//!   ~1% area,
+//! * crossbars scaled from RMT's 6 mm² for 224 action units → ~8 mm²
+//!   (~4%),
+//! * total: ~12% overhead.
+
+use crate::circuits::{stateful_circuit, stateless_circuit};
+use banzai::AtomKind;
+
+/// Chip area assumed throughout §5.2, in µm² (200 mm²).
+pub const CHIP_AREA_UM2: f64 = 200.0e6;
+
+/// Pipeline stages (as in RMT).
+pub const STAGES: usize = 32;
+
+/// Acceptable stateless-atom area overhead (fraction of chip area).
+pub const STATELESS_OVERHEAD_BUDGET: f64 = 0.07;
+
+/// Stateful atoms per stage after the memory-bank argument.
+pub const STATEFUL_PER_STAGE: usize = 10;
+
+/// RMT's crossbar: 6 mm² for a 32-stage pipeline with 224 action units.
+const RMT_CROSSBAR_UM2: f64 = 6.0e6;
+const RMT_ACTION_UNITS: f64 = 224.0;
+
+/// The §5.2 budget for one concrete target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Budget {
+    /// Stateless atoms affordable chip-wide within the 7% budget.
+    pub stateless_total: usize,
+    /// Stateless atoms per stage.
+    pub stateless_per_stage: usize,
+    /// Stateful atoms per stage.
+    pub stateful_per_stage: usize,
+    /// Area fraction consumed by stateless atoms.
+    pub stateless_overhead: f64,
+    /// Area fraction consumed by stateful atoms.
+    pub stateful_overhead: f64,
+    /// Area fraction consumed by the operand/result crossbars.
+    pub crossbar_overhead: f64,
+}
+
+impl Budget {
+    /// Total area overhead fraction.
+    pub fn total_overhead(&self) -> f64 {
+        self.stateless_overhead + self.stateful_overhead + self.crossbar_overhead
+    }
+}
+
+/// Computes the §5.2 budget for a target built around `kind`.
+pub fn compute(kind: AtomKind) -> Budget {
+    let stateless_area = stateless_circuit().area();
+    let stateless_total =
+        (CHIP_AREA_UM2 * STATELESS_OVERHEAD_BUDGET / stateless_area) as usize;
+    let stateless_per_stage = stateless_total / STAGES;
+
+    let stateful_area = stateful_circuit(kind).area();
+    let stateful_total = STATEFUL_PER_STAGE * STAGES;
+    let stateful_overhead = stateful_area * stateful_total as f64 / CHIP_AREA_UM2;
+
+    // Crossbar scales with total atom count relative to RMT's 224 action
+    // units at 6 mm².
+    let atoms_per_stage = stateless_per_stage + STATEFUL_PER_STAGE;
+    let crossbar = RMT_CROSSBAR_UM2 * (atoms_per_stage as f64 / RMT_ACTION_UNITS);
+    let crossbar_overhead = crossbar / CHIP_AREA_UM2;
+
+    Budget {
+        stateless_total,
+        stateless_per_stage,
+        stateful_per_stage: STATEFUL_PER_STAGE,
+        stateless_overhead: stateless_total as f64 * stateless_area / CHIP_AREA_UM2,
+        stateful_overhead,
+        crossbar_overhead,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stateless_count_is_about_ten_thousand() {
+        let b = compute(AtomKind::Pairs);
+        assert!(
+            (8_000..=12_000).contains(&b.stateless_total),
+            "{}",
+            b.stateless_total
+        );
+        // ~300 per stage (the paper's figure).
+        assert!(
+            (250..=380).contains(&b.stateless_per_stage),
+            "{}",
+            b.stateless_per_stage
+        );
+    }
+
+    #[test]
+    fn stateful_overhead_is_about_one_percent() {
+        let b = compute(AtomKind::Pairs);
+        assert!(b.stateful_overhead < 0.02, "{}", b.stateful_overhead);
+    }
+
+    #[test]
+    fn crossbar_overhead_is_about_four_percent() {
+        let b = compute(AtomKind::Pairs);
+        assert!(
+            b.crossbar_overhead > 0.02 && b.crossbar_overhead < 0.06,
+            "{}",
+            b.crossbar_overhead
+        );
+    }
+
+    #[test]
+    fn total_overhead_under_fifteen_percent() {
+        // The paper's headline: < 15% estimated chip area overhead.
+        for kind in AtomKind::ALL {
+            let b = compute(kind);
+            assert!(
+                b.total_overhead() < 0.15,
+                "{kind:?}: {:.1}%",
+                b.total_overhead() * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn cheaper_atoms_cost_less_stateful_area() {
+        let write = compute(AtomKind::Write);
+        let pairs = compute(AtomKind::Pairs);
+        assert!(write.stateful_overhead < pairs.stateful_overhead);
+    }
+}

@@ -1,0 +1,292 @@
+//! Structural circuits for every atom template.
+//!
+//! Each [`banzai::AtomKind`] (plus the stateless atom) is realized as a
+//! concrete datapath: a bill of materials and a critical path, in the
+//! style of the paper's Table 6 diagrams (operand muxes feeding a
+//! relational unit whose output selects among ALU results). Area is the
+//! component sum; minimum delay is the critical-path sum; the maximum
+//! sustainable line rate is the reciprocal of the delay (§5.4).
+
+use crate::components::Component;
+use banzai::AtomKind;
+use std::collections::BTreeMap;
+
+/// A synthesized circuit: bill of materials + critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    /// Human-readable circuit name.
+    pub name: String,
+    /// Component counts.
+    pub parts: BTreeMap<Component, usize>,
+    /// The longest combinational path, ending at the state register.
+    pub critical_path: Vec<Component>,
+}
+
+impl Circuit {
+    fn new(name: &str, parts: &[(Component, usize)], critical_path: &[Component]) -> Circuit {
+        Circuit {
+            name: name.to_string(),
+            parts: parts.iter().copied().collect(),
+            critical_path: critical_path.to_vec(),
+        }
+    }
+
+    /// Total area in µm².
+    pub fn area(&self) -> f64 {
+        self.parts.iter().map(|(c, n)| c.area() * *n as f64).sum()
+    }
+
+    /// Minimum delay (critical path) in picoseconds.
+    pub fn min_delay_ps(&self) -> f64 {
+        self.critical_path.iter().map(|c| c.delay()).sum()
+    }
+
+    /// Maximum line rate in billion packets per second (= GHz of the
+    /// stage clock): `1000 / delay_ps`.
+    pub fn max_line_rate_gpps(&self) -> f64 {
+        1000.0 / self.min_delay_ps()
+    }
+
+    /// Depth of the combinational logic (number of components on the
+    /// critical path, excluding the register).
+    pub fn logic_depth(&self) -> usize {
+        self.critical_path
+            .iter()
+            .filter(|c| !matches!(c, Component::Register))
+            .count()
+    }
+}
+
+/// Builds the circuit for a stateful atom kind.
+///
+/// The structures follow Table 6: every atom ends in the state register;
+/// predicated atoms put operand muxes and a relational unit in front of
+/// the result mux tree; each extra predication level adds a relational
+/// unit and a mux level; Pairs doubles the datapath and widens the guard
+/// operand muxes.
+pub fn stateful_circuit(kind: AtomKind) -> Circuit {
+    use Component::*;
+    match kind {
+        AtomKind::Write => Circuit::new(
+            "Read/Write",
+            &[(Mux2, 2), (Register, 1), (ConstReg, 1)],
+            &[Mux2, Register],
+        ),
+        AtomKind::Raw => Circuit::new(
+            "ReadAddWrite (RAW)",
+            &[(Mux2, 2), (Adder, 1), (Register, 1), (ConstReg, 1)],
+            &[Mux2, Adder, Mux2, Register],
+        ),
+        AtomKind::Praw => Circuit::new(
+            "Predicated ReadAddWrite (PRAW)",
+            &[
+                (Mux3, 2),
+                (Mux2, 3),
+                (RelOp, 1),
+                (Adder, 1),
+                (Register, 1),
+                (ConstReg, 2),
+            ],
+            // Operand mux → relational unit decides → result mux → write
+            // mux → register (the adder runs in parallel with the relop;
+            // the relop is slower, so it dominates).
+            &[Mux3, RelOp, Mux2, Mux2, Register],
+        ),
+        AtomKind::IfElseRaw => Circuit::new(
+            "IfElse ReadAddWrite (IfElseRAW)",
+            &[
+                (Mux3, 2),
+                (Mux2, 4),
+                (RelOp, 1),
+                (Adder, 2),
+                (Register, 1),
+                (ConstReg, 2),
+            ],
+            &[Mux3, RelOp, Mux2, Mux2, Register],
+        ),
+        AtomKind::Sub => Circuit::new(
+            "Subtract (Sub)",
+            &[
+                (Mux3, 2),
+                (Mux2, 5),
+                (RelOp, 1),
+                (Adder, 2),
+                (Subtractor, 2),
+                (Register, 1),
+                (ConstReg, 2),
+            ],
+            // The subtractor path overtakes the relop path.
+            &[Mux3, Subtractor, Mux2, Mux2, Mux2, Register],
+        ),
+        AtomKind::Nested => Circuit::new(
+            "Nested Ifs (Nested)",
+            &[
+                (Mux3, 6),
+                (Mux2, 10),
+                (RelOp, 3),
+                (Adder, 4),
+                (Subtractor, 4),
+                (Register, 1),
+                (ConstReg, 4),
+            ],
+            // Two cascaded predication levels: relop → relop → mux tree.
+            &[Mux3, RelOp, RelOp, Mux2, Mux2, Mux2, Register],
+        ),
+        AtomKind::Pairs => Circuit::new(
+            "Paired updates (Pairs)",
+            &[
+                (Mux3, 12),
+                (Mux2, 16),
+                (RelOp, 6),
+                (Adder, 6),
+                (Subtractor, 6),
+                (Register, 2),
+                (ConstReg, 8),
+            ],
+            // Like Nested but the guard operand muxes select between two
+            // state variables as well (wider mux level first).
+            &[Mux3, Mux2, RelOp, RelOp, Mux2, Mux2, Mux2, Register],
+        ),
+    }
+}
+
+/// The single stateless atom of §5.2: arithmetic (add, subtract, shifts),
+/// logic (and/or/xor), relational, and conditional operations over two
+/// mux-selected packet/constant operands.
+pub fn stateless_circuit() -> Circuit {
+    use Component::*;
+    Circuit::new(
+        "Stateless",
+        &[
+            (Mux3, 2),
+            (Mux2, 7),
+            (Adder, 1),
+            (Subtractor, 1),
+            (Shifter, 1),
+            (Logic, 3),
+            (RelOp, 1),
+            (ConstReg, 2),
+        ],
+        // Operand mux → slowest unit (relop) → result mux tree.
+        &[Mux3, RelOp, Mux2, Mux2, Mux2],
+    )
+}
+
+/// The paper's published Table 3 areas (µm²) for comparison.
+pub fn paper_area(kind: AtomKind) -> f64 {
+    match kind {
+        AtomKind::Write => 250.0,
+        AtomKind::Raw => 431.0,
+        AtomKind::Praw => 791.0,
+        AtomKind::IfElseRaw => 985.0,
+        AtomKind::Sub => 1522.0,
+        AtomKind::Nested => 3597.0,
+        AtomKind::Pairs => 5997.0,
+    }
+}
+
+/// The paper's published stateless-atom area (µm²).
+pub const PAPER_STATELESS_AREA: f64 = 1384.0;
+
+/// The paper's published Table 5 minimum delays (ps).
+pub fn paper_delay(kind: AtomKind) -> f64 {
+    match kind {
+        AtomKind::Write => 176.0,
+        AtomKind::Raw => 316.0,
+        AtomKind::Praw => 393.0,
+        AtomKind::IfElseRaw => 392.0,
+        AtomKind::Sub => 409.0,
+        AtomKind::Nested => 580.0,
+        AtomKind::Pairs => 609.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The calibrated model must land within this relative tolerance of
+    /// every published figure.
+    const TOLERANCE: f64 = 0.15;
+
+    fn rel_err(got: f64, want: f64) -> f64 {
+        (got - want).abs() / want
+    }
+
+    #[test]
+    fn areas_match_table3_within_tolerance() {
+        for kind in AtomKind::ALL {
+            let got = stateful_circuit(kind).area();
+            let want = paper_area(kind);
+            assert!(
+                rel_err(got, want) < TOLERANCE,
+                "{kind:?}: area {got:.0} vs paper {want:.0}"
+            );
+        }
+        let got = stateless_circuit().area();
+        assert!(
+            rel_err(got, PAPER_STATELESS_AREA) < TOLERANCE,
+            "stateless: area {got:.0} vs paper {PAPER_STATELESS_AREA:.0}"
+        );
+    }
+
+    #[test]
+    fn delays_match_table5_within_tolerance() {
+        for kind in AtomKind::ALL {
+            let got = stateful_circuit(kind).min_delay_ps();
+            let want = paper_delay(kind);
+            assert!(
+                rel_err(got, want) < TOLERANCE,
+                "{kind:?}: delay {got:.0} vs paper {want:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn area_grows_with_expressiveness() {
+        // Table 3's central observation: more expressive atoms cost more
+        // silicon.
+        let areas: Vec<f64> =
+            AtomKind::ALL.iter().map(|k| stateful_circuit(*k).area()).collect();
+        for w in areas.windows(2) {
+            assert!(w[1] > w[0], "{areas:?}");
+        }
+    }
+
+    #[test]
+    fn delay_grows_with_expressiveness() {
+        // Table 5/6's observation, monotonic in our model (the paper's
+        // PRAW/IfElseRAW inversion is synthesis-tool noise, §5.4 footnote).
+        let delays: Vec<f64> =
+            AtomKind::ALL.iter().map(|k| stateful_circuit(*k).min_delay_ps()).collect();
+        for w in delays.windows(2) {
+            assert!(w[1] >= w[0], "{delays:?}");
+        }
+    }
+
+    #[test]
+    fn line_rate_is_reciprocal_of_delay() {
+        let c = stateful_circuit(AtomKind::Write);
+        let rate = c.max_line_rate_gpps();
+        assert!((rate - 1000.0 / c.min_delay_ps()).abs() < 1e-9);
+        // Paper: Write sustains 5.68 B pkts/s at 176 ps.
+        assert!(rate > 4.5 && rate < 6.5, "{rate}");
+    }
+
+    #[test]
+    fn circuit_depth_increases_with_predication() {
+        let w = stateful_circuit(AtomKind::Write).logic_depth();
+        let p = stateful_circuit(AtomKind::Praw).logic_depth();
+        let n = stateful_circuit(AtomKind::Nested).logic_depth();
+        assert!(w < p && p < n, "{w} {p} {n}");
+    }
+
+    #[test]
+    fn all_atoms_meet_timing_at_1ghz() {
+        // Table 3: "All atoms meet timing at 1 GHz", i.e. delay < 1000 ps.
+        for kind in AtomKind::ALL {
+            assert!(stateful_circuit(kind).min_delay_ps() < 1000.0, "{kind:?}");
+        }
+        assert!(stateless_circuit().min_delay_ps() < 1000.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hardware-model — area and timing estimation for Banzai atoms
+//!
+//! Substitute for the paper's Synopsys Design Compiler flow (§5.2): every
+//! atom template is realized as a structural circuit
+//! ([`circuits::stateful_circuit`], [`circuits::stateless_circuit`]) over
+//! a 32 nm-calibrated component library ([`components::Component`]),
+//! yielding area (Table 3), minimum delay and maximum line rate
+//! (Tables 5/6), and the chip-level resource budget of §5.2
+//! ([`budget::compute`]).
+//!
+//! Calibration: per-component costs are fitted so the computed figures
+//! land within 15% of every published number (asserted by tests); the
+//! *shape* — monotone growth of area and delay with atom expressiveness,
+//! line rate as the reciprocal of delay, <15% total chip overhead — falls
+//! out of the circuit structures themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod circuits;
+pub mod components;
+pub mod rtl;
+
+pub use budget::{compute as compute_budget, Budget};
+pub use circuits::{
+    paper_area, paper_delay, stateful_circuit, stateless_circuit, Circuit,
+    PAPER_STATELESS_AREA,
+};
+pub use components::Component;
+pub use rtl::emit_verilog;

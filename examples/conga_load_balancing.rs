@@ -1,0 +1,58 @@
+//! CONGA's leaf-to-leaf best-path tracking — the paper's flagship example
+//! for the Pairs atom (§5.3): two state variables whose updates are
+//! mutually conditioned must live in ONE atom, or transactionality breaks.
+//!
+//! Run with: `cargo run --example conga_load_balancing`
+
+use domino::prelude::*;
+
+fn main() {
+    let algo = algorithms::by_name("conga").unwrap();
+
+    // Pairs is the *least* expressive atom that runs CONGA: every weaker
+    // target rejects it.
+    for kind in AtomKind::ALL {
+        let result = domino::compile(algo.source, &Target::banzai(kind));
+        println!(
+            "target banzai-{:<11} {}",
+            kind.short_name(),
+            if result.is_ok() { "OK" } else { "rejected" }
+        );
+    }
+
+    let pipeline = domino::compile(algo.source, &Target::banzai(AtomKind::Pairs)).unwrap();
+    let mut machine = Machine::new(pipeline);
+
+    // Feedback packets from source leaf 3: path utilizations drift; the
+    // switch must always remember the best (least utilized) path.
+    println!("\nfeedback stream for source leaf 3:");
+    let feedback = [
+        (7, 500), // path 7 at 50% utilization — becomes best
+        (2, 300), // path 2 better — takes over
+        (2, 900), // the best path degrades IN PLACE (the second branch:
+                  // same path id, so its utilization is refreshed upward)
+        (5, 400), // path 5 now beats the degraded 900
+    ];
+    for (path, util) in feedback {
+        machine.process(
+            Packet::new().with("src", 3).with("path_id", path).with("util", util),
+        );
+        let best = match machine.state().get("best_path").unwrap() {
+            domino::domino_ir::StateValue::Array(v) => v[3],
+            _ => unreachable!(),
+        };
+        let best_util = match machine.state().get("best_path_util").unwrap() {
+            domino::domino_ir::StateValue::Array(v) => v[3],
+            _ => unreachable!(),
+        };
+        println!("  feedback(path={path}, util={util:>3}) -> best path {best} @ {best_util}");
+    }
+
+    // Final state: path 5 at utilization 400.
+    let best = match machine.state().get("best_path").unwrap() {
+        domino::domino_ir::StateValue::Array(v) => v[3],
+        _ => unreachable!(),
+    };
+    assert_eq!(best, 5);
+    println!("\nbest path for leaf 3: {best} (updates to the pair were atomic)");
+}

@@ -1,0 +1,74 @@
+//! The hardware designer's view: take stateful codelets, synthesize atom
+//! configurations for them (the SKETCH-style search of §4.3), and price
+//! the resulting atoms in silicon (Tables 3/5/6).
+//!
+//! Run with: `cargo run --example design_your_own_atom`
+
+use domino::atom_synth;
+use domino::banzai::AtomKind;
+use domino::hardware_model::{stateful_circuit, paper_area};
+
+fn main() {
+    // Candidate per-packet state updates a switch architect might need.
+    let candidates = [
+        ("packet counter", "x = x + 1;"),
+        ("byte counter", "x = x + pkt.len;"),
+        ("wraparound counter (the paper's Sec 2.3 example)",
+         "if (x < 99) { x = x + 1; } else { x = 0; }"),
+        ("conditional accumulator (RCP-style)",
+         "if (pkt.rtt < 30) { x = x + pkt.rtt; }"),
+        ("token bucket drain", "if (pkt.tokens > x) { x = 0; } else { x = x - pkt.tokens; }"),
+        ("EWMA-ish halving", "x = x + (pkt.sample >> 1);"),
+        ("square (unmappable, Sec 4.3)", "x = pkt.zz * x;"),
+    ];
+
+    println!("codelet -> minimal atom -> silicon cost (32 nm)\n");
+    for (what, body) in candidates {
+        // Wrap the update in a transaction and push it through the
+        // compiler front end to get a codelet.
+        let src = format!(
+            "struct Packet {{ int len; int rtt; int tokens; int sample; int zz; }}\n\
+             ;\nint x = 0;\nvoid probe(struct Packet pkt) {{ {body} }}"
+        );
+        let compilation = domino::domino_compiler::normalize(&src).expect("valid Domino");
+        let codelet = compilation
+            .pvsm
+            .iter_codelets()
+            .map(|(_, c)| c)
+            .find(|c| !c.is_stateless())
+            .expect("one stateful codelet")
+            .clone();
+
+        match atom_synth::synthesize(&codelet) {
+            Ok(synth) => {
+                let circuit = stateful_circuit(synth.minimal_kind);
+                println!("{what}:");
+                println!("    atom: {}", synth.minimal_kind);
+                println!(
+                    "    cost: {:.0} um^2 (paper: {:.0}), {:.0} ps -> {:.2} Gpkt/s max",
+                    circuit.area(),
+                    paper_area(synth.minimal_kind),
+                    circuit.min_delay_ps(),
+                    circuit.max_line_rate_gpps()
+                );
+            }
+            Err(e) => {
+                println!("{what}:");
+                println!("    REJECTED: {e}");
+            }
+        }
+        println!();
+    }
+
+    // The ladder in one view.
+    println!("the containment hierarchy (Table 3):");
+    for kind in AtomKind::ALL {
+        let c = stateful_circuit(kind);
+        println!(
+            "  {:<34} {:>5.0} um^2  {:>4.0} ps",
+            kind.to_string(),
+            c.area(),
+            c.min_delay_ps()
+        );
+    }
+}

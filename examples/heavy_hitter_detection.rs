@@ -1,0 +1,58 @@
+//! Heavy-hitter detection with a count-min sketch running on the Banzai
+//! machine: replay a skewed (elephants-and-mice) trace and compare the
+//! flows the sketch flags against ground truth.
+//!
+//! Run with: `cargo run --example heavy_hitter_detection`
+
+use domino::prelude::*;
+use std::collections::BTreeMap;
+
+fn main() {
+    let algo = algorithms::by_name("heavy_hitters").unwrap();
+    let pipeline = domino::compile(algo.source, &Target::banzai(AtomKind::Raw))
+        .expect("CMS increments need exactly the RAW atom (Table 4)");
+    let mut machine = Machine::new(pipeline);
+
+    let trace = algo.trace(30_000, 99);
+    let outs = machine.run_trace(&trace);
+
+    // Ground truth packet counts per flow.
+    let mut truth: BTreeMap<(i32, i32), i32> = BTreeMap::new();
+    for p in &trace {
+        *truth.entry((p.get("sport").unwrap(), p.get("dport").unwrap())).or_insert(0) += 1;
+    }
+
+    // Flows flagged by the data plane (estimate > threshold at any point).
+    let mut flagged: BTreeMap<(i32, i32), i32> = BTreeMap::new();
+    for (inp, out) in trace.iter().zip(&outs) {
+        if out.get("is_heavy") == Some(1) {
+            let key = (inp.get("sport").unwrap(), inp.get("dport").unwrap());
+            let est = out.get("estimate").unwrap();
+            flagged.entry(key).and_modify(|e| *e = (*e).max(est)).or_insert(est);
+        }
+    }
+
+    println!("flows flagged heavy (sketch estimate vs true count):");
+    let mut missed_heavy = 0;
+    for (flow, est) in &flagged {
+        println!(
+            "  {:?}  estimate {est:>6}  true {:>6}",
+            flow,
+            truth.get(flow).copied().unwrap_or(0)
+        );
+        // Count-min never underestimates.
+        assert!(*est >= truth[flow] - 1, "CMS underestimated {flow:?}");
+    }
+    for (flow, n) in &truth {
+        if *n > 200 && !flagged.contains_key(flow) {
+            missed_heavy += 1;
+            println!("  MISSED heavy flow {flow:?} with {n} packets");
+        }
+    }
+    println!(
+        "\n{} flows flagged, {} heavy flows missed (elephants always exceed the threshold)",
+        flagged.len(),
+        missed_heavy
+    );
+    assert_eq!(missed_heavy, 0);
+}

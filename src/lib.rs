@@ -1,0 +1,3 @@
+//! Root integration-test/example package for the packet-transactions
+//! workspace. The real functionality lives in the `crates/` members; this
+//! crate only hosts `tests/` and `examples/` that span them.

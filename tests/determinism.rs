@@ -1,0 +1,55 @@
+//! Determinism guarantees: compilation and simulation are pure functions
+//! of their inputs. Switch operators reprovision pipelines from source;
+//! two builds of the same program must behave identically.
+
+use banzai::{AtomKind, Machine, Target};
+
+#[test]
+fn compilation_is_deterministic_for_every_algorithm() {
+    for algo in algorithms::TABLE4.iter() {
+        let Some(kind) = algo.paper.least_atom else { continue };
+        let target = Target::banzai(kind);
+        let a = domino_compiler::compile(algo.source, &target).unwrap();
+        let b = domino_compiler::compile(algo.source, &target).unwrap();
+        assert_eq!(a, b, "{}: non-deterministic compilation", algo.name);
+    }
+}
+
+#[test]
+fn rejection_reasons_are_deterministic() {
+    let algo = algorithms::by_name("codel").unwrap();
+    let target = Target::banzai(AtomKind::Pairs);
+    let a = domino_compiler::compile(algo.source, &target).unwrap_err();
+    let b = domino_compiler::compile(algo.source, &target).unwrap_err();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn simulation_replay_is_bit_identical() {
+    let algo = algorithms::by_name("heavy_hitters").unwrap();
+    let pipeline =
+        domino_compiler::compile(algo.source, &Target::banzai(AtomKind::Raw)).unwrap();
+    let trace = algo.trace(500, 1234);
+    let mut m1 = Machine::new(pipeline.clone());
+    let mut m2 = Machine::new(pipeline);
+    assert_eq!(m1.run_trace(&trace), m2.run_trace(&trace));
+    assert_eq!(m1.state(), m2.state());
+}
+
+#[test]
+fn synthesized_configs_are_stable_across_runs() {
+    // The synthesizer (including its seeded verification RNG) must hand
+    // back the same configuration every time.
+    let compilation =
+        domino_compiler::normalize(algorithms::by_name("conga").unwrap().source).unwrap();
+    let codelet = compilation
+        .pvsm
+        .iter_codelets()
+        .map(|(_, c)| c)
+        .find(|c| !c.is_stateless())
+        .unwrap();
+    let a = atom_synth::synthesize(codelet).unwrap();
+    let b = atom_synth::synthesize(codelet).unwrap();
+    assert_eq!(a.config, b.config);
+    assert_eq!(a.minimal_kind, b.minimal_kind);
+}

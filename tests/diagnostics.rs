@@ -1,0 +1,130 @@
+//! Diagnostic quality end to end: every class of user error, pushed
+//! through the full `compile` entry point, must fail at the right stage
+//! with a message a Domino programmer can act on. The all-or-nothing
+//! model is only usable if rejections explain themselves.
+
+use banzai::{AtomKind, Target};
+use domino_ast::Stage;
+
+fn compile_err(src: &str) -> domino_ast::Diagnostic {
+    domino_compiler::compile(src, &Target::banzai(AtomKind::Pairs))
+        .expect_err("program must be rejected")
+}
+
+#[test]
+fn loops_are_rejected_with_line_rate_rationale() {
+    let e = compile_err(
+        "struct P { int a; };\nvoid f(struct P pkt) { while (pkt.a) { pkt.a = 0; } }",
+    );
+    assert_eq!(e.stage, Stage::Parse);
+    assert!(e.message.contains("line rate"), "{e}");
+    assert!(e.message.contains("Table 1"), "{e}");
+}
+
+#[test]
+fn pointer_rejection_names_the_restriction() {
+    let e = compile_err("struct P { int a; };\nint *p;\nvoid f(struct P pkt) { }");
+    assert!(e.message.contains("pointers are not allowed"), "{e}");
+}
+
+#[test]
+fn unknown_field_lists_available_fields() {
+    let e = compile_err(
+        "struct P { int sport; int dport; };\nvoid f(struct P pkt) { pkt.sprot = 1; }",
+    );
+    assert_eq!(e.stage, Stage::Sema);
+    assert!(e.message.contains("no field `sprot`"), "{e}");
+    assert!(e.message.contains("sport, dport"), "{e}");
+}
+
+#[test]
+fn conflicting_array_indices_explain_the_memory_constraint() {
+    let e = compile_err(
+        "struct P { int a; int b; int r; };\nint t[8] = {0};\n\
+         void f(struct P pkt) { t[pkt.a] = 1; pkt.r = t[pkt.b]; }",
+    );
+    assert!(e.message.contains("two different index"), "{e}");
+    assert!(e.message.contains("one address per clock cycle"), "{e}");
+}
+
+#[test]
+fn multiplication_rejection_suggests_alternatives() {
+    let e = compile_err(
+        "struct P { int a; int b; int r; };\n\
+         void f(struct P pkt) { pkt.r = pkt.a * pkt.b; }",
+    );
+    assert_eq!(e.stage, Stage::CodeGen);
+    assert!(e.message.contains("not a line-rate operation"), "{e}");
+    assert!(e.message.contains("shifts"), "{e}");
+}
+
+#[test]
+fn atom_mismatch_names_both_kinds_and_shows_the_codelet() {
+    let src = "struct P { int x; };\nint c = 0;\n\
+               void f(struct P pkt) { if (pkt.x > 0) { c = c + 1; } }";
+    let e = domino_compiler::compile(src, &Target::banzai(AtomKind::Raw)).unwrap_err();
+    assert_eq!(e.stage, Stage::CodeGen);
+    // Which atom is needed, which the target has, and the offending code.
+    assert!(e.message.contains("PRAW"), "{e}");
+    assert!(e.message.contains("RAW"), "{e}");
+    assert!(e.message.contains("c = "), "{e}");
+    // And the same program is accepted one rung up.
+    assert!(domino_compiler::compile(src, &Target::banzai(AtomKind::Praw)).is_ok());
+}
+
+#[test]
+fn missing_intrinsic_unit_names_the_target() {
+    let e = compile_err(
+        "struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = isqrt(pkt.a); }",
+    );
+    assert!(e.message.contains("isqrt"), "{e}");
+    assert!(e.message.contains("banzai-pairs"), "{e}");
+}
+
+#[test]
+fn depth_exhaustion_reports_both_numbers() {
+    // A 40-deep dependency chain cannot fit 32 stages.
+    let mut body = String::from("pkt.t0 = pkt.a + 1;\n");
+    for i in 1..40 {
+        body.push_str(&format!("pkt.t{i} = pkt.t{} + 1;\n", i - 1));
+    }
+    let fields: String = (0..40).map(|i| format!("int t{i};")).collect();
+    let src = format!("struct P {{ int a; {fields} }};\nvoid f(struct P pkt) {{ {body} }}");
+    let e = compile_err(&src);
+    assert!(e.message.contains("40 pipeline stages"), "{e}");
+    assert!(e.message.contains("only 32"), "{e}");
+}
+
+#[test]
+fn local_declarations_point_to_packet_temporaries() {
+    let e = compile_err(
+        "struct P { int a; };\nvoid f(struct P pkt) { int tmp = pkt.a; }",
+    );
+    assert!(e.message.contains("packet field as a temporary"), "{e}");
+}
+
+#[test]
+fn spans_locate_the_error() {
+    let e = compile_err(
+        "struct P { int a; };\nvoid f(struct P pkt) {\n  pkt.bogus = 1;\n}",
+    );
+    let rendered = e.to_string();
+    // Line 3, where pkt.bogus sits.
+    assert!(rendered.contains("3:"), "{rendered}");
+}
+
+#[test]
+fn stage_prefix_tells_users_which_phase_rejected() {
+    for (src, needle) in [
+        ("@", "error[lex]"),
+        ("struct P { int a; };", "error[parse]"),
+        ("struct P { int a; };\nvoid f(struct P pkt) { pkt.b = 1; }", "error[semantic analysis]"),
+        (
+            "struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = pkt.a / 3; }",
+            "error[code generation]",
+        ),
+    ] {
+        let e = compile_err(src);
+        assert!(e.to_string().starts_with(needle), "{src}: {e}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Golden tests for the compiler-pass figures (E5–E7): each normalization
+//! pass applied to the paper's running example (flowlet switching,
+//! Figure 3a) must produce the artifact shown in Figures 5–9, and the
+//! final pipeline must be Figure 3b.
+
+use banzai::{AtomKind, Target};
+use domino_compiler::{normalize, Compilation};
+
+const FLOWLET: &str = include_str!("../crates/algorithms/src/domino/flowlet.domino");
+
+fn compilation() -> Compilation {
+    normalize(FLOWLET).expect("flowlet normalizes")
+}
+
+#[test]
+fn figure5_branch_removal() {
+    let c = compilation();
+    let text = Compilation::render_assigns(&c.straightline);
+    // The branch becomes a hoisted condition and a conditional write
+    // (Figure 5's rewrite).
+    assert!(
+        text.contains("pkt.__br = ((pkt.arrival - last_time[pkt.id]) > 5);"),
+        "{text}"
+    );
+    assert!(
+        text.contains("saved_hop[pkt.id] = (pkt.__br ? pkt.new_hop : saved_hop[pkt.id]);"),
+        "{text}"
+    );
+    // No `if` remains: straight-line assignments only.
+    assert!(!text.contains("if"), "{text}");
+}
+
+#[test]
+fn figure6_state_flanks() {
+    let c = compilation();
+    let text = Compilation::render_assigns(&c.flanked);
+    // Read flanks appear before first use...
+    assert!(text.contains("pkt.last_time_1 = last_time[pkt.id];"), "{text}");
+    assert!(text.contains("pkt.saved_hop_1 = saved_hop[pkt.id];"), "{text}");
+    // ...interior uses are rewritten to the temporaries...
+    assert!(
+        text.contains("pkt.saved_hop_1 = (pkt.__br ? pkt.new_hop : pkt.saved_hop_1);"),
+        "{text}"
+    );
+    // ...and write flanks close the transaction (Figure 6).
+    assert!(text.trim_end().ends_with("saved_hop[pkt.id] = pkt.saved_hop_1;")
+        || text.contains("last_time[pkt.id] = pkt.last_time_1;"), "{text}");
+}
+
+#[test]
+fn figure7_ssa_numbering() {
+    let c = compilation();
+    let text = Compilation::render_assigns(&c.ssa);
+    // Every field assigned exactly once, with the paper's numeric-suffix
+    // style: pkt.id0, pkt.last_time_10 (flank temp version 0), etc.
+    assert!(text.contains("pkt.id0 ="), "{text}");
+    assert!(text.contains("pkt.last_time_10 = last_time[pkt.id0];"), "{text}");
+    assert!(text.contains("last_time[pkt.id0] = pkt.last_time_11;"), "{text}");
+    // Single assignment per field.
+    let mut targets: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("pkt."))
+        .map(|l| l.split(" = ").next().unwrap())
+        .collect();
+    let n = targets.len();
+    targets.sort_unstable();
+    targets.dedup();
+    assert_eq!(targets.len(), n, "duplicate SSA assignment:\n{text}");
+}
+
+#[test]
+fn figure8_three_address_code() {
+    let c = compilation();
+    let text = c.tac.to_string();
+    // The nine-ish statements of Figure 8, in our naming. Notably the
+    // write flank takes pkt.arrival directly (copy propagation, Figure 8
+    // line 9).
+    assert!(text.contains("pkt.id0 = hash2(pkt.sport, pkt.dport) % 8000;"), "{text}");
+    assert!(
+        text.contains("pkt.new_hop0 = hash3(pkt.sport, pkt.dport, pkt.arrival) % 10;"),
+        "{text}"
+    );
+    assert!(text.contains("last_time[pkt.id0] = pkt.arrival;"), "{text}");
+    assert!(text.contains("pkt.__t = pkt.arrival - pkt.last_time_10;"), "{text}");
+    assert!(text.contains("pkt.__br0 = pkt.__t > 5;"), "{text}");
+    // Every statement is single-operation (three-address form).
+    for line in text.lines() {
+        let rhs = line.split(" = ").nth(1).unwrap_or("");
+        let ops = rhs.matches(['+', '-', '>', '<', '&', '|', '^'].as_ref()).count();
+        assert!(ops <= 2, "statement not in TAC form: {line}");
+    }
+}
+
+#[test]
+fn figure9_dependency_graph_and_sccs() {
+    let c = compilation();
+    let graph = domino_compiler::depgraph::DepGraph::build(&c.tac.stmts);
+    let sccs = graph.sccs();
+    // Figure 9b: exactly two multi-statement SCCs — saved_hop's
+    // {read, ternary, write} and last_time's {read, write}.
+    let multi: Vec<&Vec<usize>> = sccs.iter().filter(|c| c.len() > 1).collect();
+    assert_eq!(multi.len(), 2, "{sccs:?}");
+    let sizes: Vec<usize> = multi.iter().map(|c| c.len()).collect();
+    assert!(sizes.contains(&2), "{sccs:?}"); // last_time codelet
+    assert!(sizes.contains(&3), "{sccs:?}"); // saved_hop codelet
+    // The condensation is a DAG (asserted by construction in scheduling,
+    // re-checked here via Kahn).
+    let (_, dag) = graph.condense(&sccs);
+    let mut indeg = vec![0; dag.len()];
+    for vs in &dag {
+        for &w in vs {
+            indeg[w] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..dag.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut seen = 0;
+    while let Some(v) = queue.pop() {
+        seen += 1;
+        for &w in &dag[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push(w);
+            }
+        }
+    }
+    assert_eq!(seen, dag.len(), "condensation has a cycle");
+}
+
+#[test]
+fn figure3b_pipeline_structure() {
+    let pipeline =
+        domino_compiler::compile(FLOWLET, &Target::banzai(AtomKind::Praw)).unwrap();
+    assert_eq!(pipeline.depth(), 6);
+    assert_eq!(pipeline.max_atoms_per_stage(), 2);
+    // Stage 1: the two hashes (stateless).
+    assert_eq!(pipeline.stages[0].len(), 2);
+    assert!(pipeline.stages[0].iter().all(|a| !a.is_stateful()));
+    // Stage 2: the last_time read+write atom.
+    assert_eq!(pipeline.stages[1].len(), 1);
+    assert!(pipeline.stages[1][0].is_stateful());
+    assert_eq!(
+        pipeline.stages[1][0].codelet.state_vars().into_iter().collect::<Vec<_>>(),
+        vec!["last_time"]
+    );
+    // Stage 5: the guarded saved_hop atom — the PRAW that gives flowlet
+    // its Table 4 row.
+    let stage5 = &pipeline.stages[4][0];
+    assert!(stage5.is_stateful());
+    match &stage5.role {
+        banzai::AtomRole::Stateful { kind, .. } => assert_eq!(*kind, AtomKind::Praw),
+        _ => panic!("stage 5 must be stateful"),
+    }
+    // Stage 6: the stateless next-hop selection.
+    assert!(pipeline.stages[5].iter().all(|a| !a.is_stateful()));
+    // State is confined to single atoms (what makes pipelining sound).
+    pipeline.validate_state_confinement().unwrap();
+}
+
+#[test]
+fn dot_output_renders_figure9a() {
+    let c = compilation();
+    let graph = domino_compiler::depgraph::DepGraph::build(&c.tac.stmts);
+    let dot = graph.to_dot(&c.tac.stmts);
+    assert!(dot.starts_with("digraph deps {"), "{dot}");
+    // Stateful nodes are shaded like the grey atoms of the figures.
+    assert!(dot.matches("lightgrey").count() >= 4, "{dot}");
+}

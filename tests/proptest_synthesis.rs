@@ -1,0 +1,233 @@
+//! Property-based testing of the codelet→atom synthesizer.
+//!
+//! *Completeness*: any codelet that **is** expressible as an atom
+//! predication tree (random guards over fields/state/constants, random
+//! single-ALU leaf updates, depth ≤ 2) must be accepted by
+//! [`atom_synth::synthesize`], and the synthesized configuration must
+//! agree with the codelet on random inputs. This complements the
+//! all-or-nothing *soundness* direction (rejections) covered by unit
+//! tests: together they pin the "if there is any way to map the codelet
+//! to an atom, SKETCH will find it" claim of §4.3.
+
+use atom_synth::synthesize;
+use banzai::atom::{Guard, GuardOperand, RelOp, Tree, Update};
+use banzai::AtomKind;
+use domino_ir::{Codelet, Operand, Packet, StateRef, StateStore, TacRhs, TacStmt};
+use proptest::prelude::*;
+
+const FIELDS: [&str; 3] = ["fa", "fb", "fc"];
+
+fn operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0..FIELDS.len()).prop_map(|i| Operand::Field(FIELDS[i].into())),
+        (-15i32..16).prop_map(Operand::Const),
+    ]
+}
+
+fn guard_operand_strategy() -> impl Strategy<Value = GuardOperand> {
+    prop_oneof![
+        (0..FIELDS.len()).prop_map(|i| GuardOperand::Field(FIELDS[i].into())),
+        (-15i32..16).prop_map(GuardOperand::Const),
+        Just(GuardOperand::State(0)),
+    ]
+}
+
+fn relop_strategy() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Lt),
+        Just(RelOp::Gt),
+        Just(RelOp::Le),
+        Just(RelOp::Ge),
+        Just(RelOp::Eq),
+        Just(RelOp::Ne),
+    ]
+}
+
+fn guard_strategy() -> impl Strategy<Value = Guard> {
+    (relop_strategy(), guard_operand_strategy(), guard_operand_strategy())
+        .prop_map(|(op, lhs, rhs)| Guard { op, lhs, rhs })
+        .prop_filter("guard must compare two distinct things", |g| g.lhs != g.rhs)
+}
+
+fn update_strategy() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        Just(Update::Keep),
+        operand_strategy().prop_map(Update::Write),
+        operand_strategy().prop_map(Update::Add),
+        operand_strategy().prop_map(Update::Sub),
+    ]
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = update_strategy().prop_map(Tree::Leaf);
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (guard_strategy(), inner.clone(), inner).prop_map(|(guard, t, e)| Tree::Branch {
+            guard,
+            then: Box::new(t),
+            els: Box::new(e),
+        })
+    })
+}
+
+/// Renders a predication tree as the TAC codelet the compiler would have
+/// produced: read flank, nested conditional value computation (guards
+/// lowered to relational temps), write flank.
+fn tree_to_codelet(tree: &Tree) -> Codelet {
+    let mut stmts = vec![TacStmt::ReadState {
+        dst: "old".into(),
+        state: StateRef::Scalar("x".into()),
+    }];
+    let mut n = 0usize;
+    let result = lower_tree(tree, &mut stmts, &mut n);
+    stmts.push(TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: result });
+    Codelet::new(stmts)
+}
+
+fn lower_tree(tree: &Tree, stmts: &mut Vec<TacStmt>, n: &mut usize) -> Operand {
+    match tree {
+        Tree::Leaf(u) => {
+            let (rhs, needs_temp) = match u {
+                Update::Keep => (TacRhs::Copy(Operand::Field("old".into())), false),
+                Update::Write(o) => (TacRhs::Copy(o.clone()), false),
+                Update::Add(o) => (
+                    TacRhs::Binary(
+                        domino_ast::BinOp::Add,
+                        Operand::Field("old".into()),
+                        o.clone(),
+                    ),
+                    true,
+                ),
+                Update::Sub(o) => (
+                    TacRhs::Binary(
+                        domino_ast::BinOp::Sub,
+                        Operand::Field("old".into()),
+                        o.clone(),
+                    ),
+                    true,
+                ),
+            };
+            if needs_temp {
+                let t = fresh(n);
+                stmts.push(TacStmt::Assign { dst: t.clone(), rhs });
+                Operand::Field(t)
+            } else {
+                match rhs {
+                    TacRhs::Copy(o) => o,
+                    _ => unreachable!(),
+                }
+            }
+        }
+        Tree::Branch { guard, then, els } => {
+            let cond = fresh(n);
+            let g2op = |g: &GuardOperand| match g {
+                GuardOperand::Field(f) => Operand::Field(f.clone()),
+                GuardOperand::Const(c) => Operand::Const(*c),
+                GuardOperand::State(_) => Operand::Field("old".into()),
+            };
+            let relop = match guard.op {
+                RelOp::Lt => domino_ast::BinOp::Lt,
+                RelOp::Gt => domino_ast::BinOp::Gt,
+                RelOp::Le => domino_ast::BinOp::Le,
+                RelOp::Ge => domino_ast::BinOp::Ge,
+                RelOp::Eq => domino_ast::BinOp::Eq,
+                RelOp::Ne => domino_ast::BinOp::Ne,
+            };
+            stmts.push(TacStmt::Assign {
+                dst: cond.clone(),
+                rhs: TacRhs::Binary(relop, g2op(&guard.lhs), g2op(&guard.rhs)),
+            });
+            let tval = lower_tree(then, stmts, n);
+            let eval = lower_tree(els, stmts, n);
+            let out = fresh(n);
+            stmts.push(TacStmt::Assign {
+                dst: out.clone(),
+                rhs: TacRhs::Ternary(Operand::Field(cond), tval, eval),
+            });
+            Operand::Field(out)
+        }
+    }
+}
+
+fn fresh(n: &mut usize) -> String {
+    let s = format!("tmp{n}");
+    *n += 1;
+    s
+}
+
+/// Executes the original tree directly (the "hardware" semantics).
+fn run_tree(tree: &Tree, old: i32, pkt: &Packet) -> i32 {
+    tree.eval(0, &[old], pkt)
+}
+
+/// Executes the codelet body sequentially.
+fn run_codelet(codelet: &Codelet, old: i32, pkt: &Packet) -> i32 {
+    let mut state = StateStore::new();
+    state.insert_scalar("x", old);
+    let mut p = pkt.clone();
+    for s in &codelet.stmts {
+        domino_ir::interp::exec_tac_stmt(s, &mut state, &mut p);
+    }
+    state.read_scalar("x")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Completeness: every tree-expressible codelet synthesizes, and the
+    /// synthesized atom computes the same state update as the codelet.
+    #[test]
+    fn tree_expressible_codelets_always_synthesize(
+        tree in tree_strategy(),
+        vectors in proptest::collection::vec(
+            (any::<i32>(), any::<i32>(), any::<i32>(), any::<i32>()), 24),
+    ) {
+        let codelet = tree_to_codelet(&tree);
+        let synth = synthesize(&codelet).unwrap_or_else(|e| {
+            panic!("expressible codelet rejected: {e}\ntree:\n{tree}\ncodelet:\n{codelet}")
+        });
+
+        // The tree we generated bounds the required kind.
+        let shape_kind = banzai::atom::StatefulConfig {
+            state_refs: vec![StateRef::Scalar("x".into())],
+            trees: vec![tree.clone()],
+            outputs: vec![],
+        }
+        .minimal_kind()
+        .expect("generated tree fits some atom");
+        prop_assert!(
+            synth.minimal_kind <= shape_kind,
+            "synthesis found {:?}, worse than the generating shape {:?}",
+            synth.minimal_kind,
+            shape_kind
+        );
+
+        // Semantic agreement on random vectors.
+        for (old, a, b, c) in vectors {
+            let pkt = Packet::new().with("fa", a).with("fb", b).with("fc", c);
+            let direct = run_tree(&tree, old, &pkt);
+            let via_codelet = run_codelet(&codelet, old, &pkt);
+            prop_assert_eq!(direct, via_codelet, "codelet rendering diverged");
+            let via_config = synth.config.trees[0].eval(0, &[old], &pkt);
+            prop_assert_eq!(
+                direct, via_config,
+                "synthesized config diverged\ntree:\n{}\nconfig:\n{}", &tree, &synth.config
+            );
+        }
+    }
+
+    /// Monotonicity: if a codelet maps to kind K it maps to every kind
+    /// above K (containment hierarchy, §5.2).
+    #[test]
+    fn map_to_kind_is_monotone(tree in tree_strategy()) {
+        let codelet = tree_to_codelet(&tree);
+        let mut accepted = false;
+        for kind in AtomKind::ALL {
+            let ok = atom_synth::map_to_kind(&codelet, kind).is_ok();
+            if accepted {
+                prop_assert!(ok, "hierarchy violated at {:?} for tree:\n{}", kind, tree);
+            }
+            accepted |= ok;
+        }
+        prop_assert!(accepted, "tree-expressible codelet mapped nowhere:\n{}", tree);
+    }
+}
