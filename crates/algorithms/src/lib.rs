@@ -101,77 +101,132 @@ pub const TABLE4: [Algorithm; 11] = [
         "bloom_filter",
         "Set membership bit on every packet (3 hash functions)",
         "bloom_filter.domino",
-        Some(AtomKind::Write), 4, 3, "Either", 29, 104,
+        Some(AtomKind::Write),
+        4,
+        3,
+        "Either",
+        29,
+        104,
         &["member"]
     ),
     algorithm!(
         "heavy_hitters",
         "Increment Count-Min Sketch on every packet (3 hash functions)",
         "heavy_hitters.domino",
-        Some(AtomKind::Raw), 10, 9, "Either", 35, 192,
+        Some(AtomKind::Raw),
+        10,
+        9,
+        "Either",
+        35,
+        192,
         &["estimate", "is_heavy"]
     ),
     algorithm!(
         "flowlet",
         "Update saved next hop if flowlet threshold is exceeded",
         "flowlet.domino",
-        Some(AtomKind::Praw), 6, 2, "Ingress", 37, 107,
+        Some(AtomKind::Praw),
+        6,
+        2,
+        "Ingress",
+        37,
+        107,
         &["next_hop", "id"]
     ),
     algorithm!(
         "rcp",
         "Accumulate RTT sum if RTT is under maximum allowable RTT",
         "rcp.domino",
-        Some(AtomKind::Praw), 3, 3, "Egress", 23, 75,
+        Some(AtomKind::Praw),
+        3,
+        3,
+        "Egress",
+        23,
+        75,
         &[]
     ),
     algorithm!(
         "sampled_netflow",
         "Sample a packet if packet count reaches N; reset count at N",
         "sampled_netflow.domino",
-        Some(AtomKind::IfElseRaw), 4, 2, "Either", 18, 70,
+        Some(AtomKind::IfElseRaw),
+        4,
+        2,
+        "Either",
+        18,
+        70,
         &["sample"]
     ),
     algorithm!(
         "hull",
         "Update counter for virtual queue",
         "hull.domino",
-        Some(AtomKind::Sub), 7, 1, "Egress", 26, 95,
+        Some(AtomKind::Sub),
+        7,
+        1,
+        "Egress",
+        26,
+        95,
         &["mark"]
     ),
     algorithm!(
         "avq",
         "Update virtual queue size and virtual capacity",
         "avq.domino",
-        Some(AtomKind::Nested), 7, 3, "Ingress", 36, 147,
+        Some(AtomKind::Nested),
+        7,
+        3,
+        "Ingress",
+        36,
+        147,
         &["mark"]
     ),
     algorithm!(
         "stfq",
         "Compute packet's virtual start time from last finish time (WFQ)",
         "stfq.domino",
-        Some(AtomKind::Nested), 4, 2, "Ingress", 29, 87,
+        Some(AtomKind::Nested),
+        4,
+        2,
+        "Ingress",
+        29,
+        87,
         &["start"]
     ),
     algorithm!(
         "dns_ttl_change",
         "Track number of changes in announced TTL for each domain",
         "dns_ttl_change.domino",
-        Some(AtomKind::Nested), 6, 3, "Ingress", 27, 119,
+        Some(AtomKind::Nested),
+        6,
+        3,
+        "Ingress",
+        27,
+        119,
         &["changed", "change_count", "streak"]
     ),
     algorithm!(
         "conga",
         "Update best path's utilization/id if we see a better path",
         "conga.domino",
-        Some(AtomKind::Pairs), 4, 2, "Ingress", 32, 89,
+        Some(AtomKind::Pairs),
+        4,
+        2,
+        "Ingress",
+        32,
+        89,
         &[]
     ),
     algorithm!(
         "codel",
         "CoDel AQM: drop scheduling via interval/sqrt(count)",
         "codel.domino",
-        None, 15, 3, "Egress", 57, 271,
+        None,
+        15,
+        3,
+        "Egress",
+        57,
+        271,
         &["ok_to_drop", "drop"]
     ),
 ];
@@ -182,7 +237,12 @@ pub const CODEL_LUT: Algorithm = algorithm!(
     "codel_lut",
     "CoDel with the control law as a look-up table (X1 extension)",
     "codel_lut.domino",
-    Some(AtomKind::Nested), 0, 0, "Egress", 0, 0,
+    Some(AtomKind::Nested),
+    0,
+    0,
+    "Egress",
+    0,
+    0,
     &["drop"]
 );
 
@@ -202,8 +262,8 @@ mod tests {
     #[test]
     fn all_sources_parse_and_check() {
         for a in TABLE4.iter().chain(std::iter::once(&CODEL_LUT)) {
-            let checked = domino_ast::parse_and_check(a.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", a.name));
+            let checked =
+                domino_ast::parse_and_check(a.source).unwrap_or_else(|e| panic!("{}: {e}", a.name));
             assert_eq!(checked.name, a.name, "transaction name matches id");
         }
     }

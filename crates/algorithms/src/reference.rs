@@ -66,7 +66,9 @@ impl BloomFilter {
 
     /// Empty filter.
     pub fn new() -> Self {
-        BloomFilter { banks: std::array::from_fn(|_| vec![false; Self::ENTRIES as usize]) }
+        BloomFilter {
+            banks: std::array::from_fn(|_| vec![false; Self::ENTRIES as usize]),
+        }
     }
 
     fn hashes(sport: i32, dport: i32) -> [usize; 3] {
@@ -123,13 +125,20 @@ impl HeavyHitters {
 
     /// Empty sketch.
     pub fn new() -> Self {
-        HeavyHitters { rows: std::array::from_fn(|_| vec![0; Self::ENTRIES as usize]) }
+        HeavyHitters {
+            rows: std::array::from_fn(|_| vec![0; Self::ENTRIES as usize]),
+        }
     }
 
     /// The sketch estimate for a flow (without updating).
     pub fn estimate(&self, sport: i32, dport: i32) -> i32 {
         let hs = Self::hashes(sport, dport);
-        self.rows.iter().zip(hs).map(|(row, h)| row[h]).min().unwrap()
+        self.rows
+            .iter()
+            .zip(hs)
+            .map(|(row, h)| row[h])
+            .min()
+            .unwrap()
     }
 
     fn hashes(sport: i32, dport: i32) -> [usize; 3] {
@@ -201,8 +210,11 @@ impl Default for Flowlet {
 
 impl Reference for Flowlet {
     fn process(&mut self, pkt: &mut Packet) {
-        let (sport, dport, arrival) =
-            (pkt.expect("sport"), pkt.expect("dport"), pkt.expect("arrival"));
+        let (sport, dport, arrival) = (
+            pkt.expect("sport"),
+            pkt.expect("dport"),
+            pkt.expect("arrival"),
+        );
         let new_hop = intr("hash3", &[sport, dport, arrival]) % Self::NUM_HOPS;
         let id = (intr("hash2", &[sport, dport]) % Self::NUM_FLOWLETS) as usize;
         if arrival.wrapping_sub(self.last_time[id]) > Self::THRESHOLD {
@@ -216,8 +228,14 @@ impl Reference for Flowlet {
 
     fn export_state(&self) -> Vec<(String, StateValue)> {
         vec![
-            ("last_time".into(), StateValue::Array(self.last_time.clone())),
-            ("saved_hop".into(), StateValue::Array(self.saved_hop.clone())),
+            (
+                "last_time".into(),
+                StateValue::Array(self.last_time.clone()),
+            ),
+            (
+                "saved_hop".into(),
+                StateValue::Array(self.saved_hop.clone()),
+            ),
         ]
     }
 }
@@ -240,8 +258,9 @@ impl Rcp {
 
 impl Reference for Rcp {
     fn process(&mut self, pkt: &mut Packet) {
-        self.input_traffic_bytes =
-            self.input_traffic_bytes.wrapping_add(pkt.expect("size_bytes"));
+        self.input_traffic_bytes = self
+            .input_traffic_bytes
+            .wrapping_add(pkt.expect("size_bytes"));
         let rtt = pkt.expect("rtt");
         if rtt < Self::MAX_ALLOWABLE_RTT {
             self.sum_rtt_tr = self.sum_rtt_tr.wrapping_add(rtt);
@@ -251,9 +270,15 @@ impl Reference for Rcp {
 
     fn export_state(&self) -> Vec<(String, StateValue)> {
         vec![
-            ("input_traffic_bytes".into(), StateValue::Scalar(self.input_traffic_bytes)),
+            (
+                "input_traffic_bytes".into(),
+                StateValue::Scalar(self.input_traffic_bytes),
+            ),
             ("sum_rtt_tr".into(), StateValue::Scalar(self.sum_rtt_tr)),
-            ("num_pkts_with_rtt".into(), StateValue::Scalar(self.num_pkts_with_rtt)),
+            (
+                "num_pkts_with_rtt".into(),
+                StateValue::Scalar(self.num_pkts_with_rtt),
+            ),
         ]
     }
 }
@@ -273,7 +298,9 @@ impl SampledNetflow {
 
     /// Fresh counters.
     pub fn new() -> Self {
-        SampledNetflow { count: vec![0; Self::NUM_BUCKETS as usize] }
+        SampledNetflow {
+            count: vec![0; Self::NUM_BUCKETS as usize],
+        }
     }
 }
 
@@ -285,8 +312,8 @@ impl Default for SampledNetflow {
 
 impl Reference for SampledNetflow {
     fn process(&mut self, pkt: &mut Packet) {
-        let idx = (intr("hash2", &[pkt.expect("sport"), pkt.expect("dport")])
-            % Self::NUM_BUCKETS) as usize;
+        let idx = (intr("hash2", &[pkt.expect("sport"), pkt.expect("dport")]) % Self::NUM_BUCKETS)
+            as usize;
         if self.count[idx] == Self::SAMPLE_RATE - 1 {
             pkt.set("sample", 1);
             self.count[idx] = 0;
@@ -361,7 +388,11 @@ impl Avq {
 
     /// Initial capacity matches the Domino source.
     pub fn new() -> Self {
-        Avq { last_update: 0, vq: 0, vcap: 1000 }
+        Avq {
+            last_update: 0,
+            vq: 0,
+            vcap: 1000,
+        }
     }
 }
 
@@ -418,7 +449,9 @@ impl Stfq {
 
     /// Fresh flow table.
     pub fn new() -> Self {
-        Stfq { last_finish: vec![0; Self::NUM_FLOWS as usize] }
+        Stfq {
+            last_finish: vec![0; Self::NUM_FLOWS as usize],
+        }
     }
 }
 
@@ -439,7 +472,10 @@ impl Reference for Stfq {
     }
 
     fn export_state(&self) -> Vec<(String, StateValue)> {
-        vec![("last_finish".into(), StateValue::Array(self.last_finish.clone()))]
+        vec![(
+            "last_finish".into(),
+            StateValue::Array(self.last_finish.clone()),
+        )]
     }
 }
 
@@ -481,7 +517,11 @@ impl Reference for DnsTtlChange {
         let changed = seen && self.last_ttl[d] != ttl;
         self.last_ttl[d] = ttl;
         self.num_changes[d] = self.num_changes[d].wrapping_add(changed as i32);
-        self.ttl_streak[d] = if !seen || changed { 1 } else { self.ttl_streak[d].wrapping_add(1) };
+        self.ttl_streak[d] = if !seen || changed {
+            1
+        } else {
+            self.ttl_streak[d].wrapping_add(1)
+        };
         pkt.set("changed", changed as i32);
         pkt.set("change_count", self.num_changes[d]);
         pkt.set("streak", self.ttl_streak[d]);
@@ -490,8 +530,14 @@ impl Reference for DnsTtlChange {
     fn export_state(&self) -> Vec<(String, StateValue)> {
         vec![
             ("last_ttl".into(), StateValue::Array(self.last_ttl.clone())),
-            ("num_changes".into(), StateValue::Array(self.num_changes.clone())),
-            ("ttl_streak".into(), StateValue::Array(self.ttl_streak.clone())),
+            (
+                "num_changes".into(),
+                StateValue::Array(self.num_changes.clone()),
+            ),
+            (
+                "ttl_streak".into(),
+                StateValue::Array(self.ttl_streak.clone()),
+            ),
         ]
     }
 }
@@ -538,8 +584,14 @@ impl Reference for Conga {
 
     fn export_state(&self) -> Vec<(String, StateValue)> {
         vec![
-            ("best_path_util".into(), StateValue::Array(self.best_path_util.clone())),
-            ("best_path".into(), StateValue::Array(self.best_path.clone())),
+            (
+                "best_path_util".into(),
+                StateValue::Array(self.best_path_util.clone()),
+            ),
+            (
+                "best_path".into(),
+                StateValue::Array(self.best_path.clone()),
+            ),
         ]
     }
 }
@@ -604,7 +656,10 @@ impl Reference for Codel {
 
     fn export_state(&self) -> Vec<(String, StateValue)> {
         vec![
-            ("first_above_time".into(), StateValue::Scalar(self.first_above_time)),
+            (
+                "first_above_time".into(),
+                StateValue::Scalar(self.first_above_time),
+            ),
             ("dropping".into(), StateValue::Scalar(self.dropping)),
             ("drop_next".into(), StateValue::Scalar(self.drop_next)),
             ("count".into(), StateValue::Scalar(self.count)),
@@ -665,7 +720,10 @@ impl Reference for CodelLut {
 
     fn export_state(&self) -> Vec<(String, StateValue)> {
         vec![
-            ("first_above_time".into(), StateValue::Scalar(self.first_above_time)),
+            (
+                "first_above_time".into(),
+                StateValue::Scalar(self.first_above_time),
+            ),
             ("dropping".into(), StateValue::Scalar(self.dropping)),
             ("drop_start".into(), StateValue::Scalar(self.drop_start)),
             ("drop_next".into(), StateValue::Scalar(self.drop_next)),

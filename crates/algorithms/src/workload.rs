@@ -60,7 +60,11 @@ pub fn flowlet_trace(n: usize, seed: u64) -> Vec<Packet> {
         .map(|_| {
             // Mostly back-to-back arrivals; occasionally a large gap that
             // opens a new flowlet.
-            clock += if rng.gen_bool(0.15) { rng.gen_range(6..50) } else { rng.gen_range(0..3) };
+            clock += if rng.gen_bool(0.15) {
+                rng.gen_range(6..50)
+            } else {
+                rng.gen_range(0..3)
+            };
             Packet::new()
                 .with("sport", rng.gen_range(0..16))
                 .with("dport", 80 + rng.gen_range(0..4))
@@ -78,8 +82,11 @@ pub fn rcp_trace(n: usize, seed: u64) -> Vec<Packet> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let rtt =
-                if rng.gen_bool(0.7) { rng.gen_range(1..30) } else { rng.gen_range(30..90) };
+            let rtt = if rng.gen_bool(0.7) {
+                rng.gen_range(1..30)
+            } else {
+                rng.gen_range(30..90)
+            };
             Packet::new()
                 .with("size_bytes", rng.gen_range(64..1500))
                 .with("rtt", rtt)
@@ -163,8 +170,11 @@ pub fn codel_trace(n: usize, seed: u64) -> Vec<Packet> {
             now += rng.gen_range(1..4);
             // Alternate between low-delay and standing-queue phases.
             let congested = (i / 200) % 2 == 1;
-            let sojourn =
-                if congested { rng.gen_range(6..40) } else { rng.gen_range(0..5) };
+            let sojourn = if congested {
+                rng.gen_range(6..40)
+            } else {
+                rng.gen_range(0..5)
+            };
             Packet::new()
                 .with("now", now)
                 .with("enq_ts", now - sojourn)

@@ -54,7 +54,9 @@ pub struct SynthError {
 
 impl SynthError {
     fn new(msg: impl Into<String>) -> Self {
-        SynthError { message: msg.into() }
+        SynthError {
+            message: msg.into(),
+        }
     }
 }
 
@@ -98,7 +100,10 @@ pub fn synthesize(codelet: &Codelet) -> Result<Synthesis, SynthError> {
         )
     })?;
 
-    Ok(Synthesis { config, minimal_kind })
+    Ok(Synthesis {
+        config,
+        minimal_kind,
+    })
 }
 
 /// The all-or-nothing mapping check: synthesize and verify a configuration,
@@ -117,7 +122,10 @@ pub fn map_to_kind(codelet: &Codelet, kind: AtomKind) -> Result<Synthesis, Synth
             if verify::verify(&spec, &config).is_ok() {
                 if let Some(minimal_kind) = config.minimal_kind() {
                     if minimal_kind <= kind {
-                        return Ok(Synthesis { config, minimal_kind });
+                        return Ok(Synthesis {
+                            config,
+                            minimal_kind,
+                        });
                     }
                 }
             }
@@ -145,14 +153,20 @@ mod tests {
         Codelet::new(vec![
             TacStmt::ReadState {
                 dst: "saved_hop".into(),
-                state: StateRef::Array { name: "saved_hop".into(), index: fld("id") },
+                state: StateRef::Array {
+                    name: "saved_hop".into(),
+                    index: fld("id"),
+                },
             },
             TacStmt::Assign {
                 dst: "out".into(),
                 rhs: TacRhs::Ternary(fld("tmp2"), fld("new_hop"), fld("saved_hop")),
             },
             TacStmt::WriteState {
-                state: StateRef::Array { name: "saved_hop".into(), index: fld("id") },
+                state: StateRef::Array {
+                    name: "saved_hop".into(),
+                    index: fld("id"),
+                },
                 src: fld("out"),
             },
         ])
@@ -163,10 +177,16 @@ mod tests {
         Codelet::new(vec![
             TacStmt::ReadState {
                 dst: "last_time".into(),
-                state: StateRef::Array { name: "last_time".into(), index: fld("id") },
+                state: StateRef::Array {
+                    name: "last_time".into(),
+                    index: fld("id"),
+                },
             },
             TacStmt::WriteState {
-                state: StateRef::Array { name: "last_time".into(), index: fld("id") },
+                state: StateRef::Array {
+                    name: "last_time".into(),
+                    index: fld("id"),
+                },
                 src: fld("arrival"),
             },
         ])
@@ -209,8 +229,14 @@ mod tests {
         // if (util < best_util) { best_util = util; best_path = path }
         // else if (path == best_path) { best_util = util }
         let c = Codelet::new(vec![
-            TacStmt::ReadState { dst: "bu".into(), state: StateRef::Scalar("best_util".into()) },
-            TacStmt::ReadState { dst: "bp".into(), state: StateRef::Scalar("best_path".into()) },
+            TacStmt::ReadState {
+                dst: "bu".into(),
+                state: StateRef::Scalar("best_util".into()),
+            },
+            TacStmt::ReadState {
+                dst: "bp".into(),
+                state: StateRef::Scalar("best_path".into()),
+            },
             TacStmt::Assign {
                 dst: "better".into(),
                 rhs: TacRhs::Binary(BinOp::Lt, fld("util"), fld("bu")),
@@ -231,8 +257,14 @@ mod tests {
                 dst: "nbp".into(),
                 rhs: TacRhs::Ternary(fld("better"), fld("path_id"), fld("bp")),
             },
-            TacStmt::WriteState { state: StateRef::Scalar("best_util".into()), src: fld("nbu") },
-            TacStmt::WriteState { state: StateRef::Scalar("best_path".into()), src: fld("nbp") },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("best_util".into()),
+                src: fld("nbu"),
+            },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("best_path".into()),
+                src: fld("nbp"),
+            },
         ]);
         let synth = synthesize(&c).unwrap();
         assert_eq!(synth.minimal_kind, AtomKind::Pairs);
@@ -242,18 +274,21 @@ mod tests {
     #[test]
     fn square_rejected_everywhere() {
         let c = Codelet::new(vec![
-            TacStmt::ReadState { dst: "x".into(), state: StateRef::Scalar("x".into()) },
+            TacStmt::ReadState {
+                dst: "x".into(),
+                state: StateRef::Scalar("x".into()),
+            },
             TacStmt::Assign {
                 dst: "sq".into(),
                 rhs: TacRhs::Binary(BinOp::Mul, fld("x"), fld("x")),
             },
-            TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: fld("sq") },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("x".into()),
+                src: fld("sq"),
+            },
         ]);
         let err = synthesize(&c).unwrap_err();
-        assert!(
-            err.message.contains("does not fit"),
-            "{err}"
-        );
+        assert!(err.message.contains("does not fit"), "{err}");
     }
 
     #[test]
@@ -274,7 +309,10 @@ mod tests {
         // atom-friendly form: precomputed vt_plus_len outside, codelet:
         //   new = (old > vt) ? old + len : vt_plus_len
         let c = Codelet::new(vec![
-            TacStmt::ReadState { dst: "lf".into(), state: StateRef::Scalar("last_finish".into()) },
+            TacStmt::ReadState {
+                dst: "lf".into(),
+                state: StateRef::Scalar("last_finish".into()),
+            },
             TacStmt::Assign {
                 dst: "ge".into(),
                 rhs: TacRhs::Binary(BinOp::Gt, fld("lf"), fld("vt")),
@@ -287,7 +325,10 @@ mod tests {
                 dst: "nf".into(),
                 rhs: TacRhs::Ternary(fld("ge"), fld("a"), fld("vt_plus_len")),
             },
-            TacStmt::WriteState { state: StateRef::Scalar("last_finish".into()), src: fld("nf") },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("last_finish".into()),
+                src: fld("nf"),
+            },
         ]);
         let synth = synthesize(&c).unwrap();
         // Guard on state, add in one branch, write in the other: IfElseRAW.

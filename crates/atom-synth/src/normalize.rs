@@ -34,7 +34,9 @@ pub struct NormalizeError {
 
 impl NormalizeError {
     fn new(msg: impl Into<String>) -> Self {
-        NormalizeError { message: msg.into() }
+        NormalizeError {
+            message: msg.into(),
+        }
     }
 }
 
@@ -110,11 +112,19 @@ fn lift(s: Sym, budget: &mut usize) -> Result<Sym, NormalizeError> {
             if let Sym::Ternary(c, t, e) = a {
                 let then = Sym::Binary(op, t, Box::new(b.clone()));
                 let els = Sym::Binary(op, e, Box::new(b));
-                Sym::Ternary(c, Box::new(lift(then, budget)?), Box::new(lift(els, budget)?))
+                Sym::Ternary(
+                    c,
+                    Box::new(lift(then, budget)?),
+                    Box::new(lift(els, budget)?),
+                )
             } else if let Sym::Ternary(c, t, e) = b {
                 let then = Sym::Binary(op, Box::new(a.clone()), t);
                 let els = Sym::Binary(op, Box::new(a), e);
-                Sym::Ternary(c, Box::new(lift(then, budget)?), Box::new(lift(els, budget)?))
+                Sym::Ternary(
+                    c,
+                    Box::new(lift(then, budget)?),
+                    Box::new(lift(els, budget)?),
+                )
             } else {
                 Sym::Binary(op, Box::new(a), Box::new(b))
             }
@@ -159,7 +169,11 @@ fn to_tree(
             let els = to_tree(&e, var_idx, assumptions);
             assumptions.pop();
             let els = els?;
-            Ok(Tree::Branch { guard, then: Box::new(then), els: Box::new(els) })
+            Ok(Tree::Branch {
+                guard,
+                then: Box::new(then),
+                els: Box::new(els),
+            })
         }
         other => Ok(Tree::Leaf(leaf_of(&other, var_idx)?)),
     }
@@ -230,13 +244,21 @@ fn guard_of(c: &Sym) -> Result<Guard, NormalizeError> {
         }),
         Sym::Unary(UnOp::Not, inner) => {
             let g = guard_of(inner)?;
-            Ok(Guard { op: g.op.negated(), lhs: g.lhs, rhs: g.rhs })
+            Ok(Guard {
+                op: g.op.negated(),
+                lhs: g.lhs,
+                rhs: g.rhs,
+            })
         }
         Sym::Binary(op, a, b) if op.is_relational() => {
             let rel = relop_of(*op);
             // Direct case: both operands are leaves.
             if let (Some(l), Some(r)) = (guard_operand(a), guard_operand(b)) {
-                return Ok(Guard { op: rel, lhs: l, rhs: r });
+                return Ok(Guard {
+                    op: rel,
+                    lhs: l,
+                    rhs: r,
+                });
             }
             // Equality rewrites: move a constant offset across `==`/`!=`
             // (sound under wrapping arithmetic because x ↦ x + c is a
@@ -397,17 +419,24 @@ mod tests {
             normalize_update(&cst(0), 0).unwrap(),
             Tree::Leaf(Update::Write(Operand::Const(0)))
         );
-        assert_eq!(normalize_update(&old(), 0).unwrap(), Tree::Leaf(Update::Keep));
+        assert_eq!(
+            normalize_update(&old(), 0).unwrap(),
+            Tree::Leaf(Update::Keep)
+        );
     }
 
     #[test]
     fn guarded_update_becomes_branch() {
         // tmp2 ? new_hop : old   (flowlet saved_hop)
-        let tree =
-            normalize_update(&tern(fld("tmp2"), fld("new_hop"), old()), 0).unwrap();
-        let Tree::Branch { guard, then, els } = tree else { panic!() };
+        let tree = normalize_update(&tern(fld("tmp2"), fld("new_hop"), old()), 0).unwrap();
+        let Tree::Branch { guard, then, els } = tree else {
+            panic!()
+        };
         assert_eq!(guard.to_string(), "pkt.tmp2 != 0");
-        assert_eq!(*then, Tree::Leaf(Update::Write(Operand::Field("new_hop".into()))));
+        assert_eq!(
+            *then,
+            Tree::Leaf(Update::Write(Operand::Field("new_hop".into())))
+        );
         assert_eq!(*els, Tree::Leaf(Update::Keep));
     }
 
@@ -415,12 +444,18 @@ mod tests {
     fn wraparound_counter_normalizes() {
         // (old < 99) ? old + 1 : 0
         let tree = normalize_update(
-            &tern(bin(BinOp::Lt, old(), cst(99)), bin(BinOp::Add, old(), cst(1)), cst(0)),
+            &tern(
+                bin(BinOp::Lt, old(), cst(99)),
+                bin(BinOp::Add, old(), cst(1)),
+                cst(0),
+            ),
             0,
         )
         .unwrap();
         assert_eq!(tree.depth(), 1);
-        let Tree::Branch { guard, .. } = &tree else { panic!() };
+        let Tree::Branch { guard, .. } = &tree else {
+            panic!()
+        };
         assert_eq!(guard.to_string(), "state[0] < 99");
     }
 
@@ -434,7 +469,9 @@ mod tests {
             bin(BinOp::Add, old(), cst(1)),
         );
         let tree = normalize_update(&update, 0).unwrap();
-        let Tree::Branch { guard, .. } = &tree else { panic!() };
+        let Tree::Branch { guard, .. } = &tree else {
+            panic!()
+        };
         assert_eq!(guard.to_string(), "state[0] == 29");
     }
 
@@ -447,7 +484,9 @@ mod tests {
             old(),
         );
         let tree = normalize_update(&update, 0).unwrap();
-        let Tree::Branch { guard, .. } = &tree else { panic!() };
+        let Tree::Branch { guard, .. } = &tree else {
+            panic!()
+        };
         assert_eq!(guard.to_string(), "state[0] != 6");
     }
 
@@ -472,7 +511,9 @@ mod tests {
             old(),
         );
         let tree = normalize_update(&update, 0).unwrap();
-        let Tree::Branch { guard, .. } = &tree else { panic!() };
+        let Tree::Branch { guard, .. } = &tree else {
+            panic!()
+        };
         assert_eq!(guard.to_string(), "pkt.a <= 5");
     }
 
@@ -482,7 +523,9 @@ mod tests {
         let update = bin(BinOp::Add, old(), tern(fld("cond"), cst(1), cst(2)));
         let tree = normalize_update(&update, 0).unwrap();
         assert_eq!(tree.depth(), 1);
-        let Tree::Branch { then, els, .. } = &tree else { panic!() };
+        let Tree::Branch { then, els, .. } = &tree else {
+            panic!()
+        };
         assert_eq!(**then, Tree::Leaf(Update::Add(Operand::Const(1))));
         assert_eq!(**els, Tree::Leaf(Update::Add(Operand::Const(2))));
     }
@@ -499,7 +542,10 @@ mod tests {
     #[test]
     fn identical_branches_collapse() {
         let update = tern(fld("c"), old(), old());
-        assert_eq!(normalize_update(&update, 0).unwrap(), Tree::Leaf(Update::Keep));
+        assert_eq!(
+            normalize_update(&update, 0).unwrap(),
+            Tree::Leaf(Update::Keep)
+        );
     }
 
     #[test]
@@ -551,7 +597,9 @@ mod tests {
             Sym::StateOld(1),
         );
         let tree = normalize_update(&update, 1).unwrap();
-        let Tree::Branch { guard, .. } = &tree else { panic!() };
+        let Tree::Branch { guard, .. } = &tree else {
+            panic!()
+        };
         assert!(guard.reads_state());
         assert_eq!(guard.to_string(), "pkt.util < state[0]");
     }

@@ -51,8 +51,10 @@ pub fn enumerate(spec: &CodeletSpec, kind: AtomKind) -> Option<StatefulConfig> {
 
     // Example vectors for fast filtering.
     let examples = example_vectors(spec);
-    let expected: Vec<i32> =
-        examples.iter().map(|(olds, pkt)| spec.updates[0].eval(olds, pkt)).collect();
+    let expected: Vec<i32> = examples
+        .iter()
+        .map(|(olds, pkt)| spec.updates[0].eval(olds, pkt))
+        .collect();
 
     let mut tried = 0usize;
 
@@ -79,7 +81,10 @@ pub fn enumerate(spec: &CodeletSpec, kind: AtomKind) -> Option<StatefulConfig> {
     };
     for g in &guards {
         // Pre-evaluate the guard on all examples.
-        let taken: Vec<bool> = examples.iter().map(|(olds, pkt)| g.eval(olds, pkt)).collect();
+        let taken: Vec<bool> = examples
+            .iter()
+            .map(|(olds, pkt)| g.eval(olds, pkt))
+            .collect();
         for then_u in &updates {
             // The then-branch must match every example where the guard held.
             if !branch_matches(then_u, &examples, &expected, &taken, true) {
@@ -168,7 +173,14 @@ fn guard_candidates(spec: &CodeletSpec, universe: &(Vec<String>, Vec<i32>)) -> V
     for c in consts {
         operands.push(GuardOperand::Const(*c));
     }
-    let relops = [RelOp::Lt, RelOp::Gt, RelOp::Le, RelOp::Ge, RelOp::Eq, RelOp::Ne];
+    let relops = [
+        RelOp::Lt,
+        RelOp::Gt,
+        RelOp::Le,
+        RelOp::Ge,
+        RelOp::Eq,
+        RelOp::Ne,
+    ];
     let mut out = Vec::new();
     for op in relops {
         for l in &operands {
@@ -177,7 +189,11 @@ fn guard_candidates(spec: &CodeletSpec, universe: &(Vec<String>, Vec<i32>)) -> V
                 if matches!(l, GuardOperand::Const(_)) && matches!(r, GuardOperand::Const(_)) {
                     continue;
                 }
-                out.push(Guard { op, lhs: l.clone(), rhs: r.clone() });
+                out.push(Guard {
+                    op,
+                    lhs: l.clone(),
+                    rhs: r.clone(),
+                });
             }
         }
     }
@@ -241,7 +257,11 @@ fn example_vectors(spec: &CodeletSpec) -> Vec<(Vec<i32>, Packet)> {
             .collect();
         let mut pkt = Packet::new();
         for f in &fields {
-            let v = if k % 2 == 0 { rng.gen_range(-64..64) } else { rng.gen() };
+            let v = if k % 2 == 0 {
+                rng.gen_range(-64..64)
+            } else {
+                rng.gen()
+            };
             pkt.set(f, v);
         }
         out.push((olds, pkt));
@@ -321,14 +341,16 @@ mod tests {
             Box::new(bin(BinOp::Add, old(), cst(1))),
         ));
         let config = enumerate(&spec, AtomKind::IfElseRaw).expect("must map");
-        let Tree::Branch { guard, .. } = &config.trees[0] else { panic!() };
+        let Tree::Branch { guard, .. } = &config.trees[0] else {
+            panic!()
+        };
         // The discovered guard must be semantically old==29 or its mirror.
         let g = guard.to_string();
         assert!(
-            g == "state[0] == 29" || g == "29 == state[0]"
-                || g == "state[0] != 29" // with swapped branches — verify
-                                          // would have caught wrong semantics
-        , "unexpected guard {g}");
+            g == "state[0] == 29" || g == "29 == state[0]" || g == "state[0] != 29", // with swapped branches — verify
+            // would have caught wrong semantics
+            "unexpected guard {g}"
+        );
     }
 
     #[test]
@@ -351,7 +373,9 @@ mod tests {
             Box::new(old()),
         ));
         let config = enumerate(&spec, AtomKind::Praw).expect("must map on PRAW");
-        let Tree::Branch { els, .. } = &config.trees[0] else { panic!() };
+        let Tree::Branch { els, .. } = &config.trees[0] else {
+            panic!()
+        };
         assert_eq!(**els, Tree::Leaf(Update::Keep));
     }
 

@@ -193,8 +193,8 @@ pub fn collapse(codelet: &Codelet) -> Result<CodeletSpec, CollapseError> {
     let mut outputs: Vec<(String, usize)> = Vec::new();
 
     let var_index = |sref: &StateRef,
-                         state_refs: &mut Vec<StateRef>,
-                         updates: &mut Vec<Option<Sym>>|
+                     state_refs: &mut Vec<StateRef>,
+                     updates: &mut Vec<Option<Sym>>|
      -> usize {
         if let Some(i) = state_refs.iter().position(|r| r == sref) {
             i
@@ -236,11 +236,9 @@ pub fn collapse(codelet: &Codelet) -> Result<CodeletSpec, CollapseError> {
                 let sym = match rhs {
                     TacRhs::Copy(o) => lookup(&env, o),
                     TacRhs::Unary(op, o) => Sym::Unary(*op, Box::new(lookup(&env, o))),
-                    TacRhs::Binary(op, a, b) => Sym::Binary(
-                        *op,
-                        Box::new(lookup(&env, a)),
-                        Box::new(lookup(&env, b)),
-                    ),
+                    TacRhs::Binary(op, a, b) => {
+                        Sym::Binary(*op, Box::new(lookup(&env, a)), Box::new(lookup(&env, b)))
+                    }
                     TacRhs::Ternary(c, a, b) => Sym::Ternary(
                         Box::new(lookup(&env, c)),
                         Box::new(lookup(&env, a)),
@@ -272,7 +270,11 @@ pub fn collapse(codelet: &Codelet) -> Result<CodeletSpec, CollapseError> {
         });
     }
 
-    Ok(CodeletSpec { state_refs, updates, outputs })
+    Ok(CodeletSpec {
+        state_refs,
+        updates,
+        outputs,
+    })
 }
 
 #[cfg(test)]
@@ -286,12 +288,18 @@ mod tests {
 
     fn counter_codelet() -> Codelet {
         Codelet::new(vec![
-            TacStmt::ReadState { dst: "old".into(), state: StateRef::Scalar("c".into()) },
+            TacStmt::ReadState {
+                dst: "old".into(),
+                state: StateRef::Scalar("c".into()),
+            },
             TacStmt::Assign {
                 dst: "new".into(),
                 rhs: TacRhs::Binary(BinOp::Add, fld("old"), Operand::Const(1)),
             },
-            TacStmt::WriteState { state: StateRef::Scalar("c".into()), src: fld("new") },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("c".into()),
+                src: fld("new"),
+            },
         ])
     }
 
@@ -309,19 +317,28 @@ mod tests {
         let c = Codelet::new(vec![
             TacStmt::ReadState {
                 dst: "saved".into(),
-                state: StateRef::Array { name: "saved_hop".into(), index: fld("id") },
+                state: StateRef::Array {
+                    name: "saved_hop".into(),
+                    index: fld("id"),
+                },
             },
             TacStmt::Assign {
                 dst: "next".into(),
                 rhs: TacRhs::Ternary(fld("tmp2"), fld("new_hop"), fld("saved")),
             },
             TacStmt::WriteState {
-                state: StateRef::Array { name: "saved_hop".into(), index: fld("id") },
+                state: StateRef::Array {
+                    name: "saved_hop".into(),
+                    index: fld("id"),
+                },
                 src: fld("next"),
             },
         ]);
         let spec = collapse(&c).unwrap();
-        assert_eq!(spec.updates[0].to_string(), "(pkt.tmp2 ? pkt.new_hop : old0)");
+        assert_eq!(
+            spec.updates[0].to_string(),
+            "(pkt.tmp2 ? pkt.new_hop : old0)"
+        );
         assert!(spec.updates[0].has_ternary());
         assert!(spec.updates[0].reads_state());
     }
@@ -351,8 +368,14 @@ mod tests {
     fn two_variables_tracked_separately() {
         // CONGA-style pair.
         let c = Codelet::new(vec![
-            TacStmt::ReadState { dst: "bpu".into(), state: StateRef::Scalar("best_util".into()) },
-            TacStmt::ReadState { dst: "bp".into(), state: StateRef::Scalar("best_path".into()) },
+            TacStmt::ReadState {
+                dst: "bpu".into(),
+                state: StateRef::Scalar("best_util".into()),
+            },
+            TacStmt::ReadState {
+                dst: "bp".into(),
+                state: StateRef::Scalar("best_path".into()),
+            },
             TacStmt::Assign {
                 dst: "better".into(),
                 rhs: TacRhs::Binary(BinOp::Lt, fld("util"), fld("bpu")),
@@ -365,8 +388,14 @@ mod tests {
                 dst: "nbp".into(),
                 rhs: TacRhs::Ternary(fld("better"), fld("path_id"), fld("bp")),
             },
-            TacStmt::WriteState { state: StateRef::Scalar("best_util".into()), src: fld("nbu") },
-            TacStmt::WriteState { state: StateRef::Scalar("best_path".into()), src: fld("nbp") },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("best_util".into()),
+                src: fld("nbu"),
+            },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("best_path".into()),
+                src: fld("nbp"),
+            },
         ]);
         let spec = collapse(&c).unwrap();
         assert_eq!(spec.num_vars(), 2);
@@ -383,8 +412,14 @@ mod tests {
     #[test]
     fn double_write_rejected() {
         let c = Codelet::new(vec![
-            TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: Operand::Const(1) },
-            TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: Operand::Const(2) },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("x".into()),
+                src: Operand::Const(1),
+            },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("x".into()),
+                src: Operand::Const(2),
+            },
         ]);
         let err = collapse(&c).unwrap_err();
         assert!(err.message.contains("written more than once"), "{err}");
@@ -402,12 +437,22 @@ mod tests {
     #[test]
     fn intrinsic_inside_codelet_rejected() {
         let c = Codelet::new(vec![
-            TacStmt::ReadState { dst: "old".into(), state: StateRef::Scalar("x".into()) },
+            TacStmt::ReadState {
+                dst: "old".into(),
+                state: StateRef::Scalar("x".into()),
+            },
             TacStmt::Assign {
                 dst: "h".into(),
-                rhs: TacRhs::Intrinsic { name: "hash2".into(), args: vec![fld("a"), fld("b")], modulo: None },
+                rhs: TacRhs::Intrinsic {
+                    name: "hash2".into(),
+                    args: vec![fld("a"), fld("b")],
+                    modulo: None,
+                },
             },
-            TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: fld("h") },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("x".into()),
+                src: fld("h"),
+            },
         ]);
         let err = collapse(&c).unwrap_err();
         assert!(err.message.contains("hash2"), "{err}");

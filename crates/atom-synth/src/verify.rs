@@ -119,8 +119,9 @@ pub fn verify(spec: &CodeletSpec, config: &StatefulConfig) -> Result<(), Counter
         }
     } else {
         for _ in 0..4096 {
-            let olds: Vec<i32> =
-                (0..n_vars).map(|_| small[rng.gen_range(0..small.len())]).collect();
+            let olds: Vec<i32> = (0..n_vars)
+                .map(|_| small[rng.gen_range(0..small.len())])
+                .collect();
             let mut pkt = Packet::new();
             for f in &fields {
                 pkt.set(f, small[rng.gen_range(0..small.len())]);
@@ -186,10 +187,19 @@ fn collect_tree_fields(tree: &Tree, out: &mut BTreeSet<String>) {
 }
 
 fn interesting_values(spec: &CodeletSpec, config: &StatefulConfig) -> Vec<i32> {
-    let mut vals: BTreeSet<i32> =
-        [0, 1, -1, 2, -2, i32::MAX, i32::MIN, i32::MAX - 1, i32::MIN + 1]
-            .into_iter()
-            .collect();
+    let mut vals: BTreeSet<i32> = [
+        0,
+        1,
+        -1,
+        2,
+        -2,
+        i32::MAX,
+        i32::MIN,
+        i32::MAX - 1,
+        i32::MIN + 1,
+    ]
+    .into_iter()
+    .collect();
     let mut add_const = |c: i32| {
         vals.insert(c);
         vals.insert(c.wrapping_add(1));

@@ -135,7 +135,8 @@ pub struct Guard {
 impl Guard {
     /// Evaluates the guard against pre-update state values and the packet.
     pub fn eval(&self, olds: &[i32], pkt: &Packet) -> bool {
-        self.op.eval(self.lhs.eval(olds, pkt), self.rhs.eval(olds, pkt))
+        self.op
+            .eval(self.lhs.eval(olds, pkt), self.rhs.eval(olds, pkt))
     }
 
     /// True if either operand reads atom state.
@@ -402,7 +403,14 @@ mod tests {
     fn relop_eval_and_inverses() {
         assert!(RelOp::Lt.eval(1, 2));
         assert!(!RelOp::Lt.eval(2, 2));
-        for op in [RelOp::Lt, RelOp::Gt, RelOp::Le, RelOp::Ge, RelOp::Eq, RelOp::Ne] {
+        for op in [
+            RelOp::Lt,
+            RelOp::Gt,
+            RelOp::Le,
+            RelOp::Ge,
+            RelOp::Eq,
+            RelOp::Ne,
+        ] {
             for a in [-2, 0, 3] {
                 for b in [-2, 0, 3] {
                     assert_eq!(op.eval(a, b), op.flipped().eval(b, a), "{op:?} flip");

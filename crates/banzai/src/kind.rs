@@ -167,7 +167,12 @@ mod tests {
     #[test]
     fn hierarchy_is_ordered() {
         for w in AtomKind::ALL.windows(2) {
-            assert!(w[1] > w[0], "{:?} should be more expressive than {:?}", w[1], w[0]);
+            assert!(
+                w[1] > w[0],
+                "{:?} should be more expressive than {:?}",
+                w[1],
+                w[0]
+            );
             assert!(w[1].contains(w[0]));
             assert!(!w[0].contains(w[1]));
         }

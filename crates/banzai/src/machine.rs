@@ -301,7 +301,10 @@ mod tests {
     ///   stage 2: stateless compare pkt.flag = pkt.count > 2
     fn counter_pipeline() -> AtomPipeline {
         let counter_codelet = Codelet::new(vec![
-            TacStmt::ReadState { dst: "old".into(), state: StateRef::Scalar("c".into()) },
+            TacStmt::ReadState {
+                dst: "old".into(),
+                state: StateRef::Scalar("c".into()),
+            },
             TacStmt::Assign {
                 dst: "count".into(),
                 rhs: TacRhs::Binary(BinOp::Add, Operand::Field("old".into()), Operand::Const(1)),
@@ -326,11 +329,21 @@ mod tests {
             stages: vec![
                 vec![CompiledAtom {
                     codelet: counter_codelet,
-                    role: AtomRole::Stateful { kind: AtomKind::Raw, config },
+                    role: AtomRole::Stateful {
+                        kind: AtomKind::Raw,
+                        config,
+                    },
                 }],
-                vec![CompiledAtom { codelet: compare, role: AtomRole::Stateless }],
+                vec![CompiledAtom {
+                    codelet: compare,
+                    role: AtomRole::Stateless,
+                }],
             ],
-            state_decls: vec![StateVar { name: "c".into(), kind: StateKind::Scalar, init: 0 }],
+            state_decls: vec![StateVar {
+                name: "c".into(),
+                kind: StateKind::Scalar,
+                init: 0,
+            }],
             declared_fields: vec!["count".into(), "flag".into()],
             output_map: vec![],
         }

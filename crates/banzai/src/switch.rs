@@ -147,8 +147,7 @@ mod tests {
     #[test]
     fn queue_preserves_order_and_count() {
         let mut sw = Switch::new(passthrough("in"), passthrough("out"), 64);
-        let trace: Vec<Packet> =
-            (0..40).map(|i| Packet::new().with("seq", i)).collect();
+        let trace: Vec<Packet> = (0..40).map(|i| Packet::new().with("seq", i)).collect();
         let out = sw.run_trace(&trace);
         assert_eq!(out.len(), 40);
         for (i, p) in out.iter().enumerate() {
@@ -160,10 +159,8 @@ mod tests {
     #[test]
     fn oversubscribed_link_builds_queue_and_drops() {
         // Drain every 2 cycles with capacity 8: arrivals outpace the link.
-        let mut sw =
-            Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
-        let trace: Vec<Packet> =
-            (0..100).map(|i| Packet::new().with("seq", i)).collect();
+        let mut sw = Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
+        let trace: Vec<Packet> = (0..100).map(|i| Packet::new().with("seq", i)).collect();
         let out = sw.run_trace(&trace);
         assert!(sw.drops() > 0, "expected drops, got none");
         assert_eq!(out.len() as u64 + sw.drops(), 100);
@@ -171,8 +168,7 @@ mod tests {
 
     #[test]
     fn egress_sees_sojourn_metadata() {
-        let mut sw =
-            Switch::new(passthrough("in"), passthrough("out"), 64).with_drain_period(3);
+        let mut sw = Switch::new(passthrough("in"), passthrough("out"), 64).with_drain_period(3);
         let trace: Vec<Packet> = (0..30).map(|i| Packet::new().with("seq", i)).collect();
         let out = sw.run_trace(&trace);
         // Sojourn = now - enq_ts grows as the queue builds.
@@ -183,5 +179,4 @@ mod tests {
         assert!(*sojourns.last().unwrap() > sojourns[0], "{sojourns:?}");
         assert!(out.iter().all(|p| p.get("qdepth").is_some()));
     }
-
 }

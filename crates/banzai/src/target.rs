@@ -164,7 +164,8 @@ mod tests {
             BinOp::Or,
         ] {
             assert!(
-                t.check_stateless_rhs(&TacRhs::Binary(op, fld("a"), fld("b"))).is_ok(),
+                t.check_stateless_rhs(&TacRhs::Binary(op, fld("a"), fld("b")))
+                    .is_ok(),
                 "{op:?}"
             );
         }

@@ -17,7 +17,9 @@ use std::hint::black_box;
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile");
     for algo in algorithms::TABLE4.iter() {
-        let Some(kind) = algo.paper.least_atom else { continue };
+        let Some(kind) = algo.paper.least_atom else {
+            continue;
+        };
         let target = Target::banzai(kind);
         group.bench_function(algo.name, |b| {
             b.iter(|| domino_compiler::compile(black_box(algo.source), &target).unwrap())
@@ -39,10 +41,16 @@ fn bench_reject(c: &mut Criterion) {
 
 fn bench_simulate(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate");
-    for (name, mode_pipelined) in
-        [("flowlet_serial", false), ("flowlet_pipelined", true), ("heavy_hitters_serial", false)]
-    {
-        let algo_name = if name.starts_with("flowlet") { "flowlet" } else { "heavy_hitters" };
+    for (name, mode_pipelined) in [
+        ("flowlet_serial", false),
+        ("flowlet_pipelined", true),
+        ("heavy_hitters_serial", false),
+    ] {
+        let algo_name = if name.starts_with("flowlet") {
+            "flowlet"
+        } else {
+            "heavy_hitters"
+        };
         let algo = algorithms::by_name(algo_name).unwrap();
         let target = Target::banzai(algo.paper.least_atom.unwrap());
         let pipeline = domino_compiler::compile(algo.source, &target).unwrap();
@@ -78,5 +86,11 @@ fn bench_synthesize(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_compile, bench_reject, bench_simulate, bench_synthesize);
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_reject,
+    bench_simulate,
+    bench_synthesize
+);
 criterion_main!(benches);

@@ -14,7 +14,10 @@ fn main() {
         "Stateless".to_string(),
         format!("{:.0}", stateless.area()),
         format!("{PAPER_STATELESS_AREA:.0}"),
-        format!("{:+.1}%", 100.0 * (stateless.area() - PAPER_STATELESS_AREA) / PAPER_STATELESS_AREA),
+        format!(
+            "{:+.1}%",
+            100.0 * (stateless.area() - PAPER_STATELESS_AREA) / PAPER_STATELESS_AREA
+        ),
     ]);
     for kind in AtomKind::ALL {
         let circuit = stateful_circuit(kind);

@@ -20,7 +20,9 @@ fn main() {
             algo.paper.pipeline.to_string(),
             format!("{}", r.domino_loc),
             format!("{}", algo.paper.domino_loc),
-            r.p4_loc.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            r.p4_loc
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
             format!("{}", algo.paper.p4_loc),
         ]);
     }
@@ -35,7 +37,9 @@ fn main() {
             "Egress".into(),
             format!("{}", r.domino_loc),
             "n/a".into(),
-            r.p4_loc.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+            r.p4_loc
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
             "n/a".into(),
         ]);
     }

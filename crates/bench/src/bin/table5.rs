@@ -11,7 +11,12 @@ fn main() {
     // Programmability: compile all Table 4 algorithms per target.
     let compilations: Vec<_> = algorithms::TABLE4
         .iter()
-        .map(|a| (a.name, domino_compiler::normalize(a.source).expect("normalizes")))
+        .map(|a| {
+            (
+                a.name,
+                domino_compiler::normalize(a.source).expect("normalizes"),
+            )
+        })
         .collect();
 
     let mut rows = Vec::new();
@@ -36,15 +41,7 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &[
-                "Atom",
-                "Delay ps",
-                "(paper)",
-                "# algos",
-                "(paper)",
-                "Gpkts/s",
-                "(paper)",
-            ],
+            &["Atom", "Delay ps", "(paper)", "# algos", "(paper)", "Gpkts/s", "(paper)",],
             &rows
         )
     );

@@ -11,8 +11,11 @@ fn main() {
     let mut rows = Vec::new();
     for kind in AtomKind::ALL {
         let c = stateful_circuit(kind);
-        let path: Vec<String> =
-            c.critical_path.iter().map(|comp| comp.to_string()).collect();
+        let path: Vec<String> = c
+            .critical_path
+            .iter()
+            .map(|comp| comp.to_string())
+            .collect();
         rows.push(vec![
             kind.paper_name().to_string(),
             format!("{}", c.logic_depth()),

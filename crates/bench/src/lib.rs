@@ -44,8 +44,8 @@ pub struct AlgoResult {
 /// Compiles `algo` against every standard target (optionally LUT-extended)
 /// and gathers the Table 4 row.
 pub fn evaluate_algorithm(algo: &algorithms::Algorithm, with_lut: bool) -> AlgoResult {
-    let compilation = domino_compiler::normalize(algo.source)
-        .unwrap_or_else(|e| panic!("{}: {e}", algo.name));
+    let compilation =
+        domino_compiler::normalize(algo.source).unwrap_or_else(|e| panic!("{}: {e}", algo.name));
 
     let mk_target = |kind: AtomKind| {
         if with_lut {
@@ -60,7 +60,10 @@ pub fn evaluate_algorithm(algo: &algorithms::Algorithm, with_lut: bool) -> AlgoR
     for kind in AtomKind::ALL {
         if let Ok(pipeline) = domino_compiler::lower(&compilation, &mk_target(kind)) {
             least = Some(kind);
-            p4_loc = Some(p4_backend::loc(&p4_backend::generate(&compilation, &pipeline)));
+            p4_loc = Some(p4_backend::loc(&p4_backend::generate(
+                &compilation,
+                &pipeline,
+            )));
             break;
         }
     }
@@ -152,7 +155,10 @@ mod tests {
     fn render_table_aligns() {
         let t = render_table(
             &["a", "bbbb"],
-            &[vec!["xx".into(), "y".into()], vec!["1".into(), "22222".into()]],
+            &[
+                vec!["xx".into(), "y".into()],
+                vec!["1".into(), "22222".into()],
+            ],
         );
         assert!(t.contains("xx  y"), "{t}");
         assert!(t.contains("1   22222"), "{t}");

@@ -65,11 +65,9 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 
     let file = file.ok_or("usage: domc <file.domino> [options] (try --help)")?;
-    let source = std::fs::read_to_string(file)
-        .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    let source = std::fs::read_to_string(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
 
-    let compilation =
-        domino_compiler::normalize(&source).map_err(|e| e.to_string())?;
+    let compilation = domino_compiler::normalize(&source).map_err(|e| e.to_string())?;
 
     if all_targets {
         for k in AtomKind::ALL {
@@ -119,39 +117,46 @@ fn run(args: &[String]) -> Result<(), String> {
         "json" => {
             let pipeline =
                 domino_compiler::lower(&compilation, &target).map_err(|e| e.to_string())?;
-            let stages: Vec<serde_json::Value> = pipeline
+            // Hand-rolled emission: the build environment is offline, so no
+            // serde dependency — the document is small and fully escapable.
+            let stages: Vec<String> = pipeline
                 .stages
                 .iter()
                 .map(|stage| {
-                    serde_json::Value::Array(
-                        stage
-                            .iter()
-                            .map(|atom| {
-                                serde_json::json!({
-                                    "stateful": atom.is_stateful(),
-                                    "statements": atom
-                                        .codelet
-                                        .stmts
-                                        .iter()
-                                        .map(|s| s.to_string())
-                                        .collect::<Vec<_>>(),
-                                })
-                            })
-                            .collect(),
-                    )
+                    let atoms: Vec<String> = stage
+                        .iter()
+                        .map(|atom| {
+                            let stmts: Vec<String> = atom
+                                .codelet
+                                .stmts
+                                .iter()
+                                .map(|s| json_string(&s.to_string()))
+                                .collect();
+                            format!(
+                                "{{\"stateful\": {}, \"statements\": [{}]}}",
+                                atom.is_stateful(),
+                                stmts.join(", ")
+                            )
+                        })
+                        .collect();
+                    format!("[{}]", atoms.join(", "))
                 })
                 .collect();
-            let doc = serde_json::json!({
-                "name": pipeline.name,
-                "target": pipeline.target_name,
-                "depth": pipeline.depth(),
-                "max_atoms_per_stage": pipeline.max_atoms_per_stage(),
-                "max_stateful_kind": pipeline
-                    .max_stateful_kind()
-                    .map(|k| k.short_name()),
-                "stages": stages,
-            });
-            println!("{}", serde_json::to_string_pretty(&doc).expect("json"));
+            let kind = pipeline
+                .max_stateful_kind()
+                .map(|k| json_string(k.short_name()))
+                .unwrap_or_else(|| "null".into());
+            println!(
+                "{{\n  \"name\": {},\n  \"target\": {},\n  \"depth\": {},\n  \
+                 \"max_atoms_per_stage\": {},\n  \"max_stateful_kind\": {},\n  \
+                 \"stages\": [\n    {}\n  ]\n}}",
+                json_string(&pipeline.name),
+                json_string(&pipeline.target_name),
+                pipeline.depth(),
+                pipeline.max_atoms_per_stage(),
+                kind,
+                stages.join(",\n    ")
+            );
         }
         other => {
             return Err(format!(
@@ -160,6 +165,25 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn make_target(kind: AtomKind, lut: bool) -> Target {

@@ -37,7 +37,10 @@ pub enum BinOp {
 impl BinOp {
     /// True for `< > <= >= == !=`.
     pub fn is_relational(self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// C spelling of the operator.
@@ -190,9 +193,7 @@ impl Expr {
                 o1 == o2 && a1.structurally_equal(a2) && b1.structurally_equal(b2)
             }
             (Expr::Ternary(c1, t1, e1, _), Expr::Ternary(c2, t2, e2, _)) => {
-                c1.structurally_equal(c2)
-                    && t1.structurally_equal(t2)
-                    && e1.structurally_equal(e2)
+                c1.structurally_equal(c2) && t1.structurally_equal(t2) && e1.structurally_equal(e2)
             }
             (Expr::Call(n1, a1, _), Expr::Call(n2, a2, _)) => {
                 n1 == n2
@@ -292,7 +293,12 @@ pub enum Stmt {
     /// this form by the parser).
     Assign { lhs: LValue, rhs: Expr, span: Span },
     /// `if (cond) { .. } else { .. }`. A missing else is an empty vec.
-    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>, span: Span },
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+        span: Span,
+    },
 }
 
 impl Stmt {
@@ -498,6 +504,9 @@ mod tests {
             Box::new(fld("saved_hop")),
             Span::SYNTH,
         );
-        assert_eq!(e.to_string(), "((pkt.tmp > 5) ? pkt.new_hop : pkt.saved_hop)");
+        assert_eq!(
+            e.to_string(),
+            "((pkt.tmp > 5) ? pkt.new_hop : pkt.saved_hop)"
+        );
     }
 }

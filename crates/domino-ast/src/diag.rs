@@ -58,13 +58,21 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates a diagnostic with a source location.
     pub fn new(stage: Stage, message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { stage, message: message.into(), span: Some(span) }
+        Diagnostic {
+            stage,
+            message: message.into(),
+            span: Some(span),
+        }
     }
 
     /// Creates a diagnostic with no source location (e.g. whole-program
     /// resource-limit violations).
     pub fn global(stage: Stage, message: impl Into<String>) -> Self {
-        Diagnostic { stage, message: message.into(), span: None }
+        Diagnostic {
+            stage,
+            message: message.into(),
+            span: None,
+        }
     }
 }
 
@@ -91,13 +99,19 @@ mod tests {
     #[test]
     fn display_with_span() {
         let d = Diagnostic::new(Stage::Sema, "unknown field `foo`", Span::new(3, 6, 2, 5));
-        assert_eq!(d.to_string(), "error[semantic analysis] at 2:5: unknown field `foo`");
+        assert_eq!(
+            d.to_string(),
+            "error[semantic analysis] at 2:5: unknown field `foo`"
+        );
     }
 
     #[test]
     fn display_without_span() {
         let d = Diagnostic::global(Stage::CodeGen, "pipeline depth 40 exceeds limit 32");
-        assert_eq!(d.to_string(), "error[code generation]: pipeline depth 40 exceeds limit 32");
+        assert_eq!(
+            d.to_string(),
+            "error[code generation]: pipeline depth 40 exceeds limit 32"
+        );
     }
 
     #[test]

@@ -21,13 +21,25 @@ pub struct Intrinsic {
 }
 
 const INTRINSICS: &[Intrinsic] = &[
-    Intrinsic { name: "hash2", arity: 2 },
-    Intrinsic { name: "hash3", arity: 3 },
-    Intrinsic { name: "isqrt", arity: 1 },
+    Intrinsic {
+        name: "hash2",
+        arity: 2,
+    },
+    Intrinsic {
+        name: "hash3",
+        arity: 3,
+    },
+    Intrinsic {
+        name: "isqrt",
+        arity: 1,
+    },
     // CoDel's control law `interval / sqrt(count)` as a single look-up
     // table function (§5.3 future work / extension X1). No baseline target
     // provides it.
-    Intrinsic { name: "codel_gap", arity: 2 },
+    Intrinsic {
+        name: "codel_gap",
+        arity: 2,
+    },
 ];
 
 /// Looks up an intrinsic by name.

@@ -15,8 +15,8 @@ use crate::token::{Token, TokenKind};
 /// Keywords Domino rejects outright, with the Table 1 reason.
 const BANNED_KEYWORDS: &[&str] = &[
     "for", "while", "do", "goto", "break", "continue", "return", "switch", "case", "default",
-    "float", "double", "char", "long", "short", "unsigned", "signed", "static", "const",
-    "sizeof", "typedef", "union", "enum",
+    "float", "double", "char", "long", "short", "unsigned", "signed", "static", "const", "sizeof",
+    "typedef", "union", "enum",
 ];
 
 /// Tokenizes `source`, returning the token stream terminated by
@@ -35,7 +35,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(source: &'a str) -> Self {
-        Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1, tokens: Vec::new() }
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -133,8 +139,7 @@ impl<'a> Lexer<'a> {
 
     fn lex_number(&mut self, start: (usize, u32, u32)) -> Result<()> {
         let mut text = String::new();
-        let hex = self.peek() == Some(b'0')
-            && matches!(self.peek2(), Some(b'x') | Some(b'X'));
+        let hex = self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X'));
         if hex {
             self.bump();
             self.bump();
@@ -335,10 +340,7 @@ impl<'a> Lexer<'a> {
             }
             b'^' => TokenKind::Caret,
             other => {
-                return Err(self.error(
-                    format!("unexpected character `{}`", other as char),
-                    start,
-                ))
+                return Err(self.error(format!("unexpected character `{}`", other as char), start))
             }
         };
         self.push(kind, start);
@@ -362,7 +364,10 @@ mod tests {
 
     #[test]
     fn lexes_integers() {
-        assert_eq!(kinds("42 0 0x1F"), vec![T::Int(42), T::Int(0), T::Int(31), T::Eof]);
+        assert_eq!(
+            kinds("42 0 0x1F"),
+            vec![T::Int(42), T::Int(0), T::Int(31), T::Eof]
+        );
     }
 
     #[test]
@@ -381,7 +386,15 @@ mod tests {
     fn lexes_identifiers_and_keywords() {
         assert_eq!(
             kinds("int void struct if else pkt"),
-            vec![T::KwInt, T::KwVoid, T::KwStruct, T::KwIf, T::KwElse, T::Ident("pkt".into()), T::Eof]
+            vec![
+                T::KwInt,
+                T::KwVoid,
+                T::KwStruct,
+                T::KwIf,
+                T::KwElse,
+                T::Ident("pkt".into()),
+                T::Eof
+            ]
         );
     }
 
@@ -397,17 +410,34 @@ mod tests {
         assert_eq!(
             kinds("<< >> <= >= == != && || += -= ++ --"),
             vec![
-                T::Shl, T::Shr, T::Le, T::Ge, T::EqEq, T::Ne, T::AmpAmp, T::PipePipe,
-                T::PlusAssign, T::MinusAssign, T::PlusPlus, T::MinusMinus, T::Eof
+                T::Shl,
+                T::Shr,
+                T::Le,
+                T::Ge,
+                T::EqEq,
+                T::Ne,
+                T::AmpAmp,
+                T::PipePipe,
+                T::PlusAssign,
+                T::MinusAssign,
+                T::PlusPlus,
+                T::MinusMinus,
+                T::Eof
             ]
         );
     }
 
     #[test]
     fn skips_line_and_block_comments() {
-        assert_eq!(kinds("a // comment\n b /* c */ d"), vec![
-            T::Ident("a".into()), T::Ident("b".into()), T::Ident("d".into()), T::Eof
-        ]);
+        assert_eq!(
+            kinds("a // comment\n b /* c */ d"),
+            vec![
+                T::Ident("a".into()),
+                T::Ident("b".into()),
+                T::Ident("d".into()),
+                T::Eof
+            ]
+        );
     }
 
     #[test]
@@ -417,7 +447,10 @@ mod tests {
 
     #[test]
     fn lexes_define_directive() {
-        assert_eq!(kinds("#define N 10"), vec![T::HashDefine, T::Ident("N".into()), T::Int(10), T::Eof]);
+        assert_eq!(
+            kinds("#define N 10"),
+            vec![T::HashDefine, T::Ident("N".into()), T::Int(10), T::Eof]
+        );
     }
 
     #[test]

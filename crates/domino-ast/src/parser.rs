@@ -164,9 +164,17 @@ impl Parser {
         }
 
         let transaction = transaction.ok_or_else(|| {
-            Diagnostic::global(Stage::Parse, "program has no packet transaction (`void f(struct P pkt) {...}`)")
+            Diagnostic::global(
+                Stage::Parse,
+                "program has no packet transaction (`void f(struct P pkt) {...}`)",
+            )
         })?;
-        Ok(Program { defines, structs, globals, transaction })
+        Ok(Program {
+            defines,
+            structs,
+            globals,
+            transaction,
+        })
     }
 
     fn define(&mut self) -> Result<Define> {
@@ -194,7 +202,11 @@ impl Parser {
         }
         let end = self.expect(TokenKind::RBrace)?.span;
         self.expect(TokenKind::Semi)?;
-        Ok(StructDecl { name, fields, span: start.join(end) })
+        Ok(StructDecl {
+            name,
+            fields,
+            span: start.join(end),
+        })
     }
 
     fn global_decl(&mut self) -> Result<GlobalDecl> {
@@ -220,7 +232,12 @@ impl Parser {
             None
         };
         let end = self.expect(TokenKind::Semi)?.span;
-        Ok(GlobalDecl { name, size, init, span: start.join(end) })
+        Ok(GlobalDecl {
+            name,
+            size,
+            init,
+            span: start.join(end),
+        })
     }
 
     fn reject_pointer(&self) -> Result<()> {
@@ -244,7 +261,13 @@ impl Parser {
         self.expect(TokenKind::RParen)?;
         let body = self.block()?;
         let span = start; // body spans are on statements
-        Ok(Transaction { name, struct_name, param, body, span })
+        Ok(Transaction {
+            name,
+            struct_name,
+            param,
+            body,
+            span,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -305,7 +328,12 @@ impl Parser {
         } else {
             Vec::new()
         };
-        Ok(Stmt::If { cond, then_branch, else_branch, span: start })
+        Ok(Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            span: start,
+        })
     }
 
     fn assign_stmt(&mut self) -> Result<Stmt> {
@@ -394,7 +422,12 @@ impl Parser {
             self.expect(TokenKind::Colon)?;
             let els = self.ternary()?;
             let span = cond.span().join(els.span());
-            Ok(Expr::Ternary(Box::new(cond), Box::new(then), Box::new(els), span))
+            Ok(Expr::Ternary(
+                Box::new(cond),
+                Box::new(then),
+                Box::new(els),
+                span,
+            ))
         } else {
             Ok(cond)
         }
@@ -469,7 +502,10 @@ impl Parser {
     fn additive(&mut self) -> Result<Expr> {
         self.binary_level(
             Self::multiplicative,
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
         )
     }
 
@@ -509,9 +545,9 @@ impl Parser {
                 "address-of is not allowed in Domino (Table 1): pointers do \
                  not exist in the language",
             )),
-            TokenKind::Star => Err(self.err_here(
-                "pointer dereference is not allowed in Domino (Table 1)",
-            )),
+            TokenKind::Star => {
+                Err(self.err_here("pointer dereference is not allowed in Domino (Table 1)"))
+            }
             _ => self.primary(),
         }
     }
@@ -615,7 +651,9 @@ void flowlet(struct Packet pkt) {
              void f(struct P pkt) { pkt.r = pkt.a - pkt.b > pkt.c; }",
         )
         .unwrap();
-        let Stmt::Assign { rhs, .. } = &p.transaction.body[0] else { panic!() };
+        let Stmt::Assign { rhs, .. } = &p.transaction.body[0] else {
+            panic!()
+        };
         assert_eq!(rhs.to_string(), "((pkt.a - pkt.b) > pkt.c)");
     }
 
@@ -632,27 +670,27 @@ void flowlet(struct Packet pkt) {
              void f(struct P pkt) { c += pkt.x; }",
         )
         .unwrap();
-        let Stmt::Assign { lhs, rhs, .. } = &p.transaction.body[0] else { panic!() };
+        let Stmt::Assign { lhs, rhs, .. } = &p.transaction.body[0] else {
+            panic!()
+        };
         assert!(matches!(lhs, LValue::Scalar(n, _) if n == "c"));
         assert_eq!(rhs.to_string(), "(c + pkt.x)");
     }
 
     #[test]
     fn desugars_increment() {
-        let p = parse(
-            "struct P { int x; };\nint c = 0;\nvoid f(struct P pkt) { c++; }",
-        )
-        .unwrap();
-        let Stmt::Assign { rhs, .. } = &p.transaction.body[0] else { panic!() };
+        let p = parse("struct P { int x; };\nint c = 0;\nvoid f(struct P pkt) { c++; }").unwrap();
+        let Stmt::Assign { rhs, .. } = &p.transaction.body[0] else {
+            panic!()
+        };
         assert_eq!(rhs.to_string(), "(c + 1)");
     }
 
     #[test]
     fn rejects_while_loop_with_table1_message() {
-        let err = parse(
-            "struct P { int x; };\nvoid f(struct P pkt) { while (pkt.x) { pkt.x = 0; } }",
-        )
-        .unwrap_err();
+        let err =
+            parse("struct P { int x; };\nvoid f(struct P pkt) { while (pkt.x) { pkt.x = 0; } }")
+                .unwrap_err();
         assert!(err.message.contains("iteration"), "{}", err.message);
         assert!(err.message.contains("Table 1"), "{}", err.message);
     }
@@ -676,35 +714,32 @@ void flowlet(struct Packet pkt) {
     fn rejects_pointers() {
         let err = parse("int *x;\nstruct P { int a; };\nvoid f(struct P pkt) {}").unwrap_err();
         assert!(err.message.contains("pointer"), "{}", err.message);
-        let err2 = parse(
-            "struct P { int a; };\nvoid f(struct P pkt) { pkt.a = &pkt; }",
-        )
-        .unwrap_err();
+        let err2 =
+            parse("struct P { int a; };\nvoid f(struct P pkt) { pkt.a = &pkt; }").unwrap_err();
         assert!(err2.message.contains("address-of"), "{}", err2.message);
     }
 
     #[test]
     fn rejects_local_declarations() {
-        let err = parse(
-            "struct P { int a; };\nvoid f(struct P pkt) { int tmp = 0; }",
-        )
-        .unwrap_err();
+        let err = parse("struct P { int a; };\nvoid f(struct P pkt) { int tmp = 0; }").unwrap_err();
         assert!(err.message.contains("local variable"), "{}", err.message);
     }
 
     #[test]
     fn rejects_multiple_transactions() {
-        let err = parse(
-            "struct P { int a; };\nvoid f(struct P pkt) {}\nvoid g(struct P pkt) {}",
-        )
-        .unwrap_err();
+        let err = parse("struct P { int a; };\nvoid f(struct P pkt) {}\nvoid g(struct P pkt) {}")
+            .unwrap_err();
         assert!(err.message.contains("exactly one"), "{}", err.message);
     }
 
     #[test]
     fn requires_a_transaction() {
         let err = parse("struct P { int a; };").unwrap_err();
-        assert!(err.message.contains("no packet transaction"), "{}", err.message);
+        assert!(
+            err.message.contains("no packet transaction"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
@@ -716,7 +751,9 @@ void flowlet(struct Packet pkt) {
              }",
         )
         .unwrap();
-        let Stmt::If { else_branch, .. } = &p.transaction.body[0] else { panic!() };
+        let Stmt::If { else_branch, .. } = &p.transaction.body[0] else {
+            panic!()
+        };
         assert_eq!(else_branch.len(), 1);
         assert!(matches!(&else_branch[0], Stmt::If { .. }));
     }
@@ -728,17 +765,23 @@ void flowlet(struct Packet pkt) {
              void f(struct P pkt) { if (pkt.a) x = 1; }",
         )
         .unwrap();
-        let Stmt::If { then_branch, else_branch, .. } = &p.transaction.body[0] else { panic!() };
+        let Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } = &p.transaction.body[0]
+        else {
+            panic!()
+        };
         assert_eq!(then_branch.len(), 1);
         assert!(else_branch.is_empty());
     }
 
     #[test]
     fn array_global_with_initializer() {
-        let p = parse(
-            "#define N 4\nint a[N] = {0};\nstruct P { int x; };\nvoid f(struct P pkt) {}",
-        )
-        .unwrap();
+        let p =
+            parse("#define N 4\nint a[N] = {0};\nstruct P { int x; };\nvoid f(struct P pkt) {}")
+                .unwrap();
         let g = &p.globals[0];
         assert_eq!(g.name, "a");
         assert!(g.size.is_some());
@@ -770,16 +813,17 @@ void flowlet(struct Packet pkt) {
 
     #[test]
     fn reports_missing_semicolon() {
-        let err = parse(
-            "struct P { int a; };\nvoid f(struct P pkt) { pkt.a = 1 }",
-        )
-        .unwrap_err();
+        let err = parse("struct P { int a; };\nvoid f(struct P pkt) { pkt.a = 1 }").unwrap_err();
         assert!(err.message.contains("`;`"), "{}", err.message);
     }
 
     #[test]
     fn unterminated_block_reports_cleanly() {
         let err = parse("struct P { int a; };\nvoid f(struct P pkt) { pkt.a = 1;").unwrap_err();
-        assert!(err.message.contains("unterminated") || err.message.contains("`}`"), "{}", err.message);
+        assert!(
+            err.message.contains("unterminated") || err.message.contains("`}`"),
+            "{}",
+            err.message
+        );
     }
 }

@@ -53,7 +53,12 @@ fn write_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
             indent(out, depth);
             writeln!(out, "{} = {rhs};", lvalue_to_string(lhs)).unwrap();
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             indent(out, depth);
             writeln!(out, "if ({cond}) {{").unwrap();
             for s in then_branch {

@@ -209,14 +209,21 @@ impl<'a> Checker<'a> {
                     let folded = self.resolve_expr(e, true)?;
                     let Expr::Int(v, _) = folded else {
                         return Err(self.err(
-                            format!("initializer of `{}` must be a compile-time constant", g.name),
+                            format!(
+                                "initializer of `{}` must be a compile-time constant",
+                                g.name
+                            ),
                             e.span(),
                         ));
                     };
                     v
                 }
             };
-            self.state.push(StateVar { name: g.name.clone(), kind, init });
+            self.state.push(StateVar {
+                name: g.name.clone(),
+                kind,
+                init,
+            });
         }
         Ok(())
     }
@@ -226,9 +233,18 @@ impl<'a> Checker<'a> {
             Stmt::Assign { lhs, rhs, span } => {
                 let lhs = self.check_lvalue(lhs)?;
                 let rhs = self.resolve_expr(rhs, false)?;
-                Ok(Stmt::Assign { lhs, rhs, span: *span })
+                Ok(Stmt::Assign {
+                    lhs,
+                    rhs,
+                    span: *span,
+                })
             }
-            Stmt::If { cond, then_branch, else_branch, span } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
                 let cond = self.resolve_expr(cond, false)?;
                 let then_branch = then_branch
                     .iter()
@@ -238,7 +254,12 @@ impl<'a> Checker<'a> {
                     .iter()
                     .map(|s| self.check_stmt(s))
                     .collect::<Result<Vec<_>>>()?;
-                Ok(Stmt::If { cond, then_branch, else_branch, span: *span })
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span: *span,
+                })
             }
         }
     }
@@ -251,10 +272,9 @@ impl<'a> Checker<'a> {
             }
             LValue::Scalar(name, span) => {
                 if self.defines.contains_key(name) {
-                    return Err(self.err(
-                        format!("cannot assign to #define constant `{name}`"),
-                        *span,
-                    ));
+                    return Err(
+                        self.err(format!("cannot assign to #define constant `{name}`"), *span)
+                    );
                 }
                 match self.state.iter().find(|s| s.name == *name) {
                     Some(sv) if sv.kind == StateKind::Scalar => Ok(lhs.clone()),
@@ -353,24 +373,16 @@ impl<'a> Checker<'a> {
                 if let Some(v) = self.defines.get(name) {
                     Expr::Int(*v, *s)
                 } else if const_only {
-                    return Err(self.err(
-                        format!("`{name}` is not a compile-time constant"),
-                        *s,
-                    ));
+                    return Err(self.err(format!("`{name}` is not a compile-time constant"), *s));
                 } else {
                     match self.state.iter().find(|sv| sv.name == *name) {
-                        Some(sv) if sv.kind == StateKind::Scalar => {
-                            Expr::Ident(name.clone(), *s)
-                        }
+                        Some(sv) if sv.kind == StateKind::Scalar => Expr::Ident(name.clone(), *s),
                         Some(_) => {
-                            return Err(self.err(
-                                format!("state array `{name}` must be indexed"),
-                                *s,
-                            ))
+                            return Err(
+                                self.err(format!("state array `{name}` must be indexed"), *s)
+                            )
                         }
-                        None => {
-                            return Err(self.err(format!("unknown variable `{name}`"), *s))
-                        }
+                        None => return Err(self.err(format!("unknown variable `{name}`"), *s)),
                     }
                 }
             }
@@ -417,16 +429,18 @@ impl<'a> Checker<'a> {
                     // min/max are pure sugar over the conditional operator.
                     "min" | "max" => {
                         if args.len() != 2 {
-                            return Err(self.err(
-                                format!("`{name}` takes exactly 2 arguments"),
-                                *s,
-                            ));
+                            return Err(self.err(format!("`{name}` takes exactly 2 arguments"), *s));
                         }
                         let op = if name == "max" { BinOp::Gt } else { BinOp::Lt };
                         let a = args[0].clone();
                         let b = args[1].clone();
                         Expr::Ternary(
-                            Box::new(Expr::Binary(op, Box::new(a.clone()), Box::new(b.clone()), *s)),
+                            Box::new(Expr::Binary(
+                                op,
+                                Box::new(a.clone()),
+                                Box::new(b.clone()),
+                                *s,
+                            )),
                             Box::new(a),
                             Box::new(b),
                             *s,
@@ -520,7 +534,9 @@ mod tests {
              void f(struct P pkt) { pkt.a = M; }",
         )
         .unwrap();
-        let Stmt::Assign { rhs, .. } = &p.body[0] else { panic!() };
+        let Stmt::Assign { rhs, .. } = &p.body[0] else {
+            panic!()
+        };
         assert!(matches!(rhs, Expr::Int(7, _)));
     }
 
@@ -537,22 +553,25 @@ mod tests {
 
     #[test]
     fn rejects_unknown_field() {
-        let err = check_src(&format!("{HEADER}void f(struct P pkt) {{ pkt.zz = 1; }}"))
-            .unwrap_err();
+        let err =
+            check_src(&format!("{HEADER}void f(struct P pkt) {{ pkt.zz = 1; }}")).unwrap_err();
         assert!(err.message.contains("no field `zz`"), "{}", err.message);
     }
 
     #[test]
     fn rejects_wrong_param_base() {
-        let err = check_src(&format!("{HEADER}void f(struct P pkt) {{ q.a = 1; }}"))
-            .unwrap_err();
-        assert!(err.message.contains("unknown struct variable `q`"), "{}", err.message);
+        let err = check_src(&format!("{HEADER}void f(struct P pkt) {{ q.a = 1; }}")).unwrap_err();
+        assert!(
+            err.message.contains("unknown struct variable `q`"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
     fn rejects_unknown_state() {
-        let err = check_src(&format!("{HEADER}void f(struct P pkt) {{ counter = 1; }}"))
-            .unwrap_err();
+        let err =
+            check_src(&format!("{HEADER}void f(struct P pkt) {{ counter = 1; }}")).unwrap_err();
         assert!(err.message.contains("unknown variable"), "{}", err.message);
     }
 
@@ -589,7 +608,11 @@ mod tests {
             "{HEADER}int arr[4];\nvoid f(struct P pkt) {{ arr[pkt.a] = 1; pkt.r = arr[pkt.b]; }}"
         ))
         .unwrap_err();
-        assert!(err.message.contains("two different index"), "{}", err.message);
+        assert!(
+            err.message.contains("two different index"),
+            "{}",
+            err.message
+        );
         assert!(err.message.contains("Table 1"), "{}", err.message);
     }
 
@@ -616,7 +639,11 @@ mod tests {
             "{HEADER}int ptr = 0;\nint arr[4];\nvoid f(struct P pkt) {{ arr[ptr] = 1; }}"
         ))
         .unwrap_err();
-        assert!(err.message.contains("packet fields and constants"), "{}", err.message);
+        assert!(
+            err.message.contains("packet fields and constants"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]
@@ -663,7 +690,9 @@ mod tests {
             "{HEADER}void f(struct P pkt) {{ pkt.r = max(pkt.a, pkt.b); }}"
         ))
         .unwrap();
-        let Stmt::Assign { rhs, .. } = &p.body[0] else { panic!() };
+        let Stmt::Assign { rhs, .. } = &p.body[0] else {
+            panic!()
+        };
         assert_eq!(rhs.to_string(), "((pkt.a > pkt.b) ? pkt.a : pkt.b)");
     }
 
@@ -673,7 +702,9 @@ mod tests {
             "{HEADER}void f(struct P pkt) {{ pkt.r = (3 + 4) * 2; }}"
         ))
         .unwrap();
-        let Stmt::Assign { rhs, .. } = &p.body[0] else { panic!() };
+        let Stmt::Assign { rhs, .. } = &p.body[0] else {
+            panic!()
+        };
         assert!(matches!(rhs, Expr::Int(14, _)));
     }
 
@@ -683,7 +714,9 @@ mod tests {
             "{HEADER}void f(struct P pkt) {{ pkt.r = 1 ? pkt.a : pkt.b; }}"
         ))
         .unwrap();
-        let Stmt::Assign { rhs, .. } = &p.body[0] else { panic!() };
+        let Stmt::Assign { rhs, .. } = &p.body[0] else {
+            panic!()
+        };
         assert_eq!(rhs.to_string(), "pkt.a");
     }
 

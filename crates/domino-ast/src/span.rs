@@ -23,11 +23,21 @@ pub struct Span {
 impl Span {
     /// A span covering nothing, used for synthesized nodes (e.g. statements
     /// introduced by compiler passes).
-    pub const SYNTH: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+    pub const SYNTH: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+        col: 0,
+    };
 
     /// Creates a new span.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// Returns a span covering both `self` and `other`.
@@ -41,7 +51,11 @@ impl Span {
         if other == Span::SYNTH {
             return self;
         }
-        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        let (first, _) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),

@@ -39,11 +39,11 @@ pub enum TokenKind {
     Colon,
 
     // Operators
-    Assign,     // =
-    PlusAssign, // +=
+    Assign,      // =
+    PlusAssign,  // +=
     MinusAssign, // -=
-    PlusPlus,   // ++
-    MinusMinus, // --
+    PlusPlus,    // ++
+    MinusMinus,  // --
     Plus,
     Minus,
     Star,
@@ -57,13 +57,13 @@ pub enum TokenKind {
     Ge,
     EqEq,
     Ne,
-    Amp,     // &
-    Pipe,    // |
-    Caret,   // ^
-    AmpAmp,  // &&
+    Amp,      // &
+    Pipe,     // |
+    Caret,    // ^
+    AmpAmp,   // &&
     PipePipe, // ||
-    Bang,    // !
-    Tilde,   // ~
+    Bang,     // !
+    Tilde,    // ~
 
     /// End of input.
     Eof,

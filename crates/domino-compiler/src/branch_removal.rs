@@ -44,18 +44,23 @@ pub fn remove_branches(body: &[Stmt], fresh: &mut FreshNames) -> Vec<Assign> {
 fn lower_block(stmts: &[Stmt], fresh: &mut FreshNames, out: &mut Vec<Assign>) {
     for stmt in stmts {
         match stmt {
-            Stmt::Assign { lhs, rhs, .. } => {
-                out.push(Assign { lhs: lhs.clone(), rhs: rhs.clone() })
-            }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::Assign { lhs, rhs, .. } => out.push(Assign {
+                lhs: lhs.clone(),
+                rhs: rhs.clone(),
+            }),
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 // Hoist the condition (evaluated before either branch).
                 let cond_field = fresh.fresh("__br");
                 out.push(Assign {
                     lhs: LValue::Field("pkt".into(), cond_field.clone(), Span::SYNTH),
                     rhs: cond.clone(),
                 });
-                let cond_expr =
-                    Expr::Field("pkt".into(), cond_field, Span::SYNTH);
+                let cond_expr = Expr::Field("pkt".into(), cond_field, Span::SYNTH);
 
                 // Innermost-first: recursively flatten each branch...
                 let mut then_flat = Vec::new();
@@ -124,18 +129,19 @@ mod tests {
 
     #[test]
     fn flowlet_branch_matches_figure5() {
-        let lines = run(
-            "#define THRESHOLD 5\n\
+        let lines = run("#define THRESHOLD 5\n\
              struct P { int arrival; int new_hop; int id; };\n\
              int last_time[8] = {0};\nint saved_hop[8] = {0};\n\
              void f(struct P pkt) {\n\
                if (pkt.arrival - last_time[pkt.id] > THRESHOLD) {\n\
                  saved_hop[pkt.id] = pkt.new_hop;\n\
                }\n\
-             }",
-        );
+             }");
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0], "pkt.__br = ((pkt.arrival - last_time[pkt.id]) > 5);");
+        assert_eq!(
+            lines[0],
+            "pkt.__br = ((pkt.arrival - last_time[pkt.id]) > 5);"
+        );
         assert_eq!(
             lines[1],
             "saved_hop[pkt.id] = (pkt.__br ? pkt.new_hop : saved_hop[pkt.id]);"
@@ -144,10 +150,8 @@ mod tests {
 
     #[test]
     fn else_branch_keeps_then_value() {
-        let lines = run(
-            "struct P { int a; int r; };\n\
-             void f(struct P pkt) { if (pkt.a) { pkt.r = 1; } else { pkt.r = 2; } }",
-        );
+        let lines = run("struct P { int a; int r; };\n\
+             void f(struct P pkt) { if (pkt.a) { pkt.r = 1; } else { pkt.r = 2; } }");
         assert_eq!(lines[1], "pkt.r = (pkt.__br ? 1 : pkt.r);");
         assert_eq!(lines[2], "pkt.r = (pkt.__br ? pkt.r : 2);");
     }
@@ -155,10 +159,8 @@ mod tests {
     #[test]
     fn condition_hoisted_before_body_mutation() {
         // The branch body overwrites the field the condition reads.
-        let lines = run(
-            "struct P { int a; int b; };\n\
-             void f(struct P pkt) { if (pkt.a > 0) { pkt.a = 0; pkt.b = pkt.a; } }",
-        );
+        let lines = run("struct P { int a; int b; };\n\
+             void f(struct P pkt) { if (pkt.a > 0) { pkt.a = 0; pkt.b = pkt.a; } }");
         assert_eq!(lines[0], "pkt.__br = (pkt.a > 0);");
         assert_eq!(lines[1], "pkt.a = (pkt.__br ? 0 : pkt.a);");
         // pkt.b reads the *updated* pkt.a, preserving sequential semantics.
@@ -167,25 +169,25 @@ mod tests {
 
     #[test]
     fn nested_ifs_recurse_innermost_first() {
-        let lines = run(
-            "struct P { int a; int b; int r; };\n\
+        let lines = run("struct P { int a; int b; int r; };\n\
              void f(struct P pkt) {\n\
                if (pkt.a) { if (pkt.b) { pkt.r = 1; } }\n\
-             }",
-        );
+             }");
         // __br = a; __br_1 = __br ? b : __br_1; r = __br ? (__br_1 ? 1 : r) : r
         assert_eq!(lines.len(), 3);
-        assert!(lines[2].contains("pkt.__br ? (pkt.__br_1 ? 1 : pkt.r) : pkt.r"), "{}", lines[2]);
+        assert!(
+            lines[2].contains("pkt.__br ? (pkt.__br_1 ? 1 : pkt.r) : pkt.r"),
+            "{}",
+            lines[2]
+        );
     }
 
     #[test]
     fn else_if_chains_flatten() {
-        let lines = run(
-            "struct P { int a; int b; int r; };\n\
+        let lines = run("struct P { int a; int b; int r; };\n\
              void f(struct P pkt) {\n\
                if (pkt.a) { pkt.r = 1; } else if (pkt.b) { pkt.r = 2; } else { pkt.r = 3; }\n\
-             }",
-        );
+             }");
         // cond0; r(then); cond1 (guarded); r(elif-then); r(else)
         assert_eq!(lines.len(), 5);
         assert!(lines[4].contains("pkt.__br ?"), "{}", lines[4]);
@@ -193,18 +195,14 @@ mod tests {
 
     #[test]
     fn straight_line_is_untouched() {
-        let lines = run(
-            "struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = pkt.a + 1; }",
-        );
+        let lines = run("struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = pkt.a + 1; }");
         assert_eq!(lines, vec!["pkt.r = (pkt.a + 1);"]);
     }
 
     #[test]
     fn fresh_names_avoid_user_fields() {
-        let lines = run(
-            "struct P { int __br; int a; };\n\
-             void f(struct P pkt) { if (pkt.a) { pkt.a = 0; } }",
-        );
+        let lines = run("struct P { int __br; int a; };\n\
+             void f(struct P pkt) { if (pkt.a) { pkt.a = 0; } }");
         // The user already has a field named __br; the temp must differ.
         assert!(lines[0].starts_with("pkt.__br_1 ="), "{}", lines[0]);
     }

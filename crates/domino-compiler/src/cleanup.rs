@@ -30,7 +30,11 @@ fn propagate_copies(stmts: Vec<TacStmt>) -> Vec<TacStmt> {
     // Map from field to the operand it is a pure copy of.
     let mut alias: BTreeMap<String, Operand> = BTreeMap::new();
     for s in &stmts {
-        if let TacStmt::Assign { dst, rhs: TacRhs::Copy(src) } = s {
+        if let TacStmt::Assign {
+            dst,
+            rhs: TacRhs::Copy(src),
+        } = s
+        {
             // Resolve chains eagerly: dst -> root.
             let root = match src {
                 Operand::Field(f) => alias
@@ -61,9 +65,7 @@ fn propagate_copies(stmts: Vec<TacStmt>) -> Vec<TacStmt> {
                     TacRhs::Copy(o) => TacRhs::Copy(subst(&o)),
                     TacRhs::Unary(op, o) => TacRhs::Unary(op, subst(&o)),
                     TacRhs::Binary(op, a, b) => TacRhs::Binary(op, subst(&a), subst(&b)),
-                    TacRhs::Ternary(c, a, b) => {
-                        TacRhs::Ternary(subst(&c), subst(&a), subst(&b))
-                    }
+                    TacRhs::Ternary(c, a, b) => TacRhs::Ternary(subst(&c), subst(&a), subst(&b)),
                     TacRhs::Intrinsic { name, args, modulo } => TacRhs::Intrinsic {
                         name,
                         args: args.iter().map(&subst).collect(),
@@ -72,9 +74,10 @@ fn propagate_copies(stmts: Vec<TacStmt>) -> Vec<TacStmt> {
                 };
                 TacStmt::Assign { dst, rhs }
             }
-            TacStmt::ReadState { dst, state } => {
-                TacStmt::ReadState { dst, state: subst_state(state, &subst) }
-            }
+            TacStmt::ReadState { dst, state } => TacStmt::ReadState {
+                dst,
+                state: subst_state(state, &subst),
+            },
             TacStmt::WriteState { state, src } => TacStmt::WriteState {
                 state: subst_state(state, &subst),
                 src: subst(&src),
@@ -89,9 +92,10 @@ fn subst_state(
 ) -> domino_ir::StateRef {
     match state {
         domino_ir::StateRef::Scalar(n) => domino_ir::StateRef::Scalar(n),
-        domino_ir::StateRef::Array { name, index } => {
-            domino_ir::StateRef::Array { name, index: subst(&index) }
-        }
+        domino_ir::StateRef::Array { name, index } => domino_ir::StateRef::Array {
+            name,
+            index: subst(&index),
+        },
     }
 }
 
@@ -134,7 +138,10 @@ mod tests {
         Operand::Field(n.into())
     }
     fn assign(dst: &str, rhs: TacRhs) -> TacStmt {
-        TacStmt::Assign { dst: dst.into(), rhs }
+        TacStmt::Assign {
+            dst: dst.into(),
+            rhs,
+        }
     }
     fn outputs(names: &[&str]) -> BTreeSet<String> {
         names.iter().map(|s| s.to_string()).collect()
@@ -147,7 +154,10 @@ mod tests {
         let stmts = vec![
             assign("last_time1", TacRhs::Copy(fld("arrival"))),
             TacStmt::WriteState {
-                state: StateRef::Array { name: "last_time".into(), index: fld("id0") },
+                state: StateRef::Array {
+                    name: "last_time".into(),
+                    index: fld("id0"),
+                },
                 src: fld("last_time1"),
             },
         ];
@@ -187,10 +197,16 @@ mod tests {
         let stmts = vec![
             TacStmt::ReadState {
                 dst: "filter0".into(),
-                state: StateRef::Array { name: "filter".into(), index: fld("h") },
+                state: StateRef::Array {
+                    name: "filter".into(),
+                    index: fld("h"),
+                },
             },
             TacStmt::WriteState {
-                state: StateRef::Array { name: "filter".into(), index: fld("h") },
+                state: StateRef::Array {
+                    name: "filter".into(),
+                    index: fld("h"),
+                },
                 src: Operand::Const(1),
             },
         ];
@@ -202,9 +218,18 @@ mod tests {
     #[test]
     fn used_read_flank_kept() {
         let stmts = vec![
-            TacStmt::ReadState { dst: "c0".into(), state: StateRef::Scalar("c".into()) },
-            assign("c1", TacRhs::Binary(BinOp::Add, fld("c0"), Operand::Const(1))),
-            TacStmt::WriteState { state: StateRef::Scalar("c".into()), src: fld("c1") },
+            TacStmt::ReadState {
+                dst: "c0".into(),
+                state: StateRef::Scalar("c".into()),
+            },
+            assign(
+                "c1",
+                TacRhs::Binary(BinOp::Add, fld("c0"), Operand::Const(1)),
+            ),
+            TacStmt::WriteState {
+                state: StateRef::Scalar("c".into()),
+                src: fld("c1"),
+            },
         ];
         let out = cleanup(stmts, &outputs(&[]));
         assert_eq!(out.len(), 3);
@@ -225,7 +250,10 @@ mod tests {
     fn constant_copy_propagates() {
         let stmts = vec![
             assign("zero", TacRhs::Copy(Operand::Const(0))),
-            TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: fld("zero") },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("x".into()),
+                src: fld("zero"),
+            },
         ];
         let out = cleanup(stmts, &outputs(&[]));
         assert_eq!(out.len(), 1);

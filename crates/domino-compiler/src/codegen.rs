@@ -97,23 +97,28 @@ fn map_codelet(
                 )
             })?;
         }
-        Ok(CompiledAtom { codelet: codelet.clone(), role: AtomRole::Stateless })
-    } else {
-        let synth =
-            atom_synth::map_to_kind(codelet, target.stateful_kind).map_err(|e| {
-                Diagnostic::global(
-                    Stage::CodeGen,
-                    format!(
-                        "cannot run at line rate: stage {} stateful codelet\n{}\n{}",
-                        stage_index + 1,
-                        codelet,
-                        e.message
-                    ),
-                )
-            })?;
         Ok(CompiledAtom {
             codelet: codelet.clone(),
-            role: AtomRole::Stateful { kind: synth.minimal_kind, config: synth.config },
+            role: AtomRole::Stateless,
+        })
+    } else {
+        let synth = atom_synth::map_to_kind(codelet, target.stateful_kind).map_err(|e| {
+            Diagnostic::global(
+                Stage::CodeGen,
+                format!(
+                    "cannot run at line rate: stage {} stateful codelet\n{}\n{}",
+                    stage_index + 1,
+                    codelet,
+                    e.message
+                ),
+            )
+        })?;
+        Ok(CompiledAtom {
+            codelet: codelet.clone(),
+            role: AtomRole::Stateful {
+                kind: synth.minimal_kind,
+                config: synth.config,
+            },
         })
     }
 }
@@ -124,8 +129,7 @@ fn map_codelet(
 /// stages"). Codelets within one PVSM stage are mutually independent, so
 /// any split preserves dependencies.
 fn split_stage(atoms: Vec<CompiledAtom>, target: &Target) -> Vec<Vec<CompiledAtom>> {
-    let (stateful, stateless): (Vec<_>, Vec<_>) =
-        atoms.into_iter().partition(|a| a.is_stateful());
+    let (stateful, stateless): (Vec<_>, Vec<_>) = atoms.into_iter().partition(|a| a.is_stateful());
     let stages_for_stateful = stateful.len().div_ceil(target.stateful_per_stage.max(1));
     let stages_for_stateless = stateless.len().div_ceil(target.stateless_per_stage.max(1));
     let n_stages = stages_for_stateful.max(stages_for_stateless).max(1);
@@ -152,17 +156,26 @@ mod tests {
     }
 
     fn stateless_codelet(dst: &str, rhs: TacRhs) -> Codelet {
-        Codelet::new(vec![TacStmt::Assign { dst: dst.into(), rhs }])
+        Codelet::new(vec![TacStmt::Assign {
+            dst: dst.into(),
+            rhs,
+        }])
     }
 
     fn counter_codelet() -> Codelet {
         Codelet::new(vec![
-            TacStmt::ReadState { dst: "c0".into(), state: StateRef::Scalar("c".into()) },
+            TacStmt::ReadState {
+                dst: "c0".into(),
+                state: StateRef::Scalar("c".into()),
+            },
             TacStmt::Assign {
                 dst: "c1".into(),
                 rhs: TacRhs::Binary(BinOp::Add, fld("c0"), Operand::Const(1)),
             },
-            TacStmt::WriteState { state: StateRef::Scalar("c".into()), src: fld("c1") },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("c".into()),
+                src: fld("c1"),
+            },
         ])
     }
 
@@ -174,7 +187,10 @@ mod tests {
     fn maps_mixed_pipeline() {
         let p = pvsm(vec![
             vec![counter_codelet()],
-            vec![stateless_codelet("f", TacRhs::Binary(BinOp::Gt, fld("c1"), Operand::Const(3)))],
+            vec![stateless_codelet(
+                "f",
+                TacRhs::Binary(BinOp::Gt, fld("c1"), Operand::Const(3)),
+            )],
         ]);
         let target = Target::banzai(AtomKind::Raw);
         let out = generate("t", &p, &target, vec![], vec![], vec![]).unwrap();
@@ -223,7 +239,10 @@ mod tests {
         target.stateful_per_stage = 1;
         let mk = |var: &str| {
             Codelet::new(vec![
-                TacStmt::ReadState { dst: format!("{var}0"), state: StateRef::Scalar(var.into()) },
+                TacStmt::ReadState {
+                    dst: format!("{var}0"),
+                    state: StateRef::Scalar(var.into()),
+                },
                 TacStmt::WriteState {
                     state: StateRef::Scalar(var.into()),
                     src: fld("x"),
@@ -252,7 +271,11 @@ mod tests {
 
     #[test]
     fn lut_target_admits_isqrt() {
-        let rhs = TacRhs::Intrinsic { name: "isqrt".into(), args: vec![fld("x")], modulo: None };
+        let rhs = TacRhs::Intrinsic {
+            name: "isqrt".into(),
+            args: vec![fld("x")],
+            modulo: None,
+        };
         let p = pvsm(vec![vec![stateless_codelet("r", rhs)]]);
         let base = Target::banzai(AtomKind::Write);
         assert!(generate("t", &p, &base, vec![], vec![], vec![]).is_err());

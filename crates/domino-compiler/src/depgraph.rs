@@ -136,7 +136,10 @@ impl DepGraph {
             } else {
                 ""
             };
-            out.push_str(&format!("  n{i} [label=\"{}\"{shape}];\n", escape(&s.to_string())));
+            out.push_str(&format!(
+                "  n{i} [label=\"{}\"{shape}];\n",
+                escape(&s.to_string())
+            ));
         }
         for (v, ws) in self.succs.iter().enumerate() {
             for w in ws {
@@ -246,12 +249,18 @@ mod tests {
             /* 1 */
             TacStmt::ReadState {
                 dst: "saved_hop0".into(),
-                state: StateRef::Array { name: "saved_hop".into(), index: fld("id0") },
+                state: StateRef::Array {
+                    name: "saved_hop".into(),
+                    index: fld("id0"),
+                },
             },
             /* 2 */
             TacStmt::ReadState {
                 dst: "last_time0".into(),
-                state: StateRef::Array { name: "last_time".into(), index: fld("id0") },
+                state: StateRef::Array {
+                    name: "last_time".into(),
+                    index: fld("id0"),
+                },
             },
             /* 3 */
             TacStmt::Assign {
@@ -284,12 +293,18 @@ mod tests {
             },
             /* 8 */
             TacStmt::WriteState {
-                state: StateRef::Array { name: "saved_hop".into(), index: fld("id0") },
+                state: StateRef::Array {
+                    name: "saved_hop".into(),
+                    index: fld("id0"),
+                },
                 src: fld("saved_hop1"),
             },
             /* 9 */
             TacStmt::WriteState {
-                state: StateRef::Array { name: "last_time".into(), index: fld("id0") },
+                state: StateRef::Array {
+                    name: "last_time".into(),
+                    index: fld("id0"),
+                },
                 src: fld("arrival"),
             },
         ]
@@ -352,8 +367,7 @@ mod tests {
                 indeg[w] += 1;
             }
         }
-        let mut queue: Vec<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut seen = 0;
         while let Some(v) = queue.pop() {
             seen += 1;
@@ -370,8 +384,14 @@ mod tests {
     #[test]
     fn independent_statements_have_no_edges() {
         let tac = vec![
-            TacStmt::Assign { dst: "a".into(), rhs: TacRhs::Copy(fld("x")) },
-            TacStmt::Assign { dst: "b".into(), rhs: TacRhs::Copy(fld("y")) },
+            TacStmt::Assign {
+                dst: "a".into(),
+                rhs: TacRhs::Copy(fld("x")),
+            },
+            TacStmt::Assign {
+                dst: "b".into(),
+                rhs: TacRhs::Copy(fld("y")),
+            },
         ];
         let g = DepGraph::build(&tac);
         assert!(g.succs[0].is_empty());
@@ -392,7 +412,10 @@ mod tests {
     #[test]
     fn long_chain_does_not_overflow_stack() {
         // 20k-statement dependency chain — iterative Tarjan must cope.
-        let mut tac = vec![TacStmt::Assign { dst: "f0".into(), rhs: TacRhs::Copy(fld("in")) }];
+        let mut tac = vec![TacStmt::Assign {
+            dst: "f0".into(),
+            rhs: TacRhs::Copy(fld("in")),
+        }];
         for i in 1..20_000 {
             tac.push(TacStmt::Assign {
                 dst: format!("f{i}"),

@@ -15,7 +15,9 @@ pub struct FreshNames {
 impl FreshNames {
     /// Creates a pool pre-seeded with every name already in use.
     pub fn new(existing: impl IntoIterator<Item = String>) -> Self {
-        FreshNames { used: existing.into_iter().collect() }
+        FreshNames {
+            used: existing.into_iter().collect(),
+        }
     }
 
     /// Marks a name as used.

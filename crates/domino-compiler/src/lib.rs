@@ -128,8 +128,10 @@ pub fn normalize_checked(checked: CheckedProgram) -> Result<Compilation, Diagnos
                 .map(|v| (f.clone(), v.clone()))
         })
         .collect();
-    let output_roots: BTreeSet<String> =
-        output_map.iter().map(|(_, internal)| internal.clone()).collect();
+    let output_roots: BTreeSet<String> = output_map
+        .iter()
+        .map(|(_, internal)| internal.clone())
+        .collect();
 
     let tac_stmts = cleanup::cleanup(tac_stmts, &output_roots);
     let tac = TacProgram {
@@ -237,9 +239,7 @@ void flowlet(struct Packet pkt) {
                 .with("next_hop", 0)
                 .with("id", 0)
         };
-        let trace: Vec<Packet> = (0..200)
-            .map(|i| mk(i % 7, 80 + (i % 3), i * 2))
-            .collect();
+        let trace: Vec<Packet> = (0..200).map(|i| mk(i % 7, 80 + (i % 3), i * 2)).collect();
 
         let expected = run_ast(&compilation.checked, &mut ref_state, &trace);
         let got = machine.run_trace(&trace);

@@ -39,7 +39,10 @@ impl Policy {
 
     /// Adds a transaction that runs on every packet.
     pub fn add(mut self, program: CheckedProgram) -> Policy {
-        self.entries.push(GuardedTransaction { guard: None, program });
+        self.entries.push(GuardedTransaction {
+            guard: None,
+            program,
+        });
         self
     }
 
@@ -49,7 +52,10 @@ impl Policy {
     /// [`Policy::compose`].
     pub fn add_guarded(mut self, guard_src: &str, program: CheckedProgram) -> Result<Policy> {
         let guard = domino_ast::parse_expr(guard_src)?;
-        self.entries.push(GuardedTransaction { guard: Some(guard), program });
+        self.entries.push(GuardedTransaction {
+            guard: Some(guard),
+            program,
+        });
         Ok(self)
     }
 
@@ -75,7 +81,10 @@ impl Policy {
     /// * guards reference only declared packet fields.
     pub fn compose(&self, name: &str) -> Result<CheckedProgram> {
         let Some(first) = self.entries.first() else {
-            return Err(Diagnostic::global(Stage::Sema, "policy has no transactions"));
+            return Err(Diagnostic::global(
+                Stage::Sema,
+                "policy has no transactions",
+            ));
         };
         let param = first.program.param.clone();
 
@@ -131,7 +140,13 @@ impl Policy {
             }
         }
 
-        Ok(CheckedProgram { name: name.to_string(), param, packet_fields, state, body })
+        Ok(CheckedProgram {
+            name: name.to_string(),
+            param,
+            packet_fields,
+            state,
+            body,
+        })
     }
 }
 
@@ -215,11 +230,15 @@ mod tests {
             .add_guarded("pkt.port == 53", counter_prog("dns"))
             .unwrap();
         let merged = policy.compose("split_count").unwrap();
-        let pipeline =
-            crate::compile_checked(merged, &Target::banzai(AtomKind::Praw)).unwrap();
+        let pipeline = crate::compile_checked(merged, &Target::banzai(AtomKind::Praw)).unwrap();
         let mut m = Machine::new(pipeline);
         for port in [80, 80, 53, 80, 22] {
-            m.process(Packet::new().with("port", port).with("out_web", 0).with("out_dns", 0));
+            m.process(
+                Packet::new()
+                    .with("port", port)
+                    .with("out_web", 0)
+                    .with("out_dns", 0),
+            );
         }
         assert_eq!(m.state().read_scalar("web"), 3);
         assert_eq!(m.state().read_scalar("dns"), 1);
@@ -235,11 +254,20 @@ mod tests {
             .add_guarded("pkt.port > 10", counter_prog("b"))
             .unwrap();
         let merged = policy.compose("overlap").unwrap();
-        let pipeline =
-            crate::compile_checked(merged, &Target::banzai(AtomKind::Praw)).unwrap();
+        let pipeline = crate::compile_checked(merged, &Target::banzai(AtomKind::Praw)).unwrap();
         let mut m = Machine::new(pipeline);
-        m.process(Packet::new().with("port", 80).with("out_a", 0).with("out_b", 0));
-        m.process(Packet::new().with("port", 5).with("out_a", 0).with("out_b", 0));
+        m.process(
+            Packet::new()
+                .with("port", 80)
+                .with("out_a", 0)
+                .with("out_b", 0),
+        );
+        m.process(
+            Packet::new()
+                .with("port", 5)
+                .with("out_a", 0)
+                .with("out_b", 0),
+        );
         assert_eq!(m.state().read_scalar("a"), 2);
         assert_eq!(m.state().read_scalar("b"), 1);
     }

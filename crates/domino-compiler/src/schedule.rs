@@ -71,8 +71,14 @@ mod tests {
     #[test]
     fn independent_statements_share_stage_one() {
         let tac = vec![
-            TacStmt::Assign { dst: "a".into(), rhs: TacRhs::Copy(fld("x")) },
-            TacStmt::Assign { dst: "b".into(), rhs: TacRhs::Copy(fld("y")) },
+            TacStmt::Assign {
+                dst: "a".into(),
+                rhs: TacRhs::Copy(fld("x")),
+            },
+            TacStmt::Assign {
+                dst: "b".into(),
+                rhs: TacRhs::Copy(fld("y")),
+            },
         ];
         let p = schedule(&tac);
         assert_eq!(p.depth(), 1);
@@ -82,7 +88,10 @@ mod tests {
     #[test]
     fn chain_spreads_across_stages() {
         let tac = vec![
-            TacStmt::Assign { dst: "a".into(), rhs: TacRhs::Copy(fld("x")) },
+            TacStmt::Assign {
+                dst: "a".into(),
+                rhs: TacRhs::Copy(fld("x")),
+            },
             TacStmt::Assign {
                 dst: "b".into(),
                 rhs: TacRhs::Binary(BinOp::Add, fld("a"), Operand::Const(1)),
@@ -100,12 +109,18 @@ mod tests {
     #[test]
     fn state_codelet_is_one_unit() {
         let tac = vec![
-            TacStmt::ReadState { dst: "c0".into(), state: StateRef::Scalar("c".into()) },
+            TacStmt::ReadState {
+                dst: "c0".into(),
+                state: StateRef::Scalar("c".into()),
+            },
             TacStmt::Assign {
                 dst: "c1".into(),
                 rhs: TacRhs::Binary(BinOp::Add, fld("c0"), Operand::Const(1)),
             },
-            TacStmt::WriteState { state: StateRef::Scalar("c".into()), src: fld("c1") },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("c".into()),
+                src: fld("c1"),
+            },
         ];
         let p = schedule(&tac);
         assert_eq!(p.depth(), 1);
@@ -128,11 +143,17 @@ mod tests {
             },
             TacStmt::ReadState {
                 dst: "saved_hop0".into(),
-                state: StateRef::Array { name: "saved_hop".into(), index: fld("id0") },
+                state: StateRef::Array {
+                    name: "saved_hop".into(),
+                    index: fld("id0"),
+                },
             },
             TacStmt::ReadState {
                 dst: "last_time0".into(),
-                state: StateRef::Array { name: "last_time".into(), index: fld("id0") },
+                state: StateRef::Array {
+                    name: "last_time".into(),
+                    index: fld("id0"),
+                },
             },
             TacStmt::Assign {
                 dst: "new_hop0".into(),
@@ -159,11 +180,17 @@ mod tests {
                 rhs: TacRhs::Ternary(fld("tmp2"), fld("new_hop0"), fld("saved_hop0")),
             },
             TacStmt::WriteState {
-                state: StateRef::Array { name: "saved_hop".into(), index: fld("id0") },
+                state: StateRef::Array {
+                    name: "saved_hop".into(),
+                    index: fld("id0"),
+                },
                 src: fld("saved_hop1"),
             },
             TacStmt::WriteState {
-                state: StateRef::Array { name: "last_time".into(), index: fld("id0") },
+                state: StateRef::Array {
+                    name: "last_time".into(),
+                    index: fld("id0"),
+                },
                 src: fld("arrival"),
             },
         ];

@@ -58,7 +58,10 @@ pub fn to_ssa(stmts: &[Assign], fresh: &mut FreshNames) -> SsaResult {
         out.push(Assign { lhs, rhs });
     }
 
-    SsaResult { stmts: out, final_version: current }
+    SsaResult {
+        stmts: out,
+        final_version: current,
+    }
 }
 
 fn rename_reads(e: Expr, current: &BTreeMap<String, String>) -> Expr {
@@ -88,7 +91,11 @@ mod tests {
             .stmts
             .iter()
             .map(|a| {
-                format!("{} = {};", domino_ast::pretty::lvalue_to_string(&a.lhs), a.rhs)
+                format!(
+                    "{} = {};",
+                    domino_ast::pretty::lvalue_to_string(&a.lhs),
+                    a.rhs
+                )
             })
             .collect();
         (lines, ssa.final_version)
@@ -118,13 +125,13 @@ mod tests {
 
     #[test]
     fn every_field_assigned_once() {
-        let (lines, _) = run(
-            "struct P { int a; int r; };\n\
-             void f(struct P pkt) { pkt.r = pkt.a; pkt.r = pkt.r + 1; pkt.r = pkt.r + 2; }",
-        );
+        let (lines, _) = run("struct P { int a; int r; };\n\
+             void f(struct P pkt) { pkt.r = pkt.a; pkt.r = pkt.r + 1; pkt.r = pkt.r + 2; }");
         // Collect assignment targets; no duplicates allowed.
-        let mut targets: Vec<&str> =
-            lines.iter().map(|l| l.split(" = ").next().unwrap()).collect();
+        let mut targets: Vec<&str> = lines
+            .iter()
+            .map(|l| l.split(" = ").next().unwrap())
+            .collect();
         let before = targets.len();
         targets.sort_unstable();
         targets.dedup();
@@ -133,28 +140,23 @@ mod tests {
 
     #[test]
     fn reads_use_latest_version() {
-        let (lines, _) = run(
-            "struct P { int a; int r; };\n\
-             void f(struct P pkt) { pkt.r = pkt.a; pkt.r = pkt.r + 1; }",
-        );
+        let (lines, _) = run("struct P { int a; int r; };\n\
+             void f(struct P pkt) { pkt.r = pkt.a; pkt.r = pkt.r + 1; }");
         assert_eq!(lines[1], "pkt.r1 = (pkt.r0 + 1);");
     }
 
     #[test]
     fn unassigned_inputs_keep_their_names() {
-        let (lines, finals) = run(
-            "struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = pkt.a + 1; }",
-        );
+        let (lines, finals) =
+            run("struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = pkt.a + 1; }");
         assert_eq!(lines, vec!["pkt.r0 = (pkt.a + 1);"]);
         assert!(!finals.contains_key("a"));
     }
 
     #[test]
     fn write_flank_reads_final_temp_version() {
-        let (lines, _) = run(
-            "struct P { int x; };\nint c = 0;\n\
-             void f(struct P pkt) { c = c + pkt.x; c = c + 1; }",
-        );
+        let (lines, _) = run("struct P { int x; };\nint c = 0;\n\
+             void f(struct P pkt) { c = c + pkt.x; c = c + 1; }");
         assert_eq!(
             lines,
             vec![
@@ -169,9 +171,8 @@ mod tests {
     #[test]
     fn collision_with_existing_numbered_name_skipped() {
         // User declares a field literally named `a0`; SSA must not reuse it.
-        let (lines, _) = run(
-            "struct P { int a; int a0; };\nvoid f(struct P pkt) { pkt.a = pkt.a0; }",
-        );
+        let (lines, _) =
+            run("struct P { int a; int a0; };\nvoid f(struct P pkt) { pkt.a = pkt.a0; }");
         assert_eq!(lines, vec!["pkt.a1 = pkt.a0;"]);
     }
 }

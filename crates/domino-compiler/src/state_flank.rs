@@ -108,7 +108,11 @@ pub fn rewrite_state_ops(
             Some(_) => Some(fresh.fresh(&format!("__idx_{var}"))),
         };
         by_var.insert(var.clone(), flanks.len());
-        flanks.push(FlankInfo { var: var.clone(), temp_field, index_field });
+        flanks.push(FlankInfo {
+            var: var.clone(),
+            temp_field,
+            index_field,
+        });
     }
 
     // 4. Emit: index materialization + read flank before first access,
@@ -147,12 +151,7 @@ pub fn rewrite_state_ops(
     Ok((out, flanks))
 }
 
-fn emit_read_flank(
-    fi: &FlankInfo,
-    idx_expr: Option<&Expr>,
-    param: &str,
-    out: &mut Vec<Assign>,
-) {
+fn emit_read_flank(fi: &FlankInfo, idx_expr: Option<&Expr>, param: &str, out: &mut Vec<Assign>) {
     // Materialize a complex index expression once.
     if let (Some(idx_field), Some(expr)) = (&fi.index_field, idx_expr) {
         let already_a_field = matches!(expr, Expr::Field(_, f, _) if f == idx_field);
@@ -236,7 +235,11 @@ mod tests {
         let lines = flanked
             .iter()
             .map(|a| {
-                format!("{} = {};", domino_ast::pretty::lvalue_to_string(&a.lhs), a.rhs)
+                format!(
+                    "{} = {};",
+                    domino_ast::pretty::lvalue_to_string(&a.lhs),
+                    a.rhs
+                )
             })
             .collect();
         (lines, infos)
@@ -244,16 +247,14 @@ mod tests {
 
     #[test]
     fn scalar_gets_read_and_write_flanks() {
-        let (lines, infos) = run(
-            "struct P { int x; };\nint c = 0;\n\
-             void f(struct P pkt) { c = c + pkt.x; }",
-        );
+        let (lines, infos) = run("struct P { int x; };\nint c = 0;\n\
+             void f(struct P pkt) { c = c + pkt.x; }");
         assert_eq!(
             lines,
             vec![
-                "pkt.c = c;",                 // read flank
-                "pkt.c = (pkt.c + pkt.x);",   // rewritten
-                "c = pkt.c;",                 // write flank
+                "pkt.c = c;",               // read flank
+                "pkt.c = (pkt.c + pkt.x);", // rewritten
+                "c = pkt.c;",               // write flank
             ]
         );
         assert_eq!(infos[0].temp_field, "c");
@@ -282,10 +283,8 @@ mod tests {
 
     #[test]
     fn reads_replaced_with_temp() {
-        let (lines, _) = run(
-            "struct P { int id; int out; };\nint tbl[4] = {0};\n\
-             void f(struct P pkt) { pkt.out = tbl[pkt.id] + 1; }",
-        );
+        let (lines, _) = run("struct P { int id; int out; };\nint tbl[4] = {0};\n\
+             void f(struct P pkt) { pkt.out = tbl[pkt.id] + 1; }");
         assert_eq!(
             lines,
             vec![
@@ -298,10 +297,8 @@ mod tests {
 
     #[test]
     fn complex_index_is_materialized_once() {
-        let (lines, infos) = run(
-            "struct P { int a; int out; };\nint tbl[16] = {0};\n\
-             void f(struct P pkt) { pkt.out = tbl[pkt.a & 15]; }",
-        );
+        let (lines, infos) = run("struct P { int a; int out; };\nint tbl[16] = {0};\n\
+             void f(struct P pkt) { pkt.out = tbl[pkt.a & 15]; }");
         assert_eq!(infos[0].index_field.as_deref(), Some("__idx_tbl"));
         assert_eq!(lines[0], "pkt.__idx_tbl = (pkt.a & 15);");
         assert_eq!(lines[1], "pkt.tbl = tbl[pkt.__idx_tbl];");
@@ -311,10 +308,8 @@ mod tests {
     #[test]
     fn flank_temp_avoids_colliding_field_name() {
         // The packet already has a field named like the state variable.
-        let (lines, infos) = run(
-            "struct P { int c; };\nint c = 0;\n\
-             void f(struct P pkt) { c = c + pkt.c; }",
-        );
+        let (lines, infos) = run("struct P { int c; };\nint c = 0;\n\
+             void f(struct P pkt) { c = c + pkt.c; }");
         assert_eq!(infos[0].temp_field, "c_1");
         assert_eq!(lines[0], "pkt.c_1 = c;");
         assert_eq!(lines[2], "c = pkt.c_1;");
@@ -335,10 +330,8 @@ mod tests {
 
     #[test]
     fn index_assignment_before_first_access_is_fine() {
-        let (lines, _) = run(
-            "struct P { int id; };\nint tbl[4] = {0};\n\
-             void f(struct P pkt) { pkt.id = 2; tbl[pkt.id] = 1; }",
-        );
+        let (lines, _) = run("struct P { int id; };\nint tbl[4] = {0};\n\
+             void f(struct P pkt) { pkt.id = 2; tbl[pkt.id] = 1; }");
         assert_eq!(lines.len(), 4);
     }
 
@@ -356,8 +349,7 @@ mod tests {
 
     #[test]
     fn flowlet_guarded_write_rewrites_to_temp() {
-        let (lines, _) = run(
-            "#define THRESHOLD 5\n\
+        let (lines, _) = run("#define THRESHOLD 5\n\
              struct P { int arrival; int new_hop; int id; int next_hop; };\n\
              int last_time[8] = {0};\nint saved_hop[8] = {0};\n\
              void f(struct P pkt) {\n\
@@ -366,8 +358,7 @@ mod tests {
                }\n\
                last_time[pkt.id] = pkt.arrival;\n\
                pkt.next_hop = saved_hop[pkt.id];\n\
-             }",
-        );
+             }");
         let text = lines.join("\n");
         // The guarded write becomes a conditional on the temp.
         assert!(
@@ -375,8 +366,13 @@ mod tests {
             "{text}"
         );
         // Write flanks for both arrays appear at the end.
-        assert!(text.ends_with("last_time[pkt.id] = pkt.last_time;\nsaved_hop[pkt.id] = pkt.saved_hop;") ||
-                text.ends_with("saved_hop[pkt.id] = pkt.saved_hop;\nlast_time[pkt.id] = pkt.last_time;"),
-            "{text}");
+        assert!(
+            text.ends_with(
+                "last_time[pkt.id] = pkt.last_time;\nsaved_hop[pkt.id] = pkt.saved_hop;"
+            ) || text.ends_with(
+                "saved_hop[pkt.id] = pkt.saved_hop;\nlast_time[pkt.id] = pkt.last_time;"
+            ),
+            "{text}"
+        );
     }
 }

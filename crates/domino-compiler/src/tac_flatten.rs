@@ -58,27 +58,39 @@ fn flatten_assign(
                 let index = flatten_operand(idx, fresh, out)?;
                 out.push(TacStmt::ReadState {
                     dst: dst.clone(),
-                    state: StateRef::Array { name: var.clone(), index },
+                    state: StateRef::Array {
+                        name: var.clone(),
+                        index,
+                    },
                 });
                 Ok(())
             }
             rhs => {
                 let tac_rhs = flatten_rhs(rhs, fresh, out)?;
-                out.push(TacStmt::Assign { dst: dst.clone(), rhs: tac_rhs });
+                out.push(TacStmt::Assign {
+                    dst: dst.clone(),
+                    rhs: tac_rhs,
+                });
                 Ok(())
             }
         },
         // Write flanks.
         LValue::Scalar(var, _) => {
             let src = flatten_operand(&a.rhs, fresh, out)?;
-            out.push(TacStmt::WriteState { state: StateRef::Scalar(var.clone()), src });
+            out.push(TacStmt::WriteState {
+                state: StateRef::Scalar(var.clone()),
+                src,
+            });
             Ok(())
         }
         LValue::Array(var, idx, _) => {
             let index = flatten_operand(idx, fresh, out)?;
             let src = flatten_operand(&a.rhs, fresh, out)?;
             out.push(TacStmt::WriteState {
-                state: StateRef::Array { name: var.clone(), index },
+                state: StateRef::Array {
+                    name: var.clone(),
+                    index,
+                },
                 src,
             });
             Ok(())
@@ -102,16 +114,23 @@ fn flatten_rhs(
         }
         // hash(...) % CONST folds into the intrinsic call.
         Expr::Binary(BinOp::Mod, lhs, rhs, _)
-            if matches!(lhs.as_ref(), Expr::Call(..))
-                && matches!(rhs.as_ref(), Expr::Int(..)) =>
+            if matches!(lhs.as_ref(), Expr::Call(..)) && matches!(rhs.as_ref(), Expr::Int(..)) =>
         {
-            let Expr::Call(name, args, _) = lhs.as_ref() else { unreachable!() };
-            let Expr::Int(m, _) = rhs.as_ref() else { unreachable!() };
+            let Expr::Call(name, args, _) = lhs.as_ref() else {
+                unreachable!()
+            };
+            let Expr::Int(m, _) = rhs.as_ref() else {
+                unreachable!()
+            };
             let args = args
                 .iter()
                 .map(|arg| flatten_operand(arg, fresh, out))
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(TacRhs::Intrinsic { name: name.clone(), args, modulo: Some(*m) })
+            Ok(TacRhs::Intrinsic {
+                name: name.clone(),
+                args,
+                modulo: Some(*m),
+            })
         }
         Expr::Binary(op, a, b, _) => {
             let fa = flatten_operand(a, fresh, out)?;
@@ -129,7 +148,11 @@ fn flatten_rhs(
                 .iter()
                 .map(|arg| flatten_operand(arg, fresh, out))
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(TacRhs::Intrinsic { name: name.clone(), args, modulo: None })
+            Ok(TacRhs::Intrinsic {
+                name: name.clone(),
+                args,
+                modulo: None,
+            })
         }
         Expr::Ident(var, _) | Expr::Index(var, _, _) => Err(FlattenError {
             message: format!(
@@ -159,7 +182,10 @@ fn flatten_operand(
         other => {
             let rhs = flatten_rhs(other, fresh, out)?;
             let tmp = fresh.fresh("__t");
-            out.push(TacStmt::Assign { dst: tmp.clone(), rhs });
+            out.push(TacStmt::Assign {
+                dst: tmp.clone(),
+                rhs,
+            });
             Ok(Operand::Field(tmp))
         }
     }
@@ -188,19 +214,15 @@ mod tests {
 
     #[test]
     fn binary_expression_flattens_directly() {
-        let lines = run(
-            "struct P { int a; int b; int r; };\n\
-             void f(struct P pkt) { pkt.r = pkt.a + pkt.b; }",
-        );
+        let lines = run("struct P { int a; int b; int r; };\n\
+             void f(struct P pkt) { pkt.r = pkt.a + pkt.b; }");
         assert_eq!(lines, vec!["pkt.r0 = pkt.a + pkt.b;"]);
     }
 
     #[test]
     fn nested_expression_introduces_temp() {
-        let lines = run(
-            "struct P { int a; int b; int c; int r; };\n\
-             void f(struct P pkt) { pkt.r = pkt.a + pkt.b - pkt.c; }",
-        );
+        let lines = run("struct P { int a; int b; int c; int r; };\n\
+             void f(struct P pkt) { pkt.r = pkt.a + pkt.b - pkt.c; }");
         assert_eq!(
             lines,
             vec!["pkt.__t = pkt.a + pkt.b;", "pkt.r0 = pkt.__t - pkt.c;"]
@@ -209,35 +231,25 @@ mod tests {
 
     #[test]
     fn hash_modulo_folds_into_intrinsic() {
-        let lines = run(
-            "struct P { int sport; int dport; int id; };\n\
-             void f(struct P pkt) { pkt.id = hash2(pkt.sport, pkt.dport) % 8000; }",
-        );
+        let lines = run("struct P { int sport; int dport; int id; };\n\
+             void f(struct P pkt) { pkt.id = hash2(pkt.sport, pkt.dport) % 8000; }");
         assert_eq!(lines, vec!["pkt.id0 = hash2(pkt.sport, pkt.dport) % 8000;"]);
     }
 
     #[test]
     fn unfolded_hash_stays_plain_intrinsic() {
-        let lines = run(
-            "struct P { int sport; int dport; int id; };\n\
-             void f(struct P pkt) { pkt.id = hash2(pkt.sport, pkt.dport); }",
-        );
+        let lines = run("struct P { int sport; int dport; int id; };\n\
+             void f(struct P pkt) { pkt.id = hash2(pkt.sport, pkt.dport); }");
         assert_eq!(lines, vec!["pkt.id0 = hash2(pkt.sport, pkt.dport);"]);
     }
 
     #[test]
     fn flanks_become_state_statements() {
-        let lines = run(
-            "struct P { int x; };\nint c = 0;\n\
-             void f(struct P pkt) { c = c + pkt.x; }",
-        );
+        let lines = run("struct P { int x; };\nint c = 0;\n\
+             void f(struct P pkt) { c = c + pkt.x; }");
         assert_eq!(
             lines,
-            vec![
-                "pkt.c0 = c;",
-                "pkt.c1 = pkt.c0 + pkt.x;",
-                "c = pkt.c1;",
-            ]
+            vec!["pkt.c0 = c;", "pkt.c1 = pkt.c0 + pkt.x;", "c = pkt.c1;",]
         );
     }
 
@@ -258,33 +270,50 @@ mod tests {
              }",
         );
         let text = lines.join("\n");
-        assert!(text.contains("pkt.new_hop0 = hash3(pkt.sport, pkt.dport, pkt.arrival) % 10;"), "{text}");
-        assert!(text.contains("pkt.id0 = hash2(pkt.sport, pkt.dport) % 8000;"), "{text}");
-        assert!(text.contains("pkt.last_time0 = last_time[pkt.id0];"), "{text}");
-        assert!(text.contains("pkt.saved_hop0 = saved_hop[pkt.id0];"), "{text}");
+        assert!(
+            text.contains("pkt.new_hop0 = hash3(pkt.sport, pkt.dport, pkt.arrival) % 10;"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pkt.id0 = hash2(pkt.sport, pkt.dport) % 8000;"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pkt.last_time0 = last_time[pkt.id0];"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pkt.saved_hop0 = saved_hop[pkt.id0];"),
+            "{text}"
+        );
         // The comparison flattens into subtract then relational (paper
         // lines 5-6).
-        assert!(text.contains("pkt.__t = pkt.arrival - pkt.last_time0;"), "{text}");
+        assert!(
+            text.contains("pkt.__t = pkt.arrival - pkt.last_time0;"),
+            "{text}"
+        );
         assert!(text.contains("pkt.__br0 = pkt.__t > 5;"), "{text}");
         // Write flanks address the same index field.
-        assert!(text.contains("last_time[pkt.id0] = pkt.last_time1;"), "{text}");
-        assert!(text.contains("saved_hop[pkt.id0] = pkt.saved_hop1;"), "{text}");
+        assert!(
+            text.contains("last_time[pkt.id0] = pkt.last_time1;"),
+            "{text}"
+        );
+        assert!(
+            text.contains("saved_hop[pkt.id0] = pkt.saved_hop1;"),
+            "{text}"
+        );
     }
 
     #[test]
     fn ternary_flattens_with_three_operands() {
-        let lines = run(
-            "struct P { int c; int a; int b; int r; };\n\
-             void f(struct P pkt) { pkt.r = pkt.c ? pkt.a : pkt.b; }",
-        );
+        let lines = run("struct P { int c; int a; int b; int r; };\n\
+             void f(struct P pkt) { pkt.r = pkt.c ? pkt.a : pkt.b; }");
         assert_eq!(lines, vec!["pkt.r0 = pkt.c ? pkt.a : pkt.b;"]);
     }
 
     #[test]
     fn unary_not_flattens() {
-        let lines = run(
-            "struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = !pkt.a; }",
-        );
+        let lines = run("struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = !pkt.a; }");
         assert_eq!(lines, vec!["pkt.r0 = !pkt.a;"]);
     }
 }

@@ -64,7 +64,10 @@ impl Codelet {
 
     /// Packet fields written by the codelet.
     pub fn fields_written(&self) -> BTreeSet<&str> {
-        self.stmts.iter().filter_map(|s| s.field_written()).collect()
+        self.stmts
+            .iter()
+            .filter_map(|s| s.field_written())
+            .collect()
     }
 }
 
@@ -128,7 +131,11 @@ impl fmt::Display for PvsmPipeline {
         for (i, stage) in self.stages.iter().enumerate() {
             writeln!(f, "=== Stage {} ===", i + 1)?;
             for (j, c) in stage.iter().enumerate() {
-                let tag = if c.is_stateless() { "stateless" } else { "stateful" };
+                let tag = if c.is_stateless() {
+                    "stateless"
+                } else {
+                    "stateful"
+                };
                 writeln!(f, "--- codelet {}.{} ({tag}) ---", i + 1, j + 1)?;
                 writeln!(f, "{c}")?;
             }
@@ -144,7 +151,10 @@ mod tests {
     use domino_ast::BinOp;
 
     fn read(dst: &str, var: &str) -> TacStmt {
-        TacStmt::ReadState { dst: dst.into(), state: StateRef::Scalar(var.into()) }
+        TacStmt::ReadState {
+            dst: dst.into(),
+            state: StateRef::Scalar(var.into()),
+        }
     }
     fn write(var: &str, src: &str) -> TacStmt {
         TacStmt::WriteState {
@@ -165,7 +175,10 @@ mod tests {
         assert!(stateless.is_stateless());
         let stateful = Codelet::new(vec![read("t", "c"), add("t2", "t", 1), write("c", "t2")]);
         assert!(!stateful.is_stateless());
-        assert_eq!(stateful.state_vars().into_iter().collect::<Vec<_>>(), vec!["c"]);
+        assert_eq!(
+            stateful.state_vars().into_iter().collect::<Vec<_>>(),
+            vec!["c"]
+        );
     }
 
     #[test]
@@ -174,14 +187,20 @@ mod tests {
         // `t` and `t2` are produced internally; no external packet reads.
         assert!(c.external_reads().is_empty());
         let c2 = Codelet::new(vec![add("x", "incoming", 3)]);
-        assert_eq!(c2.external_reads().into_iter().collect::<Vec<_>>(), vec!["incoming"]);
+        assert_eq!(
+            c2.external_reads().into_iter().collect::<Vec<_>>(),
+            vec!["incoming"]
+        );
     }
 
     #[test]
     fn pipeline_stats() {
         let p = PvsmPipeline {
             stages: vec![
-                vec![Codelet::new(vec![add("a", "x", 1)]), Codelet::new(vec![add("b", "x", 2)])],
+                vec![
+                    Codelet::new(vec![add("a", "x", 1)]),
+                    Codelet::new(vec![add("b", "x", 2)]),
+                ],
                 vec![Codelet::new(vec![read("t", "s"), write("s", "a")])],
             ],
         };

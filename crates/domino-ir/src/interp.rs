@@ -27,11 +27,7 @@ pub fn step_ast(program: &CheckedProgram, state: &mut StateStore, pkt: &mut Pack
 
 /// Runs a whole trace through a checked transaction, returning the packets
 /// as they leave the transaction.
-pub fn run_ast(
-    program: &CheckedProgram,
-    state: &mut StateStore,
-    trace: &[Packet],
-) -> Vec<Packet> {
+pub fn run_ast(program: &CheckedProgram, state: &mut StateStore, trace: &[Packet]) -> Vec<Packet> {
     trace
         .iter()
         .map(|p| {
@@ -55,7 +51,12 @@ fn exec_stmt(stmt: &Stmt, state: &mut StateStore, pkt: &mut Packet) {
                 }
             }
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             if eval_expr(cond, state, pkt) != 0 {
                 for s in then_branch {
                     exec_stmt(s, state, pkt);
@@ -108,11 +109,7 @@ pub fn step_tac(program: &TacProgram, state: &mut StateStore, pkt: &mut Packet) 
 }
 
 /// Runs a whole trace through TAC.
-pub fn run_tac(
-    program: &TacProgram,
-    state: &mut StateStore,
-    trace: &[Packet],
-) -> Vec<Packet> {
+pub fn run_tac(program: &TacProgram, state: &mut StateStore, trace: &[Packet]) -> Vec<Packet> {
     trace
         .iter()
         .map(|p| {
@@ -185,9 +182,7 @@ pub fn read_state(sref: &StateRef, state: &StateStore, pkt: &Packet) -> i32 {
 pub fn write_state(sref: &StateRef, value: i32, state: &mut StateStore, pkt: &Packet) {
     match sref {
         StateRef::Scalar(n) => state.write_scalar(n, value),
-        StateRef::Array { name, index } => {
-            state.write_array(name, eval_operand(index, pkt), value)
-        }
+        StateRef::Array { name, index } => state.write_array(name, eval_operand(index, pkt), value),
     }
 }
 
@@ -266,9 +261,10 @@ void flowlet(struct Packet pkt) {
         assert_eq!(out[0].get("next_hop"), out[1].get("next_hop"));
         // packet 3 arrives 98 ticks later: flowlet expired, hop re-chosen
         // with a different hash3(arrival) — overwhelmingly likely distinct.
-        assert_eq!(out[2].get("next_hop"), Some(
-            domino_ast::intrinsics::eval("hash3", &[42, 80, 200]) % 10
-        ));
+        assert_eq!(
+            out[2].get("next_hop"),
+            Some(domino_ast::intrinsics::eval("hash3", &[42, 80, 200]) % 10)
+        );
     }
 
     #[test]
@@ -277,9 +273,16 @@ void flowlet(struct Packet pkt) {
         let prog = TacProgram {
             name: "count".into(),
             declared_fields: vec!["x".into()],
-            state: vec![StateVar { name: "c".into(), kind: StateKind::Scalar, init: 0 }],
+            state: vec![StateVar {
+                name: "c".into(),
+                kind: StateKind::Scalar,
+                init: 0,
+            }],
             stmts: vec![
-                TacStmt::ReadState { dst: "tmp".into(), state: StateRef::Scalar("c".into()) },
+                TacStmt::ReadState {
+                    dst: "tmp".into(),
+                    state: StateRef::Scalar("c".into()),
+                },
                 TacStmt::Assign {
                     dst: "tmp2".into(),
                     rhs: TacRhs::Binary(
@@ -292,7 +295,10 @@ void flowlet(struct Packet pkt) {
                     state: StateRef::Scalar("c".into()),
                     src: Operand::Field("tmp2".into()),
                 },
-                TacStmt::Assign { dst: "x".into(), rhs: TacRhs::Copy(Operand::Field("tmp2".into())) },
+                TacStmt::Assign {
+                    dst: "x".into(),
+                    rhs: TacRhs::Copy(Operand::Field("tmp2".into())),
+                },
             ],
         };
         let mut state = StateStore::from_decls(&prog.state);

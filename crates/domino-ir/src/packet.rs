@@ -123,7 +123,9 @@ impl fmt::Display for Packet {
 
 impl FromIterator<(String, i32)> for Packet {
     fn from_iter<T: IntoIterator<Item = (String, i32)>>(iter: T) -> Self {
-        Packet { fields: iter.into_iter().collect() }
+        Packet {
+            fields: iter.into_iter().collect(),
+        }
     }
 }
 

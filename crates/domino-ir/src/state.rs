@@ -54,7 +54,8 @@ impl StateStore {
 
     /// Registers an array.
     pub fn insert_array(&mut self, name: &str, size: usize, init: i32) {
-        self.vars.insert(name.to_string(), StateValue::Array(vec![init; size]));
+        self.vars
+            .insert(name.to_string(), StateValue::Array(vec![init; size]));
     }
 
     /// Reads a scalar.
@@ -157,8 +158,16 @@ mod tests {
 
     fn decls() -> Vec<StateVar> {
         vec![
-            StateVar { name: "c".into(), kind: StateKind::Scalar, init: 7 },
-            StateVar { name: "arr".into(), kind: StateKind::Array { size: 4 }, init: -1 },
+            StateVar {
+                name: "c".into(),
+                kind: StateKind::Scalar,
+                init: 7,
+            },
+            StateVar {
+                name: "arr".into(),
+                kind: StateKind::Array { size: 4 },
+                init: -1,
+            },
         ]
     }
 

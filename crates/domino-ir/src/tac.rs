@@ -92,7 +92,11 @@ pub enum TacRhs {
     Ternary(Operand, Operand, Operand),
     /// `name(args...) % modulo` — intrinsic call with optional folded
     /// modulo.
-    Intrinsic { name: String, args: Vec<Operand>, modulo: Option<i32> },
+    Intrinsic {
+        name: String,
+        args: Vec<Operand>,
+        modulo: Option<i32>,
+    },
 }
 
 impl TacRhs {
@@ -276,7 +280,10 @@ mod tests {
 
         let r = TacStmt::ReadState {
             dst: "saved_hop".into(),
-            state: StateRef::Array { name: "saved_hop".into(), index: fld("id") },
+            state: StateRef::Array {
+                name: "saved_hop".into(),
+                index: fld("id"),
+            },
         };
         assert_eq!(r.to_string(), "pkt.saved_hop = saved_hop[pkt.id];");
 
@@ -294,13 +301,19 @@ mod tests {
                 modulo: Some(8000),
             },
         };
-        assert_eq!(i.to_string(), "pkt.id = hash2(pkt.sport, pkt.dport) % 8000;");
+        assert_eq!(
+            i.to_string(),
+            "pkt.id = hash2(pkt.sport, pkt.dport) % 8000;"
+        );
     }
 
     #[test]
     fn fields_read_collects_index_and_operands() {
         let w = TacStmt::WriteState {
-            state: StateRef::Array { name: "a".into(), index: fld("id") },
+            state: StateRef::Array {
+                name: "a".into(),
+                index: fld("id"),
+            },
             src: fld("val"),
         };
         let read: Vec<&str> = w.fields_read().into_iter().collect();
@@ -341,7 +354,10 @@ mod tests {
             declared_fields: vec!["a".into(), "b".into()],
             state: vec![],
             stmts: vec![
-                TacStmt::Assign { dst: "tmp".into(), rhs: TacRhs::Copy(fld("a")) },
+                TacStmt::Assign {
+                    dst: "tmp".into(),
+                    rhs: TacRhs::Copy(fld("a")),
+                },
                 TacStmt::Assign {
                     dst: "tmp2".into(),
                     rhs: TacRhs::Binary(BinOp::Add, fld("tmp"), fld("b")),

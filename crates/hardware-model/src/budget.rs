@@ -58,8 +58,7 @@ impl Budget {
 /// Computes the §5.2 budget for a target built around `kind`.
 pub fn compute(kind: AtomKind) -> Budget {
     let stateless_area = stateless_circuit().area();
-    let stateless_total =
-        (CHIP_AREA_UM2 * STATELESS_OVERHEAD_BUDGET / stateless_area) as usize;
+    let stateless_total = (CHIP_AREA_UM2 * STATELESS_OVERHEAD_BUDGET / stateless_area) as usize;
     let stateless_per_stage = stateless_total / STAGES;
 
     let stateful_area = stateful_circuit(kind).area();

@@ -246,8 +246,10 @@ mod tests {
     fn area_grows_with_expressiveness() {
         // Table 3's central observation: more expressive atoms cost more
         // silicon.
-        let areas: Vec<f64> =
-            AtomKind::ALL.iter().map(|k| stateful_circuit(*k).area()).collect();
+        let areas: Vec<f64> = AtomKind::ALL
+            .iter()
+            .map(|k| stateful_circuit(*k).area())
+            .collect();
         for w in areas.windows(2) {
             assert!(w[1] > w[0], "{areas:?}");
         }
@@ -257,8 +259,10 @@ mod tests {
     fn delay_grows_with_expressiveness() {
         // Table 5/6's observation, monotonic in our model (the paper's
         // PRAW/IfElseRAW inversion is synthesis-tool noise, §5.4 footnote).
-        let delays: Vec<f64> =
-            AtomKind::ALL.iter().map(|k| stateful_circuit(*k).min_delay_ps()).collect();
+        let delays: Vec<f64> = AtomKind::ALL
+            .iter()
+            .map(|k| stateful_circuit(*k).min_delay_ps())
+            .collect();
         for w in delays.windows(2) {
             assert!(w[1] >= w[0], "{delays:?}");
         }

@@ -24,8 +24,7 @@ pub mod rtl;
 
 pub use budget::{compute as compute_budget, Budget};
 pub use circuits::{
-    paper_area, paper_delay, stateful_circuit, stateless_circuit, Circuit,
-    PAPER_STATELESS_AREA,
+    paper_area, paper_delay, stateful_circuit, stateless_circuit, Circuit, PAPER_STATELESS_AREA,
 };
 pub use components::Component;
 pub use rtl::emit_verilog;

@@ -25,7 +25,10 @@ pub fn emit_verilog(module_name: &str, config: &StatefulConfig) -> String {
     let mut out = String::new();
     let w = &mut out;
 
-    let _ = writeln!(w, "// Auto-generated Banzai atom: executes in one clock cycle.");
+    let _ = writeln!(
+        w,
+        "// Auto-generated Banzai atom: executes in one clock cycle."
+    );
     let _ = writeln!(w, "module {module_name} (");
     let _ = writeln!(w, "    input  wire        clk,");
     let _ = writeln!(w, "    input  wire        rst,");
@@ -207,10 +210,7 @@ mod tests {
     fn pairs_config_gets_two_registers() {
         let keep = Tree::Leaf(Update::Keep);
         let config = StatefulConfig {
-            state_refs: vec![
-                StateRef::Scalar("a".into()),
-                StateRef::Scalar("b".into()),
-            ],
+            state_refs: vec![StateRef::Scalar("a".into()), StateRef::Scalar("b".into())],
             trees: vec![keep.clone(), keep],
             outputs: vec![],
         };

@@ -26,8 +26,12 @@ use std::fmt::Write;
 /// Generates a P4 program for a compiled pipeline.
 pub fn generate(compilation: &Compilation, pipeline: &AtomPipeline) -> String {
     let mut out = String::new();
-    let declared: BTreeSet<&str> =
-        compilation.checked.packet_fields.iter().map(|s| s.as_str()).collect();
+    let declared: BTreeSet<&str> = compilation
+        .checked
+        .packet_fields
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
 
     let w = &mut out;
     let _ = writeln!(
@@ -49,9 +53,12 @@ pub fn generate(compilation: &Compilation, pipeline: &AtomPipeline) -> String {
 
     // Metadata: every compiler temporary (SSA versions, flank reads).
     let mut temps: BTreeSet<String> = BTreeSet::new();
-    for (_, atom) in pipeline.stages.iter().enumerate().flat_map(|(i, s)| {
-        s.iter().map(move |a| (i, a))
-    }) {
+    for (_, atom) in pipeline
+        .stages
+        .iter()
+        .enumerate()
+        .flat_map(|(i, s)| s.iter().map(move |a| (i, a)))
+    {
         for stmt in &atom.codelet.stmts {
             for f in stmt.fields_read() {
                 if !declared.contains(f) {
@@ -198,17 +205,13 @@ fn stmt_to_p4(stmt: &TacStmt, declared: &BTreeSet<&str>) -> String {
                     op_ref(b, declared)
                 ),
                 TacRhs::Intrinsic { name, args, modulo } => {
-                    let arglist: Vec<String> =
-                        args.iter().map(|a| op_ref(a, declared)).collect();
+                    let arglist: Vec<String> = args.iter().map(|a| op_ref(a, declared)).collect();
                     match modulo {
                         Some(m) => format!(
                             "hash({d}, HashAlgorithm.{name}, 32w0, {{ {} }}, 32w{m});",
                             arglist.join(", ")
                         ),
-                        None => format!(
-                            "{d} = {name}_unit.execute({});",
-                            arglist.join(", ")
-                        ),
+                        None => format!("{d} = {name}_unit.execute({});", arglist.join(", ")),
                     }
                 }
             }
@@ -246,7 +249,10 @@ mod tests {
     #[test]
     fn p4_loc_exceeds_domino_loc_substantially() {
         // Table 4's point: P4 is several times more verbose.
-        for a in algorithms::TABLE4.iter().filter(|a| a.paper.least_atom.is_some()) {
+        for a in algorithms::TABLE4
+            .iter()
+            .filter(|a| a.paper.least_atom.is_some())
+        {
             let (c, p) = compile(a.source);
             let p4 = generate(&c, &p);
             let p4_loc = loc(&p4);
@@ -272,9 +278,8 @@ mod tests {
 
     #[test]
     fn scalar_registers_read_index_zero() {
-        let (c, p) = compile(
-            "struct P { int x; };\nint c = 0;\nvoid f(struct P pkt) { c = c + pkt.x; }",
-        );
+        let (c, p) =
+            compile("struct P { int x; };\nint c = 0;\nvoid f(struct P pkt) { c = c + pkt.x; }");
         let p4 = generate(&c, &p);
         assert!(p4.contains("register<bit<32>>(1) c;"), "{p4}");
         assert!(p4.contains("c.read("), "{p4}");

@@ -30,12 +30,15 @@ fn main() {
         (7, 500), // path 7 at 50% utilization — becomes best
         (2, 300), // path 2 better — takes over
         (2, 900), // the best path degrades IN PLACE (the second branch:
-                  // same path id, so its utilization is refreshed upward)
+        // same path id, so its utilization is refreshed upward)
         (5, 400), // path 5 now beats the degraded 900
     ];
     for (path, util) in feedback {
         machine.process(
-            Packet::new().with("src", 3).with("path_id", path).with("util", util),
+            Packet::new()
+                .with("src", 3)
+                .with("path_id", path)
+                .with("util", util),
         );
         let best = match machine.state().get("best_path").unwrap() {
             domino::domino_ir::StateValue::Array(v) => v[3],

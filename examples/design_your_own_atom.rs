@@ -6,18 +6,25 @@
 
 use domino::atom_synth;
 use domino::banzai::AtomKind;
-use domino::hardware_model::{stateful_circuit, paper_area};
+use domino::hardware_model::{paper_area, stateful_circuit};
 
 fn main() {
     // Candidate per-packet state updates a switch architect might need.
     let candidates = [
         ("packet counter", "x = x + 1;"),
         ("byte counter", "x = x + pkt.len;"),
-        ("wraparound counter (the paper's Sec 2.3 example)",
-         "if (x < 99) { x = x + 1; } else { x = 0; }"),
-        ("conditional accumulator (RCP-style)",
-         "if (pkt.rtt < 30) { x = x + pkt.rtt; }"),
-        ("token bucket drain", "if (pkt.tokens > x) { x = 0; } else { x = x - pkt.tokens; }"),
+        (
+            "wraparound counter (the paper's Sec 2.3 example)",
+            "if (x < 99) { x = x + 1; } else { x = 0; }",
+        ),
+        (
+            "conditional accumulator (RCP-style)",
+            "if (pkt.rtt < 30) { x = x + pkt.rtt; }",
+        ),
+        (
+            "token bucket drain",
+            "if (pkt.tokens > x) { x = 0; } else { x = x - pkt.tokens; }",
+        ),
         ("EWMA-ish halving", "x = x + (pkt.sample >> 1);"),
         ("square (unmappable, Sec 4.3)", "x = pkt.zz * x;"),
     ];

@@ -19,7 +19,9 @@ fn main() {
     // Ground truth packet counts per flow.
     let mut truth: BTreeMap<(i32, i32), i32> = BTreeMap::new();
     for p in &trace {
-        *truth.entry((p.get("sport").unwrap(), p.get("dport").unwrap())).or_insert(0) += 1;
+        *truth
+            .entry((p.get("sport").unwrap(), p.get("dport").unwrap()))
+            .or_insert(0) += 1;
     }
 
     // Flows flagged by the data plane (estimate > threshold at any point).
@@ -28,7 +30,10 @@ fn main() {
         if out.get("is_heavy") == Some(1) {
             let key = (inp.get("sport").unwrap(), inp.get("dport").unwrap());
             let est = out.get("estimate").unwrap();
-            flagged.entry(key).and_modify(|e| *e = (*e).max(est)).or_insert(est);
+            flagged
+                .entry(key)
+                .and_modify(|e| *e = (*e).max(est))
+                .or_insert(est);
         }
     }
 

@@ -29,9 +29,7 @@ fn main() {
     // Instantiate the machine and process a few packets.
     let mut machine = Machine::new(pipeline);
     for (sport, dport) in [(10, 80), (10, 80), (11, 443), (10, 80)] {
-        let out = machine.process(
-            Packet::new().with("sport", sport).with("dport", dport),
-        );
+        let out = machine.process(Packet::new().with("sport", sport).with("dport", dport));
         println!(
             "flow ({sport:>2} -> {dport:>3})  packet count = {}",
             out.get("count").unwrap()

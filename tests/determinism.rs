@@ -7,7 +7,9 @@ use banzai::{AtomKind, Machine, Target};
 #[test]
 fn compilation_is_deterministic_for_every_algorithm() {
     for algo in algorithms::TABLE4.iter() {
-        let Some(kind) = algo.paper.least_atom else { continue };
+        let Some(kind) = algo.paper.least_atom else {
+            continue;
+        };
         let target = Target::banzai(kind);
         let a = domino_compiler::compile(algo.source, &target).unwrap();
         let b = domino_compiler::compile(algo.source, &target).unwrap();
@@ -27,8 +29,7 @@ fn rejection_reasons_are_deterministic() {
 #[test]
 fn simulation_replay_is_bit_identical() {
     let algo = algorithms::by_name("heavy_hitters").unwrap();
-    let pipeline =
-        domino_compiler::compile(algo.source, &Target::banzai(AtomKind::Raw)).unwrap();
+    let pipeline = domino_compiler::compile(algo.source, &Target::banzai(AtomKind::Raw)).unwrap();
     let trace = algo.trace(500, 1234);
     let mut m1 = Machine::new(pipeline.clone());
     let mut m2 = Machine::new(pipeline);

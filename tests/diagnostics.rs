@@ -13,9 +13,8 @@ fn compile_err(src: &str) -> domino_ast::Diagnostic {
 
 #[test]
 fn loops_are_rejected_with_line_rate_rationale() {
-    let e = compile_err(
-        "struct P { int a; };\nvoid f(struct P pkt) { while (pkt.a) { pkt.a = 0; } }",
-    );
+    let e =
+        compile_err("struct P { int a; };\nvoid f(struct P pkt) { while (pkt.a) { pkt.a = 0; } }");
     assert_eq!(e.stage, Stage::Parse);
     assert!(e.message.contains("line rate"), "{e}");
     assert!(e.message.contains("Table 1"), "{e}");
@@ -29,9 +28,8 @@ fn pointer_rejection_names_the_restriction() {
 
 #[test]
 fn unknown_field_lists_available_fields() {
-    let e = compile_err(
-        "struct P { int sport; int dport; };\nvoid f(struct P pkt) { pkt.sprot = 1; }",
-    );
+    let e =
+        compile_err("struct P { int sport; int dport; };\nvoid f(struct P pkt) { pkt.sprot = 1; }");
     assert_eq!(e.stage, Stage::Sema);
     assert!(e.message.contains("no field `sprot`"), "{e}");
     assert!(e.message.contains("sport, dport"), "{e}");
@@ -74,9 +72,8 @@ fn atom_mismatch_names_both_kinds_and_shows_the_codelet() {
 
 #[test]
 fn missing_intrinsic_unit_names_the_target() {
-    let e = compile_err(
-        "struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = isqrt(pkt.a); }",
-    );
+    let e =
+        compile_err("struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = isqrt(pkt.a); }");
     assert!(e.message.contains("isqrt"), "{e}");
     assert!(e.message.contains("banzai-pairs"), "{e}");
 }
@@ -97,17 +94,13 @@ fn depth_exhaustion_reports_both_numbers() {
 
 #[test]
 fn local_declarations_point_to_packet_temporaries() {
-    let e = compile_err(
-        "struct P { int a; };\nvoid f(struct P pkt) { int tmp = pkt.a; }",
-    );
+    let e = compile_err("struct P { int a; };\nvoid f(struct P pkt) { int tmp = pkt.a; }");
     assert!(e.message.contains("packet field as a temporary"), "{e}");
 }
 
 #[test]
 fn spans_locate_the_error() {
-    let e = compile_err(
-        "struct P { int a; };\nvoid f(struct P pkt) {\n  pkt.bogus = 1;\n}",
-    );
+    let e = compile_err("struct P { int a; };\nvoid f(struct P pkt) {\n  pkt.bogus = 1;\n}");
     let rendered = e.to_string();
     // Line 3, where pkt.bogus sits.
     assert!(rendered.contains("3:"), "{rendered}");
@@ -118,7 +111,10 @@ fn stage_prefix_tells_users_which_phase_rejected() {
     for (src, needle) in [
         ("@", "error[lex]"),
         ("struct P { int a; };", "error[parse]"),
-        ("struct P { int a; };\nvoid f(struct P pkt) { pkt.b = 1; }", "error[semantic analysis]"),
+        (
+            "struct P { int a; };\nvoid f(struct P pkt) { pkt.b = 1; }",
+            "error[semantic analysis]",
+        ),
         (
             "struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = pkt.a / 3; }",
             "error[code generation]",

@@ -9,7 +9,7 @@
 //! published algorithms.
 
 use banzai::{Machine, Target};
-use domino_ir::{run_ast, Packet, StateStore, StateValue};
+use domino_ir::{run_ast, StateStore, StateValue};
 
 const TRACE_LEN: usize = 800;
 const SEED: u64 = 0xD0771_2016;
@@ -23,8 +23,8 @@ fn machine_for(a: &algorithms::Algorithm) -> Machine {
     } else {
         Target::banzai(kind)
     };
-    let pipeline = domino_compiler::compile(a.source, &target)
-        .unwrap_or_else(|e| panic!("{}: {e}", a.name));
+    let pipeline =
+        domino_compiler::compile(a.source, &target).unwrap_or_else(|e| panic!("{}: {e}", a.name));
     Machine::new(pipeline)
 }
 
@@ -51,7 +51,12 @@ fn differential(a: &algorithms::Algorithm) {
         ref_out.push(pkt);
     }
 
-    for (i, ((m, s), r)) in machine_out.iter().zip(&interp_out).zip(&ref_out).enumerate() {
+    for (i, ((m, s), r)) in machine_out
+        .iter()
+        .zip(&interp_out)
+        .zip(&ref_out)
+        .enumerate()
+    {
         // Pipeline ≡ interpreter on *all* declared fields.
         let fields = checked.packet_fields.clone();
         assert_eq!(
@@ -74,14 +79,20 @@ fn differential(a: &algorithms::Algorithm) {
 
     // State comparison: machine vs reference export.
     for (name, expected) in reference.export_state() {
-        let got = machine.state().get(&name).unwrap_or_else(|| {
-            panic!("{}: machine has no state variable `{name}`", a.name)
-        });
+        let got = machine
+            .state()
+            .get(&name)
+            .unwrap_or_else(|| panic!("{}: machine has no state variable `{name}`", a.name));
         assert_eq!(got, &expected, "{}: state `{name}` differs", a.name);
     }
 
     // And machine state must equal interpreter state exactly.
-    assert_eq!(machine.state(), &interp_state, "{}: machine vs interpreter state", a.name);
+    assert_eq!(
+        machine.state(),
+        &interp_state,
+        "{}: machine vs interpreter state",
+        a.name
+    );
 }
 
 macro_rules! differential_test {
@@ -143,13 +154,20 @@ fn codel_reference_matches_interpreter() {
 /// half of the packet-transaction guarantee.
 #[test]
 fn pipelined_equals_serial_for_all_algorithms() {
-    for a in algorithms::TABLE4.iter().filter(|a| a.paper.least_atom.is_some()) {
+    for a in algorithms::TABLE4
+        .iter()
+        .filter(|a| a.paper.least_atom.is_some())
+    {
         let trace = a.trace(300, SEED ^ 0x9e37);
         let mut m1 = machine_for(a);
         let mut m2 = machine_for(a);
         let serial = m1.run_trace(&trace);
         let pipelined = m2.run_trace_pipelined(&trace);
-        assert_eq!(serial, pipelined, "{}: pipelining changed observable behaviour", a.name);
+        assert_eq!(
+            serial, pipelined,
+            "{}: pipelining changed observable behaviour",
+            a.name
+        );
         assert_eq!(m1.state(), m2.state(), "{}: state diverged", a.name);
     }
 }
@@ -159,9 +177,11 @@ fn pipelined_equals_serial_for_all_algorithms() {
 #[test]
 fn pairs_target_runs_all_mapping_algorithms() {
     let target = Target::banzai(banzai::AtomKind::Pairs);
-    for a in algorithms::TABLE4.iter().filter(|a| a.paper.least_atom.is_some()) {
-        domino_compiler::compile(a.source, &target)
-            .unwrap_or_else(|e| panic!("{}: {e}", a.name));
+    for a in algorithms::TABLE4
+        .iter()
+        .filter(|a| a.paper.least_atom.is_some())
+    {
+        domino_compiler::compile(a.source, &target).unwrap_or_else(|e| panic!("{}: {e}", a.name));
     }
 }
 
@@ -170,9 +190,10 @@ fn pairs_target_runs_all_mapping_algorithms() {
 fn below_least_atom_is_rejected() {
     use banzai::AtomKind;
     for a in algorithms::TABLE4.iter() {
-        let Some(least) = a.paper.least_atom else { continue };
-        let below: Vec<AtomKind> =
-            AtomKind::ALL.into_iter().filter(|k| *k < least).collect();
+        let Some(least) = a.paper.least_atom else {
+            continue;
+        };
+        let below: Vec<AtomKind> = AtomKind::ALL.into_iter().filter(|k| *k < least).collect();
         for kind in below {
             assert!(
                 domino_compiler::compile(a.source, &Target::banzai(kind)).is_err(),

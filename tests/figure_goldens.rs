@@ -35,16 +35,26 @@ fn figure6_state_flanks() {
     let c = compilation();
     let text = Compilation::render_assigns(&c.flanked);
     // Read flanks appear before first use...
-    assert!(text.contains("pkt.last_time_1 = last_time[pkt.id];"), "{text}");
-    assert!(text.contains("pkt.saved_hop_1 = saved_hop[pkt.id];"), "{text}");
+    assert!(
+        text.contains("pkt.last_time_1 = last_time[pkt.id];"),
+        "{text}"
+    );
+    assert!(
+        text.contains("pkt.saved_hop_1 = saved_hop[pkt.id];"),
+        "{text}"
+    );
     // ...interior uses are rewritten to the temporaries...
     assert!(
         text.contains("pkt.saved_hop_1 = (pkt.__br ? pkt.new_hop : pkt.saved_hop_1);"),
         "{text}"
     );
     // ...and write flanks close the transaction (Figure 6).
-    assert!(text.trim_end().ends_with("saved_hop[pkt.id] = pkt.saved_hop_1;")
-        || text.contains("last_time[pkt.id] = pkt.last_time_1;"), "{text}");
+    assert!(
+        text.trim_end()
+            .ends_with("saved_hop[pkt.id] = pkt.saved_hop_1;")
+            || text.contains("last_time[pkt.id] = pkt.last_time_1;"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -54,8 +64,14 @@ fn figure7_ssa_numbering() {
     // Every field assigned exactly once, with the paper's numeric-suffix
     // style: pkt.id0, pkt.last_time_10 (flank temp version 0), etc.
     assert!(text.contains("pkt.id0 ="), "{text}");
-    assert!(text.contains("pkt.last_time_10 = last_time[pkt.id0];"), "{text}");
-    assert!(text.contains("last_time[pkt.id0] = pkt.last_time_11;"), "{text}");
+    assert!(
+        text.contains("pkt.last_time_10 = last_time[pkt.id0];"),
+        "{text}"
+    );
+    assert!(
+        text.contains("last_time[pkt.id0] = pkt.last_time_11;"),
+        "{text}"
+    );
     // Single assignment per field.
     let mut targets: Vec<&str> = text
         .lines()
@@ -75,18 +91,26 @@ fn figure8_three_address_code() {
     // The nine-ish statements of Figure 8, in our naming. Notably the
     // write flank takes pkt.arrival directly (copy propagation, Figure 8
     // line 9).
-    assert!(text.contains("pkt.id0 = hash2(pkt.sport, pkt.dport) % 8000;"), "{text}");
+    assert!(
+        text.contains("pkt.id0 = hash2(pkt.sport, pkt.dport) % 8000;"),
+        "{text}"
+    );
     assert!(
         text.contains("pkt.new_hop0 = hash3(pkt.sport, pkt.dport, pkt.arrival) % 10;"),
         "{text}"
     );
     assert!(text.contains("last_time[pkt.id0] = pkt.arrival;"), "{text}");
-    assert!(text.contains("pkt.__t = pkt.arrival - pkt.last_time_10;"), "{text}");
+    assert!(
+        text.contains("pkt.__t = pkt.arrival - pkt.last_time_10;"),
+        "{text}"
+    );
     assert!(text.contains("pkt.__br0 = pkt.__t > 5;"), "{text}");
     // Every statement is single-operation (three-address form).
     for line in text.lines() {
         let rhs = line.split(" = ").nth(1).unwrap_or("");
-        let ops = rhs.matches(['+', '-', '>', '<', '&', '|', '^'].as_ref()).count();
+        let ops = rhs
+            .matches(['+', '-', '>', '<', '&', '|', '^'].as_ref())
+            .count();
         assert!(ops <= 2, "statement not in TAC form: {line}");
     }
 }
@@ -103,8 +127,8 @@ fn figure9_dependency_graph_and_sccs() {
     let sizes: Vec<usize> = multi.iter().map(|c| c.len()).collect();
     assert!(sizes.contains(&2), "{sccs:?}"); // last_time codelet
     assert!(sizes.contains(&3), "{sccs:?}"); // saved_hop codelet
-    // The condensation is a DAG (asserted by construction in scheduling,
-    // re-checked here via Kahn).
+                                             // The condensation is a DAG (asserted by construction in scheduling,
+                                             // re-checked here via Kahn).
     let (_, dag) = graph.condense(&sccs);
     let mut indeg = vec![0; dag.len()];
     for vs in &dag {
@@ -128,8 +152,7 @@ fn figure9_dependency_graph_and_sccs() {
 
 #[test]
 fn figure3b_pipeline_structure() {
-    let pipeline =
-        domino_compiler::compile(FLOWLET, &Target::banzai(AtomKind::Praw)).unwrap();
+    let pipeline = domino_compiler::compile(FLOWLET, &Target::banzai(AtomKind::Praw)).unwrap();
     assert_eq!(pipeline.depth(), 6);
     assert_eq!(pipeline.max_atoms_per_stage(), 2);
     // Stage 1: the two hashes (stateless).
@@ -139,7 +162,11 @@ fn figure3b_pipeline_structure() {
     assert_eq!(pipeline.stages[1].len(), 1);
     assert!(pipeline.stages[1][0].is_stateful());
     assert_eq!(
-        pipeline.stages[1][0].codelet.state_vars().into_iter().collect::<Vec<_>>(),
+        pipeline.stages[1][0]
+            .codelet
+            .state_vars()
+            .into_iter()
+            .collect::<Vec<_>>(),
         vec!["last_time"]
     );
     // Stage 5: the guarded saved_hop atom — the PRAW that gives flowlet

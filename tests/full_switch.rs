@@ -12,8 +12,7 @@ fn build_switch(capacity: usize, drain_period: u64) -> Switch {
         domino_compiler::compile(flowlet.source, &Target::banzai(AtomKind::Praw)).unwrap();
     let codel = algorithms::by_name("codel_lut").unwrap();
     let egress =
-        domino_compiler::compile(codel.source, &Target::banzai_with_lut(AtomKind::Nested))
-            .unwrap();
+        domino_compiler::compile(codel.source, &Target::banzai_with_lut(AtomKind::Nested)).unwrap();
     Switch::new(ingress, egress, capacity).with_drain_period(drain_period)
 }
 
@@ -33,7 +32,9 @@ fn uncongested_switch_forwards_without_drops_or_codel_drops() {
     let marked = out.iter().filter(|p| p.get("drop") == Some(1)).count();
     assert_eq!(marked, 0, "CoDel marked packets without congestion");
     // Ingress still did its job: every packet got a next hop.
-    assert!(out.iter().all(|p| (0..10).contains(&p.get("next_hop").unwrap())));
+    assert!(out
+        .iter()
+        .all(|p| (0..10).contains(&p.get("next_hop").unwrap())));
 }
 
 #[test]
@@ -48,7 +49,10 @@ fn congested_switch_builds_queue_and_codel_reacts() {
         .map(|p| p.get("now").unwrap() - p.get("enq_ts").unwrap())
         .max()
         .unwrap();
-    assert!(max_sojourn > 5, "no standing queue formed (max sojourn {max_sojourn})");
+    assert!(
+        max_sojourn > 5,
+        "no standing queue formed (max sojourn {max_sojourn})"
+    );
     let marked = out.iter().filter(|p| p.get("drop") == Some(1)).count();
     assert!(marked > 0, "CoDel never reacted to a standing queue");
     // And it must not be marking everything — the control law paces drops.

@@ -44,7 +44,11 @@ fn relop_strategy() -> impl Strategy<Value = RelOp> {
 }
 
 fn guard_strategy() -> impl Strategy<Value = Guard> {
-    (relop_strategy(), guard_operand_strategy(), guard_operand_strategy())
+    (
+        relop_strategy(),
+        guard_operand_strategy(),
+        guard_operand_strategy(),
+    )
         .prop_map(|(op, lhs, rhs)| Guard { op, lhs, rhs })
         .prop_filter("guard must compare two distinct things", |g| g.lhs != g.rhs)
 }
@@ -79,7 +83,10 @@ fn tree_to_codelet(tree: &Tree) -> Codelet {
     }];
     let mut n = 0usize;
     let result = lower_tree(tree, &mut stmts, &mut n);
-    stmts.push(TacStmt::WriteState { state: StateRef::Scalar("x".into()), src: result });
+    stmts.push(TacStmt::WriteState {
+        state: StateRef::Scalar("x".into()),
+        src: result,
+    });
     Codelet::new(stmts)
 }
 
@@ -108,7 +115,10 @@ fn lower_tree(tree: &Tree, stmts: &mut Vec<TacStmt>, n: &mut usize) -> Operand {
             };
             if needs_temp {
                 let t = fresh(n);
-                stmts.push(TacStmt::Assign { dst: t.clone(), rhs });
+                stmts.push(TacStmt::Assign {
+                    dst: t.clone(),
+                    rhs,
+                });
                 Operand::Field(t)
             } else {
                 match rhs {

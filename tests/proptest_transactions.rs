@@ -156,14 +156,12 @@ fn program_strategy() -> impl Strategy<Value = Vec<GenStmt>> {
                         proptest::option::of(update_strategy(temps)),
                         proptest::option::of(expr_strategy(temps)),
                     )
-                        .prop_map(|(array, var, update, else_update, guard)| {
-                            GenStmt::State {
-                                array,
-                                var,
-                                update,
-                                else_update: if guard.is_some() { else_update } else { None },
-                                guard,
-                            }
+                        .prop_map(|(array, var, update, else_update, guard)| GenStmt::State {
+                            array,
+                            var,
+                            update,
+                            else_update: if guard.is_some() { else_update } else { None },
+                            guard,
                         })
                         .boxed();
                     strategies.push(s);
@@ -183,7 +181,10 @@ fn render(stmts: &[GenStmt]) -> String {
         src.push_str(&format!("  int in{i};\n"));
     }
     src.push_str("  int idx;\n");
-    let temps = stmts.iter().filter(|s| matches!(s, GenStmt::Field(_))).count();
+    let temps = stmts
+        .iter()
+        .filter(|s| matches!(s, GenStmt::Field(_)))
+        .count();
     for i in 0..temps {
         src.push_str(&format!("  int t{i};\n"));
     }
@@ -200,7 +201,13 @@ fn render(stmts: &[GenStmt]) -> String {
                 src.push_str(&format!("  pkt.t{temp} = {};\n", e.render()));
                 temp += 1;
             }
-            GenStmt::State { array, var, update, else_update, guard } => {
+            GenStmt::State {
+                array,
+                var,
+                update,
+                else_update,
+                guard,
+            } => {
                 let lhs = if *array {
                     format!("arr{var}[pkt.idx]")
                 } else {
@@ -228,10 +235,7 @@ fn render(stmts: &[GenStmt]) -> String {
 }
 
 fn trace_strategy() -> impl Strategy<Value = Vec<Vec<i32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-100i32..100, NUM_INPUTS),
-        1..60,
-    )
+    proptest::collection::vec(proptest::collection::vec(-100i32..100, NUM_INPUTS), 1..60)
 }
 
 fn to_packets(rows: &[Vec<i32>], temps: usize) -> Vec<Packet> {

@@ -10,21 +10,20 @@ use hardware_model::emit_verilog;
 fn every_synthesized_atom_emits_verilog() {
     let mut modules = 0;
     for algo in algorithms::TABLE4.iter() {
-        let Some(kind) = algo.paper.least_atom else { continue };
-        let pipeline =
-            domino_compiler::compile(algo.source, &Target::banzai(kind)).unwrap();
+        let Some(kind) = algo.paper.least_atom else {
+            continue;
+        };
+        let pipeline = domino_compiler::compile(algo.source, &Target::banzai(kind)).unwrap();
         for (si, stage) in pipeline.stages.iter().enumerate() {
             for (ai, atom) in stage.iter().enumerate() {
-                let AtomRole::Stateful { config, .. } = &atom.role else { continue };
+                let AtomRole::Stateful { config, .. } = &atom.role else {
+                    continue;
+                };
                 let name = format!("{}_s{}_a{}", algo.name, si + 1, ai + 1);
                 let v = emit_verilog(&name, config);
                 assert_eq!(v.matches("module ").count(), 1, "{name}:\n{v}");
                 assert_eq!(v.matches("endmodule").count(), 1, "{name}");
-                assert_eq!(
-                    v.matches("always @(posedge clk)").count(),
-                    1,
-                    "{name}"
-                );
+                assert_eq!(v.matches("always @(posedge clk)").count(), 1, "{name}");
                 // Every state variable of the codelet has a register and
                 // a next-state net.
                 for i in 0..config.state_refs.len() {
@@ -45,11 +44,8 @@ fn every_synthesized_atom_emits_verilog() {
 #[test]
 fn conga_pairs_atom_emits_dual_register_module() {
     let algo = algorithms::by_name("conga").unwrap();
-    let pipeline = domino_compiler::compile(
-        algo.source,
-        &Target::banzai(banzai::AtomKind::Pairs),
-    )
-    .unwrap();
+    let pipeline =
+        domino_compiler::compile(algo.source, &Target::banzai(banzai::AtomKind::Pairs)).unwrap();
     let config = pipeline
         .stages
         .iter()

@@ -1,0 +1,177 @@
+//! Offline, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace has no network access, so this
+//! vendored shim implements the subset of criterion's API that
+//! `crates/bench/benches/pipeline.rs` uses: [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function`, [`Throughput`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up, then
+//! timed over an adaptive number of iterations (targeting ~200 ms of
+//! wall-clock per benchmark), and the mean time per iteration is printed —
+//! no statistical analysis, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spent measuring each benchmark.
+const TARGET_MEASURE: Duration = Duration::from_millis(200);
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The timing driver handed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, adaptively choosing the iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up & calibration: one timed call decides the batch size.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_MEASURE.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{id:<40} (no iterations run)");
+        return;
+    }
+    let per_iter = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12.0} elem/s", n as f64 * 1e9 / per_iter),
+        Throughput::Bytes(n) => format!("  {:>12.0} B/s", n as f64 * 1e9 / per_iter),
+    });
+    println!(
+        "{id:<40} {:>12} /iter ({} iters){}",
+        format_ns(per_iter),
+        b.iters_done,
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into one group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(4));
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(2u64)));
+        group.finish();
+        c.bench_function("free", |b| b.iter(|| black_box(1u32)));
+    }
+}
