@@ -18,7 +18,13 @@
 //! * [`machine`] — the executable machine: [`machine::AtomPipeline`] and
 //!   [`machine::Machine`] with both transactional and cycle-accurate
 //!   (packets-in-flight) execution, which are observably identical — the
-//!   packet-transaction guarantee.
+//!   packet-transaction guarantee,
+//! * [`slot`] — the slot-compiled fast path: [`slot::SlotPipeline`]
+//!   (pipelines lowered onto interned field/state layouts) and
+//!   [`slot::SlotMachine`], bit-identical to [`machine::Machine`] with no
+//!   per-packet string hashing,
+//! * [`switch`] — the Figure-1 whole-switch view (ingress pipeline, queue,
+//!   egress pipeline), generic over either execution engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,11 +32,13 @@
 pub mod atom;
 pub mod kind;
 pub mod machine;
+pub mod slot;
 pub mod switch;
 pub mod target;
 
 pub use atom::{Guard, GuardOperand, RelOp, StatefulConfig, Tree, Update};
 pub use kind::{AtomKind, StatefulCaps};
 pub use machine::{AtomPipeline, AtomRole, CompiledAtom, Machine};
-pub use switch::Switch;
+pub use slot::{SlotMachine, SlotPipeline};
+pub use switch::{PipelineEngine, Switch};
 pub use target::Target;

@@ -88,6 +88,20 @@ pub struct AtomPipeline {
 }
 
 impl AtomPipeline {
+    /// An empty (zero-stage) pipeline that forwards packets untouched —
+    /// handy for tests and doc examples that exercise queueing machinery
+    /// without a compiler in reach.
+    pub fn passthrough(name: &str) -> AtomPipeline {
+        AtomPipeline {
+            name: name.to_string(),
+            target_name: "passthrough".to_string(),
+            stages: vec![],
+            state_decls: vec![],
+            declared_fields: vec![],
+            output_map: vec![],
+        }
+    }
+
     /// Pipeline depth (number of stages).
     pub fn depth(&self) -> usize {
         self.stages.len()

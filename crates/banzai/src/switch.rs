@@ -9,16 +9,55 @@
 //! whose occupancy and sojourn timestamps are exposed to egress programs
 //! as packet metadata — exactly the metadata real switch schedulers
 //! provide.
+//!
+//! The switch is generic over its [`PipelineEngine`]: the map-based
+//! reference [`Machine`] (the default) or the slot-compiled
+//! [`SlotMachine`] fast path — the two are observably identical, which the
+//! differential throughput harness asserts.
 
 use crate::machine::{AtomPipeline, Machine};
-use domino_ir::Packet;
+use crate::slot::SlotMachine;
+use domino_ir::{Packet, StateStore};
 use std::collections::VecDeque;
+
+/// An execution engine a [`Switch`] can drive a pipeline with.
+///
+/// Implemented by the map-based reference [`Machine`] and by the
+/// slot-compiled [`SlotMachine`]; both process one packet per clock and
+/// expose their persistent state for inspection.
+pub trait PipelineEngine {
+    /// Runs one packet through every stage (transactional view).
+    fn process(&mut self, pkt: Packet) -> Packet;
+
+    /// Snapshot of the engine's persistent state, in map form.
+    fn export_state(&self) -> StateStore;
+}
+
+impl PipelineEngine for Machine {
+    fn process(&mut self, pkt: Packet) -> Packet {
+        Machine::process(self, pkt)
+    }
+
+    fn export_state(&self) -> StateStore {
+        self.state().clone()
+    }
+}
+
+impl PipelineEngine for SlotMachine {
+    fn process(&mut self, pkt: Packet) -> Packet {
+        SlotMachine::process(self, pkt)
+    }
+
+    fn export_state(&self) -> StateStore {
+        SlotMachine::export_state(self)
+    }
+}
 
 /// A switch: ingress pipeline, a bounded FIFO queue, egress pipeline.
 #[derive(Debug, Clone)]
-pub struct Switch {
-    ingress: Machine,
-    egress: Machine,
+pub struct Switch<E: PipelineEngine = Machine> {
+    ingress: E,
+    egress: E,
     queue: VecDeque<(i64, Packet)>,
     capacity: usize,
     /// Cycles taken to transmit one packet from the queue (≥1): values
@@ -27,49 +66,17 @@ pub struct Switch {
     drain_period: u64,
     now: i64,
     drops: u64,
+    transmitted: u64,
     /// Metadata field names written for egress programs.
     enqueue_ts_field: String,
     depth_field: String,
 }
 
-impl Switch {
-    /// Builds a switch from two compiled pipelines and a queue capacity.
+impl Switch<Machine> {
+    /// Builds a switch from two compiled pipelines and a queue capacity,
+    /// running both on the map-based reference engine.
     pub fn new(ingress: AtomPipeline, egress: AtomPipeline, capacity: usize) -> Switch {
-        Switch {
-            ingress: Machine::new(ingress),
-            egress: Machine::new(egress),
-            queue: VecDeque::new(),
-            capacity,
-            drain_period: 1,
-            now: 0,
-            drops: 0,
-            enqueue_ts_field: "enq_ts".to_string(),
-            depth_field: "qdepth".to_string(),
-        }
-    }
-
-    /// Sets how many cycles the output link needs per packet (default 1;
-    /// larger values model an oversubscribed egress link).
-    pub fn with_drain_period(mut self, cycles: u64) -> Switch {
-        self.drain_period = cycles.max(1);
-        self
-    }
-
-    /// Renames the metadata fields exposed to egress programs.
-    pub fn with_metadata_fields(mut self, enqueue_ts: &str, depth: &str) -> Switch {
-        self.enqueue_ts_field = enqueue_ts.to_string();
-        self.depth_field = depth.to_string();
-        self
-    }
-
-    /// Number of packets dropped at the (full) queue so far.
-    pub fn drops(&self) -> u64 {
-        self.drops
-    }
-
-    /// Current queue occupancy.
-    pub fn queue_depth(&self) -> usize {
-        self.queue.len()
+        Switch::from_engines(Machine::new(ingress), Machine::new(egress), capacity)
     }
 
     /// The ingress machine's state (for inspection).
@@ -80,6 +87,133 @@ impl Switch {
     /// The egress machine's state (for inspection).
     pub fn egress_state(&self) -> &domino_ir::StateStore {
         self.egress.state()
+    }
+}
+
+impl Switch<SlotMachine> {
+    /// Builds a switch running both pipelines on the slot-compiled fast
+    /// path (bit-identical to [`Switch::new`], without per-packet string
+    /// hashing inside the pipelines).
+    pub fn new_slot(
+        ingress: &AtomPipeline,
+        egress: &AtomPipeline,
+        capacity: usize,
+    ) -> Result<Switch<SlotMachine>, String> {
+        Ok(Switch::from_engines(
+            SlotMachine::compile(ingress)?,
+            SlotMachine::compile(egress)?,
+            capacity,
+        ))
+    }
+}
+
+impl<E: PipelineEngine> Switch<E> {
+    /// Builds a switch from two already-instantiated engines.
+    pub fn from_engines(ingress: E, egress: E, capacity: usize) -> Switch<E> {
+        Switch {
+            ingress,
+            egress,
+            queue: VecDeque::new(),
+            capacity,
+            drain_period: 1,
+            now: 0,
+            drops: 0,
+            transmitted: 0,
+            enqueue_ts_field: "enq_ts".to_string(),
+            depth_field: "qdepth".to_string(),
+        }
+    }
+
+    /// Sets how many cycles the output link needs per packet (default 1;
+    /// larger values model an oversubscribed egress link).
+    pub fn with_drain_period(mut self, cycles: u64) -> Switch<E> {
+        self.drain_period = cycles.max(1);
+        self
+    }
+
+    /// Renames the metadata fields exposed to egress programs.
+    pub fn with_metadata_fields(mut self, enqueue_ts: &str, depth: &str) -> Switch<E> {
+        self.enqueue_ts_field = enqueue_ts.to_string();
+        self.depth_field = depth.to_string();
+        self
+    }
+
+    /// Number of packets dropped at the (full) queue so far.
+    ///
+    /// ```
+    /// use banzai::{AtomPipeline, Switch};
+    /// use domino_ir::Packet;
+    ///
+    /// // Capacity 2 with a link needing 4 cycles/packet: arrivals outrun
+    /// // the drain and the tail drops.
+    /// let mut sw = Switch::new(
+    ///     AtomPipeline::passthrough("in"),
+    ///     AtomPipeline::passthrough("out"),
+    ///     2,
+    /// )
+    /// .with_drain_period(4);
+    /// let out = sw.run_trace(&vec![Packet::new(); 10]);
+    /// assert!(sw.drops() > 0);
+    /// // Conservation: every admitted packet is eventually transmitted.
+    /// assert_eq!(out.len() as u64, sw.transmitted());
+    /// assert_eq!(sw.transmitted() + sw.drops(), 10);
+    /// ```
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Number of packets transmitted (fully processed by egress) so far.
+    ///
+    /// ```
+    /// use banzai::{AtomPipeline, Switch};
+    /// use domino_ir::Packet;
+    ///
+    /// let mut sw = Switch::new(
+    ///     AtomPipeline::passthrough("in"),
+    ///     AtomPipeline::passthrough("out"),
+    ///     64,
+    /// );
+    /// sw.run_trace(&vec![Packet::new(); 5]);
+    /// assert_eq!(sw.transmitted(), 5);
+    /// assert_eq!(sw.drops(), 0);
+    /// ```
+    pub fn transmitted(&self) -> u64 {
+        self.transmitted
+    }
+
+    /// Current queue occupancy.
+    ///
+    /// ```
+    /// use banzai::{AtomPipeline, Switch};
+    /// use domino_ir::Packet;
+    ///
+    /// let mut sw = Switch::new(
+    ///     AtomPipeline::passthrough("in"),
+    ///     AtomPipeline::passthrough("out"),
+    ///     64,
+    /// );
+    /// assert_eq!(sw.queue_depth(), 0); // empty between full traces
+    /// sw.run_trace(&vec![Packet::new(); 8]);
+    /// assert_eq!(sw.queue_depth(), 0); // run_trace drains the queue
+    /// assert_eq!(sw.capacity(), 64);
+    /// ```
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The queue's capacity (packets beyond this are dropped at enqueue).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the ingress engine's persistent state.
+    pub fn export_ingress_state(&self) -> StateStore {
+        self.ingress.export_state()
+    }
+
+    /// Snapshot of the egress engine's persistent state.
+    pub fn export_egress_state(&self) -> StateStore {
+        self.egress.export_state()
     }
 
     /// Runs a trace through the whole switch: each input packet is
@@ -102,6 +236,7 @@ impl Switch {
                     pkt.set("now", self.now as i32);
                     pkt.set(&self.depth_field, self.queue.len() as i32);
                     out.push(self.egress.process(pkt));
+                    self.transmitted += 1;
                 }
             }
             // Admit one packet per cycle.
@@ -134,14 +269,7 @@ mod tests {
     // queue mechanics with pass-through pipelines; real-algorithm switch
     // tests live in the workspace integration suite.
     fn passthrough(name: &str) -> AtomPipeline {
-        AtomPipeline {
-            name: name.into(),
-            target_name: "test".into(),
-            stages: vec![],
-            state_decls: vec![],
-            declared_fields: vec![],
-            output_map: vec![],
-        }
+        AtomPipeline::passthrough(name)
     }
 
     #[test]
@@ -154,6 +282,7 @@ mod tests {
             assert_eq!(p.get("seq"), Some(i as i32));
         }
         assert_eq!(sw.drops(), 0);
+        assert_eq!(sw.transmitted(), 40);
     }
 
     #[test]
@@ -164,6 +293,7 @@ mod tests {
         let out = sw.run_trace(&trace);
         assert!(sw.drops() > 0, "expected drops, got none");
         assert_eq!(out.len() as u64 + sw.drops(), 100);
+        assert_eq!(sw.transmitted(), out.len() as u64);
     }
 
     #[test]
@@ -178,5 +308,20 @@ mod tests {
             .collect();
         assert!(*sojourns.last().unwrap() > sojourns[0], "{sojourns:?}");
         assert!(out.iter().all(|p| p.get("qdepth").is_some()));
+    }
+
+    #[test]
+    fn slot_engine_switch_matches_reference_switch() {
+        let mk_map = || Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
+        let mk_slot = || {
+            Switch::new_slot(&passthrough("in"), &passthrough("out"), 8)
+                .unwrap()
+                .with_drain_period(2)
+        };
+        let trace: Vec<Packet> = (0..100).map(|i| Packet::new().with("seq", i)).collect();
+        let (mut a, mut b) = (mk_map(), mk_slot());
+        assert_eq!(a.run_trace(&trace), b.run_trace(&trace));
+        assert_eq!(a.drops(), b.drops());
+        assert_eq!(a.transmitted(), b.transmitted());
     }
 }

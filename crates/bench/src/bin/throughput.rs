@@ -1,0 +1,103 @@
+//! E9 — the differential throughput harness: map-based reference engine
+//! vs the slot-compiled fast path on large seeded traces, bit-identical
+//! outputs asserted, results emitted as `BENCH_throughput.json`.
+//!
+//! ```text
+//! throughput [--smoke] [--packets <n>] [--out <path>]
+//!
+//!   --smoke        small traces (CI: exercises both engines and the JSON
+//!                  emission in a few hundred milliseconds)
+//!   --packets <n>  packets for the headline flowlet trace (default 1000000)
+//!   --out <path>   where to write the JSON (default BENCH_throughput.json)
+//! ```
+
+use bench::throughput::{machine_workload, render_json, switch_workload, Measurement};
+use std::process::ExitCode;
+
+const SEED: u64 = 0xD0771_2016;
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut smoke = false;
+    let mut flowlet_n: Option<usize> = None;
+    let mut out_path = "BENCH_throughput.json".to_string();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--packets" => {
+                i += 1;
+                let v = args.get(i).ok_or("--packets needs a value")?;
+                flowlet_n = Some(v.parse().map_err(|_| format!("bad --packets `{v}`"))?);
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).ok_or("--out needs a value")?.clone();
+            }
+            "--help" | "-h" => {
+                println!("throughput [--smoke] [--packets <n>] [--out <path>]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+
+    let (flowlet, hh, codel, switch) = if smoke {
+        (20_000, 10_000, 10_000, 5_000)
+    } else {
+        (1_000_000, 300_000, 300_000, 200_000)
+    };
+    let flowlet = flowlet_n.unwrap_or(flowlet);
+
+    println!("E9 — execution-engine throughput (every row is a verified differential run)\n");
+    let measurements = vec![
+        machine_workload("flowlet", flowlet, SEED),
+        machine_workload("heavy_hitters", hh, SEED),
+        machine_workload("codel_lut", codel, SEED),
+        switch_workload(switch, SEED),
+    ];
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m: &Measurement| {
+            vec![
+                m.name.clone(),
+                m.packets.to_string(),
+                format!("{:.0}", m.map_pps()),
+                format!("{:.0}", m.slot_pps()),
+                format!("{:.1}x", m.speedup()),
+                "yes".to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        bench::render_table(
+            &[
+                "workload",
+                "packets",
+                "map pkts/s",
+                "slot pkts/s",
+                "speedup",
+                "identical"
+            ],
+            &rows
+        )
+    );
+
+    let doc = render_json(&measurements);
+    std::fs::write(&out_path, &doc).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(())
+}

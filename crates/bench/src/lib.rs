@@ -10,13 +10,17 @@
 //!   LOC (E2; `--with-lut` adds the X1 row),
 //! * `table5` — programmability vs. performance (E3),
 //! * `table6` — circuit structure and minimum delays (E4),
-//! * `figure3` — the flowlet pipeline (E5).
+//! * `figure3` — the flowlet pipeline (E5),
+//! * `throughput` — the differential map-vs-slot execution-engine
+//!   comparison, emitting `BENCH_throughput.json` (E9; see [`throughput`]).
 //!
 //! Criterion benchmarks (`cargo bench -p bench`) cover compilation time
 //! (E8) and simulated pipeline throughput.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod throughput;
 
 use banzai::{AtomKind, Target};
 

@@ -1,0 +1,227 @@
+//! The differential throughput harness (E9): replay large seeded traces
+//! through the map-based reference engine and the slot-compiled fast path,
+//! assert the two are bit-identical (packet-for-packet and
+//! state-for-state), and measure the speedup the compile-time field-layout
+//! pass buys.
+//!
+//! Workloads:
+//!
+//! * **machine workloads** — one Table 4 algorithm on its least-expressive
+//!   target, [`Machine::run_trace`] vs a pre-flattened
+//!   [`SlotMachine::run_trace_flat`] replay (the line-rate story: parsing
+//!   into the PHV happens once at the parser, execution is pure integer
+//!   indexing);
+//! * **the Figure-1 switch workload** — flowlet at ingress, CoDel (LUT) at
+//!   egress, a real queue in between, driven once per engine through
+//!   [`Switch::run_trace`] (map-packet edges included on both sides).
+//!
+//! Every run *is* a differential test: divergence panics, so any recorded
+//! [`Measurement`] is also a correctness witness.
+
+use banzai::{Machine, SlotMachine, Switch, Target};
+use domino_ir::Packet;
+use std::time::Instant;
+
+/// One workload's timed, verified comparison of the two engines.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name (algorithm, or `figure1_switch`).
+    pub name: String,
+    /// Packets replayed through each engine.
+    pub packets: usize,
+    /// Wall-clock nanoseconds for the map-based reference path.
+    pub map_ns: u128,
+    /// Wall-clock nanoseconds for the slot-compiled fast path.
+    pub slot_ns: u128,
+}
+
+impl Measurement {
+    /// Packets per second through the map-based reference path.
+    pub fn map_pps(&self) -> f64 {
+        self.packets as f64 / (self.map_ns as f64 / 1e9)
+    }
+
+    /// Packets per second through the slot-compiled fast path.
+    pub fn slot_pps(&self) -> f64 {
+        self.packets as f64 / (self.slot_ns as f64 / 1e9)
+    }
+
+    /// Fast-path speedup over the reference path.
+    pub fn speedup(&self) -> f64 {
+        self.map_ns as f64 / self.slot_ns.max(1) as f64
+    }
+}
+
+/// Compiles `name` on its least-expressive paper target (LUT-extended for
+/// `codel_lut`), mirroring `tests/differential.rs`.
+fn compile_least(name: &str) -> banzai::AtomPipeline {
+    let a = algorithms::by_name(name).unwrap_or_else(|| panic!("unknown algorithm `{name}`"));
+    let kind = a.paper.least_atom.expect("algorithm must map");
+    let target = if a.name == "codel_lut" {
+        Target::banzai_with_lut(kind)
+    } else {
+        Target::banzai(kind)
+    };
+    domino_compiler::compile(a.source, &target).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+/// Replays `n` seeded packets of algorithm `name` through both engines and
+/// returns the timed, verified measurement.
+///
+/// # Panics
+///
+/// Panics if the two paths diverge on any output packet or on final state —
+/// the measurement doubles as a differential test.
+pub fn machine_workload(name: &str, n: usize, seed: u64) -> Measurement {
+    let pipeline = compile_least(name);
+    let trace = algorithms::by_name(name).unwrap().trace(n, seed);
+
+    let mut map_machine = Machine::new(pipeline.clone());
+    let t = Instant::now();
+    let map_out = map_machine.run_trace(&trace);
+    let map_ns = t.elapsed().as_nanos();
+
+    let mut slot_machine =
+        SlotMachine::compile(&pipeline).expect("compiled pipelines are slot-executable");
+    // Parse once onto the layout (a real parser fills the PHV exactly
+    // once); the timed region is pure slot-indexed execution.
+    let flat = slot_machine.flatten_trace(&trace);
+    let t = Instant::now();
+    let flat_out = slot_machine.run_trace_flat(&flat);
+    let slot_ns = t.elapsed().as_nanos();
+
+    // Bit-identical or bust: state…
+    assert_eq!(
+        *map_machine.state(),
+        slot_machine.export_state(),
+        "{name}: engines diverged on final state"
+    );
+    // …and every output packet, realized through the deparser.
+    for (i, (m, f)) in map_out.iter().zip(&flat_out).enumerate() {
+        let mut realized = trace[i].clone();
+        slot_machine.merge_back(f, &mut realized);
+        assert_eq!(*m, realized, "{name}: engines diverged at packet {i}");
+    }
+
+    Measurement {
+        name: name.to_string(),
+        packets: n,
+        map_ns,
+        slot_ns,
+    }
+}
+
+/// Drives the Figure-1 switch (flowlet ingress, CoDel-LUT egress, bounded
+/// queue at 1/3 line rate) once per engine and returns the measurement.
+///
+/// # Panics
+///
+/// Panics if outputs, drop counts, transmit counts, or final pipeline
+/// state differ between the engines.
+pub fn switch_workload(n: usize, seed: u64) -> Measurement {
+    let ingress = compile_least("flowlet");
+    let egress = compile_least("codel_lut");
+    let trace: Vec<Packet> = algorithms::by_name("flowlet").unwrap().trace(n, seed);
+
+    let mut map_switch = Switch::new(ingress.clone(), egress.clone(), 512).with_drain_period(3);
+    let t = Instant::now();
+    let map_out = map_switch.run_trace(&trace);
+    let map_ns = t.elapsed().as_nanos();
+
+    let mut slot_switch = Switch::new_slot(&ingress, &egress, 512)
+        .expect("compiled pipelines are slot-executable")
+        .with_drain_period(3);
+    let t = Instant::now();
+    let slot_out = slot_switch.run_trace(&trace);
+    let slot_ns = t.elapsed().as_nanos();
+
+    assert_eq!(map_out, slot_out, "switch engines diverged on outputs");
+    assert_eq!(
+        map_switch.drops(),
+        slot_switch.drops(),
+        "drop counts diverged"
+    );
+    assert_eq!(
+        map_switch.transmitted(),
+        slot_switch.transmitted(),
+        "transmit counts diverged"
+    );
+    assert_eq!(
+        map_switch.export_ingress_state(),
+        slot_switch.export_ingress_state(),
+        "ingress state diverged"
+    );
+    assert_eq!(
+        map_switch.export_egress_state(),
+        slot_switch.export_egress_state(),
+        "egress state diverged"
+    );
+
+    Measurement {
+        name: "figure1_switch".to_string(),
+        packets: n,
+        map_ns,
+        slot_ns,
+    }
+}
+
+/// Renders the measurements as the machine-readable `BENCH_throughput.json`
+/// document (hand-rolled: the build environment is offline, no serde).
+pub fn render_json(measurements: &[Measurement]) -> String {
+    let rows: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"packets\": {},\n      \
+                 \"map_ns\": {},\n      \"slot_ns\": {},\n      \
+                 \"map_pkts_per_sec\": {:.0},\n      \"slot_pkts_per_sec\": {:.0},\n      \
+                 \"speedup\": {:.2},\n      \"identical\": true\n    }}",
+                m.name,
+                m.packets,
+                m.map_ns,
+                m.slot_ns,
+                m.map_pps(),
+                m.slot_pps(),
+                m.speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"suite\": \"throughput\",\n  \"engines\": [\"map\", \"slot\"],\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_workload_verifies_and_measures() {
+        let m = machine_workload("flowlet", 2_000, 0xBEEF);
+        assert_eq!(m.packets, 2_000);
+        assert!(m.map_ns > 0 && m.slot_ns > 0);
+    }
+
+    #[test]
+    fn switch_workload_verifies_and_measures() {
+        let m = switch_workload(1_500, 0xF00D);
+        assert_eq!(m.name, "figure1_switch");
+        assert!(m.map_ns > 0 && m.slot_ns > 0);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let m = Measurement {
+            name: "flowlet".into(),
+            packets: 10,
+            map_ns: 100,
+            slot_ns: 10,
+        };
+        let doc = render_json(&[m]);
+        assert!(doc.contains("\"name\": \"flowlet\""), "{doc}");
+        assert!(doc.contains("\"speedup\": 10.00"), "{doc}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

@@ -6,8 +6,8 @@
 //!   --target <atom>   stateful atom of the Banzai target: write, raw,
 //!                     praw, ifelse_raw, sub, nested, pairs (default: pairs)
 //!   --lut             extend the target with the look-up-table unit (X1)
-//!   --emit <what>     pipeline (default) | p4 | tac | pvsm | dot |
-//!                     normalized | json
+//!   --emit <what>     pipeline (default) | layout | p4 | tac | pvsm |
+//!                     dot | normalized | json
 //!   --all-targets     try every standard target and report the least
 //!                     expressive atom that runs the program (Table 4 view)
 //! ```
@@ -109,6 +109,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 domino_compiler::lower(&compilation, &target).map_err(|e| e.to_string())?;
             print!("{pipeline}");
         }
+        "layout" => {
+            let pipeline =
+                domino_compiler::lower(&compilation, &target).map_err(|e| e.to_string())?;
+            // `lower` validates slot-executability, so this cannot fail.
+            let program = banzai::SlotPipeline::lower(&pipeline).map_err(|e| e.to_string())?;
+            print!("{program}");
+        }
         "p4" => {
             let pipeline =
                 domino_compiler::lower(&compilation, &target).map_err(|e| e.to_string())?;
@@ -160,7 +167,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "unknown --emit `{other}` (pipeline, p4, tac, pvsm, dot, normalized, json)"
+                "unknown --emit `{other}` (pipeline, layout, p4, tac, pvsm, dot, normalized, json)"
             ))
         }
     }
@@ -205,5 +212,5 @@ OPTIONS:
     --target <atom>  write | raw | praw | ifelse_raw | sub | nested | pairs
                      (default: pairs)
     --lut            add the look-up-table unit (isqrt/codel_gap)
-    --emit <what>    pipeline | p4 | tac | pvsm | dot | normalized | json
+    --emit <what>    pipeline | layout | p4 | tac | pvsm | dot | normalized | json
     --all-targets    report which standard targets can run the program";

@@ -55,7 +55,7 @@ use domino_ast::Diagnostic;
 
 /// Commonly used types, for `use domino::prelude::*`.
 pub mod prelude {
-    pub use banzai::{AtomKind, Machine, Target};
+    pub use banzai::{AtomKind, Machine, SlotMachine, Switch, Target};
     pub use domino_ir::{Packet, StateStore};
 }
 
@@ -68,6 +68,32 @@ pub fn compile(source: &str, target: &Target) -> Result<AtomPipeline, Diagnostic
 /// Compiles and immediately instantiates a machine with fresh state.
 pub fn machine(source: &str, target: &Target) -> Result<banzai::Machine, Diagnostic> {
     Ok(banzai::Machine::new(compile(source, target)?))
+}
+
+/// Compiles onto the slot-compiled fast path: fields interned, state
+/// resolved to a flat register file, no per-packet string hashing.
+/// Bit-identical to [`machine`] — `compile` validates the layout, so the
+/// lowering cannot fail on a compiled pipeline.
+///
+/// ```
+/// use domino::prelude::*;
+///
+/// let src = "struct P { int a; int r; };\nint sum = 0;\n\
+///            void acc(struct P pkt) { sum = sum + pkt.a; pkt.r = sum; }";
+/// let target = Target::banzai(AtomKind::Raw);
+/// let mut fast = domino::slot_machine(src, &target).unwrap();
+/// let mut reference = domino::machine(src, &target).unwrap();
+/// let pkt = Packet::new().with("a", 5).with("r", 0);
+/// assert_eq!(fast.process(pkt.clone()), reference.process(pkt));
+/// ```
+pub fn slot_machine(source: &str, target: &Target) -> Result<banzai::SlotMachine, Diagnostic> {
+    let pipeline = compile(source, target)?;
+    banzai::SlotMachine::compile(&pipeline).map_err(|e| {
+        Diagnostic::global(
+            domino_ast::Stage::CodeGen,
+            format!("internal error: compiled pipeline has no slot layout: {e}"),
+        )
+    })
 }
 
 /// Compiles a program and emits the equivalent P4 (the code a programmer

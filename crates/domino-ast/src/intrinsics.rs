@@ -65,18 +65,30 @@ pub fn names() -> Vec<&'static str> {
 /// semantic analysis, which guarantees both.
 pub fn eval(name: &str, args: &[i32]) -> i32 {
     match (name, args) {
-        ("hash2", [a, b]) => mix2(*a, *b, 0x9e37_79b9),
-        ("hash3", [a, b, c]) => {
-            let h = mix2(*a, *b, 0x85eb_ca6b);
-            mix2(h, *c, 0xc2b2_ae35)
-        }
+        ("hash2", [a, b]) => hash2(*a, *b),
+        ("hash3", [a, b, c]) => hash3(*a, *b, *c),
         ("isqrt", [a]) => isqrt(*a),
-        ("codel_gap", [count, interval]) => {
-            let s = isqrt(*count).max(1);
-            interval.wrapping_div(s)
-        }
+        ("codel_gap", [count, interval]) => codel_gap(*count, *interval),
         _ => panic!("unknown intrinsic or bad arity: {name}/{}", args.len()),
     }
+}
+
+/// The `hash2` accelerator (named entry point, so execution engines can
+/// pre-resolve the intrinsic instead of string-dispatching per packet).
+pub fn hash2(a: i32, b: i32) -> i32 {
+    mix2(a, b, 0x9e37_79b9)
+}
+
+/// The `hash3` accelerator (see [`hash2`]).
+pub fn hash3(a: i32, b: i32, c: i32) -> i32 {
+    let h = mix2(a, b, 0x85eb_ca6b);
+    mix2(h, c, 0xc2b2_ae35)
+}
+
+/// The LUT unit's `codel_gap(count, interval)` = `interval / max(1, √count)`.
+pub fn codel_gap(count: i32, interval: i32) -> i32 {
+    let s = isqrt(count).max(1);
+    interval.wrapping_div(s)
 }
 
 /// SplitMix-style 2-input mixer producing a non-negative i32.

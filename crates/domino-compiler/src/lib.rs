@@ -171,14 +171,24 @@ pub fn compile_checked(
 /// Lowers an already-normalized compilation onto a target.
 pub fn lower(compilation: &Compilation, target: &Target) -> Result<AtomPipeline, Diagnostic> {
     let state_decls: Vec<StateVar> = compilation.checked.state.clone();
-    codegen::generate(
+    let pipeline = codegen::generate(
         &compilation.checked.name,
         &compilation.pvsm,
         target,
         state_decls,
         compilation.checked.packet_fields.clone(),
         compilation.output_map.clone(),
-    )
+    )?;
+    // The field-layout pass must accept everything this compiler emits:
+    // validating here means every compiled pipeline is guaranteed
+    // slot-executable, so downstream users can unwrap the fast path.
+    banzai::SlotPipeline::lower(&pipeline).map_err(|e| {
+        Diagnostic::global(
+            Stage::CodeGen,
+            format!("internal error: compiled pipeline has no slot layout: {e}"),
+        )
+    })?;
+    Ok(pipeline)
 }
 
 #[cfg(test)]

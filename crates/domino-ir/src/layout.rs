@@ -1,0 +1,580 @@
+//! Compile-time field layout: interned fields, flat packets, flat state.
+//!
+//! The map-based [`Packet`] is the *semantic reference*: a
+//! `BTreeMap` from field name to value, convenient and order-deterministic
+//! but string-keyed on every access. Real switch pipelines resolve header
+//! layouts at compile time — a PHV container is a fixed offset, not a
+//! dictionary lookup. This module provides that layout-resolution step:
+//!
+//! * [`FieldTable`] — an interner assigning every packet field a dense
+//!   [`FieldId`] (its PHV slot), keeping reverse names for diagnostics;
+//! * [`FlatPacket`] — a fixed `i32` slab keyed by [`FieldId`], with a
+//!   presence bitmask replicating the map packet's has/absent semantics;
+//! * [`StateLayout`] / [`FlatState`] — every state variable resolved to a
+//!   base offset into one flat register file (scalars take one slot,
+//!   arrays `size` slots).
+//!
+//! The slot-compiled execution engine in `banzai` lowers atom pipelines
+//! onto these layouts once, then executes packets with pure integer
+//! indexing — no per-packet string hashing or tree walks. Differential
+//! tests assert the fast path is bit-identical to the map path.
+
+use crate::packet::Packet;
+use crate::state::StateStore;
+use domino_ast::{StateKind, StateVar};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dense identifier for an interned packet field — the field's slot in a
+/// [`FlatPacket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FieldId(u32);
+
+impl FieldId {
+    /// The slot index this id addresses.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw slot number.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot#{}", self.0)
+    }
+}
+
+/// An interner mapping packet field names to dense [`FieldId`]s.
+///
+/// Slots are assigned in first-intern order, so a table built by walking a
+/// pipeline deterministically is itself deterministic. The table keeps the
+/// reverse mapping (`id → name`) so fast-path diagnostics can still name
+/// the field — matching [`Packet::expect`]'s contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FieldTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl FieldTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        FieldTable::default()
+    }
+
+    /// Interns `name`, returning its (new or existing) [`FieldId`].
+    pub fn intern(&mut self, name: &str) -> FieldId {
+        if let Some(&id) = self.index.get(name) {
+            return FieldId(id);
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        FieldId(id)
+    }
+
+    /// Looks up an already-interned field.
+    pub fn lookup(&self, name: &str) -> Option<FieldId> {
+        self.index.get(name).copied().map(FieldId)
+    }
+
+    /// The name behind a [`FieldId`] (reverse mapping, for diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    pub fn name(&self, id: FieldId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned fields (== the slot count of a [`FlatPacket`]).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no field has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (FieldId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (FieldId(i as u32), n.as_str()))
+    }
+}
+
+impl fmt::Display for FieldTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (id, name) in self.iter() {
+            writeln!(f, "{id} = pkt.{name}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Number of 64-bit words needed for a presence bitmask over `slots` slots.
+fn mask_words(slots: usize) -> usize {
+    slots.div_ceil(64)
+}
+
+/// A packet laid out flat: one `i32` per interned field plus a presence
+/// bitmask.
+///
+/// Invariant: an absent slot always holds 0, so the hot path may read raw
+/// slot values directly — `get_or_zero` semantics for free. Presence only
+/// matters at the edges ([`FlatPacket::has`], [`FlatPacket::expect`],
+/// [`FlatPacket::to_packet`]), exactly like uninitialized PHV containers in
+/// a real pipeline reading as zero.
+#[derive(Debug, Clone)]
+pub struct FlatPacket {
+    table: Arc<FieldTable>,
+    vals: Box<[i32]>,
+    present: Box<[u64]>,
+}
+
+impl FlatPacket {
+    /// An empty packet over `table`'s layout (all slots absent).
+    pub fn new(table: Arc<FieldTable>) -> Self {
+        let slots = table.len();
+        FlatPacket {
+            table,
+            vals: vec![0; slots].into_boxed_slice(),
+            present: vec![0; mask_words(slots)].into_boxed_slice(),
+        }
+    }
+
+    /// Converts a map packet onto `table`'s layout.
+    ///
+    /// Fields of `pkt` not present in the table are *not* representable and
+    /// are skipped; callers that must preserve pass-through fields keep the
+    /// original packet and merge written slots back (see the slot engine).
+    pub fn from_packet(pkt: &Packet, table: &Arc<FieldTable>) -> Self {
+        let mut flat = FlatPacket::new(Arc::clone(table));
+        for (name, value) in pkt.iter() {
+            if let Some(id) = table.lookup(name) {
+                flat.set(id, value);
+            }
+        }
+        flat
+    }
+
+    /// The layout this packet is keyed by.
+    pub fn table(&self) -> &Arc<FieldTable> {
+        &self.table
+    }
+
+    /// Reads a slot, `None` if no write has marked it present.
+    pub fn get(&self, id: FieldId) -> Option<i32> {
+        if self.has(id) {
+            Some(self.vals[id.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Reads a slot, absent slots read as 0 (the hot-path read).
+    #[inline]
+    pub fn get_or_zero(&self, id: FieldId) -> i32 {
+        self.vals[id.index()]
+    }
+
+    /// Reads a slot that the execution model guarantees was written.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the *field name* (via the table's reverse mapping), not
+    /// a bare slot index — same contract as [`Packet::expect`]: a missing
+    /// field is a compiler bug and the diagnostic must name it.
+    pub fn expect(&self, id: FieldId) -> i32 {
+        match self.get(id) {
+            Some(v) => v,
+            None => panic!(
+                "internal error: packet field `{}` ({id}) read before any write; \
+                 fields present: [{}]",
+                self.table.name(id),
+                self.field_names().collect::<Vec<_>>().join(", ")
+            ),
+        }
+    }
+
+    /// True if the slot has been written.
+    #[inline]
+    pub fn has(&self, id: FieldId) -> bool {
+        let i = id.index();
+        self.present[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Writes a slot and marks it present.
+    #[inline]
+    pub fn set(&mut self, id: FieldId, value: i32) {
+        let i = id.index();
+        self.vals[i] = value;
+        self.present[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Raw value slab (hot-path accessor for the slot engine). Writes via
+    /// this slice do *not* update presence; the engine restores the
+    /// invariant by OR-ing its static written-slot mask afterwards.
+    #[inline]
+    pub fn slots_mut(&mut self) -> &mut [i32] {
+        &mut self.vals
+    }
+
+    /// Raw value slab (read side).
+    #[inline]
+    pub fn slots(&self) -> &[i32] {
+        &self.vals
+    }
+
+    /// OR-s a precomputed presence mask into this packet (the engine's
+    /// static set of written slots; statements are straight-line, so the
+    /// written set per pipeline is a compile-time constant).
+    #[inline]
+    pub fn mark_present(&mut self, mask: &[u64]) {
+        debug_assert_eq!(mask.len(), self.present.len());
+        for (word, m) in self.present.iter_mut().zip(mask) {
+            *word |= m;
+        }
+    }
+
+    /// Names of present fields, in slot order.
+    pub fn field_names(&self) -> impl Iterator<Item = &str> {
+        self.table
+            .iter()
+            .filter(|(id, _)| self.has(*id))
+            .map(|(_, n)| n)
+    }
+
+    /// Converts back to a map packet (present fields only).
+    pub fn to_packet(&self) -> Packet {
+        self.table
+            .iter()
+            .filter(|(id, _)| self.has(*id))
+            .map(|(id, n)| (n.to_string(), self.vals[id.index()]))
+            .collect()
+    }
+}
+
+impl PartialEq for FlatPacket {
+    /// Two flat packets are equal when they agree on layout, presence, and
+    /// every present value (tables compare by content, so packets from two
+    /// identical lowerings compare equal).
+    fn eq(&self, other: &Self) -> bool {
+        (Arc::ptr_eq(&self.table, &other.table) || self.table == other.table)
+            && self.present == other.present
+            && self.vals == other.vals
+    }
+}
+
+impl Eq for FlatPacket {}
+
+/// Where one state variable lives in the flat register file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateSlot {
+    /// The variable's name (kept for diagnostics and state export).
+    pub name: String,
+    /// First slot of the variable in the register file.
+    pub base: u32,
+    /// Number of slots (1 for a scalar, the array size otherwise).
+    pub len: u32,
+    /// True if the variable is a register array.
+    pub is_array: bool,
+    /// Initial value of every slot.
+    pub init: i32,
+}
+
+/// The compile-time layout of all state variables: each resolved to a base
+/// offset into one flat `i32` register file, in declaration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StateLayout {
+    entries: Vec<StateSlot>,
+    total: u32,
+}
+
+impl StateLayout {
+    /// Builds the layout from checked state declarations.
+    pub fn from_decls(decls: &[StateVar]) -> Self {
+        let mut entries = Vec::with_capacity(decls.len());
+        let mut total = 0u32;
+        for d in decls {
+            let (len, is_array) = match d.kind {
+                StateKind::Scalar => (1, false),
+                StateKind::Array { size } => (size as u32, true),
+            };
+            entries.push(StateSlot {
+                name: d.name.clone(),
+                base: total,
+                len,
+                is_array,
+                init: d.init,
+            });
+            total += len;
+        }
+        StateLayout { entries, total }
+    }
+
+    /// The layout entry for a variable, if declared.
+    pub fn slot(&self, name: &str) -> Option<&StateSlot> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Total register-file slots.
+    pub fn total_slots(&self) -> usize {
+        self.total as usize
+    }
+
+    /// All entries in declaration (base-offset) order.
+    pub fn entries(&self) -> &[StateSlot] {
+        &self.entries
+    }
+}
+
+impl fmt::Display for StateLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            if e.is_array {
+                writeln!(
+                    f,
+                    "state[{}..{}] = {}[{}]",
+                    e.base,
+                    e.base + e.len,
+                    e.name,
+                    e.len
+                )?;
+            } else {
+                writeln!(f, "state[{}] = {}", e.base, e.name)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// All state variables of a program as one flat register file.
+///
+/// Array indexing wraps modulo the array size with the same `rem_euclid`
+/// rule as [`StateStore`] — the two representations are observably
+/// identical, which [`FlatState::export`] lets tests assert.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatState {
+    layout: StateLayout,
+    slots: Box<[i32]>,
+}
+
+impl FlatState {
+    /// Initializes the register file from a layout (every slot of a
+    /// variable starts at the variable's initializer).
+    pub fn new(layout: StateLayout) -> Self {
+        let mut slots = vec![0; layout.total_slots()].into_boxed_slice();
+        for e in layout.entries() {
+            for s in &mut slots[e.base as usize..(e.base + e.len) as usize] {
+                *s = e.init;
+            }
+        }
+        FlatState { layout, slots }
+    }
+
+    /// The layout this register file was built from.
+    pub fn layout(&self) -> &StateLayout {
+        &self.layout
+    }
+
+    /// Reads the scalar at `base`.
+    #[inline]
+    pub fn read(&self, base: u32) -> i32 {
+        self.slots[base as usize]
+    }
+
+    /// Writes the scalar at `base`.
+    #[inline]
+    pub fn write(&mut self, base: u32, value: i32) {
+        self.slots[base as usize] = value;
+    }
+
+    /// Reads an array element (index reduced modulo `len`, like a hardware
+    /// address decoder — identical to [`StateStore`]'s rule).
+    #[inline]
+    pub fn read_array(&self, base: u32, len: u32, index: i32) -> i32 {
+        self.slots[base as usize + Self::wrap(index, len)]
+    }
+
+    /// Writes an array element (index reduced modulo `len`).
+    #[inline]
+    pub fn write_array(&mut self, base: u32, len: u32, index: i32, value: i32) {
+        self.slots[base as usize + Self::wrap(index, len)] = value;
+    }
+
+    #[inline]
+    fn wrap(index: i32, len: u32) -> usize {
+        (index as i64).rem_euclid(len as i64) as usize
+    }
+
+    /// Exports the register file as a map-based [`StateStore`] for
+    /// comparison against the reference path.
+    pub fn export(&self) -> StateStore {
+        let mut store = StateStore::new();
+        for e in self.layout.entries() {
+            let window = &self.slots[e.base as usize..(e.base + e.len) as usize];
+            if e.is_array {
+                store.insert_array(&e.name, e.len as usize, 0);
+                // insert_array fills with one init value; overwrite with
+                // the live contents.
+                for (i, v) in window.iter().enumerate() {
+                    store.write_array(&e.name, i as i32, *v);
+                }
+            } else {
+                store.insert_scalar(&e.name, window[0]);
+            }
+        }
+        store
+    }
+}
+
+impl fmt::Display for FlatState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.export())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_abc() -> Arc<FieldTable> {
+        let mut t = FieldTable::new();
+        t.intern("a");
+        t.intern("b");
+        t.intern("c");
+        Arc::new(t)
+    }
+
+    #[test]
+    fn interning_is_dense_and_idempotent() {
+        let mut t = FieldTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.intern("a"), a);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "a");
+        assert_eq!(t.lookup("b"), Some(b));
+        assert_eq!(t.lookup("ghost"), None);
+    }
+
+    #[test]
+    fn flat_packet_roundtrips_through_map_packet() {
+        let table = table_abc();
+        let pkt = Packet::new().with("a", 5).with("c", -2);
+        let flat = FlatPacket::from_packet(&pkt, &table);
+        assert_eq!(flat.get(table.lookup("a").unwrap()), Some(5));
+        assert_eq!(flat.get(table.lookup("b").unwrap()), None);
+        assert_eq!(flat.get_or_zero(table.lookup("b").unwrap()), 0);
+        assert_eq!(flat.to_packet(), pkt);
+    }
+
+    #[test]
+    fn absent_slots_read_zero_until_masked_present() {
+        let table = table_abc();
+        let mut flat = FlatPacket::new(Arc::clone(&table));
+        let b = table.lookup("b").unwrap();
+        flat.slots_mut()[b.index()] = 7; // raw engine write, no presence
+        assert!(!flat.has(b));
+        assert_eq!(flat.get_or_zero(b), 7);
+        let mut mask = vec![0u64; 1];
+        mask[0] |= 1 << b.index();
+        flat.mark_present(&mask);
+        assert!(flat.has(b));
+        assert_eq!(flat.to_packet().get("b"), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "packet field `b` (slot#1) read before any write")]
+    fn expect_panics_with_field_name_not_bare_index() {
+        let table = table_abc();
+        let mut flat = FlatPacket::new(Arc::clone(&table));
+        flat.set(table.lookup("a").unwrap(), 1);
+        flat.expect(table.lookup("b").unwrap());
+    }
+
+    #[test]
+    fn state_layout_assigns_contiguous_bases() {
+        let decls = vec![
+            StateVar {
+                name: "c".into(),
+                kind: StateKind::Scalar,
+                init: 7,
+            },
+            StateVar {
+                name: "arr".into(),
+                kind: StateKind::Array { size: 4 },
+                init: -1,
+            },
+            StateVar {
+                name: "d".into(),
+                kind: StateKind::Scalar,
+                init: 0,
+            },
+        ];
+        let layout = StateLayout::from_decls(&decls);
+        assert_eq!(layout.total_slots(), 6);
+        assert_eq!(layout.slot("c").unwrap().base, 0);
+        assert_eq!(layout.slot("arr").unwrap().base, 1);
+        assert_eq!(layout.slot("arr").unwrap().len, 4);
+        assert_eq!(layout.slot("d").unwrap().base, 5);
+        assert!(layout.slot("ghost").is_none());
+    }
+
+    #[test]
+    fn flat_state_matches_state_store_semantics() {
+        let decls = vec![
+            StateVar {
+                name: "c".into(),
+                kind: StateKind::Scalar,
+                init: 7,
+            },
+            StateVar {
+                name: "arr".into(),
+                kind: StateKind::Array { size: 4 },
+                init: -1,
+            },
+        ];
+        let mut flat = FlatState::new(StateLayout::from_decls(&decls));
+        let mut store = StateStore::from_decls(&decls);
+
+        let arr = flat.layout().slot("arr").unwrap().clone();
+        let c = flat.layout().slot("c").unwrap().clone();
+        assert_eq!(flat.read(c.base), 7);
+        flat.write(c.base, 42);
+        store.write_scalar("c", 42);
+        // Wrapping behaviour must match rem_euclid on both sides.
+        for idx in [0, 2, 6, -1] {
+            flat.write_array(arr.base, arr.len, idx, 10 + idx);
+            store.write_array("arr", idx, 10 + idx);
+        }
+        assert_eq!(flat.export(), store);
+    }
+
+    #[test]
+    fn flat_packet_equality_compares_layout_and_contents() {
+        let table = table_abc();
+        let p1 = FlatPacket::from_packet(&Packet::new().with("a", 1), &table);
+        let p2 = FlatPacket::from_packet(&Packet::new().with("a", 1), &table);
+        let p3 = FlatPacket::from_packet(&Packet::new().with("a", 2), &table);
+        assert_eq!(p1, p2);
+        assert_ne!(p1, p3);
+        // Same content, different (but equal) table instances.
+        let other = Arc::new((*table).clone());
+        let p4 = FlatPacket::from_packet(&Packet::new().with("a", 1), &other);
+        assert_eq!(p1, p4);
+    }
+}

@@ -5,6 +5,9 @@
 //!
 //! * [`packet::Packet`] — parsed packets as named 32-bit fields,
 //! * [`state::StateStore`] — persistent switch state (registers/arrays),
+//! * [`layout`] — the compile-time field-layout pass: interned fields
+//!   ([`layout::FieldTable`]), flat packets ([`layout::FlatPacket`]), and
+//!   flat state ([`layout::FlatState`]) for the slot-compiled fast path,
 //! * [`tac`] — three-address code, the normalized form of a transaction,
 //! * [`codelet`] — codelets and the PVSM pipeline IR (§4.2),
 //! * [`interp`] — the sequential reference interpreters that define the
@@ -15,12 +18,14 @@
 
 pub mod codelet;
 pub mod interp;
+pub mod layout;
 pub mod packet;
 pub mod state;
 pub mod tac;
 
 pub use codelet::{Codelet, PvsmPipeline};
 pub use interp::{run_ast, run_tac, step_ast, step_tac};
+pub use layout::{FieldId, FieldTable, FlatPacket, FlatState, StateLayout};
 pub use packet::Packet;
 pub use state::{StateStore, StateValue};
 pub use tac::{Operand, StateRef, TacProgram, TacRhs, TacStmt};

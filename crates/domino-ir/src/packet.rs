@@ -37,7 +37,13 @@ impl Packet {
 
     /// Sets a field (creating it if absent).
     pub fn set(&mut self, field: &str, value: i32) {
-        self.fields.insert(field.to_string(), value);
+        // Overwrites are the common case in the execution hot path; avoid
+        // allocating a fresh key String for them.
+        if let Some(slot) = self.fields.get_mut(field) {
+            *slot = value;
+        } else {
+            self.fields.insert(field.to_string(), value);
+        }
     }
 
     /// Reads a field, `None` if the packet does not carry it.

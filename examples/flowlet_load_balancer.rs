@@ -18,9 +18,31 @@ fn main() {
         pipeline.max_atoms_per_stage()
     );
 
-    let mut machine = Machine::new(pipeline);
+    let mut machine = Machine::new(pipeline.clone());
     let trace = algo.trace(20_000, 7);
+    let t = std::time::Instant::now();
     let outs = machine.run_trace(&trace);
+    let map_elapsed = t.elapsed();
+
+    // The same pipeline on the slot-compiled fast path: fields interned to
+    // dense slots at compile time, bit-identical results, no per-packet
+    // string hashing.
+    let mut fast = SlotMachine::compile(&pipeline).expect("compiled pipelines always lower");
+    let flat_trace = fast.flatten_trace(&trace);
+    let t = std::time::Instant::now();
+    fast.run_trace_flat(&flat_trace);
+    let slot_elapsed = t.elapsed();
+    assert_eq!(
+        machine.state().clone(),
+        fast.export_state(),
+        "engines must agree"
+    );
+    println!(
+        "replayed {} packets: map engine {map_elapsed:?}, slot engine {slot_elapsed:?} \
+         ({:.1}x)\n",
+        trace.len(),
+        map_elapsed.as_secs_f64() / slot_elapsed.as_secs_f64().max(1e-9)
+    );
 
     // Load distribution across the 10 hops.
     let mut per_hop = [0usize; 10];

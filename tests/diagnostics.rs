@@ -106,6 +106,60 @@ fn spans_locate_the_error() {
     assert!(rendered.contains("3:"), "{rendered}");
 }
 
+/// The slot-compiled fast path must keep [`Packet::expect`]'s diagnostic
+/// contract: reading a slot no earlier stage wrote panics with the *field
+/// name* (recovered through the `FieldTable`'s reverse mapping), never a
+/// bare slot index.
+#[test]
+#[should_panic(expected = "packet field `a` (slot#")]
+fn slot_fast_path_names_missing_fields_not_bare_indices() {
+    let src = "struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = pkt.a + 1; }";
+    let pipeline = domino_compiler::compile(src, &Target::banzai(AtomKind::Write)).unwrap();
+    let machine = banzai::SlotMachine::compile(&pipeline).unwrap();
+    let table = machine.field_table().clone();
+    let id = table.lookup("a").expect("declared fields are interned");
+    // An empty flat packet: slot `a` exists in the layout but was never
+    // written — exactly the compiler-bug condition `expect` guards.
+    domino_ir::FlatPacket::new(table).expect(id);
+}
+
+/// And the two engines word the diagnostic identically, so a user hitting
+/// the panic on either path searches for the same message.
+#[test]
+fn missing_field_messages_match_across_engines() {
+    let src = "struct P { int a; int r; };\nvoid f(struct P pkt) { pkt.r = pkt.a + 1; }";
+    let pipeline = domino_compiler::compile(src, &Target::banzai(AtomKind::Write)).unwrap();
+    let machine = banzai::SlotMachine::compile(&pipeline).unwrap();
+    let table = machine.field_table().clone();
+    let id = table.lookup("a").unwrap();
+
+    let panic_message = |f: Box<dyn FnOnce() + std::panic::UnwindSafe>| -> String {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let result = std::panic::catch_unwind(f);
+        std::panic::set_hook(prev); // restore before any assertion can panic
+        let err = result.expect_err("closure must panic");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap()
+    };
+
+    let flat_msg = panic_message(Box::new(move || {
+        domino_ir::FlatPacket::new(table).expect(id);
+    }));
+    let map_msg = panic_message(Box::new(|| {
+        domino_ir::Packet::new().expect("a");
+    }));
+    assert!(flat_msg.contains("packet field `a`"), "{flat_msg}");
+    assert!(map_msg.contains("packet field `a`"), "{map_msg}");
+    // Same sentence shape: the flat message only adds the slot number.
+    assert!(
+        flat_msg.contains("read before any write") && map_msg.contains("read before any write"),
+        "flat: {flat_msg}\nmap: {map_msg}"
+    );
+}
+
 #[test]
 fn stage_prefix_tells_users_which_phase_rejected() {
     for (src, needle) in [

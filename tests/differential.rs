@@ -1,14 +1,19 @@
 //! End-to-end differential testing: for every Table 4 algorithm, the
-//! compiled Banzai pipeline, the sequential reference interpreter, and the
-//! independent Rust reference implementation must agree packet-for-packet
-//! on realistic workloads.
+//! compiled Banzai pipeline (on both execution engines), the sequential
+//! reference interpreter, and the independent Rust reference
+//! implementation must agree packet-for-packet on realistic workloads.
 //!
 //! This is the paper's core guarantee made executable: a packet
 //! transaction's compiled pipeline is observably identical to serial
 //! execution (§3), and our Domino sources faithfully implement the
-//! published algorithms.
+//! published algorithms. The four ways:
+//!
+//! 1. map-based [`Machine`] (the semantic reference engine),
+//! 2. the slot-compiled [`SlotMachine`] fast path,
+//! 3. the sequential AST interpreter (the defining semantics),
+//! 4. an independently written Rust reference implementation.
 
-use banzai::{Machine, Target};
+use banzai::{Machine, SlotMachine, Target};
 use domino_ir::{run_ast, StateStore, StateValue};
 
 const TRACE_LEN: usize = 800;
@@ -28,14 +33,33 @@ fn machine_for(a: &algorithms::Algorithm) -> Machine {
     Machine::new(pipeline)
 }
 
-/// Runs the three implementations and checks the designated output fields
+/// Runs the four implementations and checks the designated output fields
 /// and exported state.
 fn differential(a: &algorithms::Algorithm) {
     let trace = a.trace(TRACE_LEN, SEED);
 
-    // 1. Compiled pipeline on a Banzai machine.
+    // 1. Compiled pipeline on the map-based reference engine.
     let mut machine = machine_for(a);
     let machine_out = machine.run_trace(&trace);
+
+    // 1b. The same pipeline on the slot-compiled fast path: bit-identical
+    // to the reference engine, full-packet and state-for-state.
+    let mut slot = SlotMachine::compile(machine.pipeline())
+        .unwrap_or_else(|e| panic!("{}: slot lowering failed: {e}", a.name));
+    let slot_out = slot.run_trace(&trace);
+    for (i, (m, s)) in machine_out.iter().zip(&slot_out).enumerate() {
+        assert_eq!(
+            m, s,
+            "{}: slot fast path diverges from map engine at packet {i}",
+            a.name
+        );
+    }
+    assert_eq!(
+        *machine.state(),
+        slot.export_state(),
+        "{}: slot fast path state diverges from map engine",
+        a.name
+    );
 
     // 2. Sequential AST interpreter (the defining semantics).
     let checked = domino_ast::parse_and_check(a.source).unwrap();
@@ -169,6 +193,22 @@ fn pipelined_equals_serial_for_all_algorithms() {
             a.name
         );
         assert_eq!(m1.state(), m2.state(), "{}: state diverged", a.name);
+
+        // The guarantee holds on the fast path too: slot-compiled
+        // pipelined execution equals map-based serial execution.
+        let mut m3 = SlotMachine::compile(m1.pipeline()).unwrap();
+        let slot_pipelined = m3.run_trace_pipelined(&trace);
+        assert_eq!(
+            serial, slot_pipelined,
+            "{}: slot pipelining changed observable behaviour",
+            a.name
+        );
+        assert_eq!(
+            *m1.state(),
+            m3.export_state(),
+            "{}: slot pipelined state diverged",
+            a.name
+        );
     }
 }
 

@@ -11,7 +11,7 @@
 //! i.e. compiled-pipeline output ≡ sequential interpretation, in both the
 //! one-packet-at-a-time and the cycle-accurate packets-in-flight modes.
 
-use banzai::{AtomKind, Machine, Target};
+use banzai::{AtomKind, Machine, SlotMachine, Target};
 use domino_ir::{run_ast, Packet, StateStore};
 use proptest::prelude::*;
 
@@ -304,6 +304,42 @@ proptest! {
         }
         prop_assert_eq!(m1.state(), &interp_state, "state mismatch:\n{}", src);
         prop_assert_eq!(m2.state(), &interp_state, "pipelined state mismatch:\n{}", src);
+    }
+
+    /// The paper's core guarantee, preserved on the new engine: for any
+    /// generated transaction, slot-compiled *pipelined* execution (up to
+    /// `depth` packets in flight, interned fields, flat state) is
+    /// bit-identical to map-based *sequential* execution — full packets
+    /// and exported state.
+    #[test]
+    fn slot_pipelined_equals_map_serial(
+        stmts in program_strategy(),
+        rows in trace_strategy(),
+    ) {
+        let src = render(&stmts);
+        let target = Target::banzai(AtomKind::Pairs);
+        let Ok(pipeline) = domino_compiler::compile(&src, &target) else {
+            return Ok(());
+        };
+
+        let temps = stmts.iter().filter(|s| matches!(s, GenStmt::Field(_))).count();
+        let trace = to_packets(&rows, temps);
+
+        let mut map_machine = Machine::new(pipeline.clone());
+        let map_serial = map_machine.run_trace(&trace);
+
+        let mut slot_machine = SlotMachine::compile(&pipeline)
+            .unwrap_or_else(|e| panic!("slot lowering failed: {e}\n{src}"));
+        let slot_pipelined = slot_machine.run_trace_pipelined(&trace);
+
+        prop_assert_eq!(
+            &map_serial, &slot_pipelined,
+            "slot pipelined vs map serial diverged for program:\n{}", src
+        );
+        prop_assert_eq!(
+            map_machine.state(), &slot_machine.export_state(),
+            "slot pipelined state diverged for program:\n{}", src
+        );
     }
 
     /// Compilation is deterministic and the atom-kind ladder is monotone:
