@@ -303,7 +303,7 @@ mod tests {
         for a in &TABLE4 {
             let loc = a.domino_loc();
             assert!(
-                loc >= 10 && loc <= 100,
+                (10..=100).contains(&loc),
                 "{}: LOC {loc} out of expected range",
                 a.name
             );

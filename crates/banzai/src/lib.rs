@@ -24,7 +24,11 @@
 //!   [`slot::SlotMachine`], bit-identical to [`machine::Machine`] with no
 //!   per-packet string hashing,
 //! * [`switch`] — the Figure-1 whole-switch view (ingress pipeline, queue,
-//!   egress pipeline), generic over either execution engine.
+//!   egress pipeline), generic over either execution engine,
+//! * [`shard`] — the multi-core scale-out: [`shard::ShardedSwitch`] steers
+//!   flows to N independent per-shard switches (RSS-style, keyed by the
+//!   program's own state indexing) and merges packets and state back
+//!   deterministically, bit-identical to serial execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +36,7 @@
 pub mod atom;
 pub mod kind;
 pub mod machine;
+pub mod shard;
 pub mod slot;
 pub mod switch;
 pub mod target;
@@ -39,6 +44,7 @@ pub mod target;
 pub use atom::{Guard, GuardOperand, RelOp, StatefulConfig, Tree, Update};
 pub use kind::{AtomKind, StatefulCaps};
 pub use machine::{AtomPipeline, AtomRole, CompiledAtom, Machine};
+pub use shard::{ShardConfig, ShardPlan, ShardRun, ShardTimings, ShardedSwitch, SteerMode};
 pub use slot::{SlotMachine, SlotPipeline};
 pub use switch::{PipelineEngine, Switch};
 pub use target::Target;

@@ -221,6 +221,13 @@ impl Machine {
         &self.state
     }
 
+    /// Overwrites state variables from a snapshot (the export/import hook
+    /// the sharded switch uses to warm-start a partition; every snapshot
+    /// variable must exist with the same shape).
+    pub fn import_state(&mut self, snapshot: &StateStore) {
+        self.state.import(snapshot);
+    }
+
     /// The pipeline this machine runs.
     pub fn pipeline(&self) -> &AtomPipeline {
         &self.pipeline

@@ -1,0 +1,1045 @@
+//! The sharded switch: N independent slot-compiled switches behind an
+//! RSS-style flow-steering dispatcher.
+//!
+//! The paper's Banzai machine reaches line rate by pipelining atoms in
+//! hardware; a software simulator reaches for cores instead. The key
+//! observation carries over: Domino confines every piece of per-flow
+//! state to one atom, and when that state is *indexed by a packet-derived
+//! flow key* (`flowlet.domino`'s `last_time[pkt.id]`), packets of
+//! different key classes never touch common state — so the trace can be
+//! partitioned across shards with **no cross-shard coordination**, the
+//! same per-flow partitioning RSS NICs and multi-pipeline P4 targets rely
+//! on.
+//!
+//! The moving parts:
+//!
+//! * [`ShardPlan`] — resolves how to steer: the flow key extracted from
+//!   the pipelines' state indexing
+//!   ([`StateLayout::flow_key`](domino_ir::layout::StateLayout::flow_key)),
+//!   an explicit field list, whole-packet hashing for stateless
+//!   pipelines, or a **single-shard fallback with a diagnostic** when the
+//!   state indexing is not partitionable (`rcp.domino`'s global
+//!   registers, `heavy_hitters.domino`'s three differently-hashed sketch
+//!   rows);
+//! * [`ShardedSwitch`] — spawns one worker thread per shard
+//!   ([`ShardedSwitch::run_trace`]), feeds each through a bounded ring of
+//!   packet batches, runs an independent [`Switch`] per shard (stamped
+//!   with global arrival cycles, so queue metadata is bit-identical to
+//!   the serial switch), and merges transmitted packets by **seeded
+//!   round-robin** — per-flow order is preserved exactly (a flow, as
+//!   defined by the steering key, lives on one shard; under stateless
+//!   whole-packet steering that means identical packets — steer with
+//!   [`SteerMode::Fields`] for a field-subset flow definition), and the
+//!   cross-flow interleaving is a deterministic function of the seed, so
+//!   differential tests stay bit-reproducible run to run;
+//! * merged state export — each array slot belongs to exactly one key
+//!   class, hence to exactly one shard; reading every slot from its
+//!   owner reconstructs the serial state bit-for-bit.
+//!
+//! The sequential twins ([`ShardedSwitch::run_trace_partitioned`],
+//! [`ShardedSwitch::run_trace_instrumented`]) run the same plan on the
+//! caller's thread, which is what the E10 harness times: per-shard busy
+//! time measured without scheduler interference gives the critical-path
+//! throughput the shards would sustain on real cores.
+
+use crate::machine::AtomPipeline;
+use crate::slot::SlotMachine;
+use crate::switch::{PipelineEngine, Switch};
+use domino_ast::{StateKind, StateVar};
+use domino_ir::layout::{mix64, FlowKeySpec, Partitionability, StateLayout};
+use domino_ir::{Packet, StateStore, TacStmt};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Configuration for a [`ShardedSwitch`].
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Requested shard (worker) count; the plan may fall back to 1.
+    pub shards: usize,
+    /// Packets per steering batch (the unit pushed into a shard's ring).
+    pub batch: usize,
+    /// Ring depth in batches (bounded channel capacity — backpressure).
+    pub ring: usize,
+    /// Seed for the deterministic round-robin output merge.
+    pub seed: u64,
+    /// Per-shard queue capacity (see [`Switch::capacity`]).
+    pub capacity: usize,
+    /// How to steer packets to shards.
+    pub steer: SteerMode,
+}
+
+impl ShardConfig {
+    /// A config with `shards` workers and the defaults: 256-packet
+    /// batches, an 8-batch ring, capacity 512, automatic steering.
+    pub fn new(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards: shards.max(1),
+            batch: 256,
+            ring: 8,
+            seed: 0x5EED_0001,
+            capacity: 512,
+            steer: SteerMode::Auto,
+        }
+    }
+
+    /// Overrides the steering batch size.
+    pub fn with_batch(mut self, batch: usize) -> ShardConfig {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Overrides the merge seed.
+    pub fn with_seed(mut self, seed: u64) -> ShardConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the per-shard queue capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> ShardConfig {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Overrides the steering mode.
+    pub fn with_steer(mut self, steer: SteerMode) -> ShardConfig {
+        self.steer = steer;
+        self
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig::new(1)
+    }
+}
+
+/// How the dispatcher picks a shard for each packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SteerMode {
+    /// Derive the flow key from the pipelines' own state indexing (the
+    /// default); falls back to a single shard — with a diagnostic — when
+    /// the indexing is not partitionable.
+    Auto,
+    /// Hash the named packet fields, RSS-style. The caller asserts that
+    /// this key refines the pipelines' state partitioning; merged-state
+    /// export is unavailable in this mode (per-shard states still are).
+    Fields(Vec<String>),
+}
+
+/// The resolved steering rule (see [`ShardPlan`]).
+#[derive(Debug, Clone, PartialEq)]
+enum ResolvedSteer {
+    /// Everything to shard 0 (the fallback).
+    Single,
+    /// Steer by the extracted flow key — bit-exact serial equivalence.
+    Keyed(FlowKeySpec),
+    /// Steer by a user-supplied field list.
+    Fields(Vec<String>),
+    /// Both pipelines are stateless: hash the whole packet. Only
+    /// bit-identical packets are guaranteed to share a shard — a flow
+    /// defined by a *subset* of fields may spread across shards (the
+    /// pure pipelines make that state-safe, but callers who need
+    /// per-flow ordering must steer with [`SteerMode::Fields`]).
+    WholePacket,
+}
+
+/// FNV-1a over a string, folded into a running hash (steering must be
+/// deterministic across runs and platforms, so no `RandomState`).
+fn hash_str(h: u64, s: &str) -> u64 {
+    s.bytes()
+        .fold(h, |h, b| (h ^ b as u64).wrapping_mul(0x0100_0000_01b3))
+}
+
+/// The resolved sharding decision for an ingress/egress pipeline pair.
+///
+/// Produced by [`ShardPlan::plan`]; inspect [`ShardPlan::effective`] and
+/// [`ShardPlan::fallback`] to see whether the requested parallelism was
+/// granted and, if not, why.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    requested: usize,
+    effective: usize,
+    steer: ResolvedSteer,
+    fallback: Option<String>,
+}
+
+/// All TAC statements of a compiled pipeline, in execution order.
+fn stmts_of(pipeline: &AtomPipeline) -> Vec<TacStmt> {
+    pipeline
+        .stages
+        .iter()
+        .flatten()
+        .flat_map(|a| a.codelet.stmts.iter().cloned())
+        .collect()
+}
+
+/// Every packet field the pipeline can write on its way through —
+/// assignments, state-read destinations, deparsed declared fields, and
+/// the switch queue's metadata stamps.
+fn written_fields(pipeline: &AtomPipeline) -> BTreeSet<String> {
+    let mut written: BTreeSet<String> = BTreeSet::new();
+    for stmt in stmts_of(pipeline) {
+        match stmt {
+            TacStmt::Assign { dst, .. } | TacStmt::ReadState { dst, .. } => {
+                written.insert(dst);
+            }
+            TacStmt::WriteState { .. } => {}
+        }
+    }
+    for (declared, internal) in &pipeline.output_map {
+        // Identity pairs are pass-throughs, not writes (the deparser
+        // only copies when the names differ).
+        if declared != internal {
+            written.insert(declared.clone());
+        }
+    }
+    for meta in crate::switch::QUEUE_METADATA_FIELDS {
+        written.insert(meta.to_string());
+    }
+    written
+}
+
+impl ShardPlan {
+    /// Resolves the steering rule for a pipeline pair and a requested
+    /// shard count.
+    ///
+    /// In [`SteerMode::Auto`], both pipelines' state indexing must be
+    /// partitionable (see
+    /// [`StateLayout::flow_key`](domino_ir::layout::StateLayout::flow_key));
+    /// when both carry keyed state the two keys must agree, and an
+    /// egress-derived key must not depend on fields the ingress pipeline
+    /// (or the queue's metadata stamps, under their default names —
+    /// [`QUEUE_METADATA_FIELDS`](crate::switch::QUEUE_METADATA_FIELDS);
+    /// renamed metadata is outside this model) rewrites — the dispatcher
+    /// evaluates the key on the *input* packet. Any violation produces a
+    /// single-shard plan carrying the diagnostic.
+    pub fn plan(
+        ingress: &AtomPipeline,
+        egress: &AtomPipeline,
+        shards: usize,
+        mode: &SteerMode,
+    ) -> ShardPlan {
+        let requested = shards.max(1);
+        if let SteerMode::Fields(fields) = mode {
+            return ShardPlan {
+                requested,
+                effective: requested,
+                steer: ResolvedSteer::Fields(fields.clone()),
+                fallback: None,
+            };
+        }
+
+        let part_in = StateLayout::from_decls(&ingress.state_decls).flow_key(&stmts_of(ingress));
+        let part_eg = StateLayout::from_decls(&egress.state_decls).flow_key(&stmts_of(egress));
+
+        let egress_key_ok = |spec: &FlowKeySpec| -> Result<(), String> {
+            let written = written_fields(ingress);
+            for root in spec.roots() {
+                if written.contains(root) {
+                    return Err(format!(
+                        "egress `{}` keys its state on `{root}`, which ingress \
+                         `{}` (or the queue metadata) rewrites; the dispatcher \
+                         cannot evaluate the key on the input packet",
+                        egress.name, ingress.name
+                    ));
+                }
+            }
+            Ok(())
+        };
+
+        let resolved: Result<ResolvedSteer, String> = match (part_in, part_eg) {
+            (Err(e), _) => Err(format!("ingress `{}`: {e}", ingress.name)),
+            (_, Err(e)) => Err(format!("egress `{}`: {e}", egress.name)),
+            (Ok(Partitionability::Stateless), Ok(Partitionability::Stateless)) => {
+                Ok(ResolvedSteer::WholePacket)
+            }
+            (Ok(Partitionability::Keyed(k)), Ok(Partitionability::Stateless)) => {
+                Ok(ResolvedSteer::Keyed(k))
+            }
+            (Ok(Partitionability::Stateless), Ok(Partitionability::Keyed(k))) => {
+                egress_key_ok(&k).map(|()| ResolvedSteer::Keyed(k))
+            }
+            (Ok(Partitionability::Keyed(a)), Ok(Partitionability::Keyed(b))) => {
+                if a != b {
+                    Err(format!(
+                        "ingress `{}` and egress `{}` partition their state by \
+                         different flow keys (`{}` mod {} vs `{}` mod {})",
+                        ingress.name,
+                        egress.name,
+                        a.key_field(),
+                        a.modulus(),
+                        b.key_field(),
+                        b.modulus()
+                    ))
+                } else {
+                    egress_key_ok(&b).map(|()| ResolvedSteer::Keyed(a))
+                }
+            }
+        };
+
+        match resolved {
+            Ok(steer) => ShardPlan {
+                requested,
+                effective: requested,
+                steer,
+                fallback: None,
+            },
+            Err(diagnostic) => ShardPlan {
+                requested,
+                effective: 1,
+                steer: ResolvedSteer::Single,
+                fallback: Some(diagnostic),
+            },
+        }
+    }
+
+    /// The shard count the caller asked for.
+    pub fn requested(&self) -> usize {
+        self.requested
+    }
+
+    /// The shard count actually granted (1 on fallback).
+    pub fn effective(&self) -> usize {
+        self.effective
+    }
+
+    /// The diagnostic explaining a single-shard fallback, if any.
+    pub fn fallback(&self) -> Option<&str> {
+        self.fallback.as_deref()
+    }
+
+    /// The extracted flow key, when steering is key-derived.
+    pub fn flow_key(&self) -> Option<&FlowKeySpec> {
+        match &self.steer {
+            ResolvedSteer::Keyed(spec) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// The shard an input packet steers to.
+    pub fn steer(&self, pkt: &Packet) -> usize {
+        let n = self.effective;
+        if n <= 1 {
+            return 0;
+        }
+        match &self.steer {
+            ResolvedSteer::Single => 0,
+            ResolvedSteer::Keyed(spec) => spec.shard_of(pkt, n),
+            ResolvedSteer::Fields(fields) => {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for f in fields {
+                    h = hash_str(h, f);
+                    h = mix64(h ^ pkt.get_or_zero(f) as u32 as u64);
+                }
+                (h % n as u64) as usize
+            }
+            ResolvedSteer::WholePacket => {
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for (name, value) in pkt.iter() {
+                    h = hash_str(h, name);
+                    h = mix64(h ^ value as u32 as u64);
+                }
+                (h % n as u64) as usize
+            }
+        }
+    }
+}
+
+impl fmt::Display for ShardPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} shards", self.effective, self.requested)?;
+        match &self.steer {
+            ResolvedSteer::Single => {
+                let why = self.fallback.as_deref().unwrap_or("single shard requested");
+                write!(f, ", single-shard fallback: {why}")
+            }
+            ResolvedSteer::Keyed(spec) => {
+                write!(
+                    f,
+                    ", keyed on pkt.{} mod {}",
+                    spec.key_field(),
+                    spec.modulus()
+                )
+            }
+            ResolvedSteer::Fields(fields) => write!(f, ", hashing [{}]", fields.join(", ")),
+            ResolvedSteer::WholePacket => write!(f, ", stateless whole-packet hashing"),
+        }
+    }
+}
+
+/// Wall-clock breakdown of one instrumented sharded run.
+///
+/// `shard_ns` is measured with the shards executed one after another on
+/// the calling thread, so each number is that shard's *busy* time free of
+/// scheduler interference — on an N-core machine the shards run
+/// concurrently and the run completes in [`ShardTimings::critical_ns`]
+/// (dispatcher and workers are pipelined, so the slower of the two lanes
+/// bounds the run).
+#[derive(Debug, Clone)]
+pub struct ShardTimings {
+    /// Time to steer the trace into per-shard batched streams.
+    pub steer_ns: u128,
+    /// Per-shard pipeline busy time.
+    pub shard_ns: Vec<u128>,
+    /// Time to merge the transmitted streams back together.
+    pub merge_ns: u128,
+}
+
+impl ShardTimings {
+    /// The modeled steady-state completion time on dedicated hardware:
+    /// `max(steer, merge, slowest shard)`.
+    ///
+    /// The deployment shape is the standard one for software dataplanes:
+    /// an RX (steering) core, N worker cores, a TX (merge) core, all
+    /// pipelined batch by batch — so sustained throughput is bounded by
+    /// the busiest single lane, not their sum.
+    pub fn critical_ns(&self) -> u128 {
+        self.shard_ns
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.steer_ns)
+            .max(self.merge_ns)
+    }
+}
+
+/// One instrumented sharded run: merged output plus the timing breakdown.
+///
+/// (For the un-merged per-shard view — the observable differential tests
+/// compare — use [`ShardedSwitch::run_trace_partitioned`]; keeping both
+/// alive would double the run's memory footprint, which matters at
+/// millions of packets.)
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// The seeded round-robin merge of every shard's transmitted packets.
+    pub merged: Vec<Packet>,
+    /// Where the time went.
+    pub timings: ShardTimings,
+}
+
+/// A switch sharded across N workers by flow steering: one independent
+/// [`Switch`] (slot-compiled by default) per shard, fed with batched
+/// packets, merged back deterministically.
+///
+/// ```
+/// use banzai::{AtomPipeline, ShardConfig, ShardedSwitch};
+/// use domino_ir::Packet;
+///
+/// // Stateless pipelines shard by whole-packet hashing; 4 workers.
+/// let mut sw = ShardedSwitch::new_slot(
+///     &AtomPipeline::passthrough("in"),
+///     &AtomPipeline::passthrough("out"),
+///     ShardConfig::new(4),
+/// )
+/// .unwrap();
+/// let trace: Vec<Packet> = (0..100).map(|i| Packet::new().with("flow", i % 7)).collect();
+/// let out = sw.run_trace(&trace);
+/// assert_eq!(out.len(), 100);
+/// assert_eq!(sw.transmitted(), 100);
+/// assert_eq!(sw.plan().effective(), 4);
+/// ```
+#[derive(Debug)]
+pub struct ShardedSwitch<E: PipelineEngine = SlotMachine> {
+    plan: ShardPlan,
+    shards: Vec<Switch<E>>,
+    ingress_decls: Vec<StateVar>,
+    egress_decls: Vec<StateVar>,
+    batch: usize,
+    ring: usize,
+    seed: u64,
+}
+
+impl ShardedSwitch<SlotMachine> {
+    /// Builds a sharded switch running every shard on the slot-compiled
+    /// fast path (the production configuration).
+    pub fn new_slot(
+        ingress: &AtomPipeline,
+        egress: &AtomPipeline,
+        config: ShardConfig,
+    ) -> Result<ShardedSwitch<SlotMachine>, String> {
+        ShardedSwitch::new(ingress, egress, config)
+    }
+}
+
+impl<E: PipelineEngine> ShardedSwitch<E> {
+    /// Builds a sharded switch over any [`PipelineEngine`].
+    ///
+    /// Never fails on a non-partitionable pipeline pair — that produces a
+    /// working single-shard plan with [`ShardPlan::fallback`] set.
+    /// Errors only if the engine itself cannot be built.
+    pub fn new(
+        ingress: &AtomPipeline,
+        egress: &AtomPipeline,
+        config: ShardConfig,
+    ) -> Result<ShardedSwitch<E>, String> {
+        let plan = ShardPlan::plan(ingress, egress, config.shards, &config.steer);
+        let mut shards = Vec::with_capacity(plan.effective());
+        for _ in 0..plan.effective() {
+            shards.push(Switch::from_engines(
+                E::build(ingress)?,
+                E::build(egress)?,
+                config.capacity,
+            ));
+        }
+        Ok(ShardedSwitch {
+            plan,
+            shards,
+            ingress_decls: ingress.state_decls.clone(),
+            egress_decls: egress.state_decls.clone(),
+            batch: config.batch.max(1),
+            ring: config.ring.max(1),
+            seed: config.seed,
+        })
+    }
+
+    /// The resolved sharding decision.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of live shards (== [`ShardPlan::effective`]).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Packets dropped across all shards.
+    pub fn drops(&self) -> u64 {
+        self.shards.iter().map(|s| s.drops()).sum()
+    }
+
+    /// Packets transmitted across all shards.
+    pub fn transmitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.transmitted()).sum()
+    }
+
+    /// Steers the trace into per-shard `(global_cycle, packet)` streams.
+    fn partition(&self, trace: &[Packet]) -> Vec<Vec<(i64, Packet)>> {
+        let mut streams: Vec<Vec<(i64, Packet)>> = vec![Vec::new(); self.shards.len()];
+        for (i, pkt) in trace.iter().enumerate() {
+            streams[self.plan.steer(pkt)].push((i as i64, pkt.clone()));
+        }
+        streams
+    }
+
+    /// Merges per-shard output streams by seeded round-robin: starting at
+    /// a seed-derived shard, take one packet from each non-exhausted
+    /// shard in cyclic order. Per-flow order is preserved for flows as
+    /// the steering key defines them (such a flow lives on one shard and
+    /// shard order is kept — under whole-packet steering that means
+    /// identical packets; use [`SteerMode::Fields`] for coarser flows);
+    /// the cross-flow interleave is a pure function of the seed and
+    /// shard count, so repeated runs are bit-identical regardless of
+    /// thread scheduling.
+    pub fn merge(&self, parts: Vec<Vec<Packet>>) -> Vec<Packet> {
+        let n = parts.len();
+        if n == 1 {
+            return parts.into_iter().next().unwrap_or_default();
+        }
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let start = (mix64(self.seed) % n as u64) as usize;
+        let mut iters: Vec<std::vec::IntoIter<Packet>> =
+            parts.into_iter().map(|p| p.into_iter()).collect();
+        let mut out = Vec::with_capacity(total);
+        while out.len() < total {
+            for off in 0..n {
+                if let Some(p) = iters[(start + off) % n].next() {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the trace across all shards on **worker threads**: the caller
+    /// thread steers packets into per-shard bounded batch rings
+    /// (backpressure included), each worker drains its ring through its
+    /// own switch, and the outputs merge deterministically.
+    pub fn run_trace(&mut self, trace: &[Packet]) -> Vec<Packet>
+    where
+        E: Send,
+    {
+        let n = self.shards.len();
+        if n == 1 {
+            // Borrowed stamps: no point cloning the whole trace just to
+            // hand it to the one shard (run_stamped clones per packet).
+            let batch: Vec<(i64, &Packet)> = trace
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as i64, p))
+                .collect();
+            return self.shards[0].run_stamped(&batch);
+        }
+        let plan = &self.plan;
+        let batch_size = self.batch;
+        let ring = self.ring;
+        let mut parts: Vec<Vec<Packet>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
+            for sw in self.shards.iter_mut() {
+                let (tx, rx) = mpsc::sync_channel::<Vec<(i64, Packet)>>(ring);
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    while let Ok(batch) = rx.recv() {
+                        out.extend(sw.run_stamped(&batch));
+                    }
+                    out
+                }));
+                txs.push(tx);
+            }
+            let mut pending: Vec<Vec<(i64, Packet)>> =
+                (0..n).map(|_| Vec::with_capacity(batch_size)).collect();
+            for (i, pkt) in trace.iter().enumerate() {
+                let s = plan.steer(pkt);
+                pending[s].push((i as i64, pkt.clone()));
+                if pending[s].len() == batch_size {
+                    let full = std::mem::replace(&mut pending[s], Vec::with_capacity(batch_size));
+                    txs[s].send(full).expect("shard worker hung up");
+                }
+            }
+            for (s, rest) in pending.into_iter().enumerate() {
+                if !rest.is_empty() {
+                    txs[s].send(rest).expect("shard worker hung up");
+                }
+            }
+            drop(txs);
+            parts = handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect();
+        });
+        self.merge(parts)
+    }
+
+    /// Runs the trace shard-by-shard on the calling thread and returns
+    /// each shard's output subsequence (un-merged) — the observable the
+    /// differential suites compare against serial execution.
+    pub fn run_trace_partitioned(&mut self, trace: &[Packet]) -> Vec<Vec<Packet>> {
+        let streams = self.partition(trace);
+        self.shards
+            .iter_mut()
+            .zip(&streams)
+            .map(|(sw, stream)| sw.run_stamped(stream))
+            .collect()
+    }
+
+    /// Like [`ShardedSwitch::run_trace_partitioned`], but instrumented:
+    /// times the steer, each shard's busy run, and the merge. Used by the
+    /// E10 scaling harness (on a single-core host, per-shard busy times
+    /// are the honest scaling observable — see [`ShardTimings`]).
+    pub fn run_trace_instrumented(&mut self, trace: &[Packet]) -> ShardRun {
+        let t = Instant::now();
+        let streams = self.partition(trace);
+        let steer_ns = t.elapsed().as_nanos();
+
+        let mut partitioned = Vec::with_capacity(self.shards.len());
+        let mut shard_ns = Vec::with_capacity(self.shards.len());
+        for (sw, stream) in self.shards.iter_mut().zip(&streams) {
+            let t = Instant::now();
+            partitioned.push(sw.run_stamped(stream));
+            shard_ns.push(t.elapsed().as_nanos());
+        }
+        drop(streams);
+
+        // Time the merge the production path performs: a move, no clones.
+        let t = Instant::now();
+        let merged = self.merge(partitioned);
+        let merge_ns = t.elapsed().as_nanos();
+
+        ShardRun {
+            merged,
+            timings: ShardTimings {
+                steer_ns,
+                shard_ns,
+                merge_ns,
+            },
+        }
+    }
+
+    /// Each shard's `(ingress, egress)` state snapshot.
+    pub fn export_shard_states(&self) -> Vec<(StateStore, StateStore)> {
+        self.shards
+            .iter()
+            .map(|s| (s.export_ingress_state(), s.export_egress_state()))
+            .collect()
+    }
+
+    /// Reconstructs the serial switch's ingress state from the shards:
+    /// every array slot is read from the shard that owns its key class.
+    ///
+    /// Available when steering is key-derived (or trivially with one
+    /// shard / stateless pipelines); explicit-field steering defines no
+    /// state partition and returns an error.
+    pub fn export_merged_ingress_state(&self) -> Result<StateStore, String> {
+        self.merged_state(&self.ingress_decls, |s| s.export_ingress_state())
+    }
+
+    /// Reconstructs the serial switch's egress state from the shards.
+    pub fn export_merged_egress_state(&self) -> Result<StateStore, String> {
+        self.merged_state(&self.egress_decls, |s| s.export_egress_state())
+    }
+
+    fn merged_state(
+        &self,
+        decls: &[StateVar],
+        export: impl Fn(&Switch<E>) -> StateStore,
+    ) -> Result<StateStore, String> {
+        if self.shards.len() == 1 {
+            return Ok(export(&self.shards[0]));
+        }
+        match &self.plan.steer {
+            // Stateless pipelines never write state: all shards still
+            // hold the declared initializers, as does the serial switch.
+            ResolvedSteer::WholePacket => Ok(export(&self.shards[0])),
+            ResolvedSteer::Fields(_) => Err(
+                "steering by explicit fields does not define a state partition; \
+                 read per-shard snapshots via export_shard_states"
+                    .to_string(),
+            ),
+            ResolvedSteer::Single => Ok(export(&self.shards[0])),
+            ResolvedSteer::Keyed(spec) => {
+                let snaps: Vec<StateStore> = self.shards.iter().map(&export).collect();
+                let mut merged = StateStore::from_decls(decls);
+                for d in decls {
+                    match d.kind {
+                        // Keyed extraction forbids scalar *access*, so a
+                        // declared scalar is untouched everywhere and the
+                        // initializer already in `merged` is the value.
+                        StateKind::Scalar => {}
+                        StateKind::Array { size } => {
+                            for k in 0..size {
+                                let owner =
+                                    FlowKeySpec::shard_of_class(k % spec.modulus(), snaps.len());
+                                merged.write_array(
+                                    &d.name,
+                                    k as i32,
+                                    snaps[owner].read_array(&d.name, k as i32),
+                                );
+                            }
+                        }
+                    }
+                }
+                Ok(merged)
+            }
+        }
+    }
+
+    /// Broadcasts serial state snapshots to every shard — the import half
+    /// of the per-partition state hooks. Each shard only ever touches its
+    /// own key classes, so handing every shard the full snapshot
+    /// reproduces exactly the partition a merged export would select.
+    pub fn import_state(&mut self, ingress: &StateStore, egress: &StateStore) {
+        for sw in &mut self.shards {
+            sw.import_ingress_state(ingress);
+            sw.import_egress_state(egress);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{AtomRole, CompiledAtom};
+    use domino_ast::BinOp;
+    use domino_ir::{Codelet, Operand, StateRef, TacRhs};
+
+    /// A per-flow array counter: `counts[pkt.flow] += 1`, exposing the
+    /// new count in `pkt.c` — keyed on the input field `flow`.
+    fn array_counter(name: &str, arr: &str, size: u32) -> AtomPipeline {
+        let body = Codelet::new(vec![
+            TacStmt::ReadState {
+                dst: "old".into(),
+                state: StateRef::Array {
+                    name: arr.into(),
+                    index: Operand::Field("flow".into()),
+                },
+            },
+            TacStmt::Assign {
+                dst: "c".into(),
+                rhs: TacRhs::Binary(BinOp::Add, Operand::Field("old".into()), Operand::Const(1)),
+            },
+            TacStmt::WriteState {
+                state: StateRef::Array {
+                    name: arr.into(),
+                    index: Operand::Field("flow".into()),
+                },
+                src: Operand::Field("c".into()),
+            },
+        ]);
+        AtomPipeline {
+            name: name.into(),
+            target_name: "test".into(),
+            stages: vec![vec![CompiledAtom {
+                codelet: body,
+                role: AtomRole::Stateless,
+            }]],
+            state_decls: vec![StateVar {
+                name: arr.into(),
+                kind: StateKind::Array { size },
+                init: 0,
+            }],
+            declared_fields: vec!["c".into()],
+            output_map: vec![],
+        }
+    }
+
+    /// A global scalar counter — deliberately *not* partitionable.
+    fn scalar_counter() -> AtomPipeline {
+        let body = Codelet::new(vec![
+            TacStmt::ReadState {
+                dst: "old".into(),
+                state: StateRef::Scalar("total".into()),
+            },
+            TacStmt::Assign {
+                dst: "c".into(),
+                rhs: TacRhs::Binary(BinOp::Add, Operand::Field("old".into()), Operand::Const(1)),
+            },
+            TacStmt::WriteState {
+                state: StateRef::Scalar("total".into()),
+                src: Operand::Field("c".into()),
+            },
+        ]);
+        AtomPipeline {
+            name: "scalar_counter".into(),
+            target_name: "test".into(),
+            stages: vec![vec![CompiledAtom {
+                codelet: body,
+                role: AtomRole::Stateless,
+            }]],
+            state_decls: vec![StateVar {
+                name: "total".into(),
+                kind: StateKind::Scalar,
+                init: 0,
+            }],
+            declared_fields: vec!["c".into()],
+            output_map: vec![],
+        }
+    }
+
+    fn flow_trace(n: usize) -> Vec<Packet> {
+        (0..n)
+            .map(|i| {
+                Packet::new()
+                    .with("flow", (i * 7 % 23) as i32)
+                    .with("seq", i as i32)
+            })
+            .collect()
+    }
+
+    fn passthrough(name: &str) -> AtomPipeline {
+        AtomPipeline::passthrough(name)
+    }
+
+    #[test]
+    fn plan_extracts_flow_key_from_array_counter() {
+        let p = array_counter("count", "counts", 64);
+        let plan = ShardPlan::plan(&p, &passthrough("out"), 4, &SteerMode::Auto);
+        assert_eq!(plan.effective(), 4);
+        assert!(plan.fallback().is_none());
+        let spec = plan.flow_key().expect("keyed");
+        assert_eq!(spec.key_field(), "flow");
+        assert_eq!(spec.modulus(), 64);
+        assert!(plan.to_string().contains("keyed on pkt.flow mod 64"));
+    }
+
+    #[test]
+    fn plan_falls_back_on_scalar_state_with_diagnostic() {
+        let plan = ShardPlan::plan(&scalar_counter(), &passthrough("out"), 8, &SteerMode::Auto);
+        assert_eq!(plan.requested(), 8);
+        assert_eq!(plan.effective(), 1);
+        let why = plan.fallback().expect("diagnostic");
+        assert!(why.contains("scalar state `total`"), "{why}");
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_ingress_egress_keys() {
+        let ingress = array_counter("in", "a", 8);
+        let mut egress = array_counter("eg", "b", 16);
+        // Re-key egress on a different field.
+        for stage in &mut egress.stages {
+            for atom in stage {
+                for stmt in &mut atom.codelet.stmts {
+                    match stmt {
+                        TacStmt::ReadState { state, .. } | TacStmt::WriteState { state, .. } => {
+                            if let StateRef::Array { index, .. } = state {
+                                *index = Operand::Field("other".into());
+                            }
+                        }
+                        TacStmt::Assign { .. } => {}
+                    }
+                }
+            }
+        }
+        let plan = ShardPlan::plan(&ingress, &egress, 4, &SteerMode::Auto);
+        assert_eq!(plan.effective(), 1);
+        assert!(
+            plan.fallback().unwrap().contains("different flow keys"),
+            "{}",
+            plan.fallback().unwrap()
+        );
+    }
+
+    #[test]
+    fn sharded_counter_equals_serial_per_shard_and_in_state() {
+        let ingress = array_counter("count", "counts", 64);
+        let egress = passthrough("out");
+        let trace = flow_trace(500);
+
+        let mut serial = Switch::new_slot(&ingress, &egress, 512).unwrap();
+        let serial_out = serial.run_trace(&trace);
+
+        for shards in [1, 2, 4, 8] {
+            let mut sharded =
+                ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(shards)).unwrap();
+            let parts = sharded.run_trace_partitioned(&trace);
+            // Each shard's outputs are the serial outputs at the
+            // positions steered to it (serial output order == input
+            // order at line rate).
+            for (s, part) in parts.iter().enumerate() {
+                let expected: Vec<Packet> = trace
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| sharded.plan().steer(p) == s)
+                    .map(|(i, _)| serial_out[i].clone())
+                    .collect();
+                assert_eq!(part, &expected, "shard {s} of {shards}");
+            }
+            assert_eq!(
+                sharded.export_merged_ingress_state().unwrap(),
+                serial.export_ingress_state(),
+                "{shards} shards: merged state"
+            );
+            assert_eq!(sharded.transmitted(), serial.transmitted());
+            assert_eq!(sharded.drops(), 0);
+        }
+    }
+
+    #[test]
+    fn threaded_run_is_deterministic_and_equals_sequential_merge() {
+        let ingress = array_counter("count", "counts", 64);
+        let egress = passthrough("out");
+        let trace = flow_trace(700);
+        let cfg = ShardConfig::new(4).with_batch(32);
+
+        let mut a = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone()).unwrap();
+        let threaded = a.run_trace(&trace);
+
+        let mut b = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone()).unwrap();
+        let run = b.run_trace_instrumented(&trace);
+        assert_eq!(threaded, run.merged);
+        assert_eq!(
+            a.export_merged_ingress_state().unwrap(),
+            b.export_merged_ingress_state().unwrap()
+        );
+
+        // And a second threaded run from fresh state is bit-identical.
+        let mut c = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
+        assert_eq!(c.run_trace(&trace), threaded);
+    }
+
+    #[test]
+    fn merge_preserves_per_shard_order_and_multiset() {
+        let sw = ShardedSwitch::new_slot(
+            &passthrough("in"),
+            &passthrough("out"),
+            ShardConfig::new(3).with_seed(7),
+        )
+        .unwrap();
+        let parts: Vec<Vec<Packet>> = (0..3)
+            .map(|s| {
+                (0..4)
+                    .map(|i| Packet::new().with("shard", s).with("i", i))
+                    .collect()
+            })
+            .collect();
+        let merged = sw.merge(parts.clone());
+        assert_eq!(merged.len(), 12);
+        for s in 0..3 {
+            let sub: Vec<&Packet> = merged
+                .iter()
+                .filter(|p| p.get("shard") == Some(s))
+                .collect();
+            let orig: Vec<&Packet> = parts[s as usize].iter().collect();
+            assert_eq!(sub, orig, "shard {s} order broken by merge");
+        }
+    }
+
+    #[test]
+    fn fallback_shard_still_matches_serial_exactly() {
+        let ingress = scalar_counter();
+        let egress = passthrough("out");
+        let trace = flow_trace(200);
+        let mut serial = Switch::new_slot(&ingress, &egress, 512).unwrap();
+        let serial_out = serial.run_trace(&trace);
+        let mut sharded = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.run_trace(&trace), serial_out);
+        assert_eq!(
+            sharded.export_merged_ingress_state().unwrap(),
+            serial.export_ingress_state()
+        );
+    }
+
+    #[test]
+    fn import_state_broadcast_roundtrips_through_merged_export() {
+        let ingress = array_counter("count", "counts", 64);
+        let egress = passthrough("out");
+        // Build a warm serial state.
+        let mut serial = Switch::new_slot(&ingress, &egress, 512).unwrap();
+        serial.run_trace(&flow_trace(300));
+        let warm_in = serial.export_ingress_state();
+        let warm_eg = serial.export_egress_state();
+
+        let mut sharded = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
+        sharded.import_state(&warm_in, &warm_eg);
+        assert_eq!(sharded.export_merged_ingress_state().unwrap(), warm_in);
+
+        // Continuing from the warm state matches serial continuation.
+        let more = flow_trace(100);
+        let serial_more = serial.run_trace(&more);
+        let parts = sharded.run_trace_partitioned(&more);
+        let mut flat: Vec<(usize, Packet)> = Vec::new();
+        for (s, part) in parts.iter().enumerate() {
+            let idxs: Vec<usize> = more
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| sharded.plan().steer(p) == s)
+                .map(|(i, _)| i)
+                .collect();
+            for (i, p) in idxs.into_iter().zip(part.iter()) {
+                flat.push((i, p.clone()));
+            }
+        }
+        flat.sort_by_key(|(i, _)| *i);
+        // Timestamps differ (the warm serial switch's clock kept
+        // running), so compare the algorithm's own fields.
+        for (i, p) in flat {
+            assert_eq!(
+                p.get("c"),
+                serial_more[i].get("c"),
+                "packet {i} diverged after warm start"
+            );
+        }
+        assert_eq!(
+            sharded.export_merged_ingress_state().unwrap(),
+            serial.export_ingress_state()
+        );
+    }
+
+    #[test]
+    fn explicit_field_steering_declines_merged_state() {
+        let ingress = array_counter("count", "counts", 64);
+        let mut sharded = ShardedSwitch::new_slot(
+            &ingress,
+            &passthrough("out"),
+            ShardConfig::new(2).with_steer(SteerMode::Fields(vec!["flow".into()])),
+        )
+        .unwrap();
+        sharded.run_trace(&flow_trace(50));
+        assert!(sharded.export_merged_ingress_state().is_err());
+        assert_eq!(sharded.export_shard_states().len(), 2);
+    }
+}

@@ -480,6 +480,12 @@ impl SlotMachine {
         self.state.export()
     }
 
+    /// Overwrites the register file from a map snapshot (the inverse of
+    /// [`SlotMachine::export_state`]; shapes must match the layout).
+    pub fn import_state(&mut self, snapshot: &StateStore) {
+        self.state.import(snapshot);
+    }
+
     /// Runs one flat packet through every stage in place (transactional
     /// view) — the allocation-free hot path.
     pub fn process_flat(&mut self, pkt: &mut FlatPacket) {

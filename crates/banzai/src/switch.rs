@@ -24,16 +24,32 @@ use std::collections::VecDeque;
 ///
 /// Implemented by the map-based reference [`Machine`] and by the
 /// slot-compiled [`SlotMachine`]; both process one packet per clock and
-/// expose their persistent state for inspection.
+/// expose their persistent state for inspection. `build` and
+/// `import_state` are the hooks the sharded switch (`crate::shard`) uses
+/// to instantiate one independent engine per partition and warm-start it
+/// from a serial checkpoint.
 pub trait PipelineEngine {
+    /// Instantiates an engine (with fresh state) for a compiled pipeline.
+    fn build(pipeline: &AtomPipeline) -> Result<Self, String>
+    where
+        Self: Sized;
+
     /// Runs one packet through every stage (transactional view).
     fn process(&mut self, pkt: Packet) -> Packet;
 
     /// Snapshot of the engine's persistent state, in map form.
     fn export_state(&self) -> StateStore;
+
+    /// Overwrites the engine's persistent state from a snapshot (the
+    /// inverse of [`PipelineEngine::export_state`]; shapes must match).
+    fn import_state(&mut self, snapshot: &StateStore);
 }
 
 impl PipelineEngine for Machine {
+    fn build(pipeline: &AtomPipeline) -> Result<Machine, String> {
+        Ok(Machine::new(pipeline.clone()))
+    }
+
     fn process(&mut self, pkt: Packet) -> Packet {
         Machine::process(self, pkt)
     }
@@ -41,9 +57,17 @@ impl PipelineEngine for Machine {
     fn export_state(&self) -> StateStore {
         self.state().clone()
     }
+
+    fn import_state(&mut self, snapshot: &StateStore) {
+        Machine::import_state(self, snapshot)
+    }
 }
 
 impl PipelineEngine for SlotMachine {
+    fn build(pipeline: &AtomPipeline) -> Result<SlotMachine, String> {
+        SlotMachine::compile(pipeline)
+    }
+
     fn process(&mut self, pkt: Packet) -> Packet {
         SlotMachine::process(self, pkt)
     }
@@ -51,7 +75,19 @@ impl PipelineEngine for SlotMachine {
     fn export_state(&self) -> StateStore {
         SlotMachine::export_state(self)
     }
+
+    fn import_state(&mut self, snapshot: &StateStore) {
+        SlotMachine::import_state(self, snapshot)
+    }
 }
+
+/// The metadata fields the queue stamps on every packet handed to the
+/// egress pipeline, under their default names: enqueue timestamp, dequeue
+/// time, and queue depth. [`Switch::with_metadata_fields`] can rename the
+/// first and last; sharding's flow-key analysis treats this set as
+/// ingress-written (see `crate::shard`), so renamed metadata is outside
+/// the shard planner's model.
+pub const QUEUE_METADATA_FIELDS: [&str; 3] = ["enq_ts", "now", "qdepth"];
 
 /// A switch: ingress pipeline, a bounded FIFO queue, egress pipeline.
 #[derive(Debug, Clone)]
@@ -119,8 +155,8 @@ impl<E: PipelineEngine> Switch<E> {
             now: 0,
             drops: 0,
             transmitted: 0,
-            enqueue_ts_field: "enq_ts".to_string(),
-            depth_field: "qdepth".to_string(),
+            enqueue_ts_field: QUEUE_METADATA_FIELDS[0].to_string(),
+            depth_field: QUEUE_METADATA_FIELDS[2].to_string(),
         }
     }
 
@@ -216,6 +252,72 @@ impl<E: PipelineEngine> Switch<E> {
         self.egress.export_state()
     }
 
+    /// Overwrites the ingress engine's state from a snapshot (the
+    /// per-partition import hook; shapes must match the pipeline's
+    /// declarations).
+    pub fn import_ingress_state(&mut self, snapshot: &StateStore) {
+        self.ingress.import_state(snapshot);
+    }
+
+    /// Overwrites the egress engine's state from a snapshot.
+    pub fn import_egress_state(&mut self, snapshot: &StateStore) {
+        self.egress.import_state(snapshot);
+    }
+
+    /// Runs a batch of `(arrival_cycle, packet)` pairs through the whole
+    /// switch at line rate — the sharded entry point.
+    ///
+    /// Semantically this is [`Switch::run_trace`] with the packet clock
+    /// supplied by the caller instead of counted locally: a shard of a
+    /// partitioned switch sees only *its* packets, but must stamp the
+    /// `enq_ts`/`now` metadata with the **global** arrival cycle so its
+    /// outputs are bit-identical to the serial switch's. Arrival cycles
+    /// must be strictly increasing.
+    ///
+    /// Only the line-rate configuration is supported: with
+    /// `drain_period == 1` the queue never holds more than one packet, so
+    /// every packet admitted at cycle `t` leaves at `t + 1` with queue
+    /// depth 0 — independent of what other shards carry, which is exactly
+    /// why the per-shard runs compose back into the serial behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drain_period != 1` (an oversubscribed egress link
+    /// couples shards through the shared queue and cannot be partitioned).
+    pub fn run_stamped<P: std::borrow::Borrow<Packet>>(
+        &mut self,
+        batch: &[(i64, P)],
+    ) -> Vec<Packet> {
+        assert_eq!(
+            self.drain_period, 1,
+            "stamped (sharded) execution requires a line-rate egress link \
+             (drain_period 1); a standing queue couples shards"
+        );
+        let mut out = Vec::with_capacity(batch.len());
+        let mut last_t: Option<i64> = None;
+        for (t, pkt) in batch {
+            debug_assert!(
+                last_t.is_none_or(|prev| *t > prev),
+                "stamped arrival cycles must be strictly increasing (got {t} after {last_t:?})"
+            );
+            last_t = Some(*t);
+            let processed = self.ingress.process(pkt.borrow().clone());
+            if self.queue.len() >= self.capacity {
+                self.drops += 1;
+                continue;
+            }
+            self.queue.push_back((*t, processed));
+            let (enq_ts, mut p) = self.queue.pop_front().expect("just pushed");
+            p.set(&self.enqueue_ts_field, enq_ts as i32);
+            p.set("now", (*t + 1) as i32);
+            p.set(&self.depth_field, self.queue.len() as i32);
+            out.push(self.egress.process(p));
+            self.transmitted += 1;
+            self.now = *t + 1;
+        }
+        out
+    }
+
     /// Runs a trace through the whole switch: each input packet is
     /// processed by ingress and enqueued (or dropped if the queue is
     /// full); the queue drains one packet every `drain_period` cycles
@@ -230,7 +332,7 @@ impl<E: PipelineEngine> Switch<E> {
         let mut inputs = trace.iter();
         loop {
             // Dequeue + egress on drain cycles.
-            if self.now as u64 % self.drain_period == 0 {
+            if (self.now as u64).is_multiple_of(self.drain_period) {
                 if let Some((enq_ts, mut pkt)) = self.queue.pop_front() {
                     pkt.set(&self.enqueue_ts_field, enq_ts as i32);
                     pkt.set("now", self.now as i32);
@@ -308,6 +410,68 @@ mod tests {
             .collect();
         assert!(*sojourns.last().unwrap() > sojourns[0], "{sojourns:?}");
         assert!(out.iter().all(|p| p.get("qdepth").is_some()));
+    }
+
+    #[test]
+    fn stamped_run_equals_serial_run_at_line_rate() {
+        let trace: Vec<Packet> = (0..20).map(|i| Packet::new().with("seq", i)).collect();
+        let mut serial = Switch::new(passthrough("in"), passthrough("out"), 8);
+        let serial_out = serial.run_trace(&trace);
+        let mut stamped = Switch::new(passthrough("in"), passthrough("out"), 8);
+        let batch: Vec<(i64, Packet)> = trace
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as i64, p.clone()))
+            .collect();
+        let stamped_out = stamped.run_stamped(&batch);
+        assert_eq!(serial_out, stamped_out);
+        assert_eq!(serial.transmitted(), stamped.transmitted());
+        assert_eq!(serial.drops(), stamped.drops());
+    }
+
+    #[test]
+    fn stamped_subsequences_compose_into_the_serial_run() {
+        // Even/odd arrivals on two separate switches (as two shards would
+        // see them) reproduce the serial outputs at those positions —
+        // the global stamps carry the shared clock.
+        let trace: Vec<Packet> = (0..30).map(|i| Packet::new().with("seq", i)).collect();
+        let mut serial = Switch::new(passthrough("in"), passthrough("out"), 8);
+        let serial_out = serial.run_trace(&trace);
+        for parity in 0..2usize {
+            let mut shard = Switch::new(passthrough("in"), passthrough("out"), 8);
+            let batch: Vec<(i64, Packet)> = trace
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == parity)
+                .map(|(i, p)| (i as i64, p.clone()))
+                .collect();
+            let out = shard.run_stamped(&batch);
+            let expected: Vec<Packet> = serial_out
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == parity)
+                .map(|(_, p)| p.clone())
+                .collect();
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "line-rate egress link")]
+    fn stamped_rejects_oversubscribed_links() {
+        let mut sw = Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
+        sw.run_stamped::<Packet>(&[]);
+    }
+
+    #[test]
+    fn state_import_hooks_roundtrip() {
+        let mut a = Switch::new_slot(&passthrough("in"), &passthrough("out"), 8).unwrap();
+        let snap_in = a.export_ingress_state();
+        let snap_eg = a.export_egress_state();
+        a.import_ingress_state(&snap_in);
+        a.import_egress_state(&snap_eg);
+        assert_eq!(a.export_ingress_state(), snap_in);
+        assert_eq!(a.export_egress_state(), snap_eg);
     }
 
     #[test]

@@ -1,20 +1,32 @@
-//! E9 — the differential throughput harness: map-based reference engine
-//! vs the slot-compiled fast path on large seeded traces, bit-identical
-//! outputs asserted, results emitted as `BENCH_throughput.json`.
+//! E9/E10 — the differential throughput harness: map-based reference
+//! engine vs the slot-compiled fast path (E9), plus the shard-scaling
+//! sweep of the flow-steered multi-core switch (E10). Bit-identical
+//! outputs asserted throughout; results emitted as
+//! `BENCH_throughput.json`; optionally gates against a committed baseline
+//! (the CI perf-regression check).
 //!
 //! ```text
-//! throughput [--smoke] [--packets <n>] [--out <path>]
+//! throughput [--smoke] [--packets <n>] [--out <path>] [--shards <csv>]
+//!            [--check <baseline.json>] [--tolerance <f>]
 //!
-//!   --smoke        small traces (CI: exercises both engines and the JSON
-//!                  emission in a few hundred milliseconds)
-//!   --packets <n>  packets for the headline flowlet trace (default 1000000)
-//!   --out <path>   where to write the JSON (default BENCH_throughput.json)
+//!   --smoke            small traces (CI: exercises both engines, the
+//!                      sharded switch, and the JSON emission quickly)
+//!   --packets <n>      packets for the headline flowlet trace (default 1000000)
+//!   --out <path>       where to write the JSON (default BENCH_throughput.json)
+//!   --shards <csv>     shard counts for the E10 sweep (default 1,2,4,8)
+//!   --check <path>     compare fresh slot speedups against a committed
+//!                      baseline; exit nonzero on regression
+//!   --tolerance <f>    regression floor as a fraction of the committed
+//!                      speedup (default 0.5)
 //! ```
 
-use bench::throughput::{machine_workload, render_json, switch_workload, Measurement};
+use bench::throughput::{
+    check_regressions, machine_workload, parse_baseline, render_json, scaling_speedup, shard_sweep,
+    switch_workload, Measurement, ShardMeasurement,
+};
 use std::process::ExitCode;
 
-const SEED: u64 = 0xD0771_2016;
+const SEED: u64 = 0x000D_0771_2016;
 
 fn main() -> ExitCode {
     match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
@@ -30,6 +42,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut smoke = false;
     let mut flowlet_n: Option<usize> = None;
     let mut out_path = "BENCH_throughput.json".to_string();
+    let mut shard_counts: Vec<usize> = vec![1, 2, 4, 8];
+    let mut check: Option<String> = None;
+    let mut tolerance = 0.5f64;
 
     let mut i = 0;
     while i < args.len() {
@@ -44,8 +59,31 @@ fn run(args: &[String]) -> Result<(), String> {
                 i += 1;
                 out_path = args.get(i).ok_or("--out needs a value")?.clone();
             }
+            "--shards" => {
+                i += 1;
+                let v = args.get(i).ok_or("--shards needs a value")?;
+                shard_counts = v
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad --shards `{v}`")))
+                    .collect::<Result<_, _>>()?;
+                if shard_counts.is_empty() {
+                    return Err("--shards needs at least one count".into());
+                }
+            }
+            "--check" => {
+                i += 1;
+                check = Some(args.get(i).ok_or("--check needs a value")?.clone());
+            }
+            "--tolerance" => {
+                i += 1;
+                let v = args.get(i).ok_or("--tolerance needs a value")?;
+                tolerance = v.parse().map_err(|_| format!("bad --tolerance `{v}`"))?;
+            }
             "--help" | "-h" => {
-                println!("throughput [--smoke] [--packets <n>] [--out <path>]");
+                println!(
+                    "throughput [--smoke] [--packets <n>] [--out <path>] \
+                     [--shards <csv>] [--check <baseline.json>] [--tolerance <f>]"
+                );
                 return Ok(());
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -53,10 +91,10 @@ fn run(args: &[String]) -> Result<(), String> {
         i += 1;
     }
 
-    let (flowlet, hh, codel, switch) = if smoke {
-        (20_000, 10_000, 10_000, 5_000)
+    let (flowlet, hh, codel, switch, sweep_n) = if smoke {
+        (20_000, 10_000, 10_000, 5_000, 20_000)
     } else {
-        (1_000_000, 300_000, 300_000, 200_000)
+        (1_000_000, 300_000, 300_000, 200_000, 1_000_000)
     };
     let flowlet = flowlet_n.unwrap_or(flowlet);
 
@@ -96,8 +134,98 @@ fn run(args: &[String]) -> Result<(), String> {
         )
     );
 
-    let doc = render_json(&measurements);
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "E10 — shard scaling, flow-steered sharded switch \
+         (host has {host_cores} core(s); `modeled` is the per-shard \
+         critical path, `wall` is this host's threaded clock)\n"
+    );
+    let mut scaling: Vec<ShardMeasurement> = Vec::new();
+    for workload in ["flowlet", "heavy_hitters"] {
+        scaling.extend(shard_sweep(workload, sweep_n, SEED, &shard_counts));
+    }
+    let scaling_rows: Vec<Vec<String>> = scaling
+        .iter()
+        .map(|s| {
+            let speedup = scaling_speedup(&scaling, s)
+                .map(|v| format!("{v:.2}x"))
+                .unwrap_or_else(|| "-".to_string());
+            vec![
+                s.workload.clone(),
+                s.packets.to_string(),
+                format!("{}->{}", s.requested, s.effective),
+                format!("{:.0}", s.modeled_pps()),
+                format!("{:.0}", s.wall_pps()),
+                speedup,
+                "yes".to_string(),
+                s.fallback
+                    .as_deref()
+                    .map(|why| {
+                        let mut short = why.split(';').next().unwrap_or(why).to_string();
+                        if short.len() > 48 {
+                            short.truncate(45);
+                            short.push_str("...");
+                        }
+                        short
+                    })
+                    .unwrap_or_default(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        bench::render_table(
+            &[
+                "workload",
+                "packets",
+                "shards",
+                "modeled pkts/s",
+                "wall pkts/s",
+                "vs 1 shard",
+                "identical",
+                "fallback"
+            ],
+            &scaling_rows
+        )
+    );
+
+    let doc = render_json(&measurements, &scaling, host_cores);
     std::fs::write(&out_path, &doc).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
     println!("wrote {out_path}");
+
+    if let Some(baseline_path) = check {
+        let baseline_doc = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
+        let baseline = parse_baseline(&baseline_doc);
+        if baseline.is_empty() {
+            return Err(format!(
+                "baseline `{baseline_path}` has no workload rows — wrong file?"
+            ));
+        }
+        let failures = check_regressions(&measurements, &baseline, tolerance);
+        println!(
+            "\nperf-regression gate vs {baseline_path} (tolerance {tolerance}): {}",
+            if failures.is_empty() { "PASS" } else { "FAIL" }
+        );
+        for m in &measurements {
+            if let Some(b) = baseline.iter().find(|b| b.name == m.name) {
+                println!(
+                    "  {:<16} fresh {:>6.2}x  committed {:>6.2}x  floor {:>6.2}x",
+                    m.name,
+                    m.speedup(),
+                    b.speedup,
+                    b.speedup * tolerance
+                );
+            }
+        }
+        if !failures.is_empty() {
+            return Err(format!(
+                "perf regression detected:\n  {}",
+                failures.join("\n  ")
+            ));
+        }
+    }
     Ok(())
 }

@@ -12,7 +12,10 @@
 //! * `table6` — circuit structure and minimum delays (E4),
 //! * `figure3` — the flowlet pipeline (E5),
 //! * `throughput` — the differential map-vs-slot execution-engine
-//!   comparison, emitting `BENCH_throughput.json` (E9; see [`throughput`]).
+//!   comparison (E9) plus the shard-scaling sweep of the flow-steered
+//!   `ShardedSwitch` (E10), emitting `BENCH_throughput.json`; with
+//!   `--check <baseline> --tolerance <f>` it doubles as the CI
+//!   perf-regression gate (see [`throughput`]).
 //!
 //! Criterion benchmarks (`cargo bench -p bench`) cover compilation time
 //! (E8) and simulated pipeline throughput.

@@ -17,8 +17,25 @@
 //!
 //! Every run *is* a differential test: divergence panics, so any recorded
 //! [`Measurement`] is also a correctness witness.
+//!
+//! Two additions ride on the same machinery:
+//!
+//! * **E10 — the shard-scaling sweep** ([`shard_sweep`]): the flowlet and
+//!   heavy-hitters traces through a [`ShardedSwitch`] at 1/2/4/8 shards.
+//!   Every configuration asserts bit-identical per-shard outputs and
+//!   merged state against the serial switch, then records both the
+//!   threaded wall clock *and* the per-shard busy times (measured
+//!   sequentially, free of scheduler interference). On an N-core host
+//!   wall clock approaches [`ShardMeasurement::critical_ns`]; on the
+//!   single-core CI runner only the critical-path number can show
+//!   scaling, which is why both are recorded, clearly labeled.
+//! * **the CI perf-regression gate** ([`parse_baseline`] /
+//!   [`check_regressions`]): compares freshly measured slot speedups
+//!   against the committed `BENCH_throughput.json` and fails the build
+//!   when a workload regresses below tolerance. Speedups (not absolute
+//!   pps) are compared, so the gate is robust to runner hardware.
 
-use banzai::{Machine, SlotMachine, Switch, Target};
+use banzai::{Machine, ShardConfig, ShardedSwitch, SlotMachine, Switch, Target};
 use domino_ir::Packet;
 use std::time::Instant;
 
@@ -165,9 +182,272 @@ pub fn switch_workload(n: usize, seed: u64) -> Measurement {
     }
 }
 
+/// One shard-count configuration of the E10 scaling sweep: a verified
+/// differential run of the sharded switch, with both wall-clock and
+/// critical-path timings.
+#[derive(Debug, Clone)]
+pub struct ShardMeasurement {
+    /// Workload (ingress algorithm) name.
+    pub workload: String,
+    /// Packets in the trace.
+    pub packets: usize,
+    /// Shards requested.
+    pub requested: usize,
+    /// Shards granted by the plan (1 on fallback).
+    pub effective: usize,
+    /// Wall-clock nanoseconds of the threaded run **on this host** (on a
+    /// single-core runner this cannot beat 1 shard; see `critical_ns`).
+    pub wall_ns: u128,
+    /// The sequential run's lane breakdown (steer / per-shard busy /
+    /// merge), measured free of scheduler interference.
+    pub timings: banzai::ShardTimings,
+    /// The single-shard fallback diagnostic, if the plan fell back.
+    pub fallback: Option<String>,
+}
+
+impl ShardMeasurement {
+    /// Modeled steady-state completion time on dedicated hardware — the
+    /// busiest lane of the RX-core / worker-cores / TX-core pipeline
+    /// (delegates to [`banzai::ShardTimings::critical_ns`]).
+    pub fn critical_ns(&self) -> u128 {
+        self.timings.critical_ns()
+    }
+
+    /// Packets per second at the critical-path (modeled multi-core) rate.
+    pub fn modeled_pps(&self) -> f64 {
+        self.packets as f64 / (self.critical_ns().max(1) as f64 / 1e9)
+    }
+
+    /// Packets per second at this host's threaded wall-clock rate.
+    pub fn wall_pps(&self) -> f64 {
+        self.packets as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// E10: replays an algorithm's seeded trace through a [`ShardedSwitch`]
+/// (slot-compiled shards, pass-through egress, line-rate queue) at each
+/// requested shard count.
+///
+/// Every configuration is a differential test against the serial slot
+/// switch: each shard's outputs must equal the serial outputs at exactly
+/// the positions steered to it (full packets, queue metadata included),
+/// the merged exported state must equal the serial state, the threaded
+/// run must reproduce the sequential merge bit-for-bit, and
+/// drop/transmit counters must agree.
+///
+/// # Panics
+///
+/// Panics on any divergence — a recorded measurement is a correctness
+/// witness.
+pub fn shard_sweep(
+    name: &str,
+    n: usize,
+    seed: u64,
+    shard_counts: &[usize],
+) -> Vec<ShardMeasurement> {
+    const CAPACITY: usize = 512;
+    let ingress = compile_least(name);
+    let egress = banzai::AtomPipeline::passthrough("egress");
+    let trace = algorithms::by_name(name).unwrap().trace(n, seed);
+
+    let mut serial = Switch::new_slot(&ingress, &egress, CAPACITY)
+        .expect("compiled pipelines are slot-executable");
+    let serial_out = serial.run_trace(&trace);
+    let serial_state = serial.export_ingress_state();
+
+    // One discarded instrumented pass: the partition/replay allocation
+    // pattern differs from the serial run's, and its first execution pays
+    // allocator/page-cache costs that would otherwise skew whichever
+    // shard count happens to run first.
+    ShardedSwitch::new_slot(
+        &ingress,
+        &egress,
+        ShardConfig::new(1).with_capacity(CAPACITY),
+    )
+    .expect("compiled pipelines are slot-executable")
+    .run_trace_instrumented(&trace);
+
+    shard_counts
+        .iter()
+        .map(|&count| {
+            let cfg = ShardConfig::new(count).with_capacity(CAPACITY);
+
+            // Pass 1 — verification (untimed): per-shard outputs must be
+            // the serial outputs at exactly the steered positions, state
+            // must merge back bit-identical, counters must agree. All of
+            // its allocations are freed before anything is timed — at
+            // millions of map packets, live copies push the allocator
+            // into a page-churn regime that poisons measurements.
+            let mut verify_sw = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone())
+                .expect("compiled pipelines are slot-executable");
+            let parts = verify_sw.run_trace_partitioned(&trace);
+            let assignment: Vec<usize> = trace.iter().map(|p| verify_sw.plan().steer(p)).collect();
+            for (s, part) in parts.iter().enumerate() {
+                let mut cursor = 0usize;
+                for (i, &shard) in assignment.iter().enumerate() {
+                    if shard != s {
+                        continue;
+                    }
+                    assert_eq!(
+                        part[cursor], serial_out[i],
+                        "{name}@{count}: shard {s} diverged at input {i}"
+                    );
+                    cursor += 1;
+                }
+                assert_eq!(part.len(), cursor, "{name}@{count}: shard {s} length");
+            }
+            assert_eq!(
+                verify_sw.export_merged_ingress_state().unwrap(),
+                serial_state,
+                "{name}@{count}: merged state diverged"
+            );
+            assert_eq!(verify_sw.transmitted(), serial.transmitted());
+            assert_eq!(verify_sw.drops(), serial.drops());
+            let effective = verify_sw.plan().effective();
+            let fallback = verify_sw.plan().fallback().map(str::to_string);
+            let merged_len: usize = parts.iter().map(|p| p.len()).sum();
+            drop(parts);
+            drop(assignment);
+            drop(verify_sw);
+
+            // Pass 2 — sequential timing: per-shard busy times measured
+            // one after another on this thread (scheduler-free), with
+            // only the run's own working set live.
+            let mut timed_sw = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone())
+                .expect("compiled pipelines are slot-executable");
+            let run = timed_sw.run_trace_instrumented(&trace);
+            let timings = run.timings.clone();
+            let merged = run.merged;
+            assert_eq!(
+                merged.len(),
+                merged_len,
+                "{name}@{count}: merge lost packets"
+            );
+            drop(timed_sw);
+
+            // Pass 3 — threaded wall clock, asserted bit-identical to the
+            // sequential merge (scheduling cannot leak into outputs).
+            let mut threaded_sw = ShardedSwitch::new_slot(&ingress, &egress, cfg)
+                .expect("compiled pipelines are slot-executable");
+            let t = Instant::now();
+            let threaded = threaded_sw.run_trace(&trace);
+            let wall_ns = t.elapsed().as_nanos();
+            assert_eq!(
+                threaded, merged,
+                "{name}@{count}: threaded run diverged from sequential merge"
+            );
+
+            ShardMeasurement {
+                workload: name.to_string(),
+                packets: n,
+                requested: count,
+                effective,
+                wall_ns,
+                timings,
+                fallback,
+            }
+        })
+        .collect()
+}
+
+/// The modeled speedup of each sweep row over the 1-shard row of the same
+/// workload (`None` when no 1-shard row exists).
+pub fn scaling_speedup(rows: &[ShardMeasurement], row: &ShardMeasurement) -> Option<f64> {
+    let base = rows
+        .iter()
+        .find(|r| r.workload == row.workload && r.requested == 1)?;
+    Some(base.critical_ns() as f64 / row.critical_ns().max(1) as f64)
+}
+
+/// One parsed row of a committed `BENCH_throughput.json` — just the
+/// fields the regression gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Workload name.
+    pub name: String,
+    /// Committed slot-over-map speedup.
+    pub speedup: f64,
+}
+
+/// Extracts `(name, speedup)` pairs from a committed baseline document.
+///
+/// A deliberately minimal line scanner, not a JSON parser: the document
+/// is emitted by [`render_json`] with one key per line, and the E10
+/// scaling rows use the key `workload` (not `name`), so only E9 workload
+/// rows match.
+pub fn parse_baseline(doc: &str) -> Vec<BaselineRow> {
+    let mut rows = Vec::new();
+    let mut name: Option<String> = None;
+    for line in doc.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(rest) = t.strip_prefix("\"name\": \"") {
+            name = rest.strip_suffix('"').map(str::to_string);
+        } else if let Some(rest) = t.strip_prefix("\"speedup\": ") {
+            if let (Some(n), Ok(v)) = (name.take(), rest.parse::<f64>()) {
+                rows.push(BaselineRow {
+                    name: n,
+                    speedup: v,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The CI perf-regression gate: every workload in the committed baseline
+/// must be present in the fresh run and keep at least `tolerance` × its
+/// committed slot speedup. Returns one message per violation (empty =
+/// gate passes). Iterating the *baseline* means a workload cannot be
+/// silently un-gated by renaming or dropping it from the harness; fresh
+/// workloads not yet in the baseline are not gated. Speedups are
+/// host-relative ratios, so the gate is meaningful across runner
+/// hardware; `tolerance` absorbs measurement noise.
+pub fn check_regressions(
+    fresh: &[Measurement],
+    baseline: &[BaselineRow],
+    tolerance: f64,
+) -> Vec<String> {
+    baseline
+        .iter()
+        .filter_map(|base| {
+            let Some(m) = fresh.iter().find(|m| m.name == base.name) else {
+                return Some(format!(
+                    "{}: workload is in the committed baseline but missing from \
+                     the fresh run — renamed or dropped? (update the baseline \
+                     deliberately instead)",
+                    base.name
+                ));
+            };
+            let floor = base.speedup * tolerance;
+            if m.speedup() < floor {
+                Some(format!(
+                    "{}: slot speedup {:.2}x regressed below {:.2}x \
+                     (tolerance {tolerance} x committed {:.2}x)",
+                    m.name,
+                    m.speedup(),
+                    floor,
+                    base.speedup
+                ))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
 /// Renders the measurements as the machine-readable `BENCH_throughput.json`
 /// document (hand-rolled: the build environment is offline, no serde).
-pub fn render_json(measurements: &[Measurement]) -> String {
+///
+/// The `workloads` section (E9, keyed `name`) is what
+/// [`parse_baseline`] reads back for the regression gate; the `scaling`
+/// section (E10, keyed `workload`) records the shard sweep with both
+/// wall-clock and critical-path numbers, plus `host_cores` so readers can
+/// judge which of the two is meaningful on the recording machine.
+pub fn render_json(
+    measurements: &[Measurement],
+    scaling: &[ShardMeasurement],
+    host_cores: usize,
+) -> String {
     let rows: Vec<String> = measurements
         .iter()
         .map(|m| {
@@ -186,10 +466,49 @@ pub fn render_json(measurements: &[Measurement]) -> String {
             )
         })
         .collect();
+    let scaling_rows: Vec<String> = scaling
+        .iter()
+        .map(|s| {
+            let shard_ns: Vec<String> =
+                s.timings.shard_ns.iter().map(|ns| ns.to_string()).collect();
+            let speedup = scaling_speedup(scaling, s)
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "null".to_string());
+            let fallback = s
+                .fallback
+                .as_deref()
+                .map(|why| format!("\"{}\"", why.replace('"', "'")))
+                .unwrap_or_else(|| "null".to_string());
+            format!(
+                "    {{\n      \"workload\": \"{}\",\n      \"packets\": {},\n      \
+                 \"shards\": {},\n      \"effective_shards\": {},\n      \
+                 \"wall_ns\": {},\n      \"steer_ns\": {},\n      \"merge_ns\": {},\n      \
+                 \"shard_ns\": [{}],\n      \"critical_ns\": {},\n      \
+                 \"modeled_pkts_per_sec\": {:.0},\n      \"wall_pkts_per_sec\": {:.0},\n      \
+                 \"modeled_speedup_vs_1shard\": {},\n      \"fallback\": {},\n      \
+                 \"identical\": true\n    }}",
+                s.workload,
+                s.packets,
+                s.requested,
+                s.effective,
+                s.wall_ns,
+                s.timings.steer_ns,
+                s.timings.merge_ns,
+                shard_ns.join(", "),
+                s.critical_ns(),
+                s.modeled_pps(),
+                s.wall_pps(),
+                speedup,
+                fallback
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"suite\": \"throughput\",\n  \"engines\": [\"map\", \"slot\"],\n  \
-         \"workloads\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         \"host_cores\": {},\n  \"workloads\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
+        host_cores,
+        rows.join(",\n"),
+        scaling_rows.join(",\n")
     )
 }
 
@@ -219,9 +538,116 @@ mod tests {
             map_ns: 100,
             slot_ns: 10,
         };
-        let doc = render_json(&[m]);
+        let s = ShardMeasurement {
+            workload: "flowlet".into(),
+            packets: 10,
+            requested: 2,
+            effective: 2,
+            wall_ns: 50,
+            timings: banzai::ShardTimings {
+                steer_ns: 5,
+                shard_ns: vec![20, 25],
+                merge_ns: 5,
+            },
+            fallback: None,
+        };
+        let doc = render_json(&[m], &[s], 1);
         assert!(doc.contains("\"name\": \"flowlet\""), "{doc}");
         assert!(doc.contains("\"speedup\": 10.00"), "{doc}");
+        assert!(doc.contains("\"workload\": \"flowlet\""), "{doc}");
+        assert!(doc.contains("\"critical_ns\": 25"), "{doc}");
+        assert!(doc.contains("\"host_cores\": 1"), "{doc}");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn shard_sweep_verifies_and_scales_bookkeeping() {
+        let rows = shard_sweep("flowlet", 3_000, 0xF10, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].effective, 1);
+        assert_eq!(rows[1].effective, 2);
+        assert!(rows[1].fallback.is_none());
+        assert_eq!(rows[1].timings.shard_ns.len(), 2);
+        assert!(scaling_speedup(&rows, &rows[1]).is_some());
+    }
+
+    #[test]
+    fn shard_sweep_records_fallback_for_unpartitionable_state() {
+        let rows = shard_sweep("rcp", 1_000, 0xF11, &[4]);
+        assert_eq!(rows[0].effective, 1);
+        let why = rows[0].fallback.as_deref().unwrap();
+        assert!(why.contains("scalar state"), "{why}");
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_the_json_emitter() {
+        let ms = vec![
+            Measurement {
+                name: "flowlet".into(),
+                packets: 10,
+                map_ns: 100,
+                slot_ns: 10,
+            },
+            Measurement {
+                name: "figure1_switch".into(),
+                packets: 10,
+                map_ns: 30,
+                slot_ns: 20,
+            },
+        ];
+        let parsed = parse_baseline(&render_json(&ms, &[], 1));
+        assert_eq!(
+            parsed,
+            vec![
+                BaselineRow {
+                    name: "flowlet".into(),
+                    speedup: 10.0
+                },
+                BaselineRow {
+                    name: "figure1_switch".into(),
+                    speedup: 1.5
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn regression_gate_trips_only_below_tolerance() {
+        let baseline = vec![BaselineRow {
+            name: "flowlet".into(),
+            speedup: 20.0,
+        }];
+        let fresh_ok = Measurement {
+            name: "flowlet".into(),
+            packets: 10,
+            map_ns: 110,
+            slot_ns: 10, // 11x ≥ 0.5 × 20x
+        };
+        assert!(check_regressions(&[fresh_ok], &baseline, 0.5).is_empty());
+        let fresh_bad = Measurement {
+            name: "flowlet".into(),
+            packets: 10,
+            map_ns: 90,
+            slot_ns: 10, // 9x < 0.5 × 20x
+        };
+        let failures = check_regressions(&[fresh_bad], &baseline, 0.5);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regressed"), "{}", failures[0]);
+        // Workloads absent from the baseline are not gated…
+        let fresh_new = Measurement {
+            name: "brand_new".into(),
+            packets: 10,
+            map_ns: 10,
+            slot_ns: 10,
+        };
+        let failures = check_regressions(&[fresh_new], &baseline, 0.5);
+        // …but a baseline workload missing from the fresh run trips the
+        // gate: dropping/renaming a workload cannot silently un-gate it.
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("missing from the fresh run"),
+            "{}",
+            failures[0]
+        );
     }
 }

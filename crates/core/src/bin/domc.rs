@@ -6,8 +6,8 @@
 //!   --target <atom>   stateful atom of the Banzai target: write, raw,
 //!                     praw, ifelse_raw, sub, nested, pairs (default: pairs)
 //!   --lut             extend the target with the look-up-table unit (X1)
-//!   --emit <what>     pipeline (default) | layout | p4 | tac | pvsm |
-//!                     dot | normalized | json
+//!   --emit <what>     pipeline (default) | layout | flow-key | p4 |
+//!                     tac | pvsm | dot | normalized | json
 //!   --all-targets     try every standard target and report the least
 //!                     expressive atom that runs the program (Table 4 view)
 //! ```
@@ -98,6 +98,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 domino_compiler::Compilation::render_assigns(&compilation.ssa)
             );
         }
+        "flow-key" => match domino_compiler::flow_key(&compilation) {
+            Ok(part) => print!("{part}"),
+            Err(why) => {
+                println!("not shard-partitionable: {why}");
+                println!("(a sharded switch will fall back to a single shard)");
+            }
+        },
         "tac" => print!("{}", compilation.tac),
         "pvsm" => print!("{}", compilation.pvsm),
         "dot" => {
@@ -167,7 +174,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "unknown --emit `{other}` (pipeline, layout, p4, tac, pvsm, dot, normalized, json)"
+                "unknown --emit `{other}` (pipeline, layout, flow-key, p4, tac, pvsm, dot, normalized, json)"
             ))
         }
     }
@@ -212,5 +219,5 @@ OPTIONS:
     --target <atom>  write | raw | praw | ifelse_raw | sub | nested | pairs
                      (default: pairs)
     --lut            add the look-up-table unit (isqrt/codel_gap)
-    --emit <what>    pipeline | layout | p4 | tac | pvsm | dot | normalized | json
+    --emit <what>    pipeline | layout | flow-key | p4 | tac | pvsm | dot | normalized | json
     --all-targets    report which standard targets can run the program";

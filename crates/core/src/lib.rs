@@ -55,7 +55,9 @@ use domino_ast::Diagnostic;
 
 /// Commonly used types, for `use domino::prelude::*`.
 pub mod prelude {
-    pub use banzai::{AtomKind, Machine, SlotMachine, Switch, Target};
+    pub use banzai::{
+        AtomKind, Machine, ShardConfig, ShardedSwitch, SlotMachine, SteerMode, Switch, Target,
+    };
     pub use domino_ir::{Packet, StateStore};
 }
 
@@ -92,6 +94,58 @@ pub fn slot_machine(source: &str, target: &Target) -> Result<banzai::SlotMachine
         Diagnostic::global(
             domino_ast::Stage::CodeGen,
             format!("internal error: compiled pipeline has no slot layout: {e}"),
+        )
+    })
+}
+
+/// Compiles an ingress and an egress program and assembles a multi-core
+/// [`ShardedSwitch`](banzai::ShardedSwitch): N worker shards, each a
+/// slot-compiled switch, fed by RSS-style flow steering derived from the
+/// programs' own state indexing.
+///
+/// Sharding never changes observable behaviour: per-flow outputs and
+/// merged state are bit-identical to the serial switch. Programs whose
+/// state indexing is not partitionable (global registers, multi-hash
+/// sketches) run on a single shard, with the reason recorded in
+/// [`ShardPlan::fallback`](banzai::ShardPlan::fallback).
+///
+/// ```
+/// use domino::prelude::*;
+///
+/// let ingress = "struct P { int flow; int c; };\nint counts[64] = {0};\n\
+///                void count(struct P pkt) {\n\
+///                  counts[pkt.flow] = counts[pkt.flow] + 1;\n\
+///                  pkt.c = counts[pkt.flow];\n\
+///                }";
+/// let egress = "struct P { int c; int heavy; };\n\
+///               void mark(struct P pkt) { pkt.heavy = pkt.c > 4; }";
+/// let mut sw = domino::sharded_switch(
+///     ingress,
+///     egress,
+///     &Target::banzai(AtomKind::Raw),
+///     ShardConfig::new(4),
+/// )
+/// .unwrap();
+/// assert_eq!(sw.plan().effective(), 4);
+///
+/// let trace: Vec<Packet> = (0..40).map(|i| Packet::new().with("flow", i % 8)).collect();
+/// let out = sw.run_trace(&trace);
+/// assert_eq!(out.len(), 40);
+/// // Five packets per flow: every flow's last packet is marked heavy.
+/// assert_eq!(out.iter().filter(|p| p.get("heavy") == Some(1)).count(), 8);
+/// ```
+pub fn sharded_switch(
+    ingress: &str,
+    egress: &str,
+    target: &Target,
+    config: banzai::ShardConfig,
+) -> Result<banzai::ShardedSwitch, Diagnostic> {
+    let ingress = compile(ingress, target)?;
+    let egress = compile(egress, target)?;
+    banzai::ShardedSwitch::new_slot(&ingress, &egress, config).map_err(|e| {
+        Diagnostic::global(
+            domino_ast::Stage::CodeGen,
+            format!("internal error: sharded switch construction failed: {e}"),
         )
     })
 }

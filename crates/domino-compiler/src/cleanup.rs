@@ -113,15 +113,12 @@ fn eliminate_dead_code(stmts: Vec<TacStmt>, output_fields: &BTreeSet<String>) ->
             .flat_map(|s| s.fields_read().into_iter().map(str::to_string))
             .collect();
         let before = stmts.len();
-        stmts = stmts
-            .into_iter()
-            .filter(|s| match s {
-                TacStmt::WriteState { .. } => true,
-                TacStmt::ReadState { dst, .. } | TacStmt::Assign { dst, .. } => {
-                    used.contains(dst) || output_fields.contains(dst)
-                }
-            })
-            .collect();
+        stmts.retain(|s| match s {
+            TacStmt::WriteState { .. } => true,
+            TacStmt::ReadState { dst, .. } | TacStmt::Assign { dst, .. } => {
+                used.contains(dst) || output_fields.contains(dst)
+            }
+        });
         if stmts.len() == before {
             return stmts;
         }

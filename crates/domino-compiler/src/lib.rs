@@ -168,6 +168,33 @@ pub fn compile_checked(
     lower(&compilation, target)
 }
 
+/// Decides whether a normalized program's state indexing is
+/// shard-partitionable — the validation behind `banzai`'s sharded switch
+/// and `domc --emit flow-key`.
+///
+/// Returns the extracted [`Partitionability`](domino_ir::Partitionability)
+/// witness (a flow key, or "stateless"), or the human-readable reason the
+/// sharded switch will fall back to a single shard: a scalar (global)
+/// register as in `rcp.domino`, arrays indexed by distinct hash fields as
+/// in `heavy_hitters.domino`, or a state-dependent index.
+///
+/// ```
+/// let flowlet = std::fs::read_to_string(
+///     concat!(env!("CARGO_MANIFEST_DIR"), "/../algorithms/src/domino/flowlet.domino"),
+/// )
+/// .unwrap();
+/// let c = domino_compiler::normalize(&flowlet).unwrap();
+/// let domino_ir::Partitionability::Keyed(spec) = domino_compiler::flow_key(&c).unwrap()
+/// else {
+///     panic!("flowlet keys its state");
+/// };
+/// assert_eq!(spec.modulus(), 8000);
+/// assert_eq!(spec.roots(), ["dport".to_string(), "sport".to_string()]);
+/// ```
+pub fn flow_key(compilation: &Compilation) -> Result<domino_ir::Partitionability, String> {
+    domino_ir::StateLayout::from_decls(&compilation.checked.state).flow_key(&compilation.tac.stmts)
+}
+
 /// Lowers an already-normalized compilation onto a target.
 pub fn lower(compilation: &Compilation, target: &Target) -> Result<AtomPipeline, Diagnostic> {
     let state_decls: Vec<StateVar> = compilation.checked.state.clone();
@@ -277,6 +304,49 @@ void flowlet(struct Packet pkt) {
         let mut m1 = Machine::new(pipeline.clone());
         let mut m2 = Machine::new(pipeline);
         assert_eq!(m1.run_trace(&trace), m2.run_trace_pipelined(&trace));
+    }
+
+    #[test]
+    fn flow_key_accepts_flowlet_and_rejects_global_registers() {
+        let c = normalize(FLOWLET).unwrap();
+        let domino_ir::Partitionability::Keyed(spec) = flow_key(&c).unwrap() else {
+            panic!("flowlet state is keyed");
+        };
+        assert_eq!(spec.key_field(), "id0");
+        assert_eq!(spec.modulus(), 8000);
+        assert_eq!(spec.roots(), ["dport".to_string(), "sport".to_string()]);
+
+        let rcp = "struct P { int size_bytes; };\nint total = 0;\n\
+                   void rcp(struct P pkt) { total = total + pkt.size_bytes; }";
+        let err = flow_key(&normalize(rcp).unwrap()).unwrap_err();
+        assert!(err.contains("scalar state `total`"), "{err}");
+    }
+
+    #[test]
+    fn flow_key_agrees_between_tac_and_compiled_pipeline() {
+        // The sharded switch re-derives the key from the pipeline's atom
+        // codelets; it must match the compiler's TAC-level answer.
+        let c = normalize(FLOWLET).unwrap();
+        let tac_spec = match flow_key(&c).unwrap() {
+            domino_ir::Partitionability::Keyed(s) => s,
+            other => panic!("unexpected {other:?}"),
+        };
+        let pipeline = lower(&c, &Target::banzai(AtomKind::Pairs)).unwrap();
+        let stmts: Vec<domino_ir::TacStmt> = pipeline
+            .stages
+            .iter()
+            .flatten()
+            .flat_map(|a| a.codelet.stmts.iter().cloned())
+            .collect();
+        let part = domino_ir::StateLayout::from_decls(&pipeline.state_decls)
+            .flow_key(&stmts)
+            .unwrap();
+        let domino_ir::Partitionability::Keyed(pipe_spec) = part else {
+            panic!("pipeline state is keyed");
+        };
+        assert_eq!(tac_spec.key_field(), pipe_spec.key_field());
+        assert_eq!(tac_spec.modulus(), pipe_spec.modulus());
+        assert_eq!(tac_spec.roots(), pipe_spec.roots());
     }
 
     #[test]

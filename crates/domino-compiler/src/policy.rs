@@ -38,6 +38,9 @@ impl Policy {
     }
 
     /// Adds a transaction that runs on every packet.
+    // Builder-style by design; the name reads as "add a transaction",
+    // not arithmetic, and takes a `CheckedProgram` rather than `Self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(mut self, program: CheckedProgram) -> Policy {
         self.entries.push(GuardedTransaction {
             guard: None,

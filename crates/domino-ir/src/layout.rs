@@ -18,11 +18,18 @@
 //! onto these layouts once, then executes packets with pure integer
 //! indexing — no per-packet string hashing or tree walks. Differential
 //! tests assert the fast path is bit-identical to the map path.
+//!
+//! The layout is also where **shard-partitionability** is decided:
+//! [`StateLayout::flow_key`] inspects how a program indexes its state and,
+//! when every access goes through one packet-derived index field, extracts
+//! a [`FlowKeySpec`] — the RSS-style steering rule under which per-shard
+//! execution is bit-identical to serial execution (see `banzai::shard`).
 
 use crate::packet::Packet;
-use crate::state::StateStore;
+use crate::state::{StateStore, StateValue};
+use crate::tac::{Operand, StateRef, TacStmt};
 use domino_ast::{StateKind, StateVar};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -309,7 +316,7 @@ impl StateLayout {
         for d in decls {
             let (len, is_array) = match d.kind {
                 StateKind::Scalar => (1, false),
-                StateKind::Array { size } => (size as u32, true),
+                StateKind::Array { size } => (size, true),
             };
             entries.push(StateSlot {
                 name: d.name.clone(),
@@ -418,6 +425,36 @@ impl FlatState {
         (index as i64).rem_euclid(len as i64) as usize
     }
 
+    /// Imports variables from a map snapshot — the inverse of
+    /// [`FlatState::export`], used to warm-start a partition from a serial
+    /// checkpoint.
+    ///
+    /// Variables of the snapshot missing from this layout, or arrays whose
+    /// sizes disagree, indicate a partitioning bug upstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a snapshot variable is unknown to the layout or has the
+    /// wrong kind/size.
+    pub fn import(&mut self, snapshot: &StateStore) {
+        for (name, value) in snapshot.iter() {
+            let (base, len, is_array) = {
+                let e = self
+                    .layout
+                    .slot(name)
+                    .unwrap_or_else(|| panic!("internal error: unknown state variable `{name}`"));
+                (e.base as usize, e.len as usize, e.is_array)
+            };
+            match value {
+                StateValue::Scalar(v) if !is_array => self.slots[base] = *v,
+                StateValue::Array(vs) if is_array && vs.len() == len => {
+                    self.slots[base..base + len].copy_from_slice(vs);
+                }
+                _ => panic!("internal error: state variable `{name}` has the wrong shape"),
+            }
+        }
+    }
+
     /// Exports the register file as a map-based [`StateStore`] for
     /// comparison against the reference path.
     pub fn export(&self) -> StateStore {
@@ -442,6 +479,305 @@ impl FlatState {
 impl fmt::Display for FlatState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.export())
+    }
+}
+
+/// How a program's state indexing partitions across parallel shards.
+///
+/// Extracted by [`StateLayout::flow_key`]. `Keyed` is the software
+/// analogue of the paper's stateful-atom locality argument: all persistent
+/// state is per-flow (indexed by one packet-derived key), so flows can be
+/// steered to independent shards with no cross-shard coordination — the
+/// same partitioning RSS NICs and multi-pipeline P4 targets rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Partitionability {
+    /// The program touches no persistent state: any flow-consistent
+    /// steering reproduces serial execution.
+    Stateless,
+    /// Every state access is an array access through one common index
+    /// field; the extracted spec steers packets so that packets that can
+    /// touch the same state slot always land on the same shard.
+    Keyed(FlowKeySpec),
+}
+
+impl fmt::Display for Partitionability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Partitionability::Stateless => {
+                writeln!(
+                    f,
+                    "stateless: no persistent state, any flow steering is sound"
+                )
+            }
+            Partitionability::Keyed(spec) => write!(f, "{spec}"),
+        }
+    }
+}
+
+/// The flow key a shard-partitionable program steers by.
+///
+/// Invariant (established by [`StateLayout::flow_key`]): two packets that
+/// can read or write a common state slot have equal keys. The key is the
+/// program's own array-index value reduced modulo the gcd of every
+/// accessed array's size — equal slots imply congruent indices, congruent
+/// indices imply equal keys — and it is computed by a *stateless*
+/// straight-line slice of the program, so a dispatcher can evaluate it
+/// before any pipeline runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowKeySpec {
+    /// Stateless slice computing `key_field` from input fields, in
+    /// program order.
+    stmts: Vec<TacStmt>,
+    /// The common index field whose value (mod `modulus`) is the key.
+    key_field: String,
+    /// gcd of the sizes of every array the program indexes.
+    modulus: u32,
+    /// Input fields the key depends on (the slice's free variables).
+    roots: Vec<String>,
+}
+
+impl FlowKeySpec {
+    /// The field whose value the key is derived from.
+    pub fn key_field(&self) -> &str {
+        &self.key_field
+    }
+
+    /// Number of key classes (gcd of all accessed array sizes).
+    pub fn modulus(&self) -> u32 {
+        self.modulus
+    }
+
+    /// The input fields the key depends on.
+    pub fn roots(&self) -> &[String] {
+        &self.roots
+    }
+
+    /// The stateless slice that computes the key field.
+    pub fn stmts(&self) -> &[TacStmt] {
+        &self.stmts
+    }
+
+    /// Evaluates the key of an input packet by running the stateless slice
+    /// and reducing the key field modulo [`FlowKeySpec::modulus`].
+    ///
+    /// Only the root fields are copied into the evaluation scratch — this
+    /// runs once per packet on the dispatcher's hot path. (The scratch is
+    /// still a fresh map packet per call; when the steering lane becomes
+    /// the critical path at high shard counts, the next step is lowering
+    /// the slice onto a slot layout like the execution engine does.)
+    pub fn key_of(&self, pkt: &Packet) -> u32 {
+        let mut scratch = Packet::new();
+        for root in &self.roots {
+            if let Some(v) = pkt.get(root) {
+                scratch.set(root, v);
+            }
+        }
+        // The slice is stateless by construction; the store is never read.
+        let mut no_state = StateStore::new();
+        for stmt in &self.stmts {
+            crate::interp::exec_tac_stmt(stmt, &mut no_state, &mut scratch);
+        }
+        (scratch.get_or_zero(&self.key_field) as i64).rem_euclid(self.modulus as i64) as u32
+    }
+
+    /// The shard an input packet steers to.
+    pub fn shard_of(&self, pkt: &Packet, shards: usize) -> usize {
+        FlowKeySpec::shard_of_class(self.key_of(pkt), shards)
+    }
+
+    /// The shard that owns a key class. Array slot `k` of any accessed
+    /// array belongs to class `k % modulus`, so this is also the state
+    /// partition: only the owning shard ever touches that slot.
+    pub fn shard_of_class(class: u32, shards: usize) -> usize {
+        if shards <= 1 {
+            return 0;
+        }
+        (mix64(class as u64) % shards as u64) as usize
+    }
+}
+
+impl fmt::Display for FlowKeySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "flow key = pkt.{} mod {}", self.key_field, self.modulus)?;
+        writeln!(f, "roots: {}", self.roots.join(", "))?;
+        if !self.stmts.is_empty() {
+            writeln!(f, "slice:")?;
+            for s in &self.stmts {
+                writeln!(f, "  {s}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 finalizer: spreads key classes uniformly over shards so
+/// steering stays balanced even when keys cluster. Deterministic across
+/// runs and platforms (steering must be reproducible).
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+impl StateLayout {
+    /// Decides whether a program's state indexing is shard-partitionable,
+    /// and extracts the [`FlowKeySpec`] witnessing it.
+    ///
+    /// `stmts` is the program's straight-line TAC in execution order (for
+    /// a compiled pipeline: every atom's codelet, stage by stage). The
+    /// rule:
+    ///
+    /// * **scalar state** is a global register every packet read-modify-
+    ///   writes — not partitionable (e.g. `rcp.domino`);
+    /// * **array state** must be indexed by *one* common packet field
+    ///   across all accesses (e.g. `flowlet.domino`'s `pkt.id`); arrays
+    ///   indexed by distinct hash fields couple packets through slot
+    ///   collisions (e.g. `heavy_hitters.domino`'s three sketch rows);
+    /// * the index field's computation must be a **stateless** slice of
+    ///   the program (a dispatcher steers *before* execution);
+    /// * the key is the index reduced modulo the **gcd of the array
+    ///   sizes**, so congruent indices — the only ones that can alias a
+    ///   slot — share a key class.
+    ///
+    /// Errors carry the human-readable reason, which `banzai`'s sharded
+    /// switch surfaces as its single-shard fallback diagnostic.
+    pub fn flow_key(&self, stmts: &[TacStmt]) -> Result<Partitionability, String> {
+        let mut index_fields: BTreeSet<&str> = BTreeSet::new();
+        let mut modulus = 0u32;
+        for stmt in stmts {
+            let sref = match stmt {
+                TacStmt::ReadState { state, .. } | TacStmt::WriteState { state, .. } => state,
+                TacStmt::Assign { .. } => continue,
+            };
+            let entry = self
+                .slot(sref.name())
+                .ok_or_else(|| format!("state variable `{}` is not declared", sref.name()))?;
+            match sref {
+                StateRef::Scalar(name) => {
+                    return Err(format!(
+                        "scalar state `{name}` is a global register (every packet \
+                         read-modify-writes it); no flow steering preserves serial \
+                         semantics"
+                    ));
+                }
+                StateRef::Array { name, index } => match index {
+                    Operand::Const(c) => {
+                        return Err(format!(
+                            "array `{name}` is indexed by the constant {c}; every \
+                             packet touches the same slot"
+                        ));
+                    }
+                    Operand::Field(f) => {
+                        index_fields.insert(f);
+                        modulus = gcd(modulus, entry.len);
+                    }
+                },
+            }
+        }
+
+        if index_fields.is_empty() {
+            return Ok(Partitionability::Stateless);
+        }
+        if index_fields.len() > 1 {
+            let fields: Vec<&str> = index_fields.into_iter().collect();
+            return Err(format!(
+                "state arrays are indexed by {} distinct fields (`{}`); packets \
+                 couple through slot collisions, so no single flow key covers them",
+                fields.len(),
+                fields.join("`, `")
+            ));
+        }
+        if modulus <= 1 {
+            return Err(
+                "the accessed arrays' sizes share no common factor; the flow key \
+                 has a single class"
+                    .to_string(),
+            );
+        }
+        let key_field = index_fields.into_iter().next().unwrap().to_string();
+
+        // The key field must be defined before any state access indexes
+        // by it: an access upstream of the assignment would index by the
+        // field's *input* value while the extracted slice computes the
+        // assigned value — two different partitions in one pipeline.
+        // (Compiler-emitted TAC is SSA, so this only bites hand-built
+        // pipelines — but those reach this API too.)
+        if let Some(def_pos) = stmts
+            .iter()
+            .position(|s| matches!(s, TacStmt::Assign { dst, .. } if *dst == key_field))
+        {
+            let early_access = stmts[..def_pos].iter().any(|s| {
+                matches!(s,
+                    TacStmt::ReadState { state, .. } | TacStmt::WriteState { state, .. }
+                        if matches!(state, StateRef::Array { index: Operand::Field(f), .. }
+                            if *f == key_field))
+            });
+            if early_access {
+                return Err(format!(
+                    "state is accessed through `{key_field}` before that field is \
+                     assigned; the flow key has no single pre-execution value"
+                ));
+            }
+        }
+
+        // Backward slice of the key field over stateless assignments.
+        let mut defs: HashMap<&str, usize> = HashMap::new();
+        for stmt in stmts {
+            match stmt {
+                TacStmt::Assign { dst, .. } | TacStmt::ReadState { dst, .. } => {
+                    *defs.entry(dst.as_str()).or_insert(0) += 1;
+                }
+                TacStmt::WriteState { .. } => {}
+            }
+        }
+        let mut need: BTreeSet<String> = BTreeSet::new();
+        need.insert(key_field.clone());
+        let mut slice: Vec<TacStmt> = Vec::new();
+        for stmt in stmts.iter().rev() {
+            match stmt {
+                TacStmt::Assign { dst, rhs } if need.contains(dst.as_str()) => {
+                    if defs.get(dst.as_str()).copied().unwrap_or(0) > 1 {
+                        return Err(format!(
+                            "field `{dst}` feeding the flow key is assigned more \
+                             than once; the key has no unique pre-execution value"
+                        ));
+                    }
+                    need.remove(dst.as_str());
+                    for op in rhs.operands() {
+                        if let Operand::Field(f) = op {
+                            need.insert(f.clone());
+                        }
+                    }
+                    slice.push(stmt.clone());
+                }
+                TacStmt::ReadState { dst, state } if need.contains(dst.as_str()) => {
+                    return Err(format!(
+                        "the flow key depends on state `{}` (via field `{dst}`); \
+                         it cannot be computed before execution",
+                        state.name()
+                    ));
+                }
+                _ => {}
+            }
+        }
+        slice.reverse();
+        let roots: Vec<String> = need.into_iter().collect();
+        Ok(Partitionability::Keyed(FlowKeySpec {
+            stmts: slice,
+            key_field,
+            modulus,
+            roots,
+        }))
     }
 }
 
@@ -562,6 +898,236 @@ mod tests {
             store.write_array("arr", idx, 10 + idx);
         }
         assert_eq!(flat.export(), store);
+    }
+
+    #[test]
+    fn flat_state_import_roundtrips_export() {
+        let decls = vec![
+            StateVar {
+                name: "c".into(),
+                kind: StateKind::Scalar,
+                init: 7,
+            },
+            StateVar {
+                name: "arr".into(),
+                kind: StateKind::Array { size: 4 },
+                init: -1,
+            },
+        ];
+        let mut a = FlatState::new(StateLayout::from_decls(&decls));
+        a.write(0, 42);
+        a.write_array(1, 4, 3, 9);
+        let mut b = FlatState::new(StateLayout::from_decls(&decls));
+        b.import(&a.export());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown state variable `ghost`")]
+    fn flat_state_import_rejects_unknown_variables() {
+        let mut flat = FlatState::new(StateLayout::from_decls(&[]));
+        let mut snap = StateStore::new();
+        snap.insert_scalar("ghost", 1);
+        flat.import(&snap);
+    }
+
+    // --- flow-key extraction -------------------------------------------
+
+    use crate::tac::{Operand, StateRef, TacRhs, TacStmt};
+
+    fn arr_decl(name: &str, size: u32) -> StateVar {
+        StateVar {
+            name: name.into(),
+            kind: StateKind::Array { size },
+            init: 0,
+        }
+    }
+
+    /// `pkt.idx = pkt.sport % 8; a[pkt.idx] read+write` — partitionable.
+    fn keyed_stmts() -> Vec<TacStmt> {
+        vec![
+            TacStmt::Assign {
+                dst: "idx".into(),
+                rhs: TacRhs::Binary(
+                    domino_ast::BinOp::Mod,
+                    Operand::Field("sport".into()),
+                    Operand::Const(8),
+                ),
+            },
+            TacStmt::ReadState {
+                dst: "old".into(),
+                state: StateRef::Array {
+                    name: "a".into(),
+                    index: Operand::Field("idx".into()),
+                },
+            },
+            TacStmt::WriteState {
+                state: StateRef::Array {
+                    name: "a".into(),
+                    index: Operand::Field("idx".into()),
+                },
+                src: Operand::Field("old".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn flow_key_extracts_single_index_field() {
+        let layout = StateLayout::from_decls(&[arr_decl("a", 8)]);
+        let part = layout.flow_key(&keyed_stmts()).unwrap();
+        let Partitionability::Keyed(spec) = part else {
+            panic!("expected Keyed, got {part:?}");
+        };
+        assert_eq!(spec.key_field(), "idx");
+        assert_eq!(spec.modulus(), 8);
+        assert_eq!(spec.roots(), ["sport".to_string()]);
+        assert_eq!(spec.stmts().len(), 1); // just the idx assignment
+                                           // Keys follow the program's own index arithmetic.
+        let k = spec.key_of(&Packet::new().with("sport", 13));
+        assert_eq!(k, 5);
+        // Equal keys steer to equal shards; classes cover all shards' ids.
+        assert_eq!(
+            spec.shard_of(&Packet::new().with("sport", 13), 4),
+            FlowKeySpec::shard_of_class(5, 4)
+        );
+        assert!(spec.to_string().contains("flow key = pkt.idx mod 8"));
+    }
+
+    #[test]
+    fn flow_key_modulus_is_gcd_of_array_sizes() {
+        let layout = StateLayout::from_decls(&[arr_decl("a", 8), arr_decl("b", 12)]);
+        let mut stmts = keyed_stmts();
+        stmts.push(TacStmt::WriteState {
+            state: StateRef::Array {
+                name: "b".into(),
+                index: Operand::Field("idx".into()),
+            },
+            src: Operand::Const(1),
+        });
+        let Partitionability::Keyed(spec) = layout.flow_key(&stmts).unwrap() else {
+            panic!("expected Keyed");
+        };
+        assert_eq!(spec.modulus(), 4); // gcd(8, 12)
+    }
+
+    #[test]
+    fn flow_key_rejects_scalars_and_multi_field_indexing() {
+        let layout = StateLayout::from_decls(&[
+            arr_decl("a", 8),
+            arr_decl("b", 8),
+            StateVar {
+                name: "s".into(),
+                kind: StateKind::Scalar,
+                init: 0,
+            },
+        ]);
+        // Scalar access: global register.
+        let err = layout
+            .flow_key(&[TacStmt::WriteState {
+                state: StateRef::Scalar("s".into()),
+                src: Operand::Const(1),
+            }])
+            .unwrap_err();
+        assert!(err.contains("scalar state `s`"), "{err}");
+        // Two arrays indexed by different fields: slot-collision coupling.
+        let mut stmts = keyed_stmts();
+        stmts.push(TacStmt::WriteState {
+            state: StateRef::Array {
+                name: "b".into(),
+                index: Operand::Field("other".into()),
+            },
+            src: Operand::Const(1),
+        });
+        let err = layout.flow_key(&stmts).unwrap_err();
+        assert!(err.contains("distinct fields"), "{err}");
+        // Constant index: one slot shared by everyone.
+        let err = layout
+            .flow_key(&[TacStmt::WriteState {
+                state: StateRef::Array {
+                    name: "a".into(),
+                    index: Operand::Const(3),
+                },
+                src: Operand::Const(1),
+            }])
+            .unwrap_err();
+        assert!(err.contains("constant 3"), "{err}");
+    }
+
+    #[test]
+    fn flow_key_rejects_state_dependent_index() {
+        let layout = StateLayout::from_decls(&[arr_decl("a", 8)]);
+        let stmts = vec![
+            TacStmt::ReadState {
+                dst: "idx".into(),
+                state: StateRef::Array {
+                    name: "a".into(),
+                    index: Operand::Field("idx".into()),
+                },
+            },
+            TacStmt::WriteState {
+                state: StateRef::Array {
+                    name: "a".into(),
+                    index: Operand::Field("idx".into()),
+                },
+                src: Operand::Const(1),
+            },
+        ];
+        let err = layout.flow_key(&stmts).unwrap_err();
+        assert!(err.contains("depends on state"), "{err}");
+    }
+
+    #[test]
+    fn flow_key_rejects_state_access_before_key_definition() {
+        // a[idx] is read while `idx` still holds its input value; the
+        // assignment below would give the slice a different key.
+        let layout = StateLayout::from_decls(&[arr_decl("a", 8)]);
+        let stmts = vec![
+            TacStmt::ReadState {
+                dst: "old".into(),
+                state: StateRef::Array {
+                    name: "a".into(),
+                    index: Operand::Field("idx".into()),
+                },
+            },
+            TacStmt::Assign {
+                dst: "idx".into(),
+                rhs: TacRhs::Binary(
+                    domino_ast::BinOp::Mod,
+                    Operand::Field("sport".into()),
+                    Operand::Const(8),
+                ),
+            },
+            TacStmt::WriteState {
+                state: StateRef::Array {
+                    name: "a".into(),
+                    index: Operand::Field("idx".into()),
+                },
+                src: Operand::Field("old".into()),
+            },
+        ];
+        let err = layout.flow_key(&stmts).unwrap_err();
+        assert!(err.contains("before that field is assigned"), "{err}");
+    }
+
+    #[test]
+    fn flow_key_stateless_when_no_state_touched() {
+        let layout = StateLayout::from_decls(&[arr_decl("a", 8)]);
+        let part = layout
+            .flow_key(&[TacStmt::Assign {
+                dst: "x".into(),
+                rhs: TacRhs::Copy(Operand::Const(1)),
+            }])
+            .unwrap();
+        assert_eq!(part, Partitionability::Stateless);
+    }
+
+    #[test]
+    fn mix64_spreads_consecutive_classes() {
+        // Consecutive keys should not all collapse onto one shard.
+        let shards: BTreeSet<usize> = (0..16u32)
+            .map(|k| FlowKeySpec::shard_of_class(k, 4))
+            .collect();
+        assert!(shards.len() > 1, "{shards:?}");
     }
 
     #[test]

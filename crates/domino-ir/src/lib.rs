@@ -25,7 +25,9 @@ pub mod tac;
 
 pub use codelet::{Codelet, PvsmPipeline};
 pub use interp::{run_ast, run_tac, step_ast, step_tac};
-pub use layout::{FieldId, FieldTable, FlatPacket, FlatState, StateLayout};
+pub use layout::{
+    FieldId, FieldTable, FlatPacket, FlatState, FlowKeySpec, Partitionability, StateLayout,
+};
 pub use packet::Packet;
 pub use state::{StateStore, StateValue};
 pub use tac::{Operand, StateRef, TacProgram, TacRhs, TacStmt};

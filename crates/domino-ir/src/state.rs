@@ -114,6 +114,28 @@ impl StateStore {
         (index as i64).rem_euclid(len as i64) as usize
     }
 
+    /// Overwrites variables from a snapshot — the import half of the
+    /// state export/import hook (see `FlatState::import` for the
+    /// flat-layout twin). Every snapshot variable must already exist here
+    /// with the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a snapshot variable is unknown or has the wrong
+    /// kind/size — both indicate a partitioning bug upstream.
+    pub fn import(&mut self, snapshot: &StateStore) {
+        for (name, value) in snapshot.iter() {
+            match (self.vars.get_mut(name), value) {
+                (Some(StateValue::Scalar(dst)), StateValue::Scalar(v)) => *dst = *v,
+                (Some(StateValue::Array(dst)), StateValue::Array(vs)) if dst.len() == vs.len() => {
+                    dst.copy_from_slice(vs);
+                }
+                (None, _) => panic!("internal error: unknown state variable `{name}`"),
+                _ => panic!("internal error: state variable `{name}` has the wrong shape"),
+            }
+        }
+    }
+
     /// Direct access to a variable's value (for inspection in tests and
     /// example binaries).
     pub fn get(&self, name: &str) -> Option<&StateValue> {
@@ -202,6 +224,25 @@ mod tests {
         assert_eq!(s.read_array("arr", 2), 5);
         s.write_array("arr", -1, 8); // -1 rem_euclid 4 == 3
         assert_eq!(s.read_array("arr", 3), 8);
+    }
+
+    #[test]
+    fn import_overwrites_matching_variables() {
+        let mut a = StateStore::from_decls(&decls());
+        a.write_scalar("c", 42);
+        a.write_array("arr", 1, 9);
+        let mut b = StateStore::from_decls(&decls());
+        b.import(&a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown state variable `ghost`")]
+    fn import_rejects_unknown_variables() {
+        let mut b = StateStore::from_decls(&decls());
+        let mut snap = StateStore::new();
+        snap.insert_scalar("ghost", 1);
+        b.import(&snap);
     }
 
     #[test]

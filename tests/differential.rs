@@ -17,7 +17,7 @@ use banzai::{Machine, SlotMachine, Target};
 use domino_ir::{run_ast, StateStore, StateValue};
 
 const TRACE_LEN: usize = 800;
-const SEED: u64 = 0xD0771_2016;
+const SEED: u64 = 0x000D_0771_2016;
 
 /// Compiles an algorithm on the least-expressive target the paper says it
 /// needs and returns a machine.

@@ -342,6 +342,72 @@ proptest! {
         );
     }
 
+    /// Flow-steered sharding is invisible: for any generated transaction
+    /// and any shard count, each shard's output subsequence equals the
+    /// single-threaded slot engine's outputs at the positions steered to
+    /// that shard, and the merged exported state is identical.
+    /// Partitionable programs (array-only state, one index field) really
+    /// fan out; programs with scalar state exercise the single-shard
+    /// fallback — the equality must hold either way.
+    #[test]
+    fn sharded_equals_single_threaded_slot_engine(
+        stmts in program_strategy(),
+        rows in trace_strategy(),
+        shards in 1usize..=8,
+    ) {
+        let src = render(&stmts);
+        let checked = domino_ast::parse_and_check(&src)
+            .unwrap_or_else(|e| panic!("generated program must check: {e}\n{src}"));
+        let target = Target::banzai(AtomKind::Pairs);
+        let Ok(pipeline) = domino_compiler::compile(&src, &target) else {
+            return Ok(());
+        };
+
+        let temps = stmts.iter().filter(|s| matches!(s, GenStmt::Field(_))).count();
+        let trace = to_packets(&rows, temps);
+
+        let mut slot = SlotMachine::compile(&pipeline)
+            .unwrap_or_else(|e| panic!("slot lowering failed: {e}\n{src}"));
+        let serial = slot.run_trace(&trace);
+
+        let egress = banzai::AtomPipeline::passthrough("egress");
+        let mut sharded = banzai::ShardedSwitch::new_slot(
+            &pipeline,
+            &egress,
+            banzai::ShardConfig::new(shards),
+        )
+        .unwrap_or_else(|e| panic!("sharded build failed: {e}\n{src}"));
+        let parts = sharded.run_trace_partitioned(&trace);
+
+        // Per-shard outputs == serial outputs at the steered positions
+        // (projected onto declared fields: the switch adds queue
+        // metadata the bare engine does not stamp).
+        let fields = checked.packet_fields.clone();
+        let assignment: Vec<usize> = trace.iter().map(|p| sharded.plan().steer(p)).collect();
+        for (s, part) in parts.iter().enumerate() {
+            let mut cursor = 0usize;
+            for (i, &shard) in assignment.iter().enumerate() {
+                if shard != s {
+                    continue;
+                }
+                prop_assert_eq!(
+                    part[cursor].project(&fields),
+                    serial[i].project(&fields),
+                    "shard {}/{} diverged at input {} for program:\n{}",
+                    s, shards, i, src
+                );
+                cursor += 1;
+            }
+            prop_assert_eq!(part.len(), cursor, "shard {} length:\n{}", s, src);
+        }
+        prop_assert_eq!(
+            sharded.export_merged_ingress_state().unwrap(),
+            slot.export_state(),
+            "merged state diverged ({} shards, fallback: {:?}):\n{}",
+            shards, sharded.plan().fallback(), src
+        );
+    }
+
     /// Compilation is deterministic and the atom-kind ladder is monotone:
     /// a program accepted at kind K is accepted at every kind above K.
     #[test]
