@@ -28,7 +28,12 @@
 //! * [`shard`] — the multi-core scale-out: [`shard::ShardedSwitch`] steers
 //!   flows to N independent per-shard switches (RSS-style, keyed by the
 //!   program's own state indexing) and merges packets and state back
-//!   deterministically, bit-identical to serial execution.
+//!   deterministically, bit-identical to serial execution,
+//! * [`wire`] — the byte-level front-end: an Ethernet → VLAN → IPv4 →
+//!   TCP/UDP parse graph decoding raw frames into packet fields (typed
+//!   [`wire::ParseVerdict`]s on malformed input, never a panic) and a
+//!   patch-list deparser re-serializing modified headers, so the full
+//!   path is bytes → parse → pipeline → deparse → bytes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,11 +45,16 @@ pub mod shard;
 pub mod slot;
 pub mod switch;
 pub mod target;
+pub mod wire;
 
 pub use atom::{Guard, GuardOperand, RelOp, StatefulConfig, Tree, Update};
 pub use kind::{AtomKind, StatefulCaps};
 pub use machine::{AtomPipeline, AtomRole, CompiledAtom, Machine};
 pub use shard::{ShardConfig, ShardPlan, ShardRun, ShardTimings, ShardedSwitch, SteerMode};
 pub use slot::{SlotMachine, SlotPipeline};
-pub use switch::{PipelineEngine, Switch};
+pub use switch::{DropCounters, DropReason, PipelineEngine, Switch};
 pub use target::Target;
+pub use wire::{
+    deparse, encode, parse, BoundParser, FlatWireLayout, FrameSpec, ParseVerdict, WireConfig,
+    WireLayout, WirePacket,
+};

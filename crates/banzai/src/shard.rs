@@ -510,6 +510,16 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         self.shards.iter().map(|s| s.drops()).sum()
     }
 
+    /// Per-reason drop counters merged across all shards (see
+    /// [`crate::switch::DropCounters`]).
+    pub fn drop_counters(&self) -> crate::switch::DropCounters {
+        let mut merged = crate::switch::DropCounters::new();
+        for s in &self.shards {
+            merged.merge(s.drop_counters());
+        }
+        merged
+    }
+
     /// Packets transmitted across all shards.
     pub fn transmitted(&self) -> u64 {
         self.shards.iter().map(|s| s.transmitted()).sum()

@@ -17,8 +17,10 @@
 
 use crate::machine::{AtomPipeline, Machine};
 use crate::slot::SlotMachine;
+use crate::wire::{self, ParseVerdict, WireConfig, WireLayout};
 use domino_ir::{Packet, StateStore};
 use std::collections::VecDeque;
+use std::fmt;
 
 /// An execution engine a [`Switch`] can drive a pipeline with.
 ///
@@ -81,6 +83,115 @@ impl PipelineEngine for SlotMachine {
     }
 }
 
+/// Why a switch dropped a packet — the observability split between
+/// congestion losses and malformed traffic.
+///
+/// A real switch's counters distinguish tail drops from parser discards;
+/// conflating them (as a single `drops` total once did) makes a burst of
+/// garbage frames indistinguishable from congestion. Every drop anywhere
+/// in the switch is exactly one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The packet parsed (or arrived parsed) but the FIFO was at
+    /// capacity — a congestion loss.
+    QueueFull,
+    /// The frame failed the wire parse graph with this verdict — a
+    /// malformed-traffic discard, before ingress ever ran.
+    Parse(ParseVerdict),
+}
+
+impl DropReason {
+    /// Number of distinct reasons (queue-full plus one per parse verdict).
+    pub const COUNT: usize = 1 + ParseVerdict::COUNT;
+
+    /// Dense index of this reason (0 is queue-full; parse verdicts follow
+    /// in [`ParseVerdict::ALL`] order).
+    pub fn index(self) -> usize {
+        match self {
+            DropReason::QueueFull => 0,
+            DropReason::Parse(v) => 1 + v.index(),
+        }
+    }
+
+    /// Every reason, in dense-index order.
+    pub fn all() -> impl Iterator<Item = DropReason> {
+        std::iter::once(DropReason::QueueFull)
+            .chain(ParseVerdict::ALL.into_iter().map(DropReason::Parse))
+    }
+
+    /// Stable snake_case label (counter name in logs and bench JSON).
+    pub fn label(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue_full",
+            DropReason::Parse(v) => v.label(),
+        }
+    }
+}
+
+impl fmt::Display for DropReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-reason drop counters: one saturating-free `u64` per
+/// [`DropReason`], cheap enough to bump on the per-packet path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DropCounters {
+    counts: [u64; DropReason::COUNT],
+}
+
+impl Default for DropCounters {
+    fn default() -> Self {
+        DropCounters {
+            counts: [0; DropReason::COUNT],
+        }
+    }
+}
+
+impl DropCounters {
+    /// All-zero counters.
+    pub fn new() -> DropCounters {
+        DropCounters::default()
+    }
+
+    fn bump(&mut self, reason: DropReason) {
+        self.counts[reason.index()] += 1;
+    }
+
+    /// Drops recorded for one reason.
+    pub fn get(&self, reason: DropReason) -> u64 {
+        self.counts[reason.index()]
+    }
+
+    /// Total drops across every reason (what `Switch::drops` reports).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Congestion losses (the queue-full reason alone).
+    pub fn queue_full(&self) -> u64 {
+        self.counts[DropReason::QueueFull.index()]
+    }
+
+    /// Malformed-traffic discards (every parse verdict summed).
+    pub fn parse_total(&self) -> u64 {
+        self.total() - self.queue_full()
+    }
+
+    /// Adds another set of counters into this one (shard merging).
+    pub fn merge(&mut self, other: &DropCounters) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Iterates `(reason, count)` in dense-index order.
+    pub fn iter(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
+        DropReason::all().map(|r| (r, self.counts[r.index()]))
+    }
+}
+
 /// The metadata fields the queue stamps on every packet handed to the
 /// egress pipeline, under their default names: enqueue timestamp, dequeue
 /// time, and queue depth. [`Switch::with_metadata_fields`] can rename the
@@ -94,14 +205,17 @@ pub const QUEUE_METADATA_FIELDS: [&str; 3] = ["enq_ts", "now", "qdepth"];
 pub struct Switch<E: PipelineEngine = Machine> {
     ingress: E,
     egress: E,
-    queue: VecDeque<(i64, Packet)>,
+    /// `(enqueue_cycle, packet, wire layout)` — the layout rides the
+    /// queue only for byte-born packets ([`Switch::run_wire_trace`]) so
+    /// egress can deparse them; map-born packets carry `None`.
+    queue: VecDeque<(i64, Packet, Option<WireLayout>)>,
     capacity: usize,
     /// Cycles taken to transmit one packet from the queue (≥1): values
     /// above 1 create standing queues under load, which is what egress
     /// AQM algorithms exist to observe.
     drain_period: u64,
     now: i64,
-    drops: u64,
+    drops: DropCounters,
     transmitted: u64,
     /// Metadata field names written for egress programs.
     enqueue_ts_field: String,
@@ -153,7 +267,7 @@ impl<E: PipelineEngine> Switch<E> {
             capacity,
             drain_period: 1,
             now: 0,
-            drops: 0,
+            drops: DropCounters::new(),
             transmitted: 0,
             enqueue_ts_field: QUEUE_METADATA_FIELDS[0].to_string(),
             depth_field: QUEUE_METADATA_FIELDS[2].to_string(),
@@ -174,7 +288,8 @@ impl<E: PipelineEngine> Switch<E> {
         self
     }
 
-    /// Number of packets dropped at the (full) queue so far.
+    /// Total packets dropped so far, for any reason (the sum over
+    /// [`Switch::drop_counters`]).
     ///
     /// ```
     /// use banzai::{AtomPipeline, Switch};
@@ -195,7 +310,40 @@ impl<E: PipelineEngine> Switch<E> {
     /// assert_eq!(sw.transmitted() + sw.drops(), 10);
     /// ```
     pub fn drops(&self) -> u64 {
-        self.drops
+        self.drops.total()
+    }
+
+    /// The per-reason drop counters: congestion (queue-full) losses split
+    /// from every malformed-traffic parse verdict.
+    ///
+    /// ```
+    /// use banzai::wire::{encode, FrameSpec, ParseVerdict, WireConfig};
+    /// use banzai::{AtomPipeline, DropReason, Switch};
+    /// use domino_ir::Packet;
+    ///
+    /// let mut sw = Switch::new(
+    ///     AtomPipeline::passthrough("in"),
+    ///     AtomPipeline::passthrough("out"),
+    ///     64,
+    /// );
+    /// let cfg = WireConfig::new();
+    /// let good = encode(&Packet::new(), &cfg, &FrameSpec::default());
+    /// let runt = good[..9].to_vec(); // cut inside the Ethernet header
+    /// let out = sw.run_wire_trace(&[good, runt], &cfg);
+    ///
+    /// // One frame made it through; the runt was counted by reason.
+    /// assert_eq!(out.len(), 1);
+    /// let counters = sw.drop_counters();
+    /// assert_eq!(
+    ///     counters.get(DropReason::Parse(ParseVerdict::TruncatedEthernet)),
+    ///     1,
+    /// );
+    /// assert_eq!(counters.parse_total(), 1);
+    /// assert_eq!(counters.queue_full(), 0); // not a congestion loss
+    /// assert_eq!(sw.drops(), 1);            // total still sees it
+    /// ```
+    pub fn drop_counters(&self) -> &DropCounters {
+        &self.drops
     }
 
     /// Number of packets transmitted (fully processed by egress) so far.
@@ -303,11 +451,11 @@ impl<E: PipelineEngine> Switch<E> {
             last_t = Some(*t);
             let processed = self.ingress.process(pkt.borrow().clone());
             if self.queue.len() >= self.capacity {
-                self.drops += 1;
+                self.drops.bump(DropReason::QueueFull);
                 continue;
             }
-            self.queue.push_back((*t, processed));
-            let (enq_ts, mut p) = self.queue.pop_front().expect("just pushed");
+            self.queue.push_back((*t, processed, None));
+            let (enq_ts, mut p, _) = self.queue.pop_front().expect("just pushed");
             p.set(&self.enqueue_ts_field, enq_ts as i32);
             p.set("now", (*t + 1) as i32);
             p.set(&self.depth_field, self.queue.len() as i32);
@@ -333,7 +481,7 @@ impl<E: PipelineEngine> Switch<E> {
         loop {
             // Dequeue + egress on drain cycles.
             if (self.now as u64).is_multiple_of(self.drain_period) {
-                if let Some((enq_ts, mut pkt)) = self.queue.pop_front() {
+                if let Some((enq_ts, mut pkt, _)) = self.queue.pop_front() {
                     pkt.set(&self.enqueue_ts_field, enq_ts as i32);
                     pkt.set("now", self.now as i32);
                     pkt.set(&self.depth_field, self.queue.len() as i32);
@@ -346,11 +494,66 @@ impl<E: PipelineEngine> Switch<E> {
                 Some(p) => {
                     let processed = self.ingress.process(p.clone());
                     if self.queue.len() >= self.capacity {
-                        self.drops += 1;
+                        self.drops.bump(DropReason::QueueFull);
                     } else {
-                        self.queue.push_back((self.now, processed));
+                        self.queue.push_back((self.now, processed, None));
                     }
                 }
+                None => {
+                    if self.queue.is_empty() {
+                        break;
+                    }
+                }
+            }
+            self.now += 1;
+        }
+        out
+    }
+
+    /// Runs a trace of **raw byte frames** through the whole switch:
+    /// parse → ingress → queue → egress → deparse, returning the
+    /// transmitted frames as bytes.
+    ///
+    /// This is [`Switch::run_trace`] with the wire front-end
+    /// ([`crate::wire`]) bolted onto both ends. Each arrival cycle admits
+    /// one frame; a frame that fails to parse is dropped on its arrival
+    /// cycle under the matching [`DropReason::Parse`] counter (malformed
+    /// traffic still consumes arrival slots, as on a real wire — it just
+    /// never reaches ingress). Accepted frames carry their
+    /// [`WireLayout`] through the queue, so egress re-serializes every
+    /// pipeline-modified field back into its wire position and all
+    /// unparsed bytes (options, payloads) survive verbatim.
+    pub fn run_wire_trace<F: AsRef<[u8]>>(
+        &mut self,
+        frames: &[F],
+        cfg: &WireConfig,
+    ) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut inputs = frames.iter();
+        loop {
+            if (self.now as u64).is_multiple_of(self.drain_period) {
+                if let Some((enq_ts, mut pkt, layout)) = self.queue.pop_front() {
+                    pkt.set(&self.enqueue_ts_field, enq_ts as i32);
+                    pkt.set("now", self.now as i32);
+                    pkt.set(&self.depth_field, self.queue.len() as i32);
+                    let egressed = self.egress.process(pkt);
+                    let layout = layout.expect("wire-admitted packets carry their layout");
+                    out.push(wire::deparse(&egressed, &layout));
+                    self.transmitted += 1;
+                }
+            }
+            match inputs.next() {
+                Some(frame) => match wire::parse(frame.as_ref(), cfg) {
+                    Ok(wp) => {
+                        let processed = self.ingress.process(wp.pkt);
+                        if self.queue.len() >= self.capacity {
+                            self.drops.bump(DropReason::QueueFull);
+                        } else {
+                            self.queue.push_back((self.now, processed, Some(wp.layout)));
+                        }
+                    }
+                    Err(verdict) => self.drops.bump(DropReason::Parse(verdict)),
+                },
                 None => {
                     if self.queue.is_empty() {
                         break;
@@ -472,6 +675,86 @@ mod tests {
         a.import_egress_state(&snap_eg);
         assert_eq!(a.export_ingress_state(), snap_in);
         assert_eq!(a.export_egress_state(), snap_eg);
+    }
+
+    #[test]
+    fn wire_trace_roundtrips_frames_through_the_switch() {
+        use crate::wire::{encode, parse, FrameSpec, WireConfig};
+
+        let cfg = WireConfig::new();
+        let frames: Vec<Vec<u8>> = (0..10)
+            .map(|i| {
+                let spec = FrameSpec {
+                    sport: 1000 + i,
+                    ..FrameSpec::default()
+                };
+                encode(&Packet::new(), &cfg, &spec)
+            })
+            .collect();
+        let mut sw = Switch::new(passthrough("in"), passthrough("out"), 64);
+        let out = sw.run_wire_trace(&frames, &cfg);
+        assert_eq!(out.len(), 10);
+        assert_eq!(sw.transmitted(), 10);
+        assert_eq!(sw.drops(), 0);
+        // Passthrough pipelines leave every header byte intact, but the
+        // queue metadata is not a wire field, so frames come back
+        // byte-identical in order.
+        for (i, (frame, orig)) in out.iter().zip(&frames).enumerate() {
+            assert_eq!(frame, orig, "frame {i}");
+            assert_eq!(
+                parse(frame, &cfg).unwrap().pkt.get("sport"),
+                Some(1000 + i as i32)
+            );
+        }
+    }
+
+    #[test]
+    fn wire_trace_splits_congestion_from_parse_drops() {
+        use crate::wire::{encode, FrameSpec, ParseVerdict, WireConfig};
+
+        let cfg = WireConfig::new();
+        let good = encode(&Packet::new(), &cfg, &FrameSpec::default());
+        let mut frames: Vec<Vec<u8>> = vec![good.clone(); 20];
+        frames.push(good[..13].to_vec()); // runt Ethernet
+        frames.push(good[..20].to_vec()); // cut inside IPv4
+                                          // Capacity 2, slow link: some good frames tail-drop too.
+        let mut sw = Switch::new(passthrough("in"), passthrough("out"), 2).with_drain_period(4);
+        let out = sw.run_wire_trace(&frames, &cfg);
+        let c = sw.drop_counters();
+        assert_eq!(c.get(DropReason::Parse(ParseVerdict::TruncatedEthernet)), 1);
+        assert_eq!(c.get(DropReason::Parse(ParseVerdict::TruncatedIpv4)), 1);
+        assert_eq!(c.parse_total(), 2);
+        assert!(c.queue_full() > 0, "expected congestion drops");
+        assert_eq!(c.total(), sw.drops());
+        assert_eq!(out.len() as u64 + c.total(), frames.len() as u64);
+    }
+
+    #[test]
+    fn drop_reason_indices_are_dense() {
+        let all: Vec<DropReason> = DropReason::all().collect();
+        assert_eq!(all.len(), DropReason::COUNT);
+        for (i, r) in all.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(DropReason::QueueFull.to_string(), "queue_full");
+    }
+
+    #[test]
+    fn drop_counters_merge_is_elementwise() {
+        use crate::wire::ParseVerdict;
+
+        let mut a = DropCounters::new();
+        a.bump(DropReason::QueueFull);
+        a.bump(DropReason::Parse(ParseVerdict::BadIhl));
+        let mut b = DropCounters::new();
+        b.bump(DropReason::QueueFull);
+        b.bump(DropReason::Parse(ParseVerdict::TruncatedTcp));
+        a.merge(&b);
+        assert_eq!(a.queue_full(), 2);
+        assert_eq!(a.get(DropReason::Parse(ParseVerdict::BadIhl)), 1);
+        assert_eq!(a.get(DropReason::Parse(ParseVerdict::TruncatedTcp)), 1);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.iter().map(|(_, n)| n).sum::<u64>(), 4);
     }
 
     #[test]

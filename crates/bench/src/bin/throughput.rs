@@ -6,11 +6,15 @@
 //! (the CI perf-regression check).
 //!
 //! ```text
-//! throughput [--smoke] [--packets <n>] [--out <path>] [--shards <csv>]
+//! throughput [--smoke] [--wire] [--packets <n>] [--out <path>] [--shards <csv>]
 //!            [--check <baseline.json>] [--tolerance <f>]
 //!
 //!   --smoke            small traces (CI: exercises both engines, the
 //!                      sharded switch, and the JSON emission quickly)
+//!   --wire             add the E11 byte-level roundtrip workloads
+//!                      (parse → pipeline → deparse on both engines) and
+//!                      the malformed-traffic parser-stress differential;
+//!                      wire rows land in the JSON and are gated by --check
 //!   --packets <n>      packets for the headline flowlet trace (default 1000000)
 //!   --out <path>       where to write the JSON (default BENCH_throughput.json)
 //!   --shards <csv>     shard counts for the E10 sweep (default 1,2,4,8)
@@ -22,7 +26,7 @@
 
 use bench::throughput::{
     check_regressions, machine_workload, parse_baseline, render_json, scaling_speedup, shard_sweep,
-    switch_workload, Measurement, ShardMeasurement,
+    switch_workload, wire_stress, wire_workload, Measurement, ShardMeasurement,
 };
 use std::process::ExitCode;
 
@@ -40,6 +44,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let mut smoke = false;
+    let mut with_wire = false;
     let mut flowlet_n: Option<usize> = None;
     let mut out_path = "BENCH_throughput.json".to_string();
     let mut shard_counts: Vec<usize> = vec![1, 2, 4, 8];
@@ -50,6 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
     while i < args.len() {
         match args[i].as_str() {
             "--smoke" => smoke = true,
+            "--wire" => with_wire = true,
             "--packets" => {
                 i += 1;
                 let v = args.get(i).ok_or("--packets needs a value")?;
@@ -81,7 +87,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "throughput [--smoke] [--packets <n>] [--out <path>] \
+                    "throughput [--smoke] [--wire] [--packets <n>] [--out <path>] \
                      [--shards <csv>] [--check <baseline.json>] [--tolerance <f>]"
                 );
                 return Ok(());
@@ -99,12 +105,20 @@ fn run(args: &[String]) -> Result<(), String> {
     let flowlet = flowlet_n.unwrap_or(flowlet);
 
     println!("E9 — execution-engine throughput (every row is a verified differential run)\n");
-    let measurements = vec![
+    let mut measurements = vec![
         machine_workload("flowlet", flowlet, SEED),
         machine_workload("heavy_hitters", hh, SEED),
         machine_workload("codel_lut", codel, SEED),
         switch_workload(switch, SEED),
     ];
+
+    if with_wire {
+        // E11 — same traces, born as bytes: the timed region includes
+        // parse and deparse on both engines (see bench::throughput).
+        measurements.push(wire_workload("flowlet", flowlet.min(200_000), SEED));
+        measurements.push(wire_workload("heavy_hitters", hh, SEED));
+        measurements.push(wire_workload("codel_lut", codel, SEED));
+    }
 
     let rows: Vec<Vec<String>> = measurements
         .iter()
@@ -133,6 +147,26 @@ fn run(args: &[String]) -> Result<(), String> {
             &rows
         )
     );
+
+    if with_wire {
+        let stress_n = if smoke { 5_000 } else { 100_000 };
+        let r = wire_stress(stress_n, SEED, 0.15);
+        println!(
+            "parser stress — {} frames at 15% malformation through the wire switch \
+             (map and slot engines byte-identical, counters oracle-checked):",
+            r.frames
+        );
+        println!(
+            "  transmitted {}  queue_full {}  parse drops: {}\n",
+            r.transmitted,
+            r.queue_full,
+            r.parse_drops
+                .iter()
+                .map(|(label, c)| format!("{label}={c}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
 
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())

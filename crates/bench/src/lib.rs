@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod throughput;
+pub mod wiregen;
 
 use banzai::{AtomKind, Target};
 

@@ -13,7 +13,11 @@
 //!   indexing);
 //! * **the Figure-1 switch workload** — flowlet at ingress, CoDel (LUT) at
 //!   egress, a real queue in between, driven once per engine through
-//!   [`Switch::run_trace`] (map-packet edges included on both sides).
+//!   [`Switch::run_trace`] (map-packet edges included on both sides);
+//! * **wire roundtrip workloads (E11)** — the same traces born as raw
+//!   byte frames (`bench::wiregen`) through the full
+//!   parse → pipeline → deparse path ([`wire_workload`]), plus the
+//!   malformed-traffic parser-stress differential ([`wire_stress`]).
 //!
 //! Every run *is* a differential test: divergence panics, so any recorded
 //! [`Measurement`] is also a correctness witness.
@@ -35,7 +39,9 @@
 //!   when a workload regresses below tolerance. Speedups (not absolute
 //!   pps) are compared, so the gate is robust to runner hardware.
 
-use banzai::{Machine, ShardConfig, ShardedSwitch, SlotMachine, Switch, Target};
+use crate::wiregen::{self, GenOptions};
+use banzai::wire::{self, BoundParser};
+use banzai::{DropReason, Machine, ShardConfig, ShardedSwitch, SlotMachine, Switch, Target};
 use domino_ir::Packet;
 use std::time::Instant;
 
@@ -179,6 +185,158 @@ pub fn switch_workload(n: usize, seed: u64) -> Measurement {
         packets: n,
         map_ns,
         slot_ns,
+    }
+}
+
+/// E11 — the byte-level roundtrip workload: the same seeded trace as the
+/// E9 machine workload, but **born as wire frames** (`bench::wiregen`)
+/// and driven through the full parse → pipeline → deparse path on both
+/// engines:
+///
+/// * the reference path parses each frame with the map-level
+///   [`wire::parse`], processes the map packet, and deparses it;
+/// * the fast path binds a [`BoundParser`] to the slot pipeline's field
+///   table and runs [`BoundParser::parse_flat`] →
+///   [`SlotMachine::process_flat`] → [`BoundParser::deparse_flat`].
+///
+/// Unlike [`machine_workload`] (where parsing is deliberately hoisted out
+/// of the timed region), the timed region here **includes** the parser
+/// and deparser on both sides — that's the number E11 exists to record:
+/// what the byte front-end costs around each engine.
+///
+/// # Panics
+///
+/// Panics if the two paths disagree on any output **byte** or on final
+/// state — stricter than field equality, since deparsing also covers
+/// patch placement and untouched-byte preservation.
+pub fn wire_workload(name: &str, n: usize, seed: u64) -> Measurement {
+    let pipeline = compile_least(name);
+    let algo = algorithms::by_name(name).unwrap();
+    let wt = wiregen::wire_trace(&algo.trace(n, seed), seed, &GenOptions::default());
+
+    let mut map_machine = Machine::new(pipeline.clone());
+    let t = Instant::now();
+    let map_out: Vec<Vec<u8>> = wt
+        .frames
+        .iter()
+        .map(|frame| {
+            let wp = wire::parse(frame, &wt.cfg).expect("wiregen default frames are well-formed");
+            let processed = map_machine.process(wp.pkt);
+            wire::deparse(&processed, &wp.layout)
+        })
+        .collect();
+    let map_ns = t.elapsed().as_nanos();
+
+    let mut slot_machine =
+        SlotMachine::compile(&pipeline).expect("compiled pipelines are slot-executable");
+    let parser = BoundParser::bind(wt.cfg.clone(), slot_machine.field_table().clone());
+    let t = Instant::now();
+    let slot_out: Vec<Vec<u8>> = wt
+        .frames
+        .iter()
+        .map(|frame| {
+            let (mut flat, layout) = parser
+                .parse_flat(frame)
+                .expect("same frames, same verdicts");
+            slot_machine.process_flat(&mut flat);
+            parser.deparse_flat(&flat, &layout)
+        })
+        .collect();
+    let slot_ns = t.elapsed().as_nanos();
+
+    assert_eq!(
+        *map_machine.state(),
+        slot_machine.export_state(),
+        "wire_{name}: engines diverged on final state"
+    );
+    for (i, (m, s)) in map_out.iter().zip(&slot_out).enumerate() {
+        assert_eq!(m, s, "wire_{name}: deparsed frames diverged at packet {i}");
+    }
+
+    Measurement {
+        name: format!("wire_{name}"),
+        packets: n,
+        map_ns,
+        slot_ns,
+    }
+}
+
+/// The parser-stress differential: a malformed-heavy wire trace through
+/// the whole Figure-1 switch ([`Switch::run_wire_trace`]) on both
+/// engines, with the per-reason drop counters checked three ways.
+#[derive(Debug, Clone)]
+pub struct StressReport {
+    /// Frames offered to the switch.
+    pub frames: usize,
+    /// Frames transmitted (accepted, survived the queue, deparsed).
+    pub transmitted: u64,
+    /// Congestion (queue-full) drops.
+    pub queue_full: u64,
+    /// `(verdict label, count)` for every nonzero parse-drop reason.
+    pub parse_drops: Vec<(&'static str, u64)>,
+}
+
+/// Runs the parser-stress scenario: flowlet ingress, pass-through egress,
+/// an oversubscribed link, and a wire trace where `malform_rate` of the
+/// frames are corrupted. Asserts the map-engine and slot-engine switches
+/// agree on every transmitted **byte**, on every per-reason drop counter,
+/// and that the parse counters equal the [`wiregen::expected_verdicts`]
+/// oracle computed from the frames alone.
+///
+/// # Panics
+///
+/// Panics on any divergence.
+pub fn wire_stress(n: usize, seed: u64, malform_rate: f64) -> StressReport {
+    let ingress = compile_least("flowlet");
+    let egress = banzai::AtomPipeline::passthrough("egress");
+    let opts = GenOptions {
+        malform_rate,
+        ..GenOptions::default()
+    };
+    let wt = wiregen::wire_trace_for("flowlet", n, seed, &opts);
+    let (expected_accepted, expected_counts) = wiregen::expected_verdicts(&wt.frames, &wt.cfg);
+
+    let mut map_switch = Switch::new(ingress.clone(), egress.clone(), 256).with_drain_period(2);
+    let map_out = map_switch.run_wire_trace(&wt.frames, &wt.cfg);
+    let mut slot_switch = Switch::new_slot(&ingress, &egress, 256)
+        .expect("compiled pipelines are slot-executable")
+        .with_drain_period(2);
+    let slot_out = slot_switch.run_wire_trace(&wt.frames, &wt.cfg);
+
+    assert_eq!(map_out, slot_out, "stress: transmitted bytes diverged");
+    assert_eq!(
+        map_switch.drop_counters(),
+        slot_switch.drop_counters(),
+        "stress: drop counters diverged"
+    );
+    let counters = map_switch.drop_counters();
+    assert_eq!(
+        counters.parse_total(),
+        expected_counts.iter().sum::<u64>(),
+        "stress: parse drops disagree with the frame oracle"
+    );
+    for v in banzai::wire::ParseVerdict::ALL {
+        assert_eq!(
+            counters.get(DropReason::Parse(v)),
+            expected_counts[v.index()],
+            "stress: counter for `{v}` disagrees with the frame oracle"
+        );
+    }
+    assert_eq!(
+        map_switch.transmitted() + counters.queue_full(),
+        expected_accepted,
+        "stress: accepted frames must be transmitted or tail-dropped"
+    );
+
+    StressReport {
+        frames: wt.frames.len(),
+        transmitted: map_switch.transmitted(),
+        queue_full: counters.queue_full(),
+        parse_drops: counters
+            .iter()
+            .filter(|&(r, c)| c > 0 && r != DropReason::QueueFull)
+            .map(|(r, c)| (r.label(), c))
+            .collect(),
     }
 }
 
@@ -528,6 +686,23 @@ mod tests {
         let m = switch_workload(1_500, 0xF00D);
         assert_eq!(m.name, "figure1_switch");
         assert!(m.map_ns > 0 && m.slot_ns > 0);
+    }
+
+    #[test]
+    fn wire_workload_verifies_and_measures() {
+        let m = wire_workload("flowlet", 1_500, 0xBEEF);
+        assert_eq!(m.name, "wire_flowlet");
+        assert_eq!(m.packets, 1_500);
+        assert!(m.map_ns > 0 && m.slot_ns > 0);
+    }
+
+    #[test]
+    fn wire_stress_accounts_for_every_frame() {
+        let r = wire_stress(2_000, 0xF00D, 0.2);
+        assert_eq!(r.frames, 2_000);
+        let parse_drops: u64 = r.parse_drops.iter().map(|&(_, c)| c).sum();
+        assert!(parse_drops > 0, "expected malformed frames to be dropped");
+        assert_eq!(r.transmitted + r.queue_full + parse_drops, 2_000);
     }
 
     #[test]

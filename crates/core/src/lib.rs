@@ -55,8 +55,12 @@ use domino_ast::Diagnostic;
 
 /// Commonly used types, for `use domino::prelude::*`.
 pub mod prelude {
+    pub use banzai::wire::{
+        deparse, encode, parse, BoundParser, FrameSpec, ParseVerdict, WireConfig, WirePacket,
+    };
     pub use banzai::{
-        AtomKind, Machine, ShardConfig, ShardedSwitch, SlotMachine, SteerMode, Switch, Target,
+        AtomKind, DropCounters, DropReason, Machine, ShardConfig, ShardedSwitch, SlotMachine,
+        SteerMode, Switch, Target,
     };
     pub use domino_ir::{Packet, StateStore};
 }
@@ -185,5 +189,24 @@ mod tests {
     #[test]
     fn facade_rejects_like_compiler() {
         assert!(compile(SRC, &Target::banzai(AtomKind::Write)).is_err());
+    }
+
+    #[test]
+    fn facade_wire_roundtrip() {
+        use crate::prelude::*;
+
+        let cfg = WireConfig::new();
+        let frame = encode(
+            &Packet::new().with("sport", 443),
+            &cfg,
+            &FrameSpec::default(),
+        );
+        let wp = parse(&frame, &cfg).unwrap();
+        assert_eq!(wp.pkt.get("sport"), Some(443));
+        assert_eq!(deparse(&wp.pkt, &wp.layout), frame);
+        assert_eq!(
+            parse(&frame[..10], &cfg).unwrap_err(),
+            ParseVerdict::TruncatedEthernet
+        );
     }
 }

@@ -11,7 +11,10 @@
 //! * [`tac`] — three-address code, the normalized form of a transaction,
 //! * [`codelet`] — codelets and the PVSM pipeline IR (§4.2),
 //! * [`interp`] — the sequential reference interpreters that define the
-//!   packet-transaction semantics every backend must preserve.
+//!   packet-transaction semantics every backend must preserve,
+//! * [`wire`] — the canonical field names byte-level wire headers parse
+//!   into (the naming contract between `banzai::wire`'s parser/deparser
+//!   and compiled pipelines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@ pub mod layout;
 pub mod packet;
 pub mod state;
 pub mod tac;
+pub mod wire;
 
 pub use codelet::{Codelet, PvsmPipeline};
 pub use interp::{run_ast, run_tac, step_ast, step_tac};

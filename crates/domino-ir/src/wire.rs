@@ -1,0 +1,161 @@
+//! Canonical field names for byte-level wire headers.
+//!
+//! The map-based [`Packet`](crate::Packet) was born parsed: Banzai (§2.2)
+//! assumes a parser already turned bytes into named 32-bit fields. When the
+//! wire front-end (`banzai::wire`) decodes a real byte frame, the names it
+//! assigns to header slots become part of the contract between the parser,
+//! the compiled pipeline's [`FieldTable`], and the
+//! deparser — a Domino program that says `pkt.sport` must hit the same slot
+//! the parser filled from TCP bytes 0..2. This module pins those names in
+//! one place, upstream of both the parser and the execution engines.
+//!
+//! Naming rules:
+//!
+//! * every field is at most 32 bits wide so it fits a packet slot; wider
+//!   header regions are split (`eth_dst_hi`/`eth_dst_lo` for the 48-bit
+//!   MAC addresses, 16 + 32 bits);
+//! * multi-byte fields are **big-endian** on the wire (network order) and
+//!   host-order `i32` in the slot — the parser is the only place byte
+//!   order is ever handled;
+//! * the L4 source/destination ports are named `sport`/`dport` for both
+//!   TCP and UDP, matching the names the paper's Table 4 programs already
+//!   use — so `flowlet.domino` and friends run unmodified on parsed wire
+//!   traffic.
+
+use crate::layout::{FieldId, FieldTable};
+
+/// Field name constants, grouped by header.
+pub mod fields {
+    /// Ethernet destination MAC, high 16 bits (bytes 0..2).
+    pub const ETH_DST_HI: &str = "eth_dst_hi";
+    /// Ethernet destination MAC, low 32 bits (bytes 2..6).
+    pub const ETH_DST_LO: &str = "eth_dst_lo";
+    /// Ethernet source MAC, high 16 bits (bytes 6..8).
+    pub const ETH_SRC_HI: &str = "eth_src_hi";
+    /// Ethernet source MAC, low 32 bits (bytes 8..12).
+    pub const ETH_SRC_LO: &str = "eth_src_lo";
+    /// EtherType of the L3 payload (the inner type when a VLAN tag is
+    /// present).
+    pub const ETH_TYPE: &str = "eth_type";
+
+    /// 802.1Q tag control information (PCP/DEI/VID), present only on
+    /// tagged frames.
+    pub const VLAN_TCI: &str = "vlan_tci";
+
+    /// IPv4 type of service / DSCP+ECN byte.
+    pub const IP_TOS: &str = "ip_tos";
+    /// IPv4 total length (header + payload, in bytes).
+    pub const IP_LEN: &str = "ip_len";
+    /// IPv4 identification.
+    pub const IP_ID: &str = "ip_id";
+    /// IPv4 flags and fragment offset (one 16-bit word).
+    pub const IP_FRAG: &str = "ip_frag";
+    /// IPv4 time to live.
+    pub const IP_TTL: &str = "ip_ttl";
+    /// IPv4 protocol number (6 = TCP, 17 = UDP).
+    pub const IP_PROTO: &str = "ip_proto";
+    /// IPv4 header checksum (carried opaque; see the wire module docs).
+    pub const IP_CSUM: &str = "ip_csum";
+    /// IPv4 source address (32 bits, may wrap negative as an `i32`).
+    pub const IP_SRC: &str = "ip_src";
+    /// IPv4 destination address.
+    pub const IP_DST: &str = "ip_dst";
+
+    /// L4 source port (TCP or UDP) — the name Table 4 programs use.
+    pub const SPORT: &str = "sport";
+    /// L4 destination port (TCP or UDP).
+    pub const DPORT: &str = "dport";
+
+    /// TCP sequence number.
+    pub const TCP_SEQ: &str = "tcp_seq";
+    /// TCP acknowledgment number.
+    pub const TCP_ACK: &str = "tcp_ack";
+    /// TCP flags byte (FIN/SYN/RST/PSH/ACK/URG/ECE/CWR).
+    pub const TCP_FLAGS: &str = "tcp_flags";
+    /// TCP window size.
+    pub const TCP_WIN: &str = "tcp_win";
+    /// TCP checksum (carried opaque).
+    pub const TCP_CSUM: &str = "tcp_csum";
+    /// TCP urgent pointer.
+    pub const TCP_URG: &str = "tcp_urg";
+
+    /// UDP datagram length.
+    pub const UDP_LEN: &str = "udp_len";
+    /// UDP checksum (carried opaque).
+    pub const UDP_CSUM: &str = "udp_csum";
+}
+
+/// Every canonical header field name, in parse order.
+pub const HEADER_FIELDS: [&str; 25] = [
+    fields::ETH_DST_HI,
+    fields::ETH_DST_LO,
+    fields::ETH_SRC_HI,
+    fields::ETH_SRC_LO,
+    fields::ETH_TYPE,
+    fields::VLAN_TCI,
+    fields::IP_TOS,
+    fields::IP_LEN,
+    fields::IP_ID,
+    fields::IP_FRAG,
+    fields::IP_TTL,
+    fields::IP_PROTO,
+    fields::IP_CSUM,
+    fields::IP_SRC,
+    fields::IP_DST,
+    fields::SPORT,
+    fields::DPORT,
+    fields::TCP_SEQ,
+    fields::TCP_ACK,
+    fields::TCP_FLAGS,
+    fields::TCP_WIN,
+    fields::TCP_CSUM,
+    fields::TCP_URG,
+    fields::UDP_LEN,
+    fields::UDP_CSUM,
+];
+
+/// True if `name` is a canonical wire-header field (as opposed to packet
+/// metadata or a program temporary). The wire encoder uses this to decide
+/// which trace fields travel in real headers and which ride in the
+/// metadata trailer.
+pub fn is_header_field(name: &str) -> bool {
+    HEADER_FIELDS.contains(&name)
+}
+
+/// Interns every canonical header field into `table`, returning the ids in
+/// [`HEADER_FIELDS`] order — the layout a standalone wire parser (one not
+/// bound to a compiled pipeline's table) fills.
+pub fn intern_header_fields(table: &mut FieldTable) -> Vec<FieldId> {
+    HEADER_FIELDS.iter().map(|f| table.intern(f)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_fields_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for f in HEADER_FIELDS {
+            assert!(seen.insert(f), "duplicate wire field `{f}`");
+        }
+    }
+
+    #[test]
+    fn classifier_separates_wire_from_metadata() {
+        assert!(is_header_field("sport"));
+        assert!(is_header_field("ip_src"));
+        assert!(!is_header_field("arrival"));
+        assert!(!is_header_field("next_hop"));
+    }
+
+    #[test]
+    fn interning_covers_all_fields_in_order() {
+        let mut t = FieldTable::new();
+        let ids = intern_header_fields(&mut t);
+        assert_eq!(ids.len(), HEADER_FIELDS.len());
+        for (id, name) in ids.iter().zip(HEADER_FIELDS) {
+            assert_eq!(t.name(*id), name);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based fuzzing of the wire front-end.
+//!
+//! Two properties over arbitrary byte buffers (0–256 bytes) and
+//! seeded-random structured frames:
+//!
+//! 1. **the parser never panics** — every input is either accepted or a
+//!    typed [`ParseVerdict`], on both the map-level parser and the
+//!    table-bound flat parser;
+//! 2. **accepted ⇒ identity deparse** — any frame the parser accepts
+//!    re-serializes to the *identical* bytes when the pipeline is a
+//!    passthrough (no field modified), on both deparsers.
+//!
+//! The structured generator matters: uniformly random buffers almost
+//! never pass the parse graph, so without it property 2 would be
+//! vacuous. It builds valid frames from random field values, then
+//! corrupts a random byte half the time — single-byte corruptions
+//! exercise accepted-but-weird frames (e.g. IHL > 5 creating an options
+//! region) as well as every reject edge.
+
+use banzai::wire::{self, BoundParser, FrameSpec, WireConfig};
+use domino_ir::{FieldTable, Packet};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The trailer schema both properties parse with (a second, empty config
+/// is exercised inline).
+fn meta_cfg() -> WireConfig {
+    WireConfig::with_meta_fields(["arrival", "next_hop"]).unwrap()
+}
+
+/// A parser bound to a table holding every header field plus the meta
+/// schema — the fullest possible flat layout.
+fn full_parser(cfg: &WireConfig) -> BoundParser {
+    let mut table = FieldTable::new();
+    domino_ir::wire::intern_header_fields(&mut table);
+    for f in cfg.meta_fields() {
+        table.intern(f);
+    }
+    BoundParser::bind(cfg.clone(), Arc::new(table))
+}
+
+/// Builds a well-formed frame from 16 seed bytes, then corrupts one byte
+/// (position and value seed-chosen) when `corrupt` is set. Covers TCP and
+/// UDP, tagged and untagged, with varied payload lengths.
+fn structured_frame(seed: &[u8], corrupt: bool) -> Vec<u8> {
+    let b = |i: usize| *seed.get(i).unwrap_or(&0) as i32;
+    let pkt = Packet::new()
+        .with("sport", b(0) << 8 | b(1))
+        .with("dport", b(2))
+        .with("arrival", b(3) << 16 | b(4))
+        .with("next_hop", b(5) - 128);
+    let spec = FrameSpec {
+        vlan_tci: (b(6) % 2 == 0).then_some(b(7) as u16),
+        ip_proto: if b(8) % 3 == 0 {
+            wire::IPPROTO_UDP
+        } else {
+            wire::IPPROTO_TCP
+        },
+        payload: vec![0xA5; (b(9) % 32) as usize],
+        ..FrameSpec::default()
+    };
+    let mut frame = wire::encode(&pkt, &meta_cfg(), &spec);
+    if corrupt {
+        let pos = (b(10) as usize * 256 + b(11) as usize) % frame.len();
+        frame[pos] ^= b(12).max(1) as u8;
+    }
+    frame
+}
+
+/// Any byte buffer: uniformly random, or structured (possibly
+/// single-byte-corrupted) wire frames.
+fn any_input() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        2 => proptest::collection::vec(any::<u8>(), 0..256),
+        1 => proptest::collection::vec(any::<u8>(), 13..16)
+            .prop_map(|seed| structured_frame(&seed, false)),
+        1 => proptest::collection::vec(any::<u8>(), 13..16)
+            .prop_map(|seed| structured_frame(&seed, true)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1500))]
+
+    /// ≥ 1000 cases, zero panics: every input is accepted or typed.
+    #[test]
+    fn parser_never_panics(buf in any_input()) {
+        let cfg = meta_cfg();
+        let map_result = wire::parse(&buf, &cfg);
+        let flat_result = full_parser(&cfg).parse_flat(&buf);
+        // Both front-ends reach the same accept/reject verdict.
+        prop_assert_eq!(
+            map_result.as_ref().err(),
+            flat_result.as_ref().err()
+        );
+        // The empty-schema config must not panic either.
+        let _ = wire::parse(&buf, &WireConfig::new());
+    }
+
+    /// Accepted frames deparse to identical bytes under a passthrough
+    /// pipeline, through both the map-level and the flat deparser.
+    #[test]
+    fn accepted_frames_redeparse_identically(buf in any_input()) {
+        let cfg = meta_cfg();
+        if let Ok(wp) = wire::parse(&buf, &cfg) {
+            prop_assert_eq!(wire::deparse(&wp.pkt, &wp.layout), buf.clone());
+            let parser = full_parser(&cfg);
+            let (flat, layout) = parser.parse_flat(&buf).expect("map and flat parsers agree");
+            prop_assert_eq!(parser.deparse_flat(&flat, &layout), buf);
+        }
+    }
+
+    /// Whatever bytes land after the parsed headers are exposed as the
+    /// payload, untouched, and the frame views agree on structure.
+    #[test]
+    fn accepted_frame_structure_is_consistent(buf in any_input()) {
+        if let Ok(wp) = wire::parse(&buf, &meta_cfg()) {
+            let payload = wp.layout.payload();
+            prop_assert!(payload.len() <= buf.len());
+            prop_assert_eq!(payload, &buf[buf.len() - payload.len()..]);
+            // Every patch lies inside the frame.
+            for p in wp.layout.patches() {
+                prop_assert!(p.offset + p.width as usize <= buf.len());
+            }
+        }
+    }
+}
