@@ -33,12 +33,22 @@
 //!   TCP/UDP parse graph decoding raw frames into packet fields (typed
 //!   [`wire::ParseVerdict`]s on malformed input, never a panic) and a
 //!   patch-list deparser re-serializing modified headers, so the full
-//!   path is bytes → parse → pipeline → deparse → bytes.
+//!   path is bytes → parse → pipeline → deparse → bytes,
+//! * [`error`] — the typed failure model: [`error::SwitchError`] with
+//!   per-shard [`error::ShardError`]s and a salvage-carrying
+//!   [`error::FaultReport`] whose [`error::Accounting`] proves packet
+//!   conservation (`offered == transmitted + dropped + lost_in_fault`),
+//! * [`fault`] — deterministic fault injection:
+//!   [`fault::FaultyEngine`] wraps any engine and panics, stalls, or
+//!   bit-flips at seed-scheduled packet indices, the hook the chaos
+//!   suite and fabric-scale simulation both drive.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atom;
+pub mod error;
+pub mod fault;
 pub mod kind;
 pub mod machine;
 pub mod shard;
@@ -48,9 +58,13 @@ pub mod target;
 pub mod wire;
 
 pub use atom::{Guard, GuardOperand, RelOp, StatefulConfig, Tree, Update};
+pub use error::{Accounting, FaultCause, FaultReport, ShardError, ShardSalvage, SwitchError};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultyEngine};
 pub use kind::{AtomKind, StatefulCaps};
 pub use machine::{AtomPipeline, AtomRole, CompiledAtom, Machine};
-pub use shard::{ShardConfig, ShardPlan, ShardRun, ShardTimings, ShardedSwitch, SteerMode};
+pub use shard::{
+    Backpressure, ShardConfig, ShardPlan, ShardRun, ShardTimings, ShardedSwitch, SteerMode,
+};
 pub use slot::{SlotMachine, SlotPipeline};
 pub use switch::{DropCounters, DropReason, PipelineEngine, Switch};
 pub use target::Target;

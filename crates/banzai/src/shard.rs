@@ -41,17 +41,44 @@
 //! caller's thread, which is what the E10 harness times: per-shard busy
 //! time measured without scheduler interference gives the critical-path
 //! throughput the shards would sustain on real cores.
+//!
+//! # Supervision
+//!
+//! The threaded path ([`ShardedSwitch::run_trace`]) is **supervised**: a
+//! worker that panics, stalls past the [`ShardConfig::watchdog_ms`]
+//! watchdog, or dies silently never takes the run down with it. Each
+//! worker wraps every batch in `catch_unwind`; the feeder detects dead
+//! rings and applies the configured [`Backpressure`] policy to full ones
+//! (block with a watchdog, or shed under the
+//! [`DropReason::Backpressure`]
+//! counter); the collector abandons — never joins — a hung worker. A
+//! faulted run returns
+//! [`SwitchError::Fault`] carrying a
+//! full [`FaultReport`]: per-shard errors,
+//! salvaged outputs and state snapshots, and exact packet-conservation
+//! accounting. Failed shards are rebuilt with fresh engines, so the
+//! switch stays usable after a fault.
 
+use crate::error::{Accounting, FaultCause, FaultReport, ShardError, ShardSalvage, SwitchError};
 use crate::machine::AtomPipeline;
 use crate::slot::SlotMachine;
-use crate::switch::{PipelineEngine, Switch};
+use crate::switch::{DropCounters, DropReason, PipelineEngine, Switch};
 use domino_ast::{StateKind, StateVar};
 use domino_ir::layout::{mix64, FlowKeySpec, Partitionability, StateLayout};
 use domino_ir::{Packet, StateStore, TacStmt};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A batch of packets stamped with their global arrival cycles, in flight
+/// to a shard worker.
+type StampedBatch = Vec<(i64, Packet)>;
+
+/// The feeder's handle to one shard's batch ring (`None` once the shard
+/// has been declared dead or stalled and cut off).
+type BatchSender = Option<mpsc::SyncSender<StampedBatch>>;
 
 /// Configuration for a [`ShardedSwitch`].
 #[derive(Debug, Clone)]
@@ -68,11 +95,19 @@ pub struct ShardConfig {
     pub capacity: usize,
     /// How to steer packets to shards.
     pub steer: SteerMode,
+    /// What the dispatcher does when a shard's ring stays full.
+    pub backpressure: Backpressure,
+    /// Watchdog window in milliseconds: how long the dispatcher blocks on
+    /// a full ring under [`Backpressure::Block`], and how long the
+    /// collector waits for a worker's outcome, before declaring the
+    /// worker stalled and abandoning it.
+    pub watchdog_ms: u64,
 }
 
 impl ShardConfig {
     /// A config with `shards` workers and the defaults: 256-packet
-    /// batches, an 8-batch ring, capacity 512, automatic steering.
+    /// batches, an 8-batch ring, capacity 512, automatic steering,
+    /// blocking backpressure with a 5-second watchdog.
     pub fn new(shards: usize) -> ShardConfig {
         ShardConfig {
             shards: shards.max(1),
@@ -81,6 +116,8 @@ impl ShardConfig {
             seed: 0x5EED_0001,
             capacity: 512,
             steer: SteerMode::Auto,
+            backpressure: Backpressure::Block,
+            watchdog_ms: 5_000,
         }
     }
 
@@ -102,11 +139,46 @@ impl ShardConfig {
         self
     }
 
+    /// Overrides the ring depth (batches per shard channel, floored at 1).
+    pub fn with_ring(mut self, ring: usize) -> ShardConfig {
+        self.ring = ring.max(1);
+        self
+    }
+
     /// Overrides the steering mode.
     pub fn with_steer(mut self, steer: SteerMode) -> ShardConfig {
         self.steer = steer;
         self
     }
+
+    /// Overrides the overload policy.
+    pub fn with_backpressure(mut self, policy: Backpressure) -> ShardConfig {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Overrides the watchdog window (milliseconds, floored at 1).
+    pub fn with_watchdog_ms(mut self, ms: u64) -> ShardConfig {
+        self.watchdog_ms = ms.max(1);
+        self
+    }
+}
+
+/// What the dispatcher does when a shard's batch ring is full — the
+/// explicit overload policy (a full ring must degrade deterministically,
+/// never block forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Wait for the worker to drain the ring (lossless), but only up to
+    /// the [`ShardConfig::watchdog_ms`] watchdog — a worker that never
+    /// drains is declared stalled and abandoned, not waited on forever.
+    #[default]
+    Block,
+    /// Drop the batch on the floor immediately, counting every packet
+    /// under [`DropReason::Backpressure`]
+    /// — bounded latency at the cost of loss, the overload behaviour of a
+    /// real line-rate dispatcher.
+    Shed,
 }
 
 impl Default for ShardConfig {
@@ -424,6 +496,13 @@ pub struct ShardRun {
 /// [`Switch`] (slot-compiled by default) per shard, fed with batched
 /// packets, merged back deterministically.
 ///
+/// # Panic freedom
+///
+/// No public entry point panics. The threaded run supervises its workers
+/// (even a deliberately panicking [`PipelineEngine`] surfaces as a typed
+/// [`SwitchError::Fault`], never an abort — see the module docs), and the
+/// sequential twins propagate engine errors as `Result`s.
+///
 /// ```
 /// use banzai::{AtomPipeline, ShardConfig, ShardedSwitch};
 /// use domino_ir::Packet;
@@ -436,7 +515,7 @@ pub struct ShardRun {
 /// )
 /// .unwrap();
 /// let trace: Vec<Packet> = (0..100).map(|i| Packet::new().with("flow", i % 7)).collect();
-/// let out = sw.run_trace(&trace);
+/// let out = sw.run_trace(&trace).unwrap();
 /// assert_eq!(out.len(), 100);
 /// assert_eq!(sw.transmitted(), 100);
 /// assert_eq!(sw.plan().effective(), 4);
@@ -445,11 +524,24 @@ pub struct ShardRun {
 pub struct ShardedSwitch<E: PipelineEngine = SlotMachine> {
     plan: ShardPlan,
     shards: Vec<Switch<E>>,
-    ingress_decls: Vec<StateVar>,
-    egress_decls: Vec<StateVar>,
+    /// The compiled pipelines, kept for rebuilding a failed shard's
+    /// engines after a fault (through the plain [`PipelineEngine::build`]
+    /// hook, so replacements are pristine — a [`crate::fault::FaultyEngine`]
+    /// shard is rebuilt *without* its fault schedule).
+    ingress_pipeline: AtomPipeline,
+    egress_pipeline: AtomPipeline,
+    capacity: usize,
     batch: usize,
     ring: usize,
     seed: u64,
+    backpressure: Backpressure,
+    watchdog_ms: u64,
+    /// Counters salvaged from shards that have since been rebuilt, plus
+    /// feeder-side backpressure sheds — folded into [`Self::transmitted`]
+    /// / [`Self::drop_counters`] so the totals stay conservation-exact
+    /// across faults.
+    extra_transmitted: u64,
+    extra_drops: DropCounters,
 }
 
 impl ShardedSwitch<SlotMachine> {
@@ -459,7 +551,7 @@ impl ShardedSwitch<SlotMachine> {
         ingress: &AtomPipeline,
         egress: &AtomPipeline,
         config: ShardConfig,
-    ) -> Result<ShardedSwitch<SlotMachine>, String> {
+    ) -> Result<ShardedSwitch<SlotMachine>, SwitchError> {
         ShardedSwitch::new(ingress, egress, config)
     }
 }
@@ -474,24 +566,52 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         ingress: &AtomPipeline,
         egress: &AtomPipeline,
         config: ShardConfig,
-    ) -> Result<ShardedSwitch<E>, String> {
+    ) -> Result<ShardedSwitch<E>, SwitchError> {
+        ShardedSwitch::new_with(ingress, egress, config, |_, ing, eg, capacity| {
+            Ok(Switch::from_engines(
+                E::build(ing)?,
+                E::build(eg)?,
+                capacity,
+            ))
+        })
+    }
+
+    /// Builds a sharded switch with a caller-supplied per-shard factory —
+    /// the constructor-driven injection point the chaos suite uses to arm
+    /// individual shards with [`crate::fault::FaultyEngine`] schedules.
+    ///
+    /// The factory is called once per shard with `(shard index, ingress
+    /// pipeline, egress pipeline, queue capacity)`. Shards **rebuilt
+    /// after a fault** do *not* go through the factory; they use the
+    /// plain [`PipelineEngine::build`] hook, so a replacement engine
+    /// never inherits its predecessor's fault schedule.
+    pub fn new_with<F>(
+        ingress: &AtomPipeline,
+        egress: &AtomPipeline,
+        config: ShardConfig,
+        mut factory: F,
+    ) -> Result<ShardedSwitch<E>, SwitchError>
+    where
+        F: FnMut(usize, &AtomPipeline, &AtomPipeline, usize) -> Result<Switch<E>, SwitchError>,
+    {
         let plan = ShardPlan::plan(ingress, egress, config.shards, &config.steer);
         let mut shards = Vec::with_capacity(plan.effective());
-        for _ in 0..plan.effective() {
-            shards.push(Switch::from_engines(
-                E::build(ingress)?,
-                E::build(egress)?,
-                config.capacity,
-            ));
+        for s in 0..plan.effective() {
+            shards.push(factory(s, ingress, egress, config.capacity)?);
         }
         Ok(ShardedSwitch {
             plan,
             shards,
-            ingress_decls: ingress.state_decls.clone(),
-            egress_decls: egress.state_decls.clone(),
+            ingress_pipeline: ingress.clone(),
+            egress_pipeline: egress.clone(),
+            capacity: config.capacity,
             batch: config.batch.max(1),
             ring: config.ring.max(1),
             seed: config.seed,
+            backpressure: config.backpressure,
+            watchdog_ms: config.watchdog_ms.max(1),
+            extra_transmitted: 0,
+            extra_drops: DropCounters::new(),
         })
     }
 
@@ -505,24 +625,33 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         self.shards.len()
     }
 
-    /// Packets dropped across all shards.
+    /// The configured overload policy.
+    pub fn backpressure(&self) -> Backpressure {
+        self.backpressure
+    }
+
+    /// Packets dropped across all shards for any reason, dispatcher
+    /// backpressure sheds and counters salvaged from rebuilt shards
+    /// included.
     pub fn drops(&self) -> u64 {
-        self.shards.iter().map(|s| s.drops()).sum()
+        self.drop_counters().total()
     }
 
     /// Per-reason drop counters merged across all shards (see
-    /// [`crate::switch::DropCounters`]).
-    pub fn drop_counters(&self) -> crate::switch::DropCounters {
-        let mut merged = crate::switch::DropCounters::new();
+    /// [`crate::switch::DropCounters`]), dispatcher sheds and salvaged
+    /// counters included.
+    pub fn drop_counters(&self) -> DropCounters {
+        let mut merged = self.extra_drops.clone();
         for s in &self.shards {
             merged.merge(s.drop_counters());
         }
         merged
     }
 
-    /// Packets transmitted across all shards.
+    /// Packets transmitted across all shards (outputs salvaged from
+    /// since-rebuilt shards included).
     pub fn transmitted(&self) -> u64 {
-        self.shards.iter().map(|s| s.transmitted()).sum()
+        self.shards.iter().map(|s| s.transmitted()).sum::<u64>() + self.extra_transmitted
     }
 
     /// Steers the trace into per-shard `(global_cycle, packet)` streams.
@@ -563,71 +692,276 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         out
     }
 
-    /// Runs the trace across all shards on **worker threads**: the caller
-    /// thread steers packets into per-shard bounded batch rings
-    /// (backpressure included), each worker drains its ring through its
-    /// own switch, and the outputs merge deterministically.
-    pub fn run_trace(&mut self, trace: &[Packet]) -> Vec<Packet>
+    /// Runs the trace across all shards on **supervised worker threads**:
+    /// the caller thread steers packets into per-shard bounded batch
+    /// rings, each worker drains its ring through its own switch inside
+    /// `catch_unwind`, and the outputs merge deterministically.
+    ///
+    /// # Failure model
+    ///
+    /// * A **panicking** worker is isolated: its panic is caught, the
+    ///   remaining shards drain cleanly, and the run returns
+    ///   [`SwitchError::Fault`] with a [`FaultReport`] naming the shard,
+    ///   the global index of the packet that triggered the fault, the
+    ///   panic payload, every surviving shard's complete output and state
+    ///   snapshot, the failed shard's completed-batch output prefix, and
+    ///   [`Accounting`] that balances exactly
+    ///   (`offered == transmitted + dropped + lost_in_fault`).
+    /// * A **full ring** degrades per the configured [`Backpressure`]
+    ///   policy: `Block` waits up to [`ShardConfig::watchdog_ms`] then
+    ///   declares the worker stalled; `Shed` drops the batch under the
+    ///   [`DropReason::Backpressure`] counter and keeps going.
+    /// * A **stalled or silently dead** worker is detected by the
+    ///   feeder/collector watchdog and abandoned — this method never
+    ///   hangs on a wedged worker and never joins one.
+    ///
+    /// After a fault, failed shards are **rebuilt** with fresh engines
+    /// (surviving shards keep their state), so the switch remains usable;
+    /// warm-start a rebuilt shard from the salvaged snapshots via
+    /// [`ShardedSwitch::import_state`] if desired. In the practically
+    /// unreachable case that rebuilding itself fails, that `Build` error
+    /// is returned and the switch must be reconstructed.
+    pub fn run_trace(&mut self, trace: &[Packet]) -> Result<Vec<Packet>, SwitchError>
     where
-        E: Send,
+        E: Send + 'static,
     {
         let n = self.shards.len();
-        if n == 1 {
-            // Borrowed stamps: no point cloning the whole trace just to
-            // hand it to the one shard (run_stamped clones per packet).
-            let batch: Vec<(i64, &Packet)> = trace
-                .iter()
-                .enumerate()
-                .map(|(i, p)| (i as i64, p))
-                .collect();
-            return self.shards[0].run_stamped(&batch);
-        }
-        let plan = &self.plan;
         let batch_size = self.batch;
-        let ring = self.ring;
-        let mut parts: Vec<Vec<Packet>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut txs = Vec::with_capacity(n);
-            let mut handles = Vec::with_capacity(n);
-            for sw in self.shards.iter_mut() {
-                let (tx, rx) = mpsc::sync_channel::<Vec<(i64, Packet)>>(ring);
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    while let Ok(batch) = rx.recv() {
-                        out.extend(sw.run_stamped(&batch));
-                    }
-                    out
-                }));
-                txs.push(tx);
-            }
-            let mut pending: Vec<Vec<(i64, Packet)>> =
-                (0..n).map(|_| Vec::with_capacity(batch_size)).collect();
-            for (i, pkt) in trace.iter().enumerate() {
-                let s = plan.steer(pkt);
-                pending[s].push((i as i64, pkt.clone()));
-                if pending[s].len() == batch_size {
-                    let full = std::mem::replace(&mut pending[s], Vec::with_capacity(batch_size));
-                    txs[s].send(full).expect("shard worker hung up");
+        let watchdog = Duration::from_millis(self.watchdog_ms);
+        let policy = self.backpressure;
+
+        // Move the switches into their workers; survivors come back
+        // through the outcome channels, failed shards are rebuilt below.
+        let switches = std::mem::take(&mut self.shards);
+        let mut txs: Vec<BatchSender> = Vec::with_capacity(n);
+        let mut dones = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for sw in switches {
+            let (tx, rx) = mpsc::sync_channel::<Vec<(i64, Packet)>>(self.ring);
+            let (done_tx, done_rx) = mpsc::channel::<WorkerOutcome<E>>();
+            handles.push(std::thread::spawn(move || {
+                let outcome = worker_loop(sw, rx);
+                let _ = done_tx.send(outcome);
+            }));
+            txs.push(Some(tx));
+            dones.push(done_rx);
+        }
+
+        // Feed. A shard marked dead/stalled keeps accumulating `offered`
+        // (for the books) but receives nothing further.
+        let mut offered = vec![0u64; n];
+        let mut sheds = vec![0u64; n];
+        let mut stalled = vec![false; n];
+        let mut dead = vec![false; n];
+        let mut pending: Vec<Vec<(i64, Packet)>> =
+            (0..n).map(|_| Vec::with_capacity(batch_size)).collect();
+        let flush = |s: usize,
+                     batch: Vec<(i64, Packet)>,
+                     txs: &mut [BatchSender],
+                     sheds: &mut [u64],
+                     stalled: &mut [bool],
+                     dead: &mut [bool]| {
+            let len = batch.len() as u64;
+            let Some(tx) = txs[s].as_ref() else { return };
+            match feed_batch(tx, batch, policy, watchdog) {
+                FeedResult::Sent => {}
+                FeedResult::Shed => sheds[s] += len,
+                FeedResult::Stalled => {
+                    stalled[s] = true;
+                    txs[s] = None;
+                }
+                FeedResult::Dead => {
+                    dead[s] = true;
+                    txs[s] = None;
                 }
             }
-            for (s, rest) in pending.into_iter().enumerate() {
-                if !rest.is_empty() {
-                    txs[s].send(rest).expect("shard worker hung up");
+        };
+        for (i, pkt) in trace.iter().enumerate() {
+            let s = self.plan.steer(pkt);
+            offered[s] += 1;
+            if dead[s] || stalled[s] {
+                continue;
+            }
+            pending[s].push((i as i64, pkt.clone()));
+            if pending[s].len() == batch_size {
+                let full = std::mem::replace(&mut pending[s], Vec::with_capacity(batch_size));
+                flush(s, full, &mut txs, &mut sheds, &mut stalled, &mut dead);
+            }
+        }
+        for (s, rest) in pending.into_iter().enumerate() {
+            if !rest.is_empty() && !dead[s] && !stalled[s] {
+                flush(s, rest, &mut txs, &mut sheds, &mut stalled, &mut dead);
+            }
+        }
+        drop(txs); // close every ring: drained workers exit their loops
+
+        // Collect, bounded by the watchdog per shard. A worker that never
+        // reports is abandoned (its thread handle is dropped, detaching
+        // it) — never joined, so a wedged engine cannot hang the caller.
+        let mut collected: Vec<Collected<E>> = Vec::with_capacity(n);
+        for (s, (done_rx, handle)) in dones.into_iter().zip(handles).enumerate() {
+            if stalled[s] {
+                collected.push(Collected::Stalled);
+                drop(handle);
+                continue;
+            }
+            match done_rx.recv_timeout(watchdog) {
+                Ok(outcome) => {
+                    let _ = handle.join();
+                    collected.push(Collected::Reported(outcome));
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    collected.push(Collected::Stalled);
+                    drop(handle);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    let _ = handle.join();
+                    collected.push(Collected::Vanished);
                 }
             }
-            drop(txs);
-            parts = handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect();
-        });
-        self.merge(parts)
+        }
+
+        // Account for dispatcher sheds whether or not anything faulted.
+        for &shed in &sheds {
+            self.extra_drops.bump_by(DropReason::Backpressure, shed);
+        }
+
+        let faulted = collected
+            .iter()
+            .any(|c| !matches!(c, Collected::Reported(WorkerOutcome::Done(..))));
+        if !faulted {
+            let mut parts: Vec<Vec<Packet>> = Vec::with_capacity(n);
+            for c in collected {
+                if let Collected::Reported(WorkerOutcome::Done(sw, out)) = c {
+                    self.shards.push(*sw);
+                    parts.push(out);
+                }
+            }
+            return Ok(self.merge(parts));
+        }
+
+        // At least one worker faulted: salvage everything reachable and
+        // assemble the report.
+        let mut failures: Vec<ShardError> = Vec::new();
+        let mut salvage: Vec<ShardSalvage> = Vec::with_capacity(n);
+        let mut parts: Vec<Vec<Packet>> = vec![Vec::new(); n];
+        let mut restored: Vec<Option<Switch<E>>> = (0..n).map(|_| None).collect();
+        for (s, c) in collected.into_iter().enumerate() {
+            let mut shard_drops = DropCounters::new();
+            shard_drops.bump_by(DropReason::Backpressure, sheds[s]);
+            match c {
+                Collected::Reported(WorkerOutcome::Done(sw, out)) => {
+                    shard_drops.merge(sw.drop_counters());
+                    salvage.push(ShardSalvage {
+                        shard: s,
+                        failed: false,
+                        offered: offered[s],
+                        output: out.clone(),
+                        drops: shard_drops,
+                        state: Some((sw.export_ingress_state(), sw.export_egress_state())),
+                    });
+                    parts[s] = out;
+                    restored[s] = Some(*sw);
+                }
+                Collected::Reported(WorkerOutcome::Fault {
+                    out,
+                    packet,
+                    cause,
+                    drops,
+                }) => {
+                    shard_drops.merge(&drops);
+                    failures.push(ShardError {
+                        shard: s,
+                        packet,
+                        cause,
+                    });
+                    self.extra_transmitted += out.len() as u64;
+                    self.extra_drops.merge(&drops);
+                    salvage.push(ShardSalvage {
+                        shard: s,
+                        failed: true,
+                        offered: offered[s],
+                        output: out,
+                        drops: shard_drops,
+                        state: None,
+                    });
+                }
+                Collected::Stalled => {
+                    failures.push(ShardError {
+                        shard: s,
+                        packet: None,
+                        cause: FaultCause::Stall {
+                            watchdog_ms: self.watchdog_ms,
+                        },
+                    });
+                    salvage.push(ShardSalvage {
+                        shard: s,
+                        failed: true,
+                        offered: offered[s],
+                        output: Vec::new(),
+                        drops: shard_drops,
+                        state: None,
+                    });
+                }
+                Collected::Vanished => {
+                    failures.push(ShardError {
+                        shard: s,
+                        packet: None,
+                        cause: FaultCause::Disconnected,
+                    });
+                    salvage.push(ShardSalvage {
+                        shard: s,
+                        failed: true,
+                        offered: offered[s],
+                        output: Vec::new(),
+                        drops: shard_drops,
+                        state: None,
+                    });
+                }
+            }
+        }
+
+        // Rebuild dead shards with fresh engines so the switch stays
+        // usable (through the plain build hook: no inherited faults).
+        let mut shards = Vec::with_capacity(n);
+        for slot in restored {
+            shards.push(match slot {
+                Some(sw) => sw,
+                None => Switch::from_engines(
+                    E::build(&self.ingress_pipeline)?,
+                    E::build(&self.egress_pipeline)?,
+                    self.capacity,
+                ),
+            });
+        }
+        self.shards = shards;
+
+        let accounting = Accounting {
+            offered: trace.len() as u64,
+            transmitted: salvage.iter().map(|s| s.output.len() as u64).sum(),
+            dropped: salvage.iter().map(|s| s.drops.total()).sum(),
+            lost_in_fault: salvage.iter().map(ShardSalvage::lost).sum(),
+        };
+        let merged = self.merge(parts);
+        Err(SwitchError::Fault(Box::new(FaultReport {
+            failures,
+            salvage,
+            merged,
+            accounting,
+        })))
     }
 
     /// Runs the trace shard-by-shard on the calling thread and returns
     /// each shard's output subsequence (un-merged) — the observable the
     /// differential suites compare against serial execution.
-    pub fn run_trace_partitioned(&mut self, trace: &[Packet]) -> Vec<Vec<Packet>> {
+    ///
+    /// This sequential twin is **unsupervised** (no threads, no rings):
+    /// engine errors propagate as `Result`s, engine panics propagate as
+    /// panics. Supervision lives on [`ShardedSwitch::run_trace`].
+    pub fn run_trace_partitioned(
+        &mut self,
+        trace: &[Packet],
+    ) -> Result<Vec<Vec<Packet>>, SwitchError> {
         let streams = self.partition(trace);
         self.shards
             .iter_mut()
@@ -640,7 +974,7 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
     /// times the steer, each shard's busy run, and the merge. Used by the
     /// E10 scaling harness (on a single-core host, per-shard busy times
     /// are the honest scaling observable — see [`ShardTimings`]).
-    pub fn run_trace_instrumented(&mut self, trace: &[Packet]) -> ShardRun {
+    pub fn run_trace_instrumented(&mut self, trace: &[Packet]) -> Result<ShardRun, SwitchError> {
         let t = Instant::now();
         let streams = self.partition(trace);
         let steer_ns = t.elapsed().as_nanos();
@@ -649,7 +983,7 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         let mut shard_ns = Vec::with_capacity(self.shards.len());
         for (sw, stream) in self.shards.iter_mut().zip(&streams) {
             let t = Instant::now();
-            partitioned.push(sw.run_stamped(stream));
+            partitioned.push(sw.run_stamped(stream)?);
             shard_ns.push(t.elapsed().as_nanos());
         }
         drop(streams);
@@ -659,14 +993,14 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         let merged = self.merge(partitioned);
         let merge_ns = t.elapsed().as_nanos();
 
-        ShardRun {
+        Ok(ShardRun {
             merged,
             timings: ShardTimings {
                 steer_ns,
                 shard_ns,
                 merge_ns,
             },
-        }
+        })
     }
 
     /// Each shard's `(ingress, egress)` state snapshot.
@@ -682,21 +1016,26 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
     ///
     /// Available when steering is key-derived (or trivially with one
     /// shard / stateless pipelines); explicit-field steering defines no
-    /// state partition and returns an error.
-    pub fn export_merged_ingress_state(&self) -> Result<StateStore, String> {
-        self.merged_state(&self.ingress_decls, |s| s.export_ingress_state())
+    /// state partition and returns
+    /// [`SwitchError::StatePartition`].
+    pub fn export_merged_ingress_state(&self) -> Result<StateStore, SwitchError> {
+        self.merged_state(&self.ingress_pipeline.state_decls, |s| {
+            s.export_ingress_state()
+        })
     }
 
     /// Reconstructs the serial switch's egress state from the shards.
-    pub fn export_merged_egress_state(&self) -> Result<StateStore, String> {
-        self.merged_state(&self.egress_decls, |s| s.export_egress_state())
+    pub fn export_merged_egress_state(&self) -> Result<StateStore, SwitchError> {
+        self.merged_state(&self.egress_pipeline.state_decls, |s| {
+            s.export_egress_state()
+        })
     }
 
     fn merged_state(
         &self,
         decls: &[StateVar],
         export: impl Fn(&Switch<E>) -> StateStore,
-    ) -> Result<StateStore, String> {
+    ) -> Result<StateStore, SwitchError> {
         if self.shards.len() == 1 {
             return Ok(export(&self.shards[0]));
         }
@@ -704,11 +1043,11 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
             // Stateless pipelines never write state: all shards still
             // hold the declared initializers, as does the serial switch.
             ResolvedSteer::WholePacket => Ok(export(&self.shards[0])),
-            ResolvedSteer::Fields(_) => Err(
+            ResolvedSteer::Fields(_) => Err(SwitchError::StatePartition(
                 "steering by explicit fields does not define a state partition; \
                  read per-shard snapshots via export_shard_states"
                     .to_string(),
-            ),
+            )),
             ResolvedSteer::Single => Ok(export(&self.shards[0])),
             ResolvedSteer::Keyed(spec) => {
                 let snaps: Vec<StateStore> = self.shards.iter().map(&export).collect();
@@ -745,6 +1084,125 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         for sw in &mut self.shards {
             sw.import_ingress_state(ingress);
             sw.import_egress_state(egress);
+        }
+    }
+}
+
+/// What a shard worker reports back on its outcome channel.
+enum WorkerOutcome<E: PipelineEngine> {
+    /// Ring drained, switch handed back with its complete output stream.
+    Done(Box<Switch<E>>, Vec<Packet>),
+    /// The engine faulted mid-batch. The switch is discarded (its state
+    /// is suspect after an unwind), but its drop counters — plain
+    /// integers, safe to read — ride along, as does the output prefix of
+    /// every *completed* batch and the global index of the packet whose
+    /// processing faulted.
+    Fault {
+        out: Vec<Packet>,
+        packet: Option<u64>,
+        cause: FaultCause,
+        drops: DropCounters,
+    },
+}
+
+/// One shard worker: drain the ring batch by batch, each batch inside
+/// `catch_unwind` so an engine panic is contained to this shard.
+fn worker_loop<E: PipelineEngine>(
+    mut sw: Switch<E>,
+    rx: mpsc::Receiver<Vec<(i64, Packet)>>,
+) -> WorkerOutcome<E> {
+    let mut out: Vec<Packet> = Vec::new();
+    while let Ok(batch) = rx.recv() {
+        // `transmitted + drops` advances by exactly one per fully handled
+        // packet, so the delta across the failing batch pinpoints the
+        // packet whose processing faulted.
+        let before = sw.transmitted() + sw.drops();
+        match catch_unwind(AssertUnwindSafe(|| sw.run_stamped(&batch))) {
+            Ok(Ok(mut produced)) => out.append(&mut produced),
+            Ok(Err(err)) => {
+                return WorkerOutcome::Fault {
+                    packet: batch.first().map(|(t, _)| *t as u64),
+                    cause: FaultCause::Error(err.to_string()),
+                    drops: sw.drop_counters().clone(),
+                    out,
+                };
+            }
+            Err(payload) => {
+                let handled = (sw.transmitted() + sw.drops() - before) as usize;
+                return WorkerOutcome::Fault {
+                    packet: batch.get(handled).map(|(t, _)| *t as u64),
+                    // `payload.as_ref()`, not `&payload`: the latter
+                    // unsizes the Box itself into `dyn Any` and every
+                    // downcast misses.
+                    cause: FaultCause::Panic(panic_payload_string(payload.as_ref())),
+                    drops: sw.drop_counters().clone(),
+                    out,
+                };
+            }
+        }
+    }
+    WorkerOutcome::Done(Box::new(sw), out)
+}
+
+/// Renders a caught panic payload (`String` and `&str` payloads verbatim,
+/// anything else a placeholder).
+fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
+/// What the collector observed for one shard.
+enum Collected<E: PipelineEngine> {
+    /// The worker reported an outcome within the watchdog window.
+    Reported(WorkerOutcome<E>),
+    /// No outcome within the window — the worker was abandoned.
+    Stalled,
+    /// The outcome channel disconnected with no report: the thread died
+    /// outside the supervised path.
+    Vanished,
+}
+
+/// Outcome of pushing one batch into a shard's ring.
+enum FeedResult {
+    Sent,
+    /// Ring full under [`Backpressure::Shed`]: the batch was dropped.
+    Shed,
+    /// Ring full past the watchdog under [`Backpressure::Block`].
+    Stalled,
+    /// The worker's receiver is gone (the worker exited — it faulted).
+    Dead,
+}
+
+/// Pushes a batch with the configured overload policy. Never blocks past
+/// `watchdog`.
+fn feed_batch(
+    tx: &mpsc::SyncSender<Vec<(i64, Packet)>>,
+    batch: Vec<(i64, Packet)>,
+    policy: Backpressure,
+    watchdog: Duration,
+) -> FeedResult {
+    let mut batch = batch;
+    let start = Instant::now();
+    loop {
+        match tx.try_send(batch) {
+            Ok(()) => return FeedResult::Sent,
+            Err(mpsc::TrySendError::Disconnected(_)) => return FeedResult::Dead,
+            Err(mpsc::TrySendError::Full(b)) => match policy {
+                Backpressure::Shed => return FeedResult::Shed,
+                Backpressure::Block => {
+                    if start.elapsed() >= watchdog {
+                        return FeedResult::Stalled;
+                    }
+                    batch = b;
+                    // SyncSender has no send_timeout; a short sleep keeps
+                    // the spin polite while staying far under any
+                    // realistic watchdog granularity.
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            },
         }
     }
 }
@@ -904,7 +1362,7 @@ mod tests {
         for shards in [1, 2, 4, 8] {
             let mut sharded =
                 ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(shards)).unwrap();
-            let parts = sharded.run_trace_partitioned(&trace);
+            let parts = sharded.run_trace_partitioned(&trace).unwrap();
             // Each shard's outputs are the serial outputs at the
             // positions steered to it (serial output order == input
             // order at line rate).
@@ -935,10 +1393,10 @@ mod tests {
         let cfg = ShardConfig::new(4).with_batch(32);
 
         let mut a = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone()).unwrap();
-        let threaded = a.run_trace(&trace);
+        let threaded = a.run_trace(&trace).unwrap();
 
         let mut b = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone()).unwrap();
-        let run = b.run_trace_instrumented(&trace);
+        let run = b.run_trace_instrumented(&trace).unwrap();
         assert_eq!(threaded, run.merged);
         assert_eq!(
             a.export_merged_ingress_state().unwrap(),
@@ -947,7 +1405,7 @@ mod tests {
 
         // And a second threaded run from fresh state is bit-identical.
         let mut c = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-        assert_eq!(c.run_trace(&trace), threaded);
+        assert_eq!(c.run_trace(&trace).unwrap(), threaded);
     }
 
     #[test]
@@ -986,7 +1444,7 @@ mod tests {
         let serial_out = serial.run_trace(&trace);
         let mut sharded = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
         assert_eq!(sharded.shard_count(), 1);
-        assert_eq!(sharded.run_trace(&trace), serial_out);
+        assert_eq!(sharded.run_trace(&trace).unwrap(), serial_out);
         assert_eq!(
             sharded.export_merged_ingress_state().unwrap(),
             serial.export_ingress_state()
@@ -1010,7 +1468,7 @@ mod tests {
         // Continuing from the warm state matches serial continuation.
         let more = flow_trace(100);
         let serial_more = serial.run_trace(&more);
-        let parts = sharded.run_trace_partitioned(&more);
+        let parts = sharded.run_trace_partitioned(&more).unwrap();
         let mut flat: Vec<(usize, Packet)> = Vec::new();
         for (s, part) in parts.iter().enumerate() {
             let idxs: Vec<usize> = more
@@ -1048,8 +1506,11 @@ mod tests {
             ShardConfig::new(2).with_steer(SteerMode::Fields(vec!["flow".into()])),
         )
         .unwrap();
-        sharded.run_trace(&flow_trace(50));
-        assert!(sharded.export_merged_ingress_state().is_err());
+        sharded.run_trace(&flow_trace(50)).unwrap();
+        assert!(matches!(
+            sharded.export_merged_ingress_state(),
+            Err(SwitchError::StatePartition(_))
+        ));
         assert_eq!(sharded.export_shard_states().len(), 2);
     }
 }

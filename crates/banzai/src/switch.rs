@@ -15,6 +15,7 @@
 //! [`SlotMachine`] fast path — the two are observably identical, which the
 //! differential throughput harness asserts.
 
+use crate::error::SwitchError;
 use crate::machine::{AtomPipeline, Machine};
 use crate::slot::SlotMachine;
 use crate::wire::{self, ParseVerdict, WireConfig, WireLayout};
@@ -32,7 +33,7 @@ use std::fmt;
 /// from a serial checkpoint.
 pub trait PipelineEngine {
     /// Instantiates an engine (with fresh state) for a compiled pipeline.
-    fn build(pipeline: &AtomPipeline) -> Result<Self, String>
+    fn build(pipeline: &AtomPipeline) -> Result<Self, SwitchError>
     where
         Self: Sized;
 
@@ -48,7 +49,7 @@ pub trait PipelineEngine {
 }
 
 impl PipelineEngine for Machine {
-    fn build(pipeline: &AtomPipeline) -> Result<Machine, String> {
+    fn build(pipeline: &AtomPipeline) -> Result<Machine, SwitchError> {
         Ok(Machine::new(pipeline.clone()))
     }
 
@@ -66,8 +67,8 @@ impl PipelineEngine for Machine {
 }
 
 impl PipelineEngine for SlotMachine {
-    fn build(pipeline: &AtomPipeline) -> Result<SlotMachine, String> {
-        SlotMachine::compile(pipeline)
+    fn build(pipeline: &AtomPipeline) -> Result<SlotMachine, SwitchError> {
+        SlotMachine::compile(pipeline).map_err(SwitchError::build)
     }
 
     fn process(&mut self, pkt: Packet) -> Packet {
@@ -98,18 +99,30 @@ pub enum DropReason {
     /// The frame failed the wire parse graph with this verdict — a
     /// malformed-traffic discard, before ingress ever ran.
     Parse(ParseVerdict),
+    /// The packet was shed at the sharded switch's dispatcher because the
+    /// target shard's batch ring was full and the overload policy is
+    /// [`Backpressure::Shed`](crate::shard::Backpressure::Shed) — an
+    /// overload loss upstream of any per-shard queue.
+    Backpressure,
 }
 
 impl DropReason {
-    /// Number of distinct reasons (queue-full plus one per parse verdict).
-    pub const COUNT: usize = 1 + ParseVerdict::COUNT;
+    /// Number of distinct reasons (queue-full, one per parse verdict,
+    /// backpressure).
+    pub const COUNT: usize = 2 + ParseVerdict::COUNT;
 
     /// Dense index of this reason (0 is queue-full; parse verdicts follow
-    /// in [`ParseVerdict::ALL`] order).
+    /// in [`ParseVerdict::ALL`] order; backpressure is last).
+    ///
+    /// New reasons are **appended**, never inserted: the dense index is
+    /// part of exported diagnostics (`BENCH_throughput.json`, merged
+    /// counters), so existing indices must stay stable —
+    /// `tests/drop_reasons.rs` golden-pins the full assignment.
     pub fn index(self) -> usize {
         match self {
             DropReason::QueueFull => 0,
             DropReason::Parse(v) => 1 + v.index(),
+            DropReason::Backpressure => 1 + ParseVerdict::COUNT,
         }
     }
 
@@ -117,6 +130,7 @@ impl DropReason {
     pub fn all() -> impl Iterator<Item = DropReason> {
         std::iter::once(DropReason::QueueFull)
             .chain(ParseVerdict::ALL.into_iter().map(DropReason::Parse))
+            .chain(std::iter::once(DropReason::Backpressure))
     }
 
     /// Stable snake_case label (counter name in logs and bench JSON).
@@ -124,6 +138,7 @@ impl DropReason {
         match self {
             DropReason::QueueFull => "queue_full",
             DropReason::Parse(v) => v.label(),
+            DropReason::Backpressure => "backpressure",
         }
     }
 }
@@ -155,8 +170,12 @@ impl DropCounters {
         DropCounters::default()
     }
 
-    fn bump(&mut self, reason: DropReason) {
+    pub(crate) fn bump(&mut self, reason: DropReason) {
         self.counts[reason.index()] += 1;
+    }
+
+    pub(crate) fn bump_by(&mut self, reason: DropReason, n: u64) {
+        self.counts[reason.index()] += n;
     }
 
     /// Drops recorded for one reason.
@@ -174,9 +193,15 @@ impl DropCounters {
         self.counts[DropReason::QueueFull.index()]
     }
 
+    /// Overload sheds at the sharded dispatcher (the backpressure reason
+    /// alone; always 0 on a serial [`Switch`]).
+    pub fn backpressure(&self) -> u64 {
+        self.counts[DropReason::Backpressure.index()]
+    }
+
     /// Malformed-traffic discards (every parse verdict summed).
     pub fn parse_total(&self) -> u64 {
-        self.total() - self.queue_full()
+        self.total() - self.queue_full() - self.backpressure()
     }
 
     /// Adds another set of counters into this one (shard merging).
@@ -201,14 +226,26 @@ impl DropCounters {
 pub const QUEUE_METADATA_FIELDS: [&str; 3] = ["enq_ts", "now", "qdepth"];
 
 /// A switch: ingress pipeline, a bounded FIFO queue, egress pipeline.
+///
+/// # Panic freedom
+///
+/// The run entry points ([`Switch::run_trace`], [`Switch::run_stamped`],
+/// [`Switch::run_wire_trace`]) never panic on any input trace: malformed
+/// frames become typed [`DropReason::Parse`] counters, overfull queues
+/// become [`DropReason::QueueFull`] counters, and unsupported
+/// configurations are rejected up front as typed [`SwitchError`]s. A
+/// panic can only originate inside a custom [`PipelineEngine`] (e.g. a
+/// deliberately faulty one — see [`crate::fault`]); the sharded switch
+/// supervises even those (see [`crate::shard`]).
 #[derive(Debug, Clone)]
 pub struct Switch<E: PipelineEngine = Machine> {
     ingress: E,
     egress: E,
-    /// `(enqueue_cycle, packet, wire layout)` — the layout rides the
-    /// queue only for byte-born packets ([`Switch::run_wire_trace`]) so
-    /// egress can deparse them; map-born packets carry `None`.
-    queue: VecDeque<(i64, Packet, Option<WireLayout>)>,
+    /// `(enqueue_cycle, packet)` FIFO between the pipelines. Byte-born
+    /// packets ([`Switch::run_wire_trace`]) ride a run-local queue that
+    /// additionally carries each packet's [`WireLayout`]; both queues
+    /// share `capacity` and the drop accounting.
+    queue: VecDeque<(i64, Packet)>,
     capacity: usize,
     /// Cycles taken to transmit one packet from the queue (≥1): values
     /// above 1 create standing queues under load, which is what egress
@@ -248,10 +285,10 @@ impl Switch<SlotMachine> {
         ingress: &AtomPipeline,
         egress: &AtomPipeline,
         capacity: usize,
-    ) -> Result<Switch<SlotMachine>, String> {
+    ) -> Result<Switch<SlotMachine>, SwitchError> {
         Ok(Switch::from_engines(
-            SlotMachine::compile(ingress)?,
-            SlotMachine::compile(egress)?,
+            SlotMachine::compile(ingress).map_err(SwitchError::build)?,
+            SlotMachine::compile(egress).map_err(SwitchError::build)?,
             capacity,
         ))
     }
@@ -428,19 +465,22 @@ impl<E: PipelineEngine> Switch<E> {
     /// depth 0 — independent of what other shards carry, which is exactly
     /// why the per-shard runs compose back into the serial behaviour.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `drain_period != 1` (an oversubscribed egress link
-    /// couples shards through the shared queue and cannot be partitioned).
+    /// Returns [`SwitchError::Unsupported`] if `drain_period != 1` (an
+    /// oversubscribed egress link couples shards through the shared queue
+    /// and cannot be partitioned). Never panics.
     pub fn run_stamped<P: std::borrow::Borrow<Packet>>(
         &mut self,
         batch: &[(i64, P)],
-    ) -> Vec<Packet> {
-        assert_eq!(
-            self.drain_period, 1,
-            "stamped (sharded) execution requires a line-rate egress link \
-             (drain_period 1); a standing queue couples shards"
-        );
+    ) -> Result<Vec<Packet>, SwitchError> {
+        if self.drain_period != 1 {
+            return Err(SwitchError::Unsupported(format!(
+                "stamped (sharded) execution requires a line-rate egress link \
+                 (drain_period 1, got {}); a standing queue couples shards",
+                self.drain_period
+            )));
+        }
         let mut out = Vec::with_capacity(batch.len());
         let mut last_t: Option<i64> = None;
         for (t, pkt) in batch {
@@ -454,16 +494,19 @@ impl<E: PipelineEngine> Switch<E> {
                 self.drops.bump(DropReason::QueueFull);
                 continue;
             }
-            self.queue.push_back((*t, processed, None));
-            let (enq_ts, mut p, _) = self.queue.pop_front().expect("just pushed");
-            p.set(&self.enqueue_ts_field, enq_ts as i32);
-            p.set("now", (*t + 1) as i32);
-            p.set(&self.depth_field, self.queue.len() as i32);
-            out.push(self.egress.process(p));
-            self.transmitted += 1;
-            self.now = *t + 1;
+            self.queue.push_back((*t, processed));
+            // At line rate the packet just pushed drains immediately (the
+            // if-let always matches; no unwrap on the hot path).
+            if let Some((enq_ts, mut p)) = self.queue.pop_front() {
+                p.set(&self.enqueue_ts_field, enq_ts as i32);
+                p.set("now", (*t + 1) as i32);
+                p.set(&self.depth_field, self.queue.len() as i32);
+                out.push(self.egress.process(p));
+                self.transmitted += 1;
+                self.now = *t + 1;
+            }
         }
-        out
+        Ok(out)
     }
 
     /// Runs a trace through the whole switch: each input packet is
@@ -481,7 +524,7 @@ impl<E: PipelineEngine> Switch<E> {
         loop {
             // Dequeue + egress on drain cycles.
             if (self.now as u64).is_multiple_of(self.drain_period) {
-                if let Some((enq_ts, mut pkt, _)) = self.queue.pop_front() {
+                if let Some((enq_ts, mut pkt)) = self.queue.pop_front() {
                     pkt.set(&self.enqueue_ts_field, enq_ts as i32);
                     pkt.set("now", self.now as i32);
                     pkt.set(&self.depth_field, self.queue.len() as i32);
@@ -496,7 +539,7 @@ impl<E: PipelineEngine> Switch<E> {
                     if self.queue.len() >= self.capacity {
                         self.drops.bump(DropReason::QueueFull);
                     } else {
-                        self.queue.push_back((self.now, processed, None));
+                        self.queue.push_back((self.now, processed));
                     }
                 }
                 None => {
@@ -528,16 +571,20 @@ impl<E: PipelineEngine> Switch<E> {
         frames: &[F],
         cfg: &WireConfig,
     ) -> Vec<Vec<u8>> {
+        // Byte-born packets carry their wire layout alongside the FIFO
+        // entry so egress can deparse; the queue is run-local (the shared
+        // map-packet FIFO is always drained between runs) but shares
+        // `capacity` and the drop/transmit accounting.
+        let mut queue: VecDeque<(i64, Packet, WireLayout)> = VecDeque::new();
         let mut out = Vec::new();
         let mut inputs = frames.iter();
         loop {
             if (self.now as u64).is_multiple_of(self.drain_period) {
-                if let Some((enq_ts, mut pkt, layout)) = self.queue.pop_front() {
+                if let Some((enq_ts, mut pkt, layout)) = queue.pop_front() {
                     pkt.set(&self.enqueue_ts_field, enq_ts as i32);
                     pkt.set("now", self.now as i32);
-                    pkt.set(&self.depth_field, self.queue.len() as i32);
+                    pkt.set(&self.depth_field, queue.len() as i32);
                     let egressed = self.egress.process(pkt);
-                    let layout = layout.expect("wire-admitted packets carry their layout");
                     out.push(wire::deparse(&egressed, &layout));
                     self.transmitted += 1;
                 }
@@ -546,16 +593,16 @@ impl<E: PipelineEngine> Switch<E> {
                 Some(frame) => match wire::parse(frame.as_ref(), cfg) {
                     Ok(wp) => {
                         let processed = self.ingress.process(wp.pkt);
-                        if self.queue.len() >= self.capacity {
+                        if queue.len() >= self.capacity {
                             self.drops.bump(DropReason::QueueFull);
                         } else {
-                            self.queue.push_back((self.now, processed, Some(wp.layout)));
+                            queue.push_back((self.now, processed, wp.layout));
                         }
                     }
                     Err(verdict) => self.drops.bump(DropReason::Parse(verdict)),
                 },
                 None => {
-                    if self.queue.is_empty() {
+                    if queue.is_empty() {
                         break;
                     }
                 }
@@ -626,7 +673,7 @@ mod tests {
             .enumerate()
             .map(|(i, p)| (i as i64, p.clone()))
             .collect();
-        let stamped_out = stamped.run_stamped(&batch);
+        let stamped_out = stamped.run_stamped(&batch).unwrap();
         assert_eq!(serial_out, stamped_out);
         assert_eq!(serial.transmitted(), stamped.transmitted());
         assert_eq!(serial.drops(), stamped.drops());
@@ -648,7 +695,7 @@ mod tests {
                 .filter(|(i, _)| i % 2 == parity)
                 .map(|(i, p)| (i as i64, p.clone()))
                 .collect();
-            let out = shard.run_stamped(&batch);
+            let out = shard.run_stamped(&batch).unwrap();
             let expected: Vec<Packet> = serial_out
                 .iter()
                 .enumerate()
@@ -660,10 +707,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "line-rate egress link")]
     fn stamped_rejects_oversubscribed_links() {
         let mut sw = Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
-        sw.run_stamped::<Packet>(&[]);
+        let err = sw.run_stamped::<Packet>(&[]).unwrap_err();
+        assert!(
+            matches!(&err, SwitchError::Unsupported(msg) if msg.contains("line-rate egress link")),
+            "{err}"
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! (the CI perf-regression check).
 //!
 //! ```text
-//! throughput [--smoke] [--wire] [--packets <n>] [--out <path>] [--shards <csv>]
-//!            [--check <baseline.json>] [--tolerance <f>]
+//! throughput [--smoke] [--wire] [--chaos] [--packets <n>] [--out <path>]
+//!            [--shards <csv>] [--check <baseline.json>] [--tolerance <f>]
 //!
 //!   --smoke            small traces (CI: exercises both engines, the
 //!                      sharded switch, and the JSON emission quickly)
@@ -15,6 +15,10 @@
 //!                      (parse → pipeline → deparse on both engines) and
 //!                      the malformed-traffic parser-stress differential;
 //!                      wire rows land in the JSON and are gated by --check
+//!   --chaos            add the E12 fault-injection suite against the
+//!                      supervised sharded switch (kill / stall / shed /
+//!                      bit-flip); every row asserts the failure-model
+//!                      invariants before it is recorded
 //!   --packets <n>      packets for the headline flowlet trace (default 1000000)
 //!   --out <path>       where to write the JSON (default BENCH_throughput.json)
 //!   --shards <csv>     shard counts for the E10 sweep (default 1,2,4,8)
@@ -25,8 +29,9 @@
 //! ```
 
 use bench::throughput::{
-    check_regressions, machine_workload, parse_baseline, render_json, scaling_speedup, shard_sweep,
-    switch_workload, wire_stress, wire_workload, Measurement, ShardMeasurement,
+    chaos_suite, check_regressions, machine_workload, parse_baseline, render_json, scaling_speedup,
+    shard_sweep, switch_workload, wire_stress, wire_workload, ChaosOutcome, Measurement,
+    ShardMeasurement,
 };
 use std::process::ExitCode;
 
@@ -45,6 +50,7 @@ fn main() -> ExitCode {
 fn run(args: &[String]) -> Result<(), String> {
     let mut smoke = false;
     let mut with_wire = false;
+    let mut with_chaos = false;
     let mut flowlet_n: Option<usize> = None;
     let mut out_path = "BENCH_throughput.json".to_string();
     let mut shard_counts: Vec<usize> = vec![1, 2, 4, 8];
@@ -56,6 +62,7 @@ fn run(args: &[String]) -> Result<(), String> {
         match args[i].as_str() {
             "--smoke" => smoke = true,
             "--wire" => with_wire = true,
+            "--chaos" => with_chaos = true,
             "--packets" => {
                 i += 1;
                 let v = args.get(i).ok_or("--packets needs a value")?;
@@ -87,7 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "throughput [--smoke] [--wire] [--packets <n>] [--out <path>] \
+                    "throughput [--smoke] [--wire] [--chaos] [--packets <n>] [--out <path>] \
                      [--shards <csv>] [--check <baseline.json>] [--tolerance <f>]"
                 );
                 return Ok(());
@@ -225,7 +232,69 @@ fn run(args: &[String]) -> Result<(), String> {
         )
     );
 
-    let doc = render_json(&measurements, &scaling, host_cores);
+    let mut chaos: Vec<ChaosOutcome> = Vec::new();
+    if with_chaos {
+        let chaos_n = if smoke { 4_000 } else { 50_000 };
+        println!(
+            "E12 — chaos/overload suite, supervised sharded switch \
+             (each row asserts no-hang, typed errors, salvage-equals-serial, \
+             and packet conservation before it is recorded)\n"
+        );
+        // The kill scenario panics a worker on purpose; silence the
+        // default panic-hook backtrace so the table stays readable. This
+        // binary is single-purpose, so the process-global swap is safe.
+        // Chaos workloads must actually fan out (the suite supervises a
+        // real multi-worker run): flowlet plus another per-flow-keyed
+        // algorithm. Unpartitionable ones (heavy_hitters, rcp, …) collapse
+        // to one shard and are rejected by the suite's precondition.
+        chaos = banzai::fault::with_quiet_panics(|| {
+            ["flowlet", "sampled_netflow"]
+                .iter()
+                .flat_map(|w| chaos_suite(w, chaos_n, SEED))
+                .collect()
+        });
+        let chaos_rows: Vec<Vec<String>> = chaos
+            .iter()
+            .map(|c| {
+                vec![
+                    c.scenario.clone(),
+                    c.workload.clone(),
+                    c.packets.to_string(),
+                    c.outcome.clone(),
+                    c.faulted_shard
+                        .map(|s| s.to_string())
+                        .unwrap_or_else(|| "-".to_string()),
+                    c.transmitted.to_string(),
+                    c.dropped.to_string(),
+                    c.lost_in_fault.to_string(),
+                    format!("{}/{}", c.survivors, c.shards),
+                    format!("{:.1}", c.wall_ns as f64 / 1e6),
+                    "yes".to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            bench::render_table(
+                &[
+                    "scenario",
+                    "workload",
+                    "packets",
+                    "outcome",
+                    "shard",
+                    "transmitted",
+                    "dropped",
+                    "lost",
+                    "survivors",
+                    "wall ms",
+                    "conserved"
+                ],
+                &chaos_rows
+            )
+        );
+    }
+
+    let doc = render_json(&measurements, &scaling, &chaos, host_cores);
     std::fs::write(&out_path, &doc).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
     println!("wrote {out_path}");
 

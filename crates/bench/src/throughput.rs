@@ -40,8 +40,11 @@
 //!   pps) are compared, so the gate is robust to runner hardware.
 
 use crate::wiregen::{self, GenOptions};
+use banzai::fault::{FaultPlan, FaultSpec, FaultyEngine};
 use banzai::wire::{self, BoundParser};
-use banzai::{DropReason, Machine, ShardConfig, ShardedSwitch, SlotMachine, Switch, Target};
+use banzai::{
+    Backpressure, DropReason, Machine, ShardConfig, ShardedSwitch, SlotMachine, Switch, Target,
+};
 use domino_ir::Packet;
 use std::time::Instant;
 
@@ -423,7 +426,8 @@ pub fn shard_sweep(
         ShardConfig::new(1).with_capacity(CAPACITY),
     )
     .expect("compiled pipelines are slot-executable")
-    .run_trace_instrumented(&trace);
+    .run_trace_instrumented(&trace)
+    .expect("line-rate shard switches support stamped runs");
 
     shard_counts
         .iter()
@@ -438,7 +442,9 @@ pub fn shard_sweep(
             // into a page-churn regime that poisons measurements.
             let mut verify_sw = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone())
                 .expect("compiled pipelines are slot-executable");
-            let parts = verify_sw.run_trace_partitioned(&trace);
+            let parts = verify_sw
+                .run_trace_partitioned(&trace)
+                .expect("line-rate shard switches support stamped runs");
             let assignment: Vec<usize> = trace.iter().map(|p| verify_sw.plan().steer(p)).collect();
             for (s, part) in parts.iter().enumerate() {
                 let mut cursor = 0usize;
@@ -473,7 +479,9 @@ pub fn shard_sweep(
             // only the run's own working set live.
             let mut timed_sw = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone())
                 .expect("compiled pipelines are slot-executable");
-            let run = timed_sw.run_trace_instrumented(&trace);
+            let run = timed_sw
+                .run_trace_instrumented(&trace)
+                .expect("line-rate shard switches support stamped runs");
             let timings = run.timings.clone();
             let merged = run.merged;
             assert_eq!(
@@ -488,7 +496,9 @@ pub fn shard_sweep(
             let mut threaded_sw = ShardedSwitch::new_slot(&ingress, &egress, cfg)
                 .expect("compiled pipelines are slot-executable");
             let t = Instant::now();
-            let threaded = threaded_sw.run_trace(&trace);
+            let threaded = threaded_sw
+                .run_trace(&trace)
+                .expect("no faults injected in the scaling sweep");
             let wall_ns = t.elapsed().as_nanos();
             assert_eq!(
                 threaded, merged,
@@ -506,6 +516,354 @@ pub fn shard_sweep(
             }
         })
         .collect()
+}
+
+/// One E12 chaos scenario's verified outcome: what was injected, what the
+/// supervisor reported, and where every offered packet went.
+///
+/// Like every other row in this harness, a recorded outcome is a
+/// correctness witness — [`chaos_suite`] asserts the failure-model
+/// invariants (no hang, typed error, salvage-equals-serial, conservation)
+/// before returning it.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Scenario id (`kill_worker`, `stall_worker`, `overload_shed`,
+    /// `bit_flip`).
+    pub scenario: String,
+    /// Workload (ingress algorithm) name.
+    pub workload: String,
+    /// Packets offered.
+    pub packets: usize,
+    /// Worker shards in the run.
+    pub shards: usize,
+    /// `fault` if the run returned [`banzai::SwitchError::Fault`], else `ok`.
+    pub outcome: String,
+    /// The failed shard, when the run faulted.
+    pub faulted_shard: Option<usize>,
+    /// Rendered [`banzai::FaultCause`] (or `none`).
+    pub cause: String,
+    /// Packets whose outputs were delivered (merged + salvaged prefixes).
+    pub transmitted: u64,
+    /// Packets under typed drop counters (queue-full / parse /
+    /// backpressure shed).
+    pub dropped: u64,
+    /// Packets attributed to the fault by the salvage accounting.
+    pub lost_in_fault: u64,
+    /// Shards that survived and drained cleanly.
+    pub survivors: usize,
+    /// Wall-clock nanoseconds of the supervised run (the no-hang number:
+    /// bounded by the watchdog, not by the injected stall).
+    pub wall_ns: u128,
+}
+
+impl ChaosOutcome {
+    /// `offered == transmitted + dropped + lost_in_fault` (asserted by
+    /// [`chaos_suite`]; recorded so the JSON self-documents).
+    pub fn conserved(&self) -> bool {
+        self.packets as u64 == self.transmitted + self.dropped + self.lost_in_fault
+    }
+}
+
+/// Builds a sharded switch whose shards are armed with `faults` — the
+/// constructor-driven injection path (`ShardedSwitch::new_with` +
+/// [`FaultyEngine`]).
+fn armed_sharded(
+    ingress: &banzai::AtomPipeline,
+    egress: &banzai::AtomPipeline,
+    cfg: ShardConfig,
+    faults: &FaultPlan,
+) -> ShardedSwitch<FaultyEngine<SlotMachine>> {
+    ShardedSwitch::new_with(ingress, egress, cfg, |s, ing, eg, cap| {
+        let i = FaultyEngine::with_faults(ing, faults.faults_for(s).to_vec())?;
+        let e = <FaultyEngine<SlotMachine> as banzai::PipelineEngine>::build(eg)?;
+        Ok(Switch::from_engines(i, e, cap))
+    })
+    .expect("compiled pipelines are slot-executable")
+}
+
+/// E12 — the chaos/overload suite: four fault-injection scenarios against
+/// the supervised sharded switch on a real Table 4 workload, each
+/// asserting the failure-model contract before its outcome is recorded:
+///
+/// 1. **kill_worker** — panic one shard's engine mid-trace: the run must
+///    return a typed [`banzai::SwitchError::Fault`] naming the shard, packet, and
+///    payload; every surviving shard's salvaged output *and state* must be
+///    bit-identical to the serial switch restricted to its flows; the
+///    accounting must balance exactly.
+/// 2. **stall_worker** — wedge a worker past the watchdog: the caller
+///    gets a typed `Stall` error in bounded time (never hangs, never joins
+///    the wedged thread) and the books still balance.
+/// 3. **overload_shed** — a slow worker under [`Backpressure::Shed`]:
+///    the run *succeeds*, overload is counted under the backpressure drop
+///    reason, and transmitted + dropped equals offered.
+/// 4. **bit_flip** — silent single-bit corruption: not a fault (nothing
+///    to supervise), but the divergence from the clean run is observable
+///    and conservation still holds — the boundary of the failure model.
+///
+/// # Panics
+///
+/// Panics if any scenario violates its invariant — a returned outcome is
+/// a correctness witness, same as every other row in this harness.
+pub fn chaos_suite(name: &str, n: usize, seed: u64) -> Vec<ChaosOutcome> {
+    const SHARDS: usize = 4;
+    const CAPACITY: usize = 512;
+    let ingress = compile_least(name);
+    let egress = banzai::AtomPipeline::passthrough("egress");
+    let trace = algorithms::by_name(name).unwrap().trace(n, seed);
+
+    let mut serial = Switch::new_slot(&ingress, &egress, CAPACITY)
+        .expect("compiled pipelines are slot-executable");
+    let serial_out = serial.run_trace(&trace);
+
+    let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(SHARDS))
+        .expect("compiled pipelines are slot-executable");
+    assert_eq!(
+        probe.plan().effective(),
+        SHARDS,
+        "{name}: chaos suite needs a partitionable workload ({})",
+        probe.plan()
+    );
+    let assignment: Vec<usize> = trace.iter().map(|p| probe.plan().steer(p)).collect();
+    let offered_to = |s: usize| assignment.iter().filter(|&&sh| sh == s).count() as u64;
+    // Victim: the busiest shard (guaranteed nonempty), killed one third in.
+    let victim = (0..SHARDS)
+        .max_by_key(|&s| offered_to(s))
+        .expect("SHARDS > 0");
+    let mut outcomes = Vec::new();
+
+    // 1. kill_worker ------------------------------------------------------
+    {
+        let kill_at = offered_to(victim) / 3;
+        let cfg = ShardConfig::new(SHARDS).with_capacity(CAPACITY);
+        let mut sw = armed_sharded(
+            &ingress,
+            &egress,
+            cfg,
+            &FaultPlan::kill(SHARDS, victim, kill_at),
+        );
+        let t = Instant::now();
+        let err = sw
+            .run_trace(&trace)
+            .expect_err("an armed panic must surface as an error");
+        let wall_ns = t.elapsed().as_nanos();
+        let report = err.fault().expect("worker faults carry a report").clone();
+
+        let failure = &report.failures[0];
+        assert_eq!(failure.shard, victim, "{name}: wrong shard blamed");
+        assert!(
+            failure.packet.is_some(),
+            "{name}: fault packet not recovered"
+        );
+        assert!(
+            matches!(&failure.cause, banzai::FaultCause::Panic(p)
+                if p.contains(banzai::fault::INJECTED_PANIC_MARKER)),
+            "{name}: cause is not the injected panic: {}",
+            failure.cause
+        );
+        for s in report.survivors() {
+            let salvage = report.shard(s).expect("salvage covers every shard");
+            // Outputs: the serial stream restricted to this shard's flows.
+            let mut cursor = 0usize;
+            for (i, &shard) in assignment.iter().enumerate() {
+                if shard != s {
+                    continue;
+                }
+                assert_eq!(
+                    salvage.output[cursor], serial_out[i],
+                    "{name}: survivor {s} output diverged at input {i}"
+                );
+                cursor += 1;
+            }
+            assert_eq!(salvage.output.len(), cursor, "{name}: survivor {s} length");
+            // State: bit-identical to a serial run over exactly this
+            // shard's packet subsequence.
+            let sub: Vec<Packet> = assignment
+                .iter()
+                .enumerate()
+                .filter(|&(_, &sh)| sh == s)
+                .map(|(i, _)| trace[i].clone())
+                .collect();
+            let mut twin = Switch::new_slot(&ingress, &egress, CAPACITY)
+                .expect("compiled pipelines are slot-executable");
+            twin.run_trace(&sub);
+            let (ing_state, _) = salvage.state.as_ref().expect("survivors report state");
+            assert_eq!(
+                ing_state,
+                &twin.export_ingress_state(),
+                "{name}: survivor {s} state diverged from the serial prefix"
+            );
+        }
+        assert!(
+            report.accounting.conserved(),
+            "{name}: {}",
+            report.accounting
+        );
+        outcomes.push(ChaosOutcome {
+            scenario: "kill_worker".into(),
+            workload: name.into(),
+            packets: n,
+            shards: SHARDS,
+            outcome: "fault".into(),
+            faulted_shard: Some(victim),
+            cause: failure.cause.to_string(),
+            transmitted: report.accounting.transmitted,
+            dropped: report.accounting.dropped,
+            lost_in_fault: report.accounting.lost_in_fault,
+            survivors: report.survivors().len(),
+            wall_ns,
+        });
+    }
+
+    // 2. stall_worker -----------------------------------------------------
+    {
+        const WATCHDOG_MS: u64 = 150;
+        let mut faults = FaultPlan::none(SHARDS);
+        faults.push(victim, FaultSpec::stall_at(0, 600));
+        let cfg = ShardConfig::new(SHARDS)
+            .with_capacity(CAPACITY)
+            .with_batch(64)
+            .with_ring(1)
+            .with_watchdog_ms(WATCHDOG_MS);
+        let mut sw = armed_sharded(&ingress, &egress, cfg, &faults);
+        let t = Instant::now();
+        let err = sw
+            .run_trace(&trace)
+            .expect_err("a stall past the watchdog must surface as an error");
+        let wall_ns = t.elapsed().as_nanos();
+        assert!(
+            wall_ns < 5_000_000_000,
+            "{name}: supervisor hung on a wedged worker ({wall_ns} ns)"
+        );
+        let report = err.fault().expect("worker faults carry a report").clone();
+        let failure = report
+            .failures
+            .iter()
+            .find(|f| f.shard == victim)
+            .expect("the wedged shard must be reported");
+        assert!(
+            matches!(
+                failure.cause,
+                banzai::FaultCause::Stall {
+                    watchdog_ms: WATCHDOG_MS
+                }
+            ),
+            "{name}: expected a watchdog stall, got {}",
+            failure.cause
+        );
+        assert!(
+            report.accounting.conserved(),
+            "{name}: {}",
+            report.accounting
+        );
+        outcomes.push(ChaosOutcome {
+            scenario: "stall_worker".into(),
+            workload: name.into(),
+            packets: n,
+            shards: SHARDS,
+            outcome: "fault".into(),
+            faulted_shard: Some(victim),
+            cause: failure.cause.to_string(),
+            transmitted: report.accounting.transmitted,
+            dropped: report.accounting.dropped,
+            lost_in_fault: report.accounting.lost_in_fault,
+            survivors: report.survivors().len(),
+            wall_ns,
+        });
+    }
+
+    // 3. overload_shed ----------------------------------------------------
+    {
+        let mut faults = FaultPlan::none(SHARDS);
+        faults.push(victim, FaultSpec::stall_at(0, 200));
+        let cfg = ShardConfig::new(SHARDS)
+            .with_capacity(CAPACITY)
+            .with_batch(16)
+            .with_ring(1)
+            .with_backpressure(Backpressure::Shed);
+        let mut sw = armed_sharded(&ingress, &egress, cfg, &faults);
+        let t = Instant::now();
+        let out = sw
+            .run_trace(&trace)
+            .expect("shedding is an overload policy, not a fault");
+        let wall_ns = t.elapsed().as_nanos();
+        let shed = sw.drop_counters().backpressure();
+        assert!(
+            shed > 0,
+            "{name}: a 200ms stall against a 1-batch ring must shed"
+        );
+        assert_eq!(
+            out.len() as u64 + sw.drops(),
+            n as u64,
+            "{name}: shed run out of balance"
+        );
+        outcomes.push(ChaosOutcome {
+            scenario: "overload_shed".into(),
+            workload: name.into(),
+            packets: n,
+            shards: SHARDS,
+            outcome: "ok".into(),
+            faulted_shard: None,
+            cause: "none".into(),
+            transmitted: out.len() as u64,
+            dropped: sw.drops(),
+            lost_in_fault: 0,
+            survivors: SHARDS,
+            wall_ns,
+        });
+    }
+
+    // 4. bit_flip ---------------------------------------------------------
+    {
+        let field = trace[0]
+            .field_names()
+            .min()
+            .expect("trace packets carry fields")
+            .to_string();
+        let mut faults = FaultPlan::none(SHARDS);
+        faults.push(
+            victim,
+            FaultSpec::bit_flip_at(offered_to(victim) / 2, &field, 0),
+        );
+        let cfg = ShardConfig::new(SHARDS).with_capacity(CAPACITY);
+
+        let mut clean = armed_sharded(&ingress, &egress, cfg.clone(), &FaultPlan::none(SHARDS));
+        let clean_out = clean.run_trace(&trace).expect("no faults armed");
+        let mut sw = armed_sharded(&ingress, &egress, cfg, &faults);
+        let t = Instant::now();
+        let out = sw
+            .run_trace(&trace)
+            .expect("silent corruption is invisible to the supervisor");
+        let wall_ns = t.elapsed().as_nanos();
+        assert_eq!(out.len(), clean_out.len(), "{name}: bit flip lost packets");
+        assert_ne!(
+            out, clean_out,
+            "{name}: flipping `{field}` bit 0 must be observable"
+        );
+        assert_eq!(
+            out.len() as u64 + sw.drops(),
+            n as u64,
+            "{name}: bit-flip run out of balance"
+        );
+        outcomes.push(ChaosOutcome {
+            scenario: "bit_flip".into(),
+            workload: name.into(),
+            packets: n,
+            shards: SHARDS,
+            outcome: "ok".into(),
+            faulted_shard: None,
+            cause: format!("bit_flip({field}, bit 0)"),
+            transmitted: out.len() as u64,
+            dropped: sw.drops(),
+            lost_in_fault: 0,
+            survivors: SHARDS,
+            wall_ns,
+        });
+    }
+
+    for o in &outcomes {
+        assert!(o.conserved(), "{}: {:?} out of balance", o.scenario, o);
+    }
+    outcomes
 }
 
 /// The modeled speedup of each sweep row over the 1-shard row of the same
@@ -600,10 +958,13 @@ pub fn check_regressions(
 /// [`parse_baseline`] reads back for the regression gate; the `scaling`
 /// section (E10, keyed `workload`) records the shard sweep with both
 /// wall-clock and critical-path numbers, plus `host_cores` so readers can
-/// judge which of the two is meaningful on the recording machine.
+/// judge which of the two is meaningful on the recording machine. The
+/// `chaos` section (E12, keyed `scenario` — deliberately *not* `name`, so
+/// the baseline scanner skips it) records the fault-injection outcomes.
 pub fn render_json(
     measurements: &[Measurement],
     scaling: &[ShardMeasurement],
+    chaos: &[ChaosOutcome],
     host_cores: usize,
 ) -> String {
     let rows: Vec<String> = measurements
@@ -661,12 +1022,44 @@ pub fn render_json(
             )
         })
         .collect();
+    let chaos_rows: Vec<String> = chaos
+        .iter()
+        .map(|c| {
+            let shard = c
+                .faulted_shard
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".to_string());
+            format!(
+                "    {{\n      \"scenario\": \"{}\",\n      \"workload\": \"{}\",\n      \
+                 \"packets\": {},\n      \"shards\": {},\n      \"outcome\": \"{}\",\n      \
+                 \"faulted_shard\": {},\n      \"cause\": \"{}\",\n      \
+                 \"transmitted\": {},\n      \"dropped\": {},\n      \
+                 \"lost_in_fault\": {},\n      \"survivors\": {},\n      \
+                 \"wall_ns\": {},\n      \"conserved\": {}\n    }}",
+                c.scenario,
+                c.workload,
+                c.packets,
+                c.shards,
+                c.outcome,
+                shard,
+                c.cause.replace('"', "'").replace('\n', " "),
+                c.transmitted,
+                c.dropped,
+                c.lost_in_fault,
+                c.survivors,
+                c.wall_ns,
+                c.conserved()
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"suite\": \"throughput\",\n  \"engines\": [\"map\", \"slot\"],\n  \
-         \"host_cores\": {},\n  \"workloads\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
+         \"host_cores\": {},\n  \"workloads\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ],\n  \
+         \"chaos\": [\n{}\n  ]\n}}\n",
         host_cores,
         rows.join(",\n"),
-        scaling_rows.join(",\n")
+        scaling_rows.join(",\n"),
+        chaos_rows.join(",\n")
     )
 }
 
@@ -726,12 +1119,31 @@ mod tests {
             },
             fallback: None,
         };
-        let doc = render_json(&[m], &[s], 1);
+        let c = ChaosOutcome {
+            scenario: "kill_worker".into(),
+            workload: "flowlet".into(),
+            packets: 10,
+            shards: 4,
+            outcome: "fault".into(),
+            faulted_shard: Some(2),
+            cause: "worker panicked: \"boom\"".into(),
+            transmitted: 7,
+            dropped: 1,
+            lost_in_fault: 2,
+            survivors: 3,
+            wall_ns: 40,
+        };
+        let doc = render_json(&[m], &[s], &[c], 1);
         assert!(doc.contains("\"name\": \"flowlet\""), "{doc}");
         assert!(doc.contains("\"speedup\": 10.00"), "{doc}");
         assert!(doc.contains("\"workload\": \"flowlet\""), "{doc}");
         assert!(doc.contains("\"critical_ns\": 25"), "{doc}");
         assert!(doc.contains("\"host_cores\": 1"), "{doc}");
+        assert!(doc.contains("\"scenario\": \"kill_worker\""), "{doc}");
+        assert!(doc.contains("\"faulted_shard\": 2"), "{doc}");
+        assert!(doc.contains("\"conserved\": true"), "{doc}");
+        // Quotes inside causes are sanitized so the document stays valid.
+        assert!(doc.contains("worker panicked: 'boom'"), "{doc}");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
@@ -755,6 +1167,23 @@ mod tests {
     }
 
     #[test]
+    fn chaos_suite_verifies_all_four_scenarios() {
+        let outcomes = chaos_suite("flowlet", 2_000, 0xC405);
+        let scenarios: Vec<&str> = outcomes.iter().map(|o| o.scenario.as_str()).collect();
+        assert_eq!(
+            scenarios,
+            ["kill_worker", "stall_worker", "overload_shed", "bit_flip"]
+        );
+        for o in &outcomes {
+            assert!(o.conserved(), "{:?}", o);
+        }
+        assert_eq!(outcomes[0].outcome, "fault");
+        assert!(outcomes[0].lost_in_fault > 0, "a kill must cost packets");
+        assert_eq!(outcomes[2].outcome, "ok");
+        assert!(outcomes[2].dropped > 0, "shedding must count drops");
+    }
+
+    #[test]
     fn baseline_roundtrips_through_the_json_emitter() {
         let ms = vec![
             Measurement {
@@ -770,7 +1199,23 @@ mod tests {
                 slot_ns: 20,
             },
         ];
-        let parsed = parse_baseline(&render_json(&ms, &[], 1));
+        // Chaos rows ride in the same document but are keyed `scenario`,
+        // not `name` — the baseline scanner must skip them.
+        let chaos = vec![ChaosOutcome {
+            scenario: "overload_shed".into(),
+            workload: "flowlet".into(),
+            packets: 10,
+            shards: 4,
+            outcome: "ok".into(),
+            faulted_shard: None,
+            cause: "none".into(),
+            transmitted: 8,
+            dropped: 2,
+            lost_in_fault: 0,
+            survivors: 4,
+            wall_ns: 40,
+        }];
+        let parsed = parse_baseline(&render_json(&ms, &[], &chaos, 1));
         assert_eq!(
             parsed,
             vec![

@@ -59,8 +59,9 @@ pub mod prelude {
         deparse, encode, parse, BoundParser, FrameSpec, ParseVerdict, WireConfig, WirePacket,
     };
     pub use banzai::{
-        AtomKind, DropCounters, DropReason, Machine, ShardConfig, ShardedSwitch, SlotMachine,
-        SteerMode, Switch, Target,
+        Accounting, AtomKind, Backpressure, DropCounters, DropReason, FaultCause, FaultKind,
+        FaultPlan, FaultReport, FaultSpec, FaultyEngine, Machine, ShardConfig, ShardError,
+        ShardSalvage, ShardedSwitch, SlotMachine, SteerMode, Switch, SwitchError, Target,
     };
     pub use domino_ir::{Packet, StateStore};
 }
@@ -113,6 +114,11 @@ pub fn slot_machine(source: &str, target: &Target) -> Result<banzai::SlotMachine
 /// sketches) run on a single shard, with the reason recorded in
 /// [`ShardPlan::fallback`](banzai::ShardPlan::fallback).
 ///
+/// The threaded run is supervised: worker faults surface as typed
+/// [`SwitchError::Fault`](banzai::SwitchError::Fault) values carrying a
+/// salvage-and-accounting [`FaultReport`](banzai::FaultReport), never as
+/// a process abort (see `banzai::shard`'s failure model).
+///
 /// ```
 /// use domino::prelude::*;
 ///
@@ -133,7 +139,7 @@ pub fn slot_machine(source: &str, target: &Target) -> Result<banzai::SlotMachine
 /// assert_eq!(sw.plan().effective(), 4);
 ///
 /// let trace: Vec<Packet> = (0..40).map(|i| Packet::new().with("flow", i % 8)).collect();
-/// let out = sw.run_trace(&trace);
+/// let out = sw.run_trace(&trace).unwrap();
 /// assert_eq!(out.len(), 40);
 /// // Five packets per flow: every flow's last packet is marked heavy.
 /// assert_eq!(out.iter().filter(|p| p.get("heavy") == Some(1)).count(), 8);

@@ -1,0 +1,374 @@
+//! Chaos suite: supervised sharded execution under injected faults.
+//!
+//! The contract under test (see `banzai::shard`'s failure model and
+//! `banzai::fault`):
+//!
+//! * a worker panic at **any** packet index on **any** shard never
+//!   deadlocks or aborts the process — the run returns a typed
+//!   [`SwitchError::Fault`] naming the shard, the failing packet's global
+//!   index, and the panic payload;
+//! * every surviving shard's salvage is **bit-identical to the serial
+//!   switch** restricted to that shard's flows (outputs and state);
+//! * packet conservation holds exactly on every faulted run:
+//!   `offered == transmitted + dropped + lost_in_fault`;
+//! * a stalled worker trips the watchdog instead of hanging the caller;
+//! * `Backpressure::Shed` sheds under overload, counted, and conserves;
+//! * the switch is rebuilt after a fault and remains usable.
+
+use banzai::fault::INJECTED_PANIC_MARKER;
+use banzai::{
+    AtomKind, AtomPipeline, Backpressure, FaultCause, FaultPlan, FaultSpec, FaultyEngine,
+    PipelineEngine, ShardConfig, ShardedSwitch, SlotMachine, Switch, SwitchError, Target,
+};
+use domino_ir::Packet;
+
+const CAPACITY: usize = 512;
+
+/// A per-flow counter — partitionable, so it genuinely fans out.
+const COUNTER: &str = "struct P { int flow; int c; };\nint counts[64] = {0};\n\
+                       void count(struct P pkt) {\n\
+                         counts[pkt.flow] = counts[pkt.flow] + 1;\n\
+                         pkt.c = counts[pkt.flow];\n\
+                       }";
+
+fn counter_pipelines() -> (AtomPipeline, AtomPipeline) {
+    let ingress = domino_compiler::compile(COUNTER, &Target::banzai(AtomKind::Raw)).unwrap();
+    (ingress, AtomPipeline::passthrough("egress"))
+}
+
+fn trace(len: usize, flows: i32) -> Vec<Packet> {
+    (0..len)
+        .map(|i| Packet::new().with("flow", i as i32 % flows).with("c", 0))
+        .collect()
+}
+
+/// Builds a sharded switch whose shards are armed per `faults` — the
+/// constructor-driven injection path (`new_with` + `FaultyEngine`).
+fn armed(
+    ingress: &AtomPipeline,
+    egress: &AtomPipeline,
+    cfg: ShardConfig,
+    faults: &FaultPlan,
+) -> ShardedSwitch<FaultyEngine<SlotMachine>> {
+    ShardedSwitch::new_with(ingress, egress, cfg, |s, ing, eg, cap| {
+        let ingress_eng = FaultyEngine::with_faults(ing, faults.faults_for(s).to_vec())?;
+        let egress_eng = <FaultyEngine<SlotMachine>>::build(eg)?;
+        Ok(Switch::from_engines(ingress_eng, egress_eng, cap))
+    })
+    .unwrap()
+}
+
+/// Unwraps a run result into its fault report, asserting it faulted.
+fn expect_fault(res: Result<Vec<Packet>, SwitchError>, ctx: &str) -> banzai::FaultReport {
+    match res {
+        Err(SwitchError::Fault(report)) => *report,
+        Err(other) => panic!("{ctx}: wrong error variant: {other}"),
+        Ok(out) => panic!(
+            "{ctx}: run succeeded ({} packets) despite armed fault",
+            out.len()
+        ),
+    }
+}
+
+/// Kill the worker at every shard × a spread of packet indices: the run
+/// must return a typed error naming the shard, cause, and exact global
+/// packet index; survivors must match serial bit-for-bit; the books must
+/// balance.
+#[test]
+fn kill_any_shard_at_any_packet_is_isolated_and_accounted() {
+    const SHARDS: usize = 4;
+    const BATCH: usize = 8;
+    let (ingress, egress) = counter_pipelines();
+    let trace = trace(480, 48);
+
+    // Serial reference (the ground truth survivors must match).
+    let mut serial = Switch::new_slot(&ingress, &egress, CAPACITY).unwrap();
+    let serial_out = serial.run_trace(&trace);
+
+    // Steering assignment, from an unarmed twin (the plan is pure).
+    let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(SHARDS)).unwrap();
+    assert_eq!(probe.plan().effective(), SHARDS, "{}", probe.plan());
+    let assignment: Vec<usize> = trace.iter().map(|p| probe.plan().steer(p)).collect();
+    let positions = |s: usize| -> Vec<u64> {
+        assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &sh)| sh == s)
+            .map(|(i, _)| i as u64)
+            .collect()
+    };
+    for s in 0..SHARDS {
+        assert!(positions(s).len() > 20, "shard {s} starved by steering");
+    }
+
+    for victim in 0..SHARDS {
+        let victim_positions = positions(victim);
+        let last = victim_positions.len() as u64 - 1;
+        for local_k in [0, 1, 17, last] {
+            let ctx = format!("victim {victim}, local packet {local_k}");
+            let cfg = ShardConfig::new(SHARDS).with_batch(BATCH);
+            let faults = FaultPlan::kill(SHARDS, victim, local_k);
+            let mut sw = armed(&ingress, &egress, cfg, &faults);
+            let report = expect_fault(sw.run_trace(&trace), &ctx);
+
+            // Typed error: shard, global packet index, payload marker.
+            assert_eq!(report.failures.len(), 1, "{ctx}");
+            let failure = &report.failures[0];
+            assert_eq!(failure.shard, victim, "{ctx}");
+            assert_eq!(
+                failure.packet,
+                Some(victim_positions[local_k as usize]),
+                "{ctx}: wrong failing packet"
+            );
+            assert!(
+                matches!(&failure.cause, FaultCause::Panic(p) if p.contains(INJECTED_PANIC_MARKER)),
+                "{ctx}: {:?}",
+                failure.cause
+            );
+
+            // Survivors: complete output + state, bit-identical to the
+            // serial switch restricted to their flows.
+            let mut survivors = report.survivors();
+            survivors.sort_unstable();
+            let expected_survivors: Vec<usize> = (0..SHARDS).filter(|&s| s != victim).collect();
+            assert_eq!(survivors, expected_survivors, "{ctx}");
+            for s in expected_survivors {
+                let salvage = report.shard(s).unwrap();
+                let expected: Vec<&Packet> = assignment
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &sh)| sh == s)
+                    .map(|(i, _)| &serial_out[i])
+                    .collect();
+                let got: Vec<&Packet> = salvage.output.iter().collect();
+                assert_eq!(
+                    got, expected,
+                    "{ctx}: shard {s} output diverged from serial"
+                );
+                assert_eq!(salvage.offered, expected.len() as u64, "{ctx}");
+                assert_eq!(salvage.lost(), 0, "{ctx}: survivor lost packets");
+
+                // State: equal to a serial run over exactly this shard's
+                // packet subsequence.
+                let sub: Vec<Packet> = assignment
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &sh)| sh == s)
+                    .map(|(i, _)| trace[i].clone())
+                    .collect();
+                let mut twin = Switch::new_slot(&ingress, &egress, CAPACITY).unwrap();
+                twin.run_trace(&sub);
+                let (salvaged_ingress, salvaged_egress) = salvage
+                    .state
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{ctx}: no state"));
+                assert_eq!(
+                    salvaged_ingress,
+                    &twin.export_ingress_state(),
+                    "{ctx}: shard {s} ingress state diverged from serial"
+                );
+                assert_eq!(salvaged_egress, &twin.export_egress_state(), "{ctx}");
+            }
+
+            // Victim: the completed-batch prefix, nothing more.
+            let victim_salvage = report.shard(victim).unwrap();
+            assert!(victim_salvage.failed, "{ctx}");
+            assert!(
+                victim_salvage.state.is_none(),
+                "{ctx}: faulted state reported"
+            );
+            let whole_batches = (local_k as usize / BATCH) * BATCH;
+            assert_eq!(victim_salvage.output.len(), whole_batches, "{ctx}");
+            assert_eq!(
+                victim_salvage.lost(),
+                victim_positions.len() as u64 - whole_batches as u64,
+                "{ctx}"
+            );
+
+            // The books balance exactly.
+            assert_eq!(report.accounting.offered, trace.len() as u64, "{ctx}");
+            assert!(
+                report.accounting.conserved(),
+                "{ctx}: {}",
+                report.accounting
+            );
+            assert_eq!(report.accounting.dropped, 0, "{ctx}");
+        }
+    }
+}
+
+/// The single-shard configuration goes through the same supervised path:
+/// a fault still salvages and accounts instead of crashing.
+#[test]
+fn single_shard_fault_is_supervised_too() {
+    let (ingress, egress) = counter_pipelines();
+    let trace = trace(60, 4);
+    let cfg = ShardConfig::new(1).with_batch(16);
+    let mut sw = armed(&ingress, &egress, cfg, &FaultPlan::kill(1, 0, 21));
+    let report = expect_fault(sw.run_trace(&trace), "single shard");
+
+    assert_eq!(report.failures[0].shard, 0);
+    assert_eq!(report.failures[0].packet, Some(21));
+    assert!(report.survivors().is_empty());
+    assert!(report.merged.is_empty(), "no survivors, nothing merged");
+    assert_eq!(report.shard(0).unwrap().output.len(), 16);
+    assert!(report.accounting.conserved(), "{}", report.accounting);
+}
+
+/// A worker wedged past the watchdog is declared stalled and abandoned —
+/// the caller gets a typed `Stall` error promptly instead of hanging.
+#[test]
+fn stalled_worker_trips_watchdog_without_hanging() {
+    let (ingress, egress) = counter_pipelines();
+    let trace = trace(200, 16);
+    let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
+    let victim = probe.plan().steer(&trace[0]);
+
+    let mut faults = FaultPlan::none(4);
+    faults.push(victim, FaultSpec::stall_at(0, 2_000));
+    let cfg = ShardConfig::new(4)
+        .with_batch(8)
+        .with_ring(1)
+        .with_watchdog_ms(100)
+        .with_backpressure(Backpressure::Block);
+    let mut sw = armed(&ingress, &egress, cfg, &faults);
+
+    let started = std::time::Instant::now();
+    let report = expect_fault(sw.run_trace(&trace), "stall");
+    assert!(
+        started.elapsed() < std::time::Duration::from_millis(1_500),
+        "caller waited on a wedged worker: {:?}",
+        started.elapsed()
+    );
+    let failure = report
+        .failures
+        .iter()
+        .find(|f| f.shard == victim)
+        .expect("victim must be reported");
+    assert!(
+        matches!(failure.cause, FaultCause::Stall { watchdog_ms: 100 }),
+        "{:?}",
+        failure.cause
+    );
+    assert_eq!(failure.packet, None, "a stalled worker never says where");
+    assert!(report.accounting.conserved(), "{}", report.accounting);
+    assert_eq!(
+        report.shard(victim).unwrap().lost(),
+        report.shard(victim).unwrap().offered
+    );
+}
+
+/// Under `Backpressure::Shed`, a slow (but not dead) worker costs
+/// counted sheds, not a fault: the run succeeds and every packet is
+/// either transmitted or in the backpressure counter.
+#[test]
+fn shed_policy_counts_overload_and_conserves() {
+    let (ingress, egress) = counter_pipelines();
+    let trace = trace(400, 16);
+    let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
+    let victim = probe.plan().steer(&trace[0]);
+
+    // One slow first packet: the feeder outruns the worker and must shed.
+    let mut faults = FaultPlan::none(4);
+    faults.push(victim, FaultSpec::stall_at(0, 300));
+    let cfg = ShardConfig::new(4)
+        .with_batch(4)
+        .with_ring(1)
+        .with_watchdog_ms(5_000)
+        .with_backpressure(Backpressure::Shed);
+    let mut sw = armed(&ingress, &egress, cfg, &faults);
+    assert_eq!(sw.backpressure(), Backpressure::Shed);
+
+    let out = sw.run_trace(&trace).expect("shedding is not a fault");
+    let shed = sw.drop_counters().backpressure();
+    assert!(
+        shed > 0,
+        "feeder never shed despite a 300ms stall and a 1-batch ring"
+    );
+    assert_eq!(
+        out.len() as u64 + sw.drops(),
+        trace.len() as u64,
+        "shed run must conserve: {} out + {} dropped != {} offered",
+        out.len(),
+        sw.drops(),
+        trace.len()
+    );
+    assert_eq!(sw.transmitted(), out.len() as u64);
+}
+
+/// Silent data corruption (a bit flip) is *not* a fault: the run
+/// completes and conserves, but the output diverges from the clean run —
+/// exactly what a supervisor can and cannot see.
+#[test]
+fn bit_flip_diverges_output_but_conserves() {
+    let (ingress, egress) = counter_pipelines();
+    let trace = trace(200, 8);
+    let cfg = ShardConfig::new(4).with_batch(8);
+
+    let mut clean = armed(&ingress, &egress, cfg.clone(), &FaultPlan::none(4));
+    let clean_out = clean.run_trace(&trace).unwrap();
+
+    let victim = clean.plan().steer(&trace[0]);
+    let mut faults = FaultPlan::none(4);
+    // Flip bit 2 of the flow id: flows stay in 0..12, inside the table.
+    faults.push(victim, FaultSpec::bit_flip_at(3, "flow", 2));
+    let mut flipped = armed(&ingress, &egress, cfg, &faults);
+    let flipped_out = flipped.run_trace(&trace).unwrap();
+
+    assert_eq!(flipped_out.len(), clean_out.len());
+    assert_ne!(flipped_out, clean_out, "corruption must be observable");
+    assert_eq!(flipped.transmitted(), trace.len() as u64);
+    assert_eq!(flipped.drops(), 0);
+}
+
+/// Killing the worker on its first packet leaves the feeder talking to a
+/// dead ring for the rest of the trace: the feed path must report the
+/// *panic*, not die on the send (`shard worker hung up`).
+#[test]
+fn feeding_a_dead_worker_reports_the_panic_not_the_send() {
+    let (ingress, egress) = counter_pipelines();
+    let trace = trace(300, 16);
+    let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
+    let victim = probe.plan().steer(&trace[0]);
+
+    // batch 1 + ring 1: the feeder is guaranteed to hit the closed
+    // channel long after the worker died on packet 0.
+    let cfg = ShardConfig::new(4).with_batch(1).with_ring(1);
+    let mut sw = armed(&ingress, &egress, cfg, &FaultPlan::kill(4, victim, 0));
+    let report = expect_fault(sw.run_trace(&trace), "dead worker");
+
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(report.failures[0].shard, victim);
+    assert!(
+        matches!(&report.failures[0].cause, FaultCause::Panic(p) if p.contains(INJECTED_PANIC_MARKER)),
+        "dead-ring sends must not mask the original panic: {:?}",
+        report.failures[0].cause
+    );
+    let salvage = report.shard(victim).unwrap();
+    assert!(salvage.output.is_empty());
+    assert_eq!(salvage.lost(), salvage.offered);
+    assert!(report.accounting.conserved(), "{}", report.accounting);
+}
+
+/// After a fault the failed shard is rebuilt with a fresh, fault-free
+/// engine: the same switch runs the same trace cleanly, and the
+/// cumulative counters keep conserving across the fault boundary.
+#[test]
+fn switch_is_rebuilt_and_usable_after_a_fault() {
+    let (ingress, egress) = counter_pipelines();
+    let trace = trace(160, 16);
+    let cfg = ShardConfig::new(4).with_batch(8);
+    let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
+    let victim = probe.plan().steer(&trace[0]);
+
+    let mut sw = armed(&ingress, &egress, cfg, &FaultPlan::kill(4, victim, 3));
+    let report = expect_fault(sw.run_trace(&trace), "first run");
+    let salvaged_tx = report.accounting.transmitted;
+
+    // Second run: the rebuilt shard carries no fault schedule.
+    let out = sw.run_trace(&trace).expect("rebuilt switch must run clean");
+    assert_eq!(out.len(), trace.len());
+
+    // Cumulative counters: both runs' transmissions are accounted.
+    assert_eq!(sw.transmitted(), salvaged_tx + trace.len() as u64);
+}

@@ -1,0 +1,124 @@
+//! Golden pinning of the [`DropReason`] dense-index space.
+//!
+//! The dense index and snake_case label of every drop reason are exported
+//! surface: they key the per-reason counters in `BENCH_throughput.json`
+//! and in merged shard diagnostics. New reasons must be **appended** —
+//! never inserted, renamed, or reordered. This suite is the tripwire: if
+//! an edit to `DropReason` / `ParseVerdict` shifts any existing index or
+//! label, a test here fails with the exact delta.
+
+use banzai::wire::{ParseVerdict, WireConfig};
+use banzai::{AtomPipeline, DropCounters, DropReason, Switch};
+use domino_ir::Packet;
+
+/// The pinned assignment: (dense index, label), in iteration order.
+/// Appending a reason appends a row; nothing else may change.
+const GOLDEN: [(usize, &str); 13] = [
+    (0, "queue_full"),
+    (1, "truncated_ethernet"),
+    (2, "truncated_vlan"),
+    (3, "unsupported_ethertype"),
+    (4, "bad_ip_version"),
+    (5, "bad_ihl"),
+    (6, "truncated_ipv4"),
+    (7, "unsupported_ip_proto"),
+    (8, "bad_tcp_offset"),
+    (9, "truncated_tcp"),
+    (10, "truncated_udp"),
+    (11, "truncated_metadata"),
+    (12, "backpressure"),
+];
+
+#[test]
+fn dense_index_assignment_is_pinned() {
+    assert_eq!(DropReason::COUNT, GOLDEN.len(), "COUNT changed");
+    let got: Vec<(usize, String)> = DropReason::all()
+        .map(|r| (r.index(), r.label().to_string()))
+        .collect();
+    let want: Vec<(usize, String)> = GOLDEN.iter().map(|&(i, l)| (i, l.to_string())).collect();
+    assert_eq!(
+        got, want,
+        "DropReason dense indices/labels shifted — reasons are append-only"
+    );
+}
+
+#[test]
+fn all_is_exhaustive_dense_and_ordered() {
+    let reasons: Vec<DropReason> = DropReason::all().collect();
+    assert_eq!(reasons.len(), DropReason::COUNT);
+    for (expect, r) in reasons.iter().enumerate() {
+        assert_eq!(r.index(), expect, "{r:?} out of dense order");
+    }
+    // The three structural anchors of the space.
+    assert_eq!(DropReason::QueueFull.index(), 0);
+    assert_eq!(
+        DropReason::Parse(ParseVerdict::TruncatedEthernet).index(),
+        1,
+        "parse verdicts start right after queue_full"
+    );
+    assert_eq!(
+        DropReason::Backpressure.index(),
+        DropReason::COUNT - 1,
+        "backpressure is the most recently appended reason"
+    );
+    // Display goes through the same stable labels.
+    assert_eq!(DropReason::Backpressure.to_string(), "backpressure");
+}
+
+/// Builds counters holding real queue-full drops: a zero-capacity switch
+/// tail-drops every packet.
+fn queue_full_counters(n: usize) -> DropCounters {
+    let mut sw = Switch::new(
+        AtomPipeline::passthrough("in"),
+        AtomPipeline::passthrough("out"),
+        0,
+    );
+    sw.run_trace(&vec![Packet::new(); n]);
+    assert_eq!(sw.drops(), n as u64);
+    sw.drop_counters().clone()
+}
+
+/// Builds counters holding real parse drops: truncated Ethernet frames.
+fn parse_counters(n: usize) -> DropCounters {
+    let mut sw = Switch::new(
+        AtomPipeline::passthrough("in"),
+        AtomPipeline::passthrough("out"),
+        64,
+    );
+    let frames = vec![[0u8; 4]; n];
+    sw.run_wire_trace(&frames, &WireConfig::new());
+    assert_eq!(sw.drops(), n as u64);
+    sw.drop_counters().clone()
+}
+
+#[test]
+fn merge_is_componentwise_addition() {
+    let mut merged = queue_full_counters(3);
+    merged.merge(&parse_counters(2));
+    merged.merge(&queue_full_counters(4));
+
+    assert_eq!(merged.get(DropReason::QueueFull), 7);
+    assert_eq!(
+        merged.get(DropReason::Parse(ParseVerdict::TruncatedEthernet)),
+        2
+    );
+    assert_eq!(merged.get(DropReason::Backpressure), 0);
+    assert_eq!(merged.total(), 9);
+    // The category accessors partition the total.
+    assert_eq!(
+        merged.queue_full() + merged.parse_total() + merged.backpressure(),
+        merged.total()
+    );
+    // iter() walks the same dense order with the merged values.
+    let via_iter: u64 = merged.iter().map(|(_, c)| c).sum();
+    assert_eq!(via_iter, merged.total());
+}
+
+#[test]
+fn fresh_counters_are_all_zero_for_every_reason() {
+    let c = DropCounters::new();
+    assert_eq!(c.total(), 0);
+    for r in DropReason::all() {
+        assert_eq!(c.get(r), 0, "{r:?}");
+    }
+}

@@ -45,7 +45,7 @@ fn sharded_pair_differential(
     let serial_out = serial.run_trace(trace);
 
     let mut sharded = ShardedSwitch::new_slot(ingress, egress, ShardConfig::new(shards)).unwrap();
-    let parts = sharded.run_trace_partitioned(trace);
+    let parts = sharded.run_trace_partitioned(trace).unwrap();
 
     let assignment: Vec<usize> = trace.iter().map(|p| sharded.plan().steer(p)).collect();
     for (s, part) in parts.iter().enumerate() {
@@ -192,9 +192,9 @@ fn threaded_run_is_deterministic_for_flowlet() {
     for batch in [7, 64, 1024] {
         let cfg = ShardConfig::new(4).with_batch(batch);
         let mut threaded = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone()).unwrap();
-        let got = threaded.run_trace(&trace);
+        let got = threaded.run_trace(&trace).unwrap();
         let mut sequential = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-        let run = sequential.run_trace_instrumented(&trace);
+        let run = sequential.run_trace_instrumented(&trace).unwrap();
         assert_eq!(got, run.merged, "batch {batch}: threaded vs sequential");
         match &reference {
             None => reference = Some(got),
@@ -216,7 +216,7 @@ fn merge_seed_only_permutes_across_flows() {
     for seed in [1u64, 0xDEAD_BEEF] {
         let cfg = ShardConfig::new(4).with_seed(seed);
         let mut sw = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-        let merged = sw.run_trace(&trace);
+        let merged = sw.run_trace(&trace).unwrap();
         // Reconstruct per-shard subsequences from the merged stream by
         // steering each *output* packet (flowlet passes its key roots
         // through untouched).
@@ -243,7 +243,7 @@ fn explicit_field_steering_preserves_per_flow_order() {
         .collect();
     let cfg = ShardConfig::new(4).with_steer(SteerMode::Fields(vec!["flow".into()]));
     let mut sw = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-    let merged = sw.run_trace(&trace);
+    let merged = sw.run_trace(&trace).unwrap();
     assert_eq!(merged.len(), 300);
     for flow in 0..13 {
         let seqs: Vec<i32> = merged
@@ -269,7 +269,7 @@ fn facade_sharded_switch_runs_flowlet_end_to_end() {
     )
     .unwrap();
     assert_eq!(sw.plan().effective(), 4);
-    let out = sw.run_trace(&a.trace(500, SEED));
+    let out = sw.run_trace(&a.trace(500, SEED)).unwrap();
     assert_eq!(out.len(), 500);
     assert_eq!(sw.transmitted(), 500);
 }
