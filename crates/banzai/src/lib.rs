@@ -63,7 +63,8 @@ pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultyEngine};
 pub use kind::{AtomKind, StatefulCaps};
 pub use machine::{AtomPipeline, AtomRole, CompiledAtom, Machine};
 pub use shard::{
-    Backpressure, ShardConfig, ShardPlan, ShardRun, ShardTimings, ShardedSwitch, SteerMode,
+    Backpressure, ShardConfig, ShardPlan, ShardRun, ShardTier, ShardTimings, ShardedSwitch,
+    SteerMode,
 };
 pub use slot::{SlotMachine, SlotPipeline};
 pub use switch::{DropCounters, DropReason, PipelineEngine, Switch};

@@ -16,11 +16,15 @@
 //! * [`ShardPlan`] — resolves how to steer: the flow key extracted from
 //!   the pipelines' state indexing
 //!   ([`StateLayout::flow_key`](domino_ir::layout::StateLayout::flow_key)),
-//!   an explicit field list, whole-packet hashing for stateless
-//!   pipelines, or a **single-shard fallback with a diagnostic** when the
-//!   state indexing is not partitionable (`rcp.domino`'s global
-//!   registers, `heavy_hitters.domino`'s three differently-hashed sketch
-//!   rows);
+//!   **replica mode** for commutative sketch state
+//!   (`heavy_hitters.domino`'s three differently-hashed count-min rows:
+//!   every shard runs a full copy over packets dealt round-robin —
+//!   balanced even under heavy-tailed flow skew — and exported copies
+//!   fold back elementwise at collect time), an explicit field list,
+//!   whole-packet hashing for
+//!   stateless pipelines, or a **single-shard fallback with a two-tier
+//!   diagnostic** when the state survives neither analysis (`rcp.domino`'s
+//!   global registers) — see [`ShardTier`];
 //! * [`ShardedSwitch`] — spawns one worker thread per shard
 //!   ([`ShardedSwitch::run_trace`]), feeds each through a bounded ring of
 //!   packet batches, runs an independent [`Switch`] per shard (stamped
@@ -32,9 +36,15 @@
 //!   [`SteerMode::Fields`] for a field-subset flow definition), and the
 //!   cross-flow interleaving is a deterministic function of the seed, so
 //!   differential tests stay bit-reproducible run to run;
-//! * merged state export — each array slot belongs to exactly one key
-//!   class, hence to exactly one shard; reading every slot from its
-//!   owner reconstructs the serial state bit-for-bit.
+//! * merged state export — under keyed steering each array slot belongs
+//!   to exactly one key class, hence to exactly one shard; reading every
+//!   slot from its owner reconstructs the serial state bit-for-bit.
+//!   Under replica mode every shard holds a full sketch copy and
+//!   [`ReplicaSpec::merge_states`] folds them — summed displacements for
+//!   counter rows, elementwise max for membership bits — which is *also*
+//!   bit-identical to the serial state; only per-packet outputs that
+//!   read sketch state mid-trace trade bit-identity for the sketch's own
+//!   (ε, δ) approximation contract.
 //!
 //! The sequential twins ([`ShardedSwitch::run_trace_partitioned`],
 //! [`ShardedSwitch::run_trace_instrumented`]) run the same plan on the
@@ -63,8 +73,9 @@ use crate::error::{Accounting, FaultCause, FaultReport, ShardError, ShardSalvage
 use crate::machine::AtomPipeline;
 use crate::slot::SlotMachine;
 use crate::switch::{DropCounters, DropReason, PipelineEngine, Switch};
+use crate::wire::{self, WireConfig};
 use domino_ast::{StateKind, StateVar};
-use domino_ir::layout::{mix64, FlowKeySpec, Partitionability, StateLayout};
+use domino_ir::layout::{mix64, FlowKeySpec, Partitionability, ReplicaSpec, StateLayout};
 use domino_ir::{Packet, StateStore, TacStmt};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -215,6 +226,61 @@ enum ResolvedSteer {
     /// pure pipelines make that state-safe, but callers who need
     /// per-flow ordering must steer with [`SteerMode::Fields`]).
     WholePacket,
+    /// Replica mode: every shard runs a full copy of the sketch state,
+    /// so *any* deterministic steering is state-safe. Packets are dealt
+    /// round-robin by trace index — sketches exist for heavy-tailed
+    /// traffic, where flow-hash steering would pile the elephant flows
+    /// onto one shard and cap the speedup at the skew; dealing keeps
+    /// the lanes balanced by construction. The named index-root fields
+    /// (the union over both pipelines' replica specs) are carried for
+    /// diagnostics and for deployments that want flow affinity anyway.
+    Replica(Vec<String>),
+}
+
+/// How one side's (ingress or egress) serial state is reconstructed from
+/// per-shard snapshots at collect time (see
+/// [`ShardedSwitch::export_merged_ingress_state`]).
+#[derive(Debug, Clone, PartialEq)]
+enum MergePlan {
+    /// The pipeline writes no state (or a single shard ran the whole
+    /// trace): every snapshot already equals the serial state.
+    Trivial,
+    /// Exact partition: each array slot belongs to one key class, hence
+    /// to one shard; read every slot from its owner.
+    Owned(FlowKeySpec),
+    /// Full replica per shard: fold snapshots elementwise per the spec
+    /// ([`ReplicaSpec::merge_states`]) — sum of displacements for
+    /// counter rows, max for membership bits. Bit-identical to serial.
+    Replicated(ReplicaSpec),
+    /// Explicit-field steering asserts nothing about state: no defined
+    /// partition, merged export unavailable.
+    Undefined,
+}
+
+/// The partitioning tier a [`ShardPlan`] resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardTier {
+    /// Keyed, whole-packet, or explicit-field steering: sharded per-shard
+    /// outputs and merged state are bit-identical to serial execution.
+    Exact,
+    /// At least one pipeline runs full sketch replicas merged at collect
+    /// time. Merged *state* is still bit-identical to serial; per-packet
+    /// *outputs* that read sketch state obey the sketch's own (ε, δ)
+    /// approximation contract instead of bit-identity.
+    Replicable,
+    /// Single-shard fallback; [`ShardPlan::fallback`] carries the
+    /// two-tier diagnostic.
+    Fallback,
+}
+
+impl fmt::Display for ShardTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardTier::Exact => write!(f, "Exact"),
+            ShardTier::Replicable => write!(f, "Replicable"),
+            ShardTier::Fallback => write!(f, "Fallback"),
+        }
+    }
 }
 
 /// FNV-1a over a string, folded into a running hash (steering must be
@@ -234,6 +300,8 @@ pub struct ShardPlan {
     requested: usize,
     effective: usize,
     steer: ResolvedSteer,
+    merge_ingress: MergePlan,
+    merge_egress: MergePlan,
     fallback: Option<String>,
 }
 
@@ -299,6 +367,8 @@ impl ShardPlan {
                 requested,
                 effective: requested,
                 steer: ResolvedSteer::Fields(fields.clone()),
+                merge_ingress: MergePlan::Undefined,
+                merge_egress: MergePlan::Undefined,
                 fallback: None,
             };
         }
@@ -320,20 +390,40 @@ impl ShardPlan {
             }
             Ok(())
         };
+        // Replica steering hashes the union of both sides' index roots —
+        // steering never affects replica merge correctness (updates
+        // commute), only which flows share a shard for output ordering.
+        let replica_roots = |specs: &[&ReplicaSpec]| -> Vec<String> {
+            let union: BTreeSet<String> = specs
+                .iter()
+                .flat_map(|s| s.steer_roots().iter().cloned())
+                .collect();
+            union.into_iter().collect()
+        };
 
-        let resolved: Result<ResolvedSteer, String> = match (part_in, part_eg) {
+        use Partitionability::{Keyed, Replicable, Stateless};
+        type Resolution = (ResolvedSteer, MergePlan, MergePlan);
+        let resolved: Result<Resolution, String> = match (part_in, part_eg) {
             (Err(e), _) => Err(format!("ingress `{}`: {e}", ingress.name)),
             (_, Err(e)) => Err(format!("egress `{}`: {e}", egress.name)),
-            (Ok(Partitionability::Stateless), Ok(Partitionability::Stateless)) => {
-                Ok(ResolvedSteer::WholePacket)
-            }
-            (Ok(Partitionability::Keyed(k)), Ok(Partitionability::Stateless)) => {
-                Ok(ResolvedSteer::Keyed(k))
-            }
-            (Ok(Partitionability::Stateless), Ok(Partitionability::Keyed(k))) => {
-                egress_key_ok(&k).map(|()| ResolvedSteer::Keyed(k))
-            }
-            (Ok(Partitionability::Keyed(a)), Ok(Partitionability::Keyed(b))) => {
+            (Ok(Stateless), Ok(Stateless)) => Ok((
+                ResolvedSteer::WholePacket,
+                MergePlan::Trivial,
+                MergePlan::Trivial,
+            )),
+            (Ok(Keyed(k)), Ok(Stateless)) => Ok((
+                ResolvedSteer::Keyed(k.clone()),
+                MergePlan::Owned(k),
+                MergePlan::Trivial,
+            )),
+            (Ok(Stateless), Ok(Keyed(k))) => egress_key_ok(&k).map(|()| {
+                (
+                    ResolvedSteer::Keyed(k.clone()),
+                    MergePlan::Trivial,
+                    MergePlan::Owned(k),
+                )
+            }),
+            (Ok(Keyed(a)), Ok(Keyed(b))) => {
                 if a != b {
                     Err(format!(
                         "ingress `{}` and egress `{}` partition their state by \
@@ -346,22 +436,65 @@ impl ShardPlan {
                         b.modulus()
                     ))
                 } else {
-                    egress_key_ok(&b).map(|()| ResolvedSteer::Keyed(a))
+                    egress_key_ok(&b).map(|()| {
+                        (
+                            ResolvedSteer::Keyed(a.clone()),
+                            MergePlan::Owned(a),
+                            MergePlan::Owned(b),
+                        )
+                    })
                 }
             }
+            // Replica tiers: a replicable side is state-safe under any
+            // deterministic steering, so it adapts to whatever the other
+            // side needs.
+            (Ok(Replicable(r)), Ok(Stateless)) => Ok((
+                ResolvedSteer::Replica(replica_roots(&[&r])),
+                MergePlan::Replicated(r),
+                MergePlan::Trivial,
+            )),
+            (Ok(Stateless), Ok(Replicable(r))) => Ok((
+                ResolvedSteer::Replica(replica_roots(&[&r])),
+                MergePlan::Trivial,
+                MergePlan::Replicated(r),
+            )),
+            (Ok(Replicable(a)), Ok(Replicable(b))) => Ok((
+                ResolvedSteer::Replica(replica_roots(&[&a, &b])),
+                MergePlan::Replicated(a),
+                MergePlan::Replicated(b),
+            )),
+            // An exactly-keyed side dictates the steering (its partition
+            // demands it); the replicated side tolerates it. The egress
+            // key still has to be computable on the input packet.
+            (Ok(Keyed(k)), Ok(Replicable(r))) => Ok((
+                ResolvedSteer::Keyed(k.clone()),
+                MergePlan::Owned(k),
+                MergePlan::Replicated(r),
+            )),
+            (Ok(Replicable(r)), Ok(Keyed(k))) => egress_key_ok(&k).map(|()| {
+                (
+                    ResolvedSteer::Keyed(k.clone()),
+                    MergePlan::Replicated(r),
+                    MergePlan::Owned(k),
+                )
+            }),
         };
 
         match resolved {
-            Ok(steer) => ShardPlan {
+            Ok((steer, merge_ingress, merge_egress)) => ShardPlan {
                 requested,
                 effective: requested,
                 steer,
+                merge_ingress,
+                merge_egress,
                 fallback: None,
             },
             Err(diagnostic) => ShardPlan {
                 requested,
                 effective: 1,
                 steer: ResolvedSteer::Single,
+                merge_ingress: MergePlan::Trivial,
+                merge_egress: MergePlan::Trivial,
                 fallback: Some(diagnostic),
             },
         }
@@ -390,8 +523,43 @@ impl ShardPlan {
         }
     }
 
-    /// The shard an input packet steers to.
-    pub fn steer(&self, pkt: &Packet) -> usize {
+    /// The partitioning tier this plan resolved to.
+    pub fn tier(&self) -> ShardTier {
+        if self.fallback.is_some() {
+            ShardTier::Fallback
+        } else if matches!(self.merge_ingress, MergePlan::Replicated(_))
+            || matches!(self.merge_egress, MergePlan::Replicated(_))
+        {
+            ShardTier::Replicable
+        } else {
+            ShardTier::Exact
+        }
+    }
+
+    /// The ingress pipeline's replica spec, when it runs in replica mode.
+    pub fn ingress_replica(&self) -> Option<&ReplicaSpec> {
+        match &self.merge_ingress {
+            MergePlan::Replicated(spec) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// The egress pipeline's replica spec, when it runs in replica mode.
+    pub fn egress_replica(&self) -> Option<&ReplicaSpec> {
+        match &self.merge_egress {
+            MergePlan::Replicated(spec) => Some(spec),
+            _ => None,
+        }
+    }
+
+    /// The shard the `idx`-th input packet steers to.
+    ///
+    /// Keyed, field, and whole-packet modes are pure functions of the
+    /// packet content (`idx` is ignored); replica mode deals packets
+    /// round-robin by trace index, which any replica merge tolerates
+    /// (updates commute) and which stays load-balanced even on the
+    /// heavy-tailed traces sketch programs are written for.
+    pub fn steer(&self, idx: usize, pkt: &Packet) -> usize {
         let n = self.effective;
         if n <= 1 {
             return 0;
@@ -399,7 +567,8 @@ impl ShardPlan {
         match &self.steer {
             ResolvedSteer::Single => 0,
             ResolvedSteer::Keyed(spec) => spec.shard_of(pkt, n),
-            ResolvedSteer::Fields(fields) => {
+            ResolvedSteer::Replica(_) => idx % n,
+            ResolvedSteer::Fields(fields) if !fields.is_empty() => {
                 let mut h = 0xcbf2_9ce4_8422_2325u64;
                 for f in fields {
                     h = hash_str(h, f);
@@ -407,7 +576,7 @@ impl ShardPlan {
                 }
                 (h % n as u64) as usize
             }
-            ResolvedSteer::WholePacket => {
+            ResolvedSteer::Fields(_) | ResolvedSteer::WholePacket => {
                 let mut h = 0xcbf2_9ce4_8422_2325u64;
                 for (name, value) in pkt.iter() {
                     h = hash_str(h, name);
@@ -437,6 +606,16 @@ impl fmt::Display for ShardPlan {
             }
             ResolvedSteer::Fields(fields) => write!(f, ", hashing [{}]", fields.join(", ")),
             ResolvedSteer::WholePacket => write!(f, ", stateless whole-packet hashing"),
+            ResolvedSteer::Replica(roots) if roots.is_empty() => {
+                write!(f, ", replicated sketches, dealt round-robin")
+            }
+            ResolvedSteer::Replica(roots) => {
+                write!(
+                    f,
+                    ", replicated sketches, dealt round-robin (index roots [{}])",
+                    roots.join(", ")
+                )
+            }
         }
     }
 }
@@ -658,7 +837,7 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
     fn partition(&self, trace: &[Packet]) -> Vec<Vec<(i64, Packet)>> {
         let mut streams: Vec<Vec<(i64, Packet)>> = vec![Vec::new(); self.shards.len()];
         for (i, pkt) in trace.iter().enumerate() {
-            streams[self.plan.steer(pkt)].push((i as i64, pkt.clone()));
+            streams[self.plan.steer(i, pkt)].push((i as i64, pkt.clone()));
         }
         streams
     }
@@ -668,10 +847,11 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
     /// shard in cyclic order. Per-flow order is preserved for flows as
     /// the steering key defines them (such a flow lives on one shard and
     /// shard order is kept — under whole-packet steering that means
-    /// identical packets; use [`SteerMode::Fields`] for coarser flows);
-    /// the cross-flow interleave is a pure function of the seed and
-    /// shard count, so repeated runs are bit-identical regardless of
-    /// thread scheduling.
+    /// identical packets; use [`SteerMode::Fields`] for coarser flows;
+    /// replica mode deals by trace index, so its "flows" are the index
+    /// residue classes); the cross-flow interleave is a pure function of
+    /// the seed and shard count, so repeated runs are bit-identical
+    /// regardless of thread scheduling.
     pub fn merge(&self, parts: Vec<Vec<Packet>>) -> Vec<Packet> {
         let n = parts.len();
         if n == 1 {
@@ -777,7 +957,7 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
             }
         };
         for (i, pkt) in trace.iter().enumerate() {
-            let s = self.plan.steer(pkt);
+            let s = self.plan.steer(i, pkt);
             offered[s] += 1;
             if dead[s] || stalled[s] {
                 continue;
@@ -979,12 +1159,35 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         let streams = self.partition(trace);
         let steer_ns = t.elapsed().as_nanos();
 
-        let mut partitioned = Vec::with_capacity(self.shards.len());
-        let mut shard_ns = Vec::with_capacity(self.shards.len());
-        for (sw, stream) in self.shards.iter_mut().zip(&streams) {
-            let t = Instant::now();
-            partitioned.push(sw.run_stamped(stream)?);
-            shard_ns.push(t.elapsed().as_nanos());
+        // Lane times accumulate over *interleaved slices* rather than one
+        // contiguous run per lane. Host interference (virtualization
+        // steal, frequency excursions) arrives in epochs lasting seconds —
+        // longer than a lane — so contiguous timing charges a whole epoch
+        // to whichever lane it lands on and skews the critical path.
+        // Round-robin slicing spreads any epoch across all lanes evenly,
+        // which is exactly what the model needs: honest *relative* lane
+        // balance. Each slice is a contiguous stamped subsequence, and at
+        // line rate the queue drains per packet, so concatenated slice
+        // outputs equal the one-shot run bit for bit.
+        const LANE_SLICES: usize = 64;
+        let n = self.shards.len();
+        let mut partitioned: Vec<Vec<Packet>> = streams
+            .iter()
+            .map(|s| Vec::with_capacity(s.len()))
+            .collect();
+        let mut shard_ns = vec![0u128; n];
+        for k in 0..LANE_SLICES {
+            for (s, (sw, stream)) in self.shards.iter_mut().zip(&streams).enumerate() {
+                let len = stream.len();
+                let (lo, hi) = (len * k / LANE_SLICES, len * (k + 1) / LANE_SLICES);
+                if lo == hi {
+                    continue;
+                }
+                let t = Instant::now();
+                let out = sw.run_stamped(&stream[lo..hi])?;
+                shard_ns[s] += t.elapsed().as_nanos();
+                partitioned[s].extend(out);
+            }
         }
         drop(streams);
 
@@ -1003,6 +1206,39 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         })
     }
 
+    /// Steers a **byte-level** trace and runs each shard's frame stream
+    /// on the calling thread ([`Switch::run_wire_trace`]), returning the
+    /// per-shard output frames (un-merged).
+    ///
+    /// The dispatcher runs the same parser the shards run
+    /// ([`wire::parse`]) and steers by the parsed packet and frame
+    /// index, so a frame lands on exactly the shard its packet-born twin
+    /// would (under replica mode both paths deal by index). Malformed
+    /// frames carry no fields to steer by; they are dealt round-robin by
+    /// frame index, so exactly one shard's parser re-rejects each one and
+    /// counts the typed drop — frame conservation holds shard by shard.
+    pub fn run_wire_trace_partitioned<F: AsRef<[u8]>>(
+        &mut self,
+        frames: &[F],
+        cfg: &WireConfig,
+    ) -> Vec<Vec<Vec<u8>>> {
+        let shards = self.shards.len();
+        let mut streams: Vec<Vec<&[u8]>> = vec![Vec::new(); shards];
+        for (i, frame) in frames.iter().enumerate() {
+            let frame = frame.as_ref();
+            let shard = match wire::parse(frame, cfg) {
+                Ok(wp) => self.plan.steer(i, &wp.pkt),
+                Err(_) => i % shards,
+            };
+            streams[shard].push(frame);
+        }
+        self.shards
+            .iter_mut()
+            .zip(&streams)
+            .map(|(sw, stream)| sw.run_wire_trace(stream, cfg))
+            .collect()
+    }
+
     /// Each shard's `(ingress, egress)` state snapshot.
     pub fn export_shard_states(&self) -> Vec<(StateStore, StateStore)> {
         self.shards
@@ -1019,37 +1255,41 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
     /// state partition and returns
     /// [`SwitchError::StatePartition`].
     pub fn export_merged_ingress_state(&self) -> Result<StateStore, SwitchError> {
-        self.merged_state(&self.ingress_pipeline.state_decls, |s| {
-            s.export_ingress_state()
-        })
+        self.merged_state(
+            &self.plan.merge_ingress,
+            &self.ingress_pipeline.state_decls,
+            |s| s.export_ingress_state(),
+        )
     }
 
     /// Reconstructs the serial switch's egress state from the shards.
     pub fn export_merged_egress_state(&self) -> Result<StateStore, SwitchError> {
-        self.merged_state(&self.egress_pipeline.state_decls, |s| {
-            s.export_egress_state()
-        })
+        self.merged_state(
+            &self.plan.merge_egress,
+            &self.egress_pipeline.state_decls,
+            |s| s.export_egress_state(),
+        )
     }
 
     fn merged_state(
         &self,
+        plan: &MergePlan,
         decls: &[StateVar],
         export: impl Fn(&Switch<E>) -> StateStore,
     ) -> Result<StateStore, SwitchError> {
         if self.shards.len() == 1 {
             return Ok(export(&self.shards[0]));
         }
-        match &self.plan.steer {
-            // Stateless pipelines never write state: all shards still
-            // hold the declared initializers, as does the serial switch.
-            ResolvedSteer::WholePacket => Ok(export(&self.shards[0])),
-            ResolvedSteer::Fields(_) => Err(SwitchError::StatePartition(
+        match plan {
+            // A trivial side writes no state: all shards still hold the
+            // declared initializers, as does the serial switch.
+            MergePlan::Trivial => Ok(export(&self.shards[0])),
+            MergePlan::Undefined => Err(SwitchError::StatePartition(
                 "steering by explicit fields does not define a state partition; \
                  read per-shard snapshots via export_shard_states"
                     .to_string(),
             )),
-            ResolvedSteer::Single => Ok(export(&self.shards[0])),
-            ResolvedSteer::Keyed(spec) => {
+            MergePlan::Owned(spec) => {
                 let snaps: Vec<StateStore> = self.shards.iter().map(&export).collect();
                 let mut merged = StateStore::from_decls(decls);
                 for d in decls {
@@ -1072,6 +1312,10 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
                     }
                 }
                 Ok(merged)
+            }
+            MergePlan::Replicated(spec) => {
+                let snaps: Vec<StateStore> = self.shards.iter().map(&export).collect();
+                Ok(spec.merge_states(&snaps))
             }
         }
     }
@@ -1370,7 +1614,7 @@ mod tests {
                 let expected: Vec<Packet> = trace
                     .iter()
                     .enumerate()
-                    .filter(|(_, p)| sharded.plan().steer(p) == s)
+                    .filter(|&(i, p)| sharded.plan().steer(i, p) == s)
                     .map(|(i, _)| serial_out[i].clone())
                     .collect();
                 assert_eq!(part, &expected, "shard {s} of {shards}");
@@ -1474,7 +1718,7 @@ mod tests {
             let idxs: Vec<usize> = more
                 .iter()
                 .enumerate()
-                .filter(|(_, p)| sharded.plan().steer(p) == s)
+                .filter(|&(i, p)| sharded.plan().steer(i, p) == s)
                 .map(|(i, _)| i)
                 .collect();
             for (i, p) in idxs.into_iter().zip(part.iter()) {

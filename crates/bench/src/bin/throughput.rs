@@ -8,6 +8,7 @@
 //! ```text
 //! throughput [--smoke] [--wire] [--chaos] [--packets <n>] [--out <path>]
 //!            [--shards <csv>] [--check <baseline.json>] [--tolerance <f>]
+//!            [--scaling-tolerance <f>]
 //!
 //!   --smoke            small traces (CI: exercises both engines, the
 //!                      sharded switch, and the JSON emission quickly)
@@ -22,16 +23,28 @@
 //!   --packets <n>      packets for the headline flowlet trace (default 1000000)
 //!   --out <path>       where to write the JSON (default BENCH_throughput.json)
 //!   --shards <csv>     shard counts for the E10 sweep (default 1,2,4,8)
-//!   --check <path>     compare fresh slot speedups against a committed
-//!                      baseline; exit nonzero on regression
-//!   --tolerance <f>    regression floor as a fraction of the committed
-//!                      speedup (default 0.5)
+//!   --check <path>     compare fresh slot speedups AND E10 shard-scaling
+//!                      rows (effective shard count exactly, modeled
+//!                      speedup within tolerance) against a committed
+//!                      baseline; exit nonzero on regression — a sketch
+//!                      workload regressing to a 1-shard fallback fails
+//!   --tolerance <f>    regression floor for the engine-speedup rows, as
+//!                      a fraction of the committed speedup (default 0.5).
+//!                      Engine speedups divide a map time by a slot time
+//!                      measured seconds apart, so they carry the most
+//!                      host noise of anything in the JSON
+//!   --scaling-tolerance <f>
+//!                      regression floor for the E10 modeled-scaling rows
+//!                      (default: the --tolerance value). These ratios
+//!                      come from one instrumented run (interleaved
+//!                      lanes, min-of-reps), so they are far more stable
+//!                      than engine speedups and can hold a tighter floor
 //! ```
 
 use bench::throughput::{
-    chaos_suite, check_regressions, machine_workload, parse_baseline, render_json, scaling_speedup,
-    shard_sweep, switch_workload, wire_stress, wire_workload, ChaosOutcome, Measurement,
-    ShardMeasurement,
+    chaos_suite, check_regressions, check_scaling_regressions, machine_workload, parse_baseline,
+    parse_scaling_baseline, render_json, scaling_speedup, shard_sweep, switch_workload,
+    wire_stress, wire_workload, ChaosOutcome, Measurement, ShardMeasurement,
 };
 use std::process::ExitCode;
 
@@ -56,6 +69,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut shard_counts: Vec<usize> = vec![1, 2, 4, 8];
     let mut check: Option<String> = None;
     let mut tolerance = 0.5f64;
+    let mut scaling_tolerance: Option<f64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -92,10 +106,19 @@ fn run(args: &[String]) -> Result<(), String> {
                 let v = args.get(i).ok_or("--tolerance needs a value")?;
                 tolerance = v.parse().map_err(|_| format!("bad --tolerance `{v}`"))?;
             }
+            "--scaling-tolerance" => {
+                i += 1;
+                let v = args.get(i).ok_or("--scaling-tolerance needs a value")?;
+                scaling_tolerance = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --scaling-tolerance `{v}`"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "throughput [--smoke] [--wire] [--chaos] [--packets <n>] [--out <path>] \
-                     [--shards <csv>] [--check <baseline.json>] [--tolerance <f>]"
+                     [--shards <csv>] [--check <baseline.json>] [--tolerance <f>] \
+                     [--scaling-tolerance <f>]"
                 );
                 return Ok(());
             }
@@ -184,7 +207,7 @@ fn run(args: &[String]) -> Result<(), String> {
          critical path, `wall` is this host's threaded clock)\n"
     );
     let mut scaling: Vec<ShardMeasurement> = Vec::new();
-    for workload in ["flowlet", "heavy_hitters"] {
+    for workload in ["flowlet", "heavy_hitters", "bloom_filter"] {
         scaling.extend(shard_sweep(workload, sweep_n, SEED, &shard_counts));
     }
     let scaling_rows: Vec<Vec<String>> = scaling
@@ -197,6 +220,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 s.workload.clone(),
                 s.packets.to_string(),
                 format!("{}->{}", s.requested, s.effective),
+                s.tier.to_string(),
                 format!("{:.0}", s.modeled_pps()),
                 format!("{:.0}", s.wall_pps()),
                 speedup,
@@ -222,6 +246,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 "workload",
                 "packets",
                 "shards",
+                "tier",
                 "modeled pkts/s",
                 "wall pkts/s",
                 "vs 1 shard",
@@ -244,9 +269,12 @@ fn run(args: &[String]) -> Result<(), String> {
         // default panic-hook backtrace so the table stays readable. This
         // binary is single-purpose, so the process-global swap is safe.
         // Chaos workloads must actually fan out (the suite supervises a
-        // real multi-worker run): flowlet plus another per-flow-keyed
-        // algorithm. Unpartitionable ones (heavy_hitters, rcp, …) collapse
-        // to one shard and are rejected by the suite's precondition.
+        // real multi-worker run) *and* be exactly partitioned, because the
+        // suite's salvage oracle is per-shard bit-identity: flowlet plus
+        // another per-flow-keyed algorithm. Replicable sketches shard too,
+        // but their salvage story is the statistical merge covered by
+        // tests/chaos.rs; scalar-state programs (rcp, …) collapse to one
+        // shard and are rejected by the suite's precondition.
         chaos = banzai::fault::with_quiet_panics(|| {
             ["flowlet", "sampled_netflow"]
                 .iter()
@@ -307,9 +335,17 @@ fn run(args: &[String]) -> Result<(), String> {
                 "baseline `{baseline_path}` has no workload rows — wrong file?"
             ));
         }
-        let failures = check_regressions(&measurements, &baseline, tolerance);
+        let scaling_tolerance = scaling_tolerance.unwrap_or(tolerance);
+        let mut failures = check_regressions(&measurements, &baseline, tolerance);
+        let scaling_baseline = parse_scaling_baseline(&baseline_doc);
+        failures.extend(check_scaling_regressions(
+            &scaling,
+            &scaling_baseline,
+            scaling_tolerance,
+        ));
         println!(
-            "\nperf-regression gate vs {baseline_path} (tolerance {tolerance}): {}",
+            "\nperf-regression gate vs {baseline_path} (tolerance {tolerance}, scaling \
+             {scaling_tolerance}): {}",
             if failures.is_empty() { "PASS" } else { "FAIL" }
         );
         for m in &measurements {
@@ -320,6 +356,26 @@ fn run(args: &[String]) -> Result<(), String> {
                     m.speedup(),
                     b.speedup,
                     b.speedup * tolerance
+                );
+            }
+        }
+        for s in &scaling {
+            if let Some(b) = scaling_baseline
+                .iter()
+                .find(|b| b.workload == s.workload && b.shards == s.requested)
+            {
+                let fresh = scaling_speedup(&scaling, s);
+                println!(
+                    "  {:<16} @{} {:<10} shards {}->{} (committed {})  speedup fresh {}  \
+                     committed {}",
+                    s.workload,
+                    s.requested,
+                    s.tier,
+                    s.requested,
+                    s.effective,
+                    b.effective,
+                    fresh.map(|v| format!("{v:.2}x")).unwrap_or("-".into()),
+                    b.speedup.map(|v| format!("{v:.2}x")).unwrap_or("-".into()),
                 );
             }
         }

@@ -1,0 +1,194 @@
+//! The statistical differential tier for **Replicable** programs.
+//!
+//! Bit-identity is the wrong oracle for replica-mode sharding: every
+//! shard runs a full sketch copy, so a packet's *in-stream estimate*
+//! (the value it reads back from the sketch) sees only its shard's
+//! slice of the trace. What replica mode does preserve — and what this
+//! module asserts, in the spirit of comprehensive data-plane
+//! verification — is the sketch's own contract:
+//!
+//! 1. **Spec-vs-execution replay** ([`predicted_state`]): replaying the
+//!    [`ReplicaSpec`]'s extracted index/value slices over the input
+//!    trace predicts every replica array of the final state
+//!    *bit-exactly* — sum of wrapping increments per slot for `Sum`
+//!    rows, constant-on-touch for `Max` rows. This is a differential
+//!    between the layout analysis and the execution engine: if either
+//!    mis-models the program, the arrays diverge.
+//! 2. **Overestimate** (count-min's one-sided error): for every key,
+//!    the estimate read from the sketch is ≥ the key's exact count.
+//! 3. **Mass conservation**: each `Sum` row's total displacement
+//!    equals the total of all per-packet updates — counts are never
+//!    created or lost, serial or sharded.
+//! 4. **The (ε, δ) bound from array geometry**: the fraction of keys
+//!    whose min-over-rows estimate error exceeds `ε·N` is at most `δ`,
+//!    with `ε = e/w` (narrowest `Sum` row) and `δ = e^(−d)` (`d` rows)
+//!    — the guarantee the source algorithm already lives with.
+//!
+//! [`verify_sketch`] runs all four against a final [`StateStore`] — the
+//! serial state, a sharded merged export, or a fault-salvage merge; the
+//! caller chooses. [`parse_wire_trace`] lifts a byte-level trace into
+//! the packet view so the same invariants cover the wire path.
+
+use banzai::wire::{self, WireConfig};
+use domino_ir::{MergeOp, Packet, ReplicaSpec, StateStore};
+use std::collections::BTreeMap;
+
+/// The packet-derived grouping key of the statistical invariants: the
+/// values of the spec's steer-root fields. Packets sharing all roots
+/// index every replica array identically, so they form one "flow" of
+/// the sketch's contract. An empty root set (constant-indexed sketches)
+/// makes the whole trace one key.
+pub fn key_of(spec: &ReplicaSpec, pkt: &Packet) -> Vec<i32> {
+    spec.steer_roots()
+        .iter()
+        .map(|r| pkt.get_or_zero(r))
+        .collect()
+}
+
+/// Replays the spec's extracted slices over `trace` and returns, per
+/// replica array, the predicted final contents.
+pub fn predicted_state(spec: &ReplicaSpec, trace: &[Packet]) -> BTreeMap<String, Vec<i32>> {
+    let mut predicted: BTreeMap<String, Vec<i32>> = spec
+        .arrays()
+        .iter()
+        .map(|a| (a.name().to_string(), vec![a.init(); a.len() as usize]))
+        .collect();
+    for pkt in trace {
+        for arr in spec.arrays() {
+            let slots = predicted.get_mut(arr.name()).expect("array inserted above");
+            let k = arr.slot_of(pkt);
+            match arr.merge() {
+                MergeOp::Sum => slots[k] = slots[k].wrapping_add(arr.update_of(pkt)),
+                // A `Max` array stores one constant ≥ init: touched
+                // slots hold it, untouched slots keep the initializer.
+                MergeOp::Max => slots[k] = arr.update_of(pkt),
+            }
+        }
+    }
+    predicted
+}
+
+/// Asserts the replica-tier invariants of module docs against a final
+/// state. `label` names the configuration in panic messages (e.g.
+/// `"heavy_hitters@4 merged"`).
+///
+/// # Panics
+///
+/// Panics on any violation — like the rest of the harness, a completed
+/// call is a correctness witness.
+pub fn verify_sketch(spec: &ReplicaSpec, trace: &[Packet], state: &StateStore, label: &str) {
+    // (1) Spec-vs-execution replay: predicted arrays are bit-exact.
+    for (name, slots) in predicted_state(spec, trace) {
+        for (k, &want) in slots.iter().enumerate() {
+            let got = state.read_array(&name, k as i32);
+            assert_eq!(
+                got, want,
+                "{label}: array `{name}`[{k}] is {got}, replaying the \
+                 replica spec over the trace predicts {want}"
+            );
+        }
+    }
+
+    let sum_rows: Vec<_> = spec
+        .arrays()
+        .iter()
+        .filter(|a| a.merge() == MergeOp::Sum)
+        .collect();
+    if sum_rows.is_empty() {
+        return; // membership sketch: the replay above is the full check
+    }
+
+    // Exact per-key masses per row, from the spec's own value slices.
+    // The statistical tier only speaks about monotone sketches; a row
+    // with a negative update (legal for merging, but not a count) is
+    // excluded from the overestimate/(ε, δ) claims.
+    let mut keys: Vec<Vec<i32>> = Vec::new();
+    let mut exact: BTreeMap<Vec<i32>, Vec<i64>> = BTreeMap::new();
+    let mut slot_of_key: BTreeMap<Vec<i32>, Vec<usize>> = BTreeMap::new();
+    let mut monotone = vec![true; sum_rows.len()];
+    for pkt in trace {
+        let key = key_of(spec, pkt);
+        let masses = exact.entry(key.clone()).or_insert_with(|| {
+            keys.push(key.clone());
+            slot_of_key.insert(
+                key.clone(),
+                sum_rows.iter().map(|a| a.slot_of(pkt)).collect(),
+            );
+            vec![0i64; sum_rows.len()]
+        });
+        for (r, arr) in sum_rows.iter().enumerate() {
+            let delta = arr.update_of(pkt);
+            if delta < 0 {
+                monotone[r] = false;
+            }
+            masses[r] += delta as i64;
+        }
+    }
+
+    // (3) Mass conservation per row: total displacement == total updates.
+    for (r, arr) in sum_rows.iter().enumerate() {
+        let in_state: i64 = (0..arr.len() as i32)
+            .map(|k| (state.read_array(arr.name(), k) as i64) - arr.init() as i64)
+            .sum();
+        let offered: i64 = exact.values().map(|m| m[r]).sum();
+        assert_eq!(
+            in_state,
+            offered,
+            "{label}: row `{}` holds total mass {in_state} but the trace \
+             offered {offered} — counts were created or lost",
+            arr.name()
+        );
+    }
+
+    // (2) + (4): overestimate and the (ε, δ) bound, over monotone rows.
+    if !monotone.iter().all(|&m| m) || keys.is_empty() {
+        return;
+    }
+    let eps = spec.epsilon().expect("sum rows exist");
+    let delta = spec.delta().expect("sum rows exist");
+    let total_mass: i64 = exact
+        .values()
+        .map(|m| m.iter().copied().max().unwrap_or(0))
+        .sum();
+    let mut violations = 0usize;
+    for key in &keys {
+        let masses = &exact[key];
+        let slots = &slot_of_key[key];
+        let mut est_err = i64::MAX;
+        for (r, arr) in sum_rows.iter().enumerate() {
+            let displacement =
+                (state.read_array(arr.name(), slots[r] as i32) as i64) - arr.init() as i64;
+            assert!(
+                displacement >= masses[r],
+                "{label}: key {key:?} has exact count {} in row `{}` but the \
+                 sketch reads {displacement} — count-min never underestimates",
+                masses[r],
+                arr.name()
+            );
+            est_err = est_err.min(displacement - masses[r]);
+        }
+        if (est_err as f64) > eps * total_mass as f64 {
+            violations += 1;
+        }
+    }
+    let fraction = violations as f64 / keys.len() as f64;
+    assert!(
+        fraction <= delta,
+        "{label}: {violations}/{} keys exceed the ε·N = {:.1} error bound \
+         (fraction {fraction:.4} > δ = {delta:.4}) — outside the sketch's \
+         own (ε, δ) contract",
+        keys.len(),
+        eps * total_mass as f64,
+    );
+}
+
+/// Parses a byte-level trace with the same parser the switch runs and
+/// returns the packets of the frames that parse, in offered order —
+/// the trace whose sketch contract a wire-path run must honor
+/// (malformed frames never reach the pipeline, so they carry no mass).
+pub fn parse_wire_trace<F: AsRef<[u8]>>(frames: &[F], cfg: &WireConfig) -> Vec<Packet> {
+    frames
+        .iter()
+        .filter_map(|f| wire::parse(f.as_ref(), cfg).ok().map(|wp| wp.pkt))
+        .collect()
+}

@@ -24,26 +24,34 @@
 //!
 //! Two additions ride on the same machinery:
 //!
-//! * **E10 — the shard-scaling sweep** ([`shard_sweep`]): the flowlet and
-//!   heavy-hitters traces through a [`ShardedSwitch`] at 1/2/4/8 shards.
-//!   Every configuration asserts bit-identical per-shard outputs and
-//!   merged state against the serial switch, then records both the
-//!   threaded wall clock *and* the per-shard busy times (measured
-//!   sequentially, free of scheduler interference). On an N-core host
-//!   wall clock approaches [`ShardMeasurement::critical_ns`]; on the
-//!   single-core CI runner only the critical-path number can show
-//!   scaling, which is why both are recorded, clearly labeled.
+//! * **E10 — the shard-scaling sweep** ([`shard_sweep`]): the flowlet,
+//!   heavy-hitters, and bloom-filter traces through a [`ShardedSwitch`]
+//!   at 1/2/4/8 shards. Every configuration is verified against the
+//!   serial switch with the oracle chosen by the plan's partitioning
+//!   tier — per-shard positional bit-identity for `Exact`, the sketch's
+//!   own (ε, δ) contract ([`crate::sketch`]) for `Replicable` — then
+//!   records both the threaded wall clock *and* the per-shard busy
+//!   times (measured sequentially, free of scheduler interference). On
+//!   an N-core host wall clock approaches
+//!   [`ShardMeasurement::critical_ns`]; on the single-core CI runner
+//!   only the critical-path number can show scaling, which is why both
+//!   are recorded, clearly labeled.
 //! * **the CI perf-regression gate** ([`parse_baseline`] /
-//!   [`check_regressions`]): compares freshly measured slot speedups
-//!   against the committed `BENCH_throughput.json` and fails the build
-//!   when a workload regresses below tolerance. Speedups (not absolute
-//!   pps) are compared, so the gate is robust to runner hardware.
+//!   [`check_regressions`], plus [`parse_scaling_baseline`] /
+//!   [`check_scaling_regressions`] for the E10 rows): compares freshly
+//!   measured slot speedups and shard-scaling rows against the
+//!   committed `BENCH_throughput.json` and fails the build when a
+//!   workload regresses below tolerance — or when a sketch workload
+//!   loses effective shards (regression to the 1-shard fallback is an
+//!   exact structural trip). Speedups (not absolute pps) are compared,
+//!   so the gate is robust to runner hardware.
 
 use crate::wiregen::{self, GenOptions};
 use banzai::fault::{FaultPlan, FaultSpec, FaultyEngine};
 use banzai::wire::{self, BoundParser};
 use banzai::{
-    Backpressure, DropReason, Machine, ShardConfig, ShardedSwitch, SlotMachine, Switch, Target,
+    Backpressure, DropReason, Machine, ShardConfig, ShardTimings, ShardedSwitch, SlotMachine,
+    Switch, Target,
 };
 use domino_ir::Packet;
 use std::time::Instant;
@@ -78,6 +86,11 @@ impl Measurement {
     }
 }
 
+/// Independent repetitions for every E9/E11 engine timing; each timed
+/// region keeps its minimum over these (see [`machine_workload`] for why
+/// minimum-of-reps is the right estimator on a noisy host).
+const ENGINE_REPS: usize = 3;
+
 /// Compiles `name` on its least-expressive paper target (LUT-extended for
 /// `codel_lut`), mirroring `tests/differential.rs`.
 fn compile_least(name: &str) -> banzai::AtomPipeline {
@@ -102,19 +115,36 @@ pub fn machine_workload(name: &str, n: usize, seed: u64) -> Measurement {
     let pipeline = compile_least(name);
     let trace = algorithms::by_name(name).unwrap().trace(n, seed);
 
+    // Each engine keeps its *minimum* time over ENGINE_REPS runs on fresh
+    // engine instances: host interference (virtualization steal, frequency
+    // excursions) only ever inflates a measurement, so the min is the
+    // cleanest estimate of true cost — and taking it on both sides keeps
+    // the gate's speedup ratio stable run to run. Outputs are deterministic,
+    // so the differential assertions check the last rep.
     let mut map_machine = Machine::new(pipeline.clone());
-    let t = Instant::now();
-    let map_out = map_machine.run_trace(&trace);
-    let map_ns = t.elapsed().as_nanos();
+    let mut map_out = Vec::new();
+    let mut map_ns = u128::MAX;
+    for _ in 0..ENGINE_REPS {
+        map_machine = Machine::new(pipeline.clone());
+        let t = Instant::now();
+        map_out = map_machine.run_trace(&trace);
+        map_ns = map_ns.min(t.elapsed().as_nanos());
+    }
 
     let mut slot_machine =
         SlotMachine::compile(&pipeline).expect("compiled pipelines are slot-executable");
     // Parse once onto the layout (a real parser fills the PHV exactly
     // once); the timed region is pure slot-indexed execution.
     let flat = slot_machine.flatten_trace(&trace);
-    let t = Instant::now();
-    let flat_out = slot_machine.run_trace_flat(&flat);
-    let slot_ns = t.elapsed().as_nanos();
+    let mut flat_out = Vec::new();
+    let mut slot_ns = u128::MAX;
+    for _ in 0..ENGINE_REPS {
+        slot_machine =
+            SlotMachine::compile(&pipeline).expect("compiled pipelines are slot-executable");
+        let t = Instant::now();
+        flat_out = slot_machine.run_trace_flat(&flat);
+        slot_ns = slot_ns.min(t.elapsed().as_nanos());
+    }
 
     // Bit-identical or bust: state…
     assert_eq!(
@@ -149,17 +179,30 @@ pub fn switch_workload(n: usize, seed: u64) -> Measurement {
     let egress = compile_least("codel_lut");
     let trace: Vec<Packet> = algorithms::by_name("flowlet").unwrap().trace(n, seed);
 
+    // Min over fresh-switch reps, for the same reason as `machine_workload`.
     let mut map_switch = Switch::new(ingress.clone(), egress.clone(), 512).with_drain_period(3);
-    let t = Instant::now();
-    let map_out = map_switch.run_trace(&trace);
-    let map_ns = t.elapsed().as_nanos();
+    let mut map_out = Vec::new();
+    let mut map_ns = u128::MAX;
+    for _ in 0..ENGINE_REPS {
+        map_switch = Switch::new(ingress.clone(), egress.clone(), 512).with_drain_period(3);
+        let t = Instant::now();
+        map_out = map_switch.run_trace(&trace);
+        map_ns = map_ns.min(t.elapsed().as_nanos());
+    }
 
     let mut slot_switch = Switch::new_slot(&ingress, &egress, 512)
         .expect("compiled pipelines are slot-executable")
         .with_drain_period(3);
-    let t = Instant::now();
-    let slot_out = slot_switch.run_trace(&trace);
-    let slot_ns = t.elapsed().as_nanos();
+    let mut slot_out = Vec::new();
+    let mut slot_ns = u128::MAX;
+    for _ in 0..ENGINE_REPS {
+        slot_switch = Switch::new_slot(&ingress, &egress, 512)
+            .expect("compiled pipelines are slot-executable")
+            .with_drain_period(3);
+        let t = Instant::now();
+        slot_out = slot_switch.run_trace(&trace);
+        slot_ns = slot_ns.min(t.elapsed().as_nanos());
+    }
 
     assert_eq!(map_out, slot_out, "switch engines diverged on outputs");
     assert_eq!(
@@ -217,35 +260,48 @@ pub fn wire_workload(name: &str, n: usize, seed: u64) -> Measurement {
     let algo = algorithms::by_name(name).unwrap();
     let wt = wiregen::wire_trace(&algo.trace(n, seed), seed, &GenOptions::default());
 
+    // Min over fresh-engine reps, for the same reason as `machine_workload`.
     let mut map_machine = Machine::new(pipeline.clone());
-    let t = Instant::now();
-    let map_out: Vec<Vec<u8>> = wt
-        .frames
-        .iter()
-        .map(|frame| {
-            let wp = wire::parse(frame, &wt.cfg).expect("wiregen default frames are well-formed");
-            let processed = map_machine.process(wp.pkt);
-            wire::deparse(&processed, &wp.layout)
-        })
-        .collect();
-    let map_ns = t.elapsed().as_nanos();
+    let mut map_out: Vec<Vec<u8>> = Vec::new();
+    let mut map_ns = u128::MAX;
+    for _ in 0..ENGINE_REPS {
+        map_machine = Machine::new(pipeline.clone());
+        let t = Instant::now();
+        map_out = wt
+            .frames
+            .iter()
+            .map(|frame| {
+                let wp =
+                    wire::parse(frame, &wt.cfg).expect("wiregen default frames are well-formed");
+                let processed = map_machine.process(wp.pkt);
+                wire::deparse(&processed, &wp.layout)
+            })
+            .collect();
+        map_ns = map_ns.min(t.elapsed().as_nanos());
+    }
 
     let mut slot_machine =
         SlotMachine::compile(&pipeline).expect("compiled pipelines are slot-executable");
     let parser = BoundParser::bind(wt.cfg.clone(), slot_machine.field_table().clone());
-    let t = Instant::now();
-    let slot_out: Vec<Vec<u8>> = wt
-        .frames
-        .iter()
-        .map(|frame| {
-            let (mut flat, layout) = parser
-                .parse_flat(frame)
-                .expect("same frames, same verdicts");
-            slot_machine.process_flat(&mut flat);
-            parser.deparse_flat(&flat, &layout)
-        })
-        .collect();
-    let slot_ns = t.elapsed().as_nanos();
+    let mut slot_out: Vec<Vec<u8>> = Vec::new();
+    let mut slot_ns = u128::MAX;
+    for _ in 0..ENGINE_REPS {
+        slot_machine =
+            SlotMachine::compile(&pipeline).expect("compiled pipelines are slot-executable");
+        let t = Instant::now();
+        slot_out = wt
+            .frames
+            .iter()
+            .map(|frame| {
+                let (mut flat, layout) = parser
+                    .parse_flat(frame)
+                    .expect("same frames, same verdicts");
+                slot_machine.process_flat(&mut flat);
+                parser.deparse_flat(&flat, &layout)
+            })
+            .collect();
+        slot_ns = slot_ns.min(t.elapsed().as_nanos());
+    }
 
     assert_eq!(
         *map_machine.state(),
@@ -362,6 +418,10 @@ pub struct ShardMeasurement {
     /// The sequential run's lane breakdown (steer / per-shard busy /
     /// merge), measured free of scheduler interference.
     pub timings: banzai::ShardTimings,
+    /// The partitioning tier the plan resolved to (what the run's
+    /// differential oracle was: bit-identity for `Exact`, the sketch
+    /// (ε, δ) contract for `Replicable`).
+    pub tier: banzai::ShardTier,
     /// The single-shard fallback diagnostic, if the plan fell back.
     pub fallback: Option<String>,
 }
@@ -390,11 +450,24 @@ impl ShardMeasurement {
 /// requested shard count.
 ///
 /// Every configuration is a differential test against the serial slot
-/// switch: each shard's outputs must equal the serial outputs at exactly
-/// the positions steered to it (full packets, queue metadata included),
-/// the merged exported state must equal the serial state, the threaded
-/// run must reproduce the sequential merge bit-for-bit, and
-/// drop/transmit counters must agree.
+/// switch, with the oracle chosen by the plan's tier:
+///
+/// * **Exact** (keyed steering, e.g. flowlet): each shard's outputs
+///   must equal the serial outputs at exactly the positions steered to
+///   it (full packets, queue metadata included), and the merged
+///   exported state must equal the serial state bit-for-bit.
+/// * **Replicable** (full sketch replica per shard, e.g.
+///   heavy_hitters): the merged exported state must *still* equal the
+///   serial state bit-for-bit (sum/max merges are exact on final
+///   state), and both the serial and merged states must satisfy the
+///   sketch's own contract — spec replay, overestimate, mass
+///   conservation, and the (ε, δ) bound
+///   ([`crate::sketch::verify_sketch`]). Per-packet in-stream estimates
+///   are shard-local by design, so positional bit-identity is not
+///   asserted; output counts and drop counters still must agree.
+///
+/// In every tier the threaded run must reproduce the sequential merge
+/// bit-for-bit, and drop/transmit counters must agree with serial.
 ///
 /// # Panics
 ///
@@ -445,20 +518,67 @@ pub fn shard_sweep(
             let parts = verify_sw
                 .run_trace_partitioned(&trace)
                 .expect("line-rate shard switches support stamped runs");
-            let assignment: Vec<usize> = trace.iter().map(|p| verify_sw.plan().steer(p)).collect();
-            for (s, part) in parts.iter().enumerate() {
-                let mut cursor = 0usize;
-                for (i, &shard) in assignment.iter().enumerate() {
-                    if shard != s {
-                        continue;
+            let tier = verify_sw.plan().tier();
+            match tier {
+                banzai::ShardTier::Exact | banzai::ShardTier::Fallback => {
+                    let assignment: Vec<usize> = trace
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| verify_sw.plan().steer(i, p))
+                        .collect();
+                    for (s, part) in parts.iter().enumerate() {
+                        let mut cursor = 0usize;
+                        for (i, &shard) in assignment.iter().enumerate() {
+                            if shard != s {
+                                continue;
+                            }
+                            assert_eq!(
+                                part[cursor], serial_out[i],
+                                "{name}@{count}: shard {s} diverged at input {i}"
+                            );
+                            cursor += 1;
+                        }
+                        assert_eq!(part.len(), cursor, "{name}@{count}: shard {s} length");
                     }
-                    assert_eq!(
-                        part[cursor], serial_out[i],
-                        "{name}@{count}: shard {s} diverged at input {i}"
-                    );
-                    cursor += 1;
                 }
-                assert_eq!(part.len(), cursor, "{name}@{count}: shard {s} length");
+                banzai::ShardTier::Replicable => {
+                    // Replica shards see only their slice of the trace, so
+                    // in-stream estimates are not positionally comparable;
+                    // the statistical tier below is the oracle. Packet
+                    // conservation still holds shard by shard.
+                    let assignment: Vec<usize> = trace
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| verify_sw.plan().steer(i, p))
+                        .collect();
+                    for (s, part) in parts.iter().enumerate() {
+                        let offered = assignment.iter().filter(|&&shard| shard == s).count();
+                        assert_eq!(
+                            part.len(),
+                            offered,
+                            "{name}@{count}: shard {s} transmitted {} of {offered} offered",
+                            part.len()
+                        );
+                    }
+                    let spec = verify_sw
+                        .plan()
+                        .ingress_replica()
+                        .expect("replicable tier has an ingress replica spec")
+                        .clone();
+                    let merged = verify_sw.export_merged_ingress_state().unwrap();
+                    crate::sketch::verify_sketch(
+                        &spec,
+                        &trace,
+                        &serial_state,
+                        &format!("{name} serial"),
+                    );
+                    crate::sketch::verify_sketch(
+                        &spec,
+                        &trace,
+                        &merged,
+                        &format!("{name}@{count} merged"),
+                    );
+                }
             }
             assert_eq!(
                 verify_sw.export_merged_ingress_state().unwrap(),
@@ -471,25 +591,49 @@ pub fn shard_sweep(
             let fallback = verify_sw.plan().fallback().map(str::to_string);
             let merged_len: usize = parts.iter().map(|p| p.len()).sum();
             drop(parts);
-            drop(assignment);
             drop(verify_sw);
 
             // Pass 2 — sequential timing: per-shard busy times measured
             // one after another on this thread (scheduler-free), with
-            // only the run's own working set live.
-            let mut timed_sw = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone())
-                .expect("compiled pipelines are slot-executable");
-            let run = timed_sw
-                .run_trace_instrumented(&trace)
-                .expect("line-rate shard switches support stamped runs");
-            let timings = run.timings.clone();
-            let merged = run.merged;
+            // only the run's own working set live. Wall time on this
+            // host arrives with bursty interference (virtualization
+            // steal, frequency excursions) that can inflate a single
+            // lane 2–4x, so each lane keeps its *minimum* over
+            // independent repetitions — under purely additive noise the
+            // minimum is the consistent estimator of true busy time,
+            // and the runs are deterministic so every repetition does
+            // identical work.
+            const TIMING_REPS: usize = 3;
+            let mut merged: Option<Vec<_>> = None;
+            let mut timings: Option<ShardTimings> = None;
+            for _ in 0..TIMING_REPS {
+                let mut timed_sw = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone())
+                    .expect("compiled pipelines are slot-executable");
+                let run = timed_sw
+                    .run_trace_instrumented(&trace)
+                    .expect("line-rate shard switches support stamped runs");
+                timings = Some(match timings.take() {
+                    None => run.timings,
+                    Some(best) => ShardTimings {
+                        steer_ns: best.steer_ns.min(run.timings.steer_ns),
+                        shard_ns: best
+                            .shard_ns
+                            .iter()
+                            .zip(&run.timings.shard_ns)
+                            .map(|(&a, &b)| a.min(b))
+                            .collect(),
+                        merge_ns: best.merge_ns.min(run.timings.merge_ns),
+                    },
+                });
+                merged = Some(run.merged);
+            }
+            let timings = timings.expect("TIMING_REPS >= 1");
+            let merged = merged.expect("TIMING_REPS >= 1");
             assert_eq!(
                 merged.len(),
                 merged_len,
                 "{name}@{count}: merge lost packets"
             );
-            drop(timed_sw);
 
             // Pass 3 — threaded wall clock, asserted bit-identical to the
             // sequential merge (scheduling cannot leak into outputs).
@@ -512,6 +656,7 @@ pub fn shard_sweep(
                 effective,
                 wall_ns,
                 timings,
+                tier,
                 fallback,
             }
         })
@@ -623,7 +768,11 @@ pub fn chaos_suite(name: &str, n: usize, seed: u64) -> Vec<ChaosOutcome> {
         "{name}: chaos suite needs a partitionable workload ({})",
         probe.plan()
     );
-    let assignment: Vec<usize> = trace.iter().map(|p| probe.plan().steer(p)).collect();
+    let assignment: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, p)| probe.plan().steer(i, p))
+        .collect();
     let offered_to = |s: usize| assignment.iter().filter(|&&sh| sh == s).count() as u64;
     // Victim: the busiest shard (guaranteed nonempty), killed one third in.
     let victim = (0..SHARDS)
@@ -951,6 +1100,123 @@ pub fn check_regressions(
         .collect()
 }
 
+/// One parsed E10 scaling row of a committed `BENCH_throughput.json` —
+/// the fields the scaling regression gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingBaselineRow {
+    /// Workload name.
+    pub workload: String,
+    /// Shards requested in the committed row.
+    pub shards: usize,
+    /// Shards the committed plan actually granted. This is the
+    /// un-fallback gate: a `Replicable` workload that regresses to a
+    /// 1-shard fallback shows up here as `fresh.effective <
+    /// base.effective` — an exact structural check, immune to timing
+    /// noise.
+    pub effective: usize,
+    /// Committed modeled speedup over the workload's own 1-shard row
+    /// (`None` for the 1-shard row itself).
+    pub speedup: Option<f64>,
+}
+
+/// Extracts the E10 scaling rows from a committed baseline document.
+///
+/// The same deliberately minimal line scanner as [`parse_baseline`]:
+/// only scaling rows carry the `effective_shards` key, and a row is
+/// emitted when its `modeled_speedup_vs_1shard` line arrives — chaos
+/// rows have `workload`/`shards` but neither of those keys, so they
+/// never emit.
+pub fn parse_scaling_baseline(doc: &str) -> Vec<ScalingBaselineRow> {
+    let mut rows = Vec::new();
+    let mut workload: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut effective: Option<usize> = None;
+    for line in doc.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(rest) = t.strip_prefix("\"workload\": \"") {
+            workload = rest.strip_suffix('"').map(str::to_string);
+        } else if let Some(rest) = t.strip_prefix("\"shards\": ") {
+            shards = rest.parse().ok();
+        } else if let Some(rest) = t.strip_prefix("\"effective_shards\": ") {
+            effective = rest.parse().ok();
+        } else if let Some(rest) = t.strip_prefix("\"modeled_speedup_vs_1shard\": ") {
+            if let (Some(w), Some(s), Some(e)) = (workload.take(), shards.take(), effective.take())
+            {
+                rows.push(ScalingBaselineRow {
+                    workload: w,
+                    shards: s,
+                    effective: e,
+                    speedup: rest.parse().ok(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The E10 half of the CI gate: every committed scaling row must be
+/// present in the fresh sweep, keep its effective shard count, and keep
+/// at least `tolerance` × its committed modeled speedup. Returns one
+/// message per violation (empty = gate passes).
+///
+/// The effective-shards check is exact (no tolerance): a workload that
+/// the planner un-partitions — say `heavy_hitters` regressing from the
+/// `Replicable` tier to a 1-shard fallback — fails the build even if
+/// the 1-shard run happens to be fast.
+pub fn check_scaling_regressions(
+    fresh: &[ShardMeasurement],
+    baseline: &[ScalingBaselineRow],
+    tolerance: f64,
+) -> Vec<String> {
+    baseline
+        .iter()
+        .filter_map(|base| {
+            let Some(m) = fresh
+                .iter()
+                .find(|m| m.workload == base.workload && m.requested == base.shards)
+            else {
+                return Some(format!(
+                    "{}@{}: scaling row is in the committed baseline but missing \
+                     from the fresh sweep — renamed or dropped? (update the \
+                     baseline deliberately instead)",
+                    base.workload, base.shards
+                ));
+            };
+            if m.effective < base.effective {
+                return Some(format!(
+                    "{}@{}: plan granted {} effective shard(s), committed baseline \
+                     granted {} — the workload regressed to a coarser partition \
+                     tier ({}{})",
+                    base.workload,
+                    base.shards,
+                    m.effective,
+                    base.effective,
+                    m.tier,
+                    m.fallback
+                        .as_deref()
+                        .map(|why| format!(": {why}"))
+                        .unwrap_or_default()
+                ));
+            }
+            let (Some(base_speedup), Some(fresh_speedup)) =
+                (base.speedup, scaling_speedup(fresh, m))
+            else {
+                return None; // 1-shard anchor rows carry no speedup
+            };
+            let floor = base_speedup * tolerance;
+            if fresh_speedup < floor {
+                Some(format!(
+                    "{}@{}: modeled speedup {fresh_speedup:.2}x regressed below \
+                     {floor:.2}x (tolerance {tolerance} x committed {base_speedup:.2}x)",
+                    base.workload, base.shards
+                ))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
 /// Renders the measurements as the machine-readable `BENCH_throughput.json`
 /// document (hand-rolled: the build environment is offline, no serde).
 ///
@@ -1001,6 +1267,7 @@ pub fn render_json(
             format!(
                 "    {{\n      \"workload\": \"{}\",\n      \"packets\": {},\n      \
                  \"shards\": {},\n      \"effective_shards\": {},\n      \
+                 \"tier\": \"{}\",\n      \
                  \"wall_ns\": {},\n      \"steer_ns\": {},\n      \"merge_ns\": {},\n      \
                  \"shard_ns\": [{}],\n      \"critical_ns\": {},\n      \
                  \"modeled_pkts_per_sec\": {:.0},\n      \"wall_pkts_per_sec\": {:.0},\n      \
@@ -1010,6 +1277,7 @@ pub fn render_json(
                 s.packets,
                 s.requested,
                 s.effective,
+                s.tier,
                 s.wall_ns,
                 s.timings.steer_ns,
                 s.timings.merge_ns,
@@ -1117,6 +1385,7 @@ mod tests {
                 shard_ns: vec![20, 25],
                 merge_ns: 5,
             },
+            tier: banzai::ShardTier::Exact,
             fallback: None,
         };
         let c = ChaosOutcome {
@@ -1137,6 +1406,7 @@ mod tests {
         assert!(doc.contains("\"name\": \"flowlet\""), "{doc}");
         assert!(doc.contains("\"speedup\": 10.00"), "{doc}");
         assert!(doc.contains("\"workload\": \"flowlet\""), "{doc}");
+        assert!(doc.contains("\"tier\": \"Exact\""), "{doc}");
         assert!(doc.contains("\"critical_ns\": 25"), "{doc}");
         assert!(doc.contains("\"host_cores\": 1"), "{doc}");
         assert!(doc.contains("\"scenario\": \"kill_worker\""), "{doc}");
@@ -1153,16 +1423,33 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].effective, 1);
         assert_eq!(rows[1].effective, 2);
+        assert_eq!(rows[1].tier, banzai::ShardTier::Exact);
         assert!(rows[1].fallback.is_none());
         assert_eq!(rows[1].timings.shard_ns.len(), 2);
         assert!(scaling_speedup(&rows, &rows[1]).is_some());
     }
 
     #[test]
+    fn shard_sweep_replicates_sketch_workloads() {
+        // heavy_hitters carries a count-min sketch indexed by per-row
+        // hashes: the exact tier rejects it, the replica tier shards it.
+        let rows = shard_sweep("heavy_hitters", 2_000, 0xF12, &[1, 4]);
+        assert_eq!(rows[1].effective, 4, "{:?}", rows[1].fallback);
+        assert_eq!(rows[1].tier, banzai::ShardTier::Replicable);
+        assert!(rows[1].fallback.is_none());
+        assert_eq!(rows[1].timings.shard_ns.len(), 4);
+    }
+
+    #[test]
     fn shard_sweep_records_fallback_for_unpartitionable_state() {
         let rows = shard_sweep("rcp", 1_000, 0xF11, &[4]);
         assert_eq!(rows[0].effective, 1);
+        assert_eq!(rows[0].tier, banzai::ShardTier::Fallback);
+        // The diagnostic must name the tier decision: why the exact
+        // tier rejected it AND why the replica tier rejected it.
         let why = rows[0].fallback.as_deref().unwrap();
+        assert!(why.contains("not Exact-partitionable"), "{why}");
+        assert!(why.contains("not Replicable"), "{why}");
         assert!(why.contains("scalar state"), "{why}");
     }
 
@@ -1269,5 +1556,126 @@ mod tests {
             "{}",
             failures[0]
         );
+    }
+
+    fn scaling_row(
+        workload: &str,
+        requested: usize,
+        effective: usize,
+        busy_ns: u128,
+        tier: banzai::ShardTier,
+    ) -> ShardMeasurement {
+        ShardMeasurement {
+            workload: workload.into(),
+            packets: 10,
+            requested,
+            effective,
+            wall_ns: busy_ns,
+            timings: banzai::ShardTimings {
+                steer_ns: 1,
+                shard_ns: vec![busy_ns; effective],
+                merge_ns: 1,
+            },
+            tier,
+            fallback: None,
+        }
+    }
+
+    #[test]
+    fn scaling_baseline_roundtrips_through_the_json_emitter() {
+        let rows = vec![
+            scaling_row("heavy_hitters", 1, 1, 400, banzai::ShardTier::Replicable),
+            scaling_row("heavy_hitters", 4, 4, 100, banzai::ShardTier::Replicable),
+        ];
+        // Chaos rows carry `workload` and `shards` keys too; the scanner
+        // must not emit rows for them (they lack `effective_shards` and
+        // `modeled_speedup_vs_1shard`).
+        let chaos = vec![ChaosOutcome {
+            scenario: "kill_worker".into(),
+            workload: "flowlet".into(),
+            packets: 10,
+            shards: 4,
+            outcome: "fault".into(),
+            faulted_shard: Some(1),
+            cause: "kill".into(),
+            transmitted: 7,
+            dropped: 1,
+            lost_in_fault: 2,
+            survivors: 3,
+            wall_ns: 40,
+        }];
+        let parsed = parse_scaling_baseline(&render_json(&[], &rows, &chaos, 1));
+        assert_eq!(
+            parsed,
+            vec![
+                ScalingBaselineRow {
+                    workload: "heavy_hitters".into(),
+                    shards: 1,
+                    effective: 1,
+                    // The 1-shard anchor is its own base, so the emitter
+                    // records 1.00 rather than null.
+                    speedup: Some(1.0),
+                },
+                ScalingBaselineRow {
+                    workload: "heavy_hitters".into(),
+                    shards: 4,
+                    effective: 4,
+                    speedup: Some(4.0),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn scaling_gate_trips_on_fallback_and_slowdown() {
+        let baseline = vec![
+            ScalingBaselineRow {
+                workload: "heavy_hitters".into(),
+                shards: 1,
+                effective: 1,
+                speedup: None,
+            },
+            ScalingBaselineRow {
+                workload: "heavy_hitters".into(),
+                shards: 4,
+                effective: 4,
+                speedup: Some(4.0),
+            },
+        ];
+        let fresh_ok = vec![
+            scaling_row("heavy_hitters", 1, 1, 400, banzai::ShardTier::Replicable),
+            scaling_row("heavy_hitters", 4, 4, 130, banzai::ShardTier::Replicable),
+        ];
+        assert!(check_scaling_regressions(&fresh_ok, &baseline, 0.5).is_empty());
+
+        // Regressing to a 1-shard fallback is an exact structural trip,
+        // even when the fallback run is fast.
+        let mut fallback_row = scaling_row("heavy_hitters", 4, 1, 10, banzai::ShardTier::Fallback);
+        fallback_row.fallback = Some("not Replicable: scalar state".into());
+        let fresh_fallback = vec![
+            scaling_row("heavy_hitters", 1, 1, 400, banzai::ShardTier::Fallback),
+            fallback_row,
+        ];
+        let failures = check_scaling_regressions(&fresh_fallback, &baseline, 0.5);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("coarser partition tier"),
+            "{failures:?}"
+        );
+        assert!(failures[0].contains("not Replicable"), "{failures:?}");
+
+        // A >tolerance modeled slowdown trips too.
+        let fresh_slow = vec![
+            scaling_row("heavy_hitters", 1, 1, 400, banzai::ShardTier::Replicable),
+            scaling_row("heavy_hitters", 4, 4, 300, banzai::ShardTier::Replicable),
+        ];
+        let failures = check_scaling_regressions(&fresh_slow, &baseline, 0.5);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("regressed"), "{failures:?}");
+
+        // A committed row missing from the fresh sweep trips.
+        let failures = check_scaling_regressions(&fresh_ok[..1], &baseline, 0.5);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("missing"), "{failures:?}");
     }
 }

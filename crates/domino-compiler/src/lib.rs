@@ -173,10 +173,13 @@ pub fn compile_checked(
 /// and `domc --emit flow-key`.
 ///
 /// Returns the extracted [`Partitionability`](domino_ir::Partitionability)
-/// witness (a flow key, or "stateless"), or the human-readable reason the
-/// sharded switch will fall back to a single shard: a scalar (global)
-/// register as in `rcp.domino`, arrays indexed by distinct hash fields as
-/// in `heavy_hitters.domino`, or a state-dependent index.
+/// witness — a flow key, a replica spec for commutative sketch state
+/// (`heavy_hitters.domino`'s differently-hashed count-min rows, merged
+/// elementwise at collect time), or "stateless" — or the human-readable
+/// reason the sharded switch will fall back to a single shard. The
+/// fallback diagnostic names both rejections: why the state is not
+/// exactly partitionable (a scalar (global) register as in `rcp.domino`,
+/// a state-dependent index) *and* why it is not replicable either.
 ///
 /// ```
 /// let flowlet = std::fs::read_to_string(

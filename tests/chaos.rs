@@ -88,7 +88,11 @@ fn kill_any_shard_at_any_packet_is_isolated_and_accounted() {
     // Steering assignment, from an unarmed twin (the plan is pure).
     let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(SHARDS)).unwrap();
     assert_eq!(probe.plan().effective(), SHARDS, "{}", probe.plan());
-    let assignment: Vec<usize> = trace.iter().map(|p| probe.plan().steer(p)).collect();
+    let assignment: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, p)| probe.plan().steer(i, p))
+        .collect();
     let positions = |s: usize| -> Vec<u64> {
         assignment
             .iter()
@@ -222,7 +226,7 @@ fn stalled_worker_trips_watchdog_without_hanging() {
     let (ingress, egress) = counter_pipelines();
     let trace = trace(200, 16);
     let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
-    let victim = probe.plan().steer(&trace[0]);
+    let victim = probe.plan().steer(0, &trace[0]);
 
     let mut faults = FaultPlan::none(4);
     faults.push(victim, FaultSpec::stall_at(0, 2_000));
@@ -266,7 +270,7 @@ fn shed_policy_counts_overload_and_conserves() {
     let (ingress, egress) = counter_pipelines();
     let trace = trace(400, 16);
     let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
-    let victim = probe.plan().steer(&trace[0]);
+    let victim = probe.plan().steer(0, &trace[0]);
 
     // One slow first packet: the feeder outruns the worker and must shed.
     let mut faults = FaultPlan::none(4);
@@ -308,7 +312,7 @@ fn bit_flip_diverges_output_but_conserves() {
     let mut clean = armed(&ingress, &egress, cfg.clone(), &FaultPlan::none(4));
     let clean_out = clean.run_trace(&trace).unwrap();
 
-    let victim = clean.plan().steer(&trace[0]);
+    let victim = clean.plan().steer(0, &trace[0]);
     let mut faults = FaultPlan::none(4);
     // Flip bit 2 of the flow id: flows stay in 0..12, inside the table.
     faults.push(victim, FaultSpec::bit_flip_at(3, "flow", 2));
@@ -329,7 +333,7 @@ fn feeding_a_dead_worker_reports_the_panic_not_the_send() {
     let (ingress, egress) = counter_pipelines();
     let trace = trace(300, 16);
     let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
-    let victim = probe.plan().steer(&trace[0]);
+    let victim = probe.plan().steer(0, &trace[0]);
 
     // batch 1 + ring 1: the feeder is guaranteed to hit the closed
     // channel long after the worker died on packet 0.
@@ -359,7 +363,7 @@ fn switch_is_rebuilt_and_usable_after_a_fault() {
     let trace = trace(160, 16);
     let cfg = ShardConfig::new(4).with_batch(8);
     let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
-    let victim = probe.plan().steer(&trace[0]);
+    let victim = probe.plan().steer(0, &trace[0]);
 
     let mut sw = armed(&ingress, &egress, cfg, &FaultPlan::kill(4, victim, 3));
     let report = expect_fault(sw.run_trace(&trace), "first run");
@@ -371,4 +375,79 @@ fn switch_is_rebuilt_and_usable_after_a_fault() {
 
     // Cumulative counters: both runs' transmissions are accounted.
     assert_eq!(sw.transmitted(), salvaged_tx + trace.len() as u64);
+}
+
+/// Replica-tier fault coverage: killing a shard of a replicated sketch
+/// (heavy_hitters' count-min) loses only that shard's replica. Merging
+/// the survivors' `ShardSalvage` snapshots through the replica spec
+/// yields a sketch that is bit-exact to replaying the surviving
+/// packets, conserves their mass, and still honors the (ε, δ) bound
+/// over the surviving sub-trace.
+#[test]
+fn killed_replica_shard_salvage_merges_into_a_bound_respecting_sketch() {
+    const SHARDS: usize = 4;
+    const SEED: u64 = 0x000D_0771_2016;
+    let a = algorithms::by_name("heavy_hitters").unwrap();
+    let ingress = domino_compiler::compile(a.source, &Target::banzai(AtomKind::Raw)).unwrap();
+    let egress = AtomPipeline::passthrough("egress");
+    let trace = a.trace(600, SEED);
+
+    let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(SHARDS)).unwrap();
+    assert_eq!(
+        probe.plan().tier(),
+        banzai::ShardTier::Replicable,
+        "{}",
+        probe.plan()
+    );
+    let spec = probe.plan().ingress_replica().unwrap().clone();
+    let assignment: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, p)| probe.plan().steer(i, p))
+        .collect();
+
+    for victim in 0..SHARDS {
+        let ctx = format!("victim {victim}");
+        let cfg = ShardConfig::new(SHARDS).with_batch(8);
+        let mut sw = armed(&ingress, &egress, cfg, &FaultPlan::kill(SHARDS, victim, 5));
+        let report = expect_fault(sw.run_trace(&trace), &ctx);
+        assert!(
+            report.accounting.conserved(),
+            "{ctx}: {}",
+            report.accounting
+        );
+
+        // Survivors drained cleanly, so their snapshots are present and
+        // complete; the victim's replica is gone with it.
+        assert!(report.shard(victim).unwrap().state.is_none(), "{ctx}");
+        let snaps: Vec<domino_ir::StateStore> = report
+            .salvage
+            .iter()
+            .filter(|s| !s.failed)
+            .map(|s| {
+                s.state
+                    .as_ref()
+                    .expect("survivors snapshot state")
+                    .0
+                    .clone()
+            })
+            .collect();
+        assert_eq!(snaps.len(), SHARDS - 1, "{ctx}");
+        let merged = spec.merge_states(&snaps);
+
+        // The surviving sub-trace is exactly the packets steered away
+        // from the victim — the merged sketch must satisfy the full
+        // contract (replay, overestimate, conservation, (ε, δ)) on it.
+        let survivor_trace: Vec<Packet> = trace
+            .iter()
+            .zip(&assignment)
+            .filter(|&(_, &s)| s != victim)
+            .map(|(p, _)| p.clone())
+            .collect();
+        assert!(
+            !survivor_trace.is_empty(),
+            "{ctx}: steering starved survivors"
+        );
+        bench::sketch::verify_sketch(&spec, &survivor_trace, &merged, &ctx);
+    }
 }

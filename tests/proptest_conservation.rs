@@ -192,3 +192,60 @@ proptest! {
         prop_assert_eq!(c.queue_full() + c.parse_total(), c.total());
     }
 }
+
+/// A two-row count-min sketch with per-row salted hashes: distinct
+/// index fields per row keep it out of the Exact tier, so it exercises
+/// replica-mode sharding (full sketch copy per shard, merged at
+/// collect).
+const SKETCH: &str = "struct P { int sport; int dport; int h0; int h1; };\n\
+                      int cms0[16] = {0};\n\
+                      int cms1[32] = {0};\n\
+                      void sketch(struct P pkt) {\n\
+                        pkt.h0 = hash3(pkt.sport, pkt.dport, 1007) % 16;\n\
+                        cms0[pkt.h0] = cms0[pkt.h0] + 1;\n\
+                        pkt.h1 = hash3(pkt.sport, pkt.dport, 1014) % 32;\n\
+                        cms1[pkt.h1] = cms1[pkt.h1] + 1;\n\
+                      }";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replica-mode conservation: packets conserve exactly, and the
+    /// merged sketch conserves *mass* — every update a packet carried
+    /// is in the merged state, none created, none lost — plus the full
+    /// sketch contract (`bench::sketch::verify_sketch`), at every
+    /// geometry.
+    #[test]
+    fn replica_sharded_run_conserves_packets_and_mass(
+        keys in proptest::collection::vec((0..9i32, 0..5i32), 0..300),
+        shards in 1..=8usize,
+        batch in 1..=64usize,
+    ) {
+        let ingress = domino_compiler::compile(SKETCH, &Target::banzai(AtomKind::Raw)).unwrap();
+        let egress = AtomPipeline::passthrough("egress");
+        let cfg = ShardConfig::new(shards).with_batch(batch);
+        let mut sw = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
+        prop_assert_eq!(sw.plan().tier(), banzai::ShardTier::Replicable);
+        let spec = sw.plan().ingress_replica().unwrap().clone();
+
+        let trace: Vec<Packet> = keys
+            .iter()
+            .map(|&(s, d)| {
+                Packet::new()
+                    .with("sport", s)
+                    .with("dport", d)
+                    .with("h0", 0)
+                    .with("h1", 0)
+            })
+            .collect();
+        let out = sw.run_trace(&trace).expect("no faults armed");
+        prop_assert_eq!(out.len() as u64, sw.transmitted());
+        prop_assert_eq!(sw.transmitted() + sw.drops(), trace.len() as u64);
+        prop_assert_eq!(sw.drops(), 0, "line-rate run must not drop");
+
+        // Mass conservation and the rest of the sketch contract on the
+        // merged export (panics on violation).
+        let merged = sw.export_merged_ingress_state().unwrap();
+        bench::sketch::verify_sketch(&spec, &trace, &merged, "replica conservation");
+    }
+}

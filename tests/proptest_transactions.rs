@@ -383,7 +383,11 @@ proptest! {
         // (projected onto declared fields: the switch adds queue
         // metadata the bare engine does not stamp).
         let fields = checked.packet_fields.clone();
-        let assignment: Vec<usize> = trace.iter().map(|p| sharded.plan().steer(p)).collect();
+        let assignment: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sharded.plan().steer(i, p))
+        .collect();
         for (s, part) in parts.iter().enumerate() {
             let mut cursor = 0usize;
             for (i, &shard) in assignment.iter().enumerate() {

@@ -1,19 +1,29 @@
 //! Sharded-switch differential suite: flow-steered multi-core execution
-//! must be observably identical to the serial switch for **every** Table 4
-//! algorithm, at every shard count.
+//! must be observably equivalent to the serial switch for **every**
+//! Table 4 algorithm, at every shard count — with the oracle chosen by
+//! the plan's partitioning tier.
 //!
 //! The contract under test (see `banzai::shard`):
 //!
-//! * each shard's output stream equals the serial switch's outputs at
-//!   exactly the positions steered to that shard — full packets, queue
-//!   metadata included (per-flow order preservation follows);
-//! * merged exported state is bit-identical to the serial state;
-//! * the threaded run reproduces the sequential merge bit-for-bit
+//! * **Exact** tier (keyed steering): each shard's output stream equals
+//!   the serial switch's outputs at exactly the positions steered to
+//!   that shard — full packets, queue metadata included (per-flow order
+//!   preservation follows);
+//! * **Replicable** tier (full sketch replica per shard): per-packet
+//!   in-stream estimates are shard-local by design, so positional
+//!   bit-identity is not asserted; instead the sketch's own contract
+//!   holds (`bench::sketch::verify_sketch` — spec replay, overestimate,
+//!   mass conservation, the (ε, δ) bound) on both the serial and the
+//!   merged state;
+//! * in **both** tiers the merged exported state is bit-identical to
+//!   the serial state (sum/max merges are exact on final state) and
+//!   the threaded run reproduces the sequential merge bit-for-bit
 //!   (scheduling cannot leak into outputs);
-//! * algorithms whose state indexing is not partitionable fall back to a
-//!   single shard with a diagnostic — and still match serial exactly.
+//! * algorithms whose state partitions under *neither* tier fall back
+//!   to a single shard with a two-tier diagnostic — and still match
+//!   serial exactly.
 
-use banzai::{AtomPipeline, ShardConfig, ShardedSwitch, SteerMode, Switch, Target};
+use banzai::{AtomPipeline, ShardConfig, ShardTier, ShardedSwitch, SteerMode, Switch, Target};
 use domino_ir::Packet;
 
 const TRACE_LEN: usize = 600;
@@ -31,9 +41,11 @@ fn compile_least(a: &algorithms::Algorithm) -> AtomPipeline {
     domino_compiler::compile(a.source, &target).unwrap_or_else(|e| panic!("{}: {e}", a.name))
 }
 
-/// Asserts a sharded ingress/egress pair is observably identical to the
-/// serial switch at `shards` shards on `trace`: per-shard output
-/// subsequences, merged state, and counters.
+/// Asserts a sharded ingress/egress pair is observably equivalent to the
+/// serial switch at `shards` shards on `trace`, with the oracle routed
+/// by the plan's tier: per-shard output subsequences for `Exact` and
+/// `Fallback`, the sketch contract for `Replicable`; merged state and
+/// counters in every tier.
 fn sharded_pair_differential(
     label: &str,
     ingress: &AtomPipeline,
@@ -47,19 +59,58 @@ fn sharded_pair_differential(
     let mut sharded = ShardedSwitch::new_slot(ingress, egress, ShardConfig::new(shards)).unwrap();
     let parts = sharded.run_trace_partitioned(trace).unwrap();
 
-    let assignment: Vec<usize> = trace.iter().map(|p| sharded.plan().steer(p)).collect();
-    for (s, part) in parts.iter().enumerate() {
-        let expected: Vec<&Packet> = assignment
-            .iter()
-            .enumerate()
-            .filter(|(_, &shard)| shard == s)
-            .map(|(i, _)| &serial_out[i])
-            .collect();
-        let got: Vec<&Packet> = part.iter().collect();
-        assert_eq!(
-            got, expected,
-            "{label} @ {shards} shards: shard {s} diverged from serial"
-        );
+    let assignment: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sharded.plan().steer(i, p))
+        .collect();
+    match sharded.plan().tier() {
+        ShardTier::Exact | ShardTier::Fallback => {
+            for (s, part) in parts.iter().enumerate() {
+                let expected: Vec<&Packet> = assignment
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &shard)| shard == s)
+                    .map(|(i, _)| &serial_out[i])
+                    .collect();
+                let got: Vec<&Packet> = part.iter().collect();
+                assert_eq!(
+                    got, expected,
+                    "{label} @ {shards} shards: shard {s} diverged from serial"
+                );
+            }
+        }
+        ShardTier::Replicable => {
+            // Replica shards see only their slice of the trace, so
+            // in-stream sketch reads differ positionally; packet
+            // conservation per shard plus the statistical contract on
+            // the merged state are the oracle.
+            for (s, part) in parts.iter().enumerate() {
+                let offered = assignment.iter().filter(|&&shard| shard == s).count();
+                assert_eq!(
+                    part.len(),
+                    offered,
+                    "{label} @ {shards} shards: shard {s} lost packets"
+                );
+            }
+            let spec = sharded
+                .plan()
+                .ingress_replica()
+                .expect("replicable tier carries an ingress replica spec")
+                .clone();
+            bench::sketch::verify_sketch(
+                &spec,
+                trace,
+                &serial.export_ingress_state(),
+                &format!("{label} serial"),
+            );
+            bench::sketch::verify_sketch(
+                &spec,
+                trace,
+                &sharded.export_merged_ingress_state().unwrap(),
+                &format!("{label} @ {shards} merged"),
+            );
+        }
     }
     assert_eq!(
         sharded.export_merged_ingress_state().unwrap(),
@@ -93,9 +144,10 @@ fn all_table4_algorithms_shard_safely() {
     }
 }
 
-/// The partitionability split is exactly the paper's locality argument:
-/// per-flow keyed state shards; global registers and multi-hash sketches
-/// do not.
+/// The partitionability split is exactly the paper's locality argument,
+/// now three-tiered: per-flow keyed state shards exactly; multi-hash
+/// sketches with commutative updates shard by replication; global
+/// scalar registers do not shard at all.
 #[test]
 fn partitionability_matches_state_indexing_structure() {
     let keyed = [
@@ -105,14 +157,8 @@ fn partitionability_matches_state_indexing_structure() {
         "sampled_netflow",
         "stfq",
     ];
-    let fallback = [
-        "bloom_filter",
-        "heavy_hitters",
-        "rcp",
-        "hull",
-        "avq",
-        "codel_lut",
-    ];
+    let replicable = ["bloom_filter", "heavy_hitters"];
+    let fallback = ["rcp", "hull", "avq", "codel_lut"];
     for name in keyed {
         let a = algorithms::by_name(name).unwrap();
         let sw = ShardedSwitch::new_slot(
@@ -122,11 +168,31 @@ fn partitionability_matches_state_indexing_structure() {
         )
         .unwrap();
         assert_eq!(sw.plan().effective(), 4, "{name} should shard");
+        assert_eq!(sw.plan().tier(), ShardTier::Exact, "{name}");
         assert!(
             sw.plan().fallback().is_none(),
             "{name} should not fall back"
         );
         assert!(sw.plan().flow_key().is_some(), "{name} should be keyed");
+    }
+    for name in replicable {
+        let a = algorithms::by_name(name).unwrap();
+        let sw = ShardedSwitch::new_slot(
+            &compile_least(&a),
+            &AtomPipeline::passthrough("egress"),
+            ShardConfig::new(4),
+        )
+        .unwrap();
+        assert_eq!(sw.plan().effective(), 4, "{name} should replicate");
+        assert_eq!(sw.plan().tier(), ShardTier::Replicable, "{name}");
+        assert!(
+            sw.plan().fallback().is_none(),
+            "{name} should not fall back"
+        );
+        assert!(
+            sw.plan().ingress_replica().is_some(),
+            "{name} should carry a replica spec"
+        );
     }
     for name in fallback {
         let a = algorithms::by_name(name).unwrap();
@@ -137,10 +203,15 @@ fn partitionability_matches_state_indexing_structure() {
         )
         .unwrap();
         assert_eq!(sw.plan().effective(), 1, "{name} should fall back");
+        assert_eq!(sw.plan().tier(), ShardTier::Fallback, "{name}");
         let why = sw
             .plan()
             .fallback()
             .unwrap_or_else(|| panic!("{name}: no diagnostic"));
+        // The diagnostic records the full tier decision: why the exact
+        // tier said no AND why the replica tier said no.
+        assert!(why.contains("not Exact-partitionable"), "{name}: `{why}`");
+        assert!(why.contains("not Replicable"), "{name}: `{why}`");
         assert!(
             why.contains("scalar state") || why.contains("distinct fields"),
             "{name}: unexpected diagnostic `{why}`"
@@ -222,7 +293,9 @@ fn merge_seed_only_permutes_across_flows() {
         // through untouched).
         let mut per_shard: Vec<Vec<Packet>> = vec![Vec::new(); 4];
         for p in &merged {
-            per_shard[sw.plan().steer(p)].push(p.clone());
+            // Keyed steering is content-pure: the trace index argument
+            // is ignored, so re-steering an *output* packet is sound.
+            per_shard[sw.plan().steer(0, p)].push(p.clone());
         }
         outs.push(per_shard);
     }
