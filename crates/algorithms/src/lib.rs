@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod reference;
+pub mod sched;
 pub mod workload;
 
 use banzai::AtomKind;

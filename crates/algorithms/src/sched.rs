@@ -1,0 +1,122 @@
+//! Scheduling workloads: rank-computing transactions and the traces that
+//! exercise them (experiment E13).
+//!
+//! Packet transactions compute *ranks*; a PIFO (`banzai::pifo`) turns
+//! ranks into departure order. This module holds the scheduling side of
+//! that split: the token-bucket pacer source (whose `dl` output is an
+//! earliest-departure time for a shaping PIFO), and seeded trace
+//! generators for the three E13 disciplines — WFQ via `stfq`'s `start`
+//! ranks, strict priority over per-class WFQ, and pacing.
+//!
+//! All generators are deterministic given their seed, like
+//! [`crate::workload`].
+
+use domino_ir::Packet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Domino source of the token-bucket pacer (egress-rank transaction).
+///
+/// Output field `dl` is the packet's earliest-departure cycle; feed it to
+/// `SchedSpec::Shaping { rank: "dl" }`. Per-flow release times are spaced
+/// at least [`PACER_GAP`] cycles apart.
+pub const PACER_SOURCE: &str = include_str!("domino/pacer.domino");
+
+/// The `GAP` constant baked into [`PACER_SOURCE`]: minimum spacing, in
+/// cycles, between two releases of the same flow.
+pub const PACER_GAP: i32 = 8;
+
+/// A maximally unfair arrival order for fairness testing: `flows` flows,
+/// each `per_flow` packets of random length in 64..1500 bytes, arriving
+/// **flow-major** — every packet of flow 0, then every packet of flow 1,
+/// and so on. All packets share virtual time 0 (one backlogged burst), so
+/// `stfq`'s `start` ranks are exactly each flow's cumulative byte count
+/// and a rank-ordered drain is byte-by-byte fair no matter how skewed the
+/// arrival order was.
+pub fn backlogged_burst(flows: usize, per_flow: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trace = Vec::with_capacity(flows * per_flow);
+    for flow in 0..flows {
+        for _ in 0..per_flow {
+            trace.push(
+                Packet::new()
+                    .with("flow", flow as i32)
+                    .with("length", rng.gen_range(64..1500))
+                    .with("vt", 0)
+                    .with("start", 0),
+            );
+        }
+    }
+    trace
+}
+
+/// The stfq workload with a `class` field: `class = flow % classes`,
+/// for strict-priority-over-WFQ runs
+/// (`SchedSpec::Priority { class: "class", rank: "start" }`).
+pub fn classed_stfq_trace(n: usize, classes: usize, seed: u64) -> Vec<Packet> {
+    crate::workload::stfq_trace(n, seed)
+        .into_iter()
+        .map(|p| {
+            let class = p.expect("flow") % classes as i32;
+            p.with("class", class)
+        })
+        .collect()
+}
+
+/// Pacer workload: `n` packets over a handful of flows, arrival cycle
+/// `at = n + i` (so every earliest-departure time lands in the drain
+/// phase of a burst-mode run). Few flows and back-to-back arrivals mean
+/// per-flow spacing is well under [`PACER_GAP`], so the bucket actually
+/// delays packets rather than passing them through.
+pub fn pacer_trace(n: usize, seed: u64) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            Packet::new()
+                .with("flow", rng.gen_range(0..4))
+                .with("at", (n + i) as i32)
+                .with("dl", 0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacer_source_parses_and_checks() {
+        let checked = domino_ast::parse_and_check(PACER_SOURCE).unwrap();
+        assert_eq!(checked.name, "pacer");
+    }
+
+    #[test]
+    fn backlogged_burst_is_flow_major_with_zero_vt() {
+        let t = backlogged_burst(4, 8, 9);
+        assert_eq!(t.len(), 32);
+        for (i, p) in t.iter().enumerate() {
+            assert_eq!(p.expect("flow"), (i / 8) as i32);
+            assert_eq!(p.expect("vt"), 0);
+            assert!((64..1500).contains(&p.expect("length")));
+        }
+        assert_eq!(backlogged_burst(4, 8, 9), backlogged_burst(4, 8, 9));
+    }
+
+    #[test]
+    fn classed_trace_derives_class_from_flow() {
+        let t = classed_stfq_trace(200, 3, 11);
+        for p in &t {
+            assert_eq!(p.expect("class"), p.expect("flow") % 3);
+        }
+    }
+
+    #[test]
+    fn pacer_trace_arrivals_are_back_to_back_in_the_drain_phase() {
+        let n = 100;
+        let t = pacer_trace(n, 13);
+        for (i, p) in t.iter().enumerate() {
+            assert_eq!(p.expect("at"), (n + i) as i32);
+            assert!((0..4).contains(&p.expect("flow")));
+        }
+    }
+}

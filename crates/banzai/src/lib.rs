@@ -25,6 +25,11 @@
 //!   per-packet string hashing,
 //! * [`switch`] — the Figure-1 whole-switch view (ingress pipeline, queue,
 //!   egress pipeline), generic over either execution engine,
+//! * [`pifo`] — programmable scheduling: push-in-first-out queue blocks
+//!   popped in rank order (the rank itself computed by a Domino program's
+//!   output field), hierarchical PIFO-of-PIFOs composition, and the
+//!   [`pifo::SchedSpec`] policy that selects the switch queue's
+//!   discipline — WFQ, strict priority, and token-bucket shaping,
 //! * [`shard`] — the multi-core scale-out: [`shard::ShardedSwitch`] steers
 //!   flows to N independent per-shard switches (RSS-style, keyed by the
 //!   program's own state indexing) and merges packets and state back
@@ -51,6 +56,7 @@ pub mod error;
 pub mod fault;
 pub mod kind;
 pub mod machine;
+pub mod pifo;
 pub mod shard;
 pub mod slot;
 pub mod switch;
@@ -62,12 +68,13 @@ pub use error::{Accounting, FaultCause, FaultReport, ShardError, ShardSalvage, S
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultyEngine};
 pub use kind::{AtomKind, StatefulCaps};
 pub use machine::{AtomPipeline, AtomRole, CompiledAtom, Machine};
+pub use pifo::{Fifo, HierPifo, Pifo, SchedKey, SchedQueue, SchedSpec, Scheduler};
 pub use shard::{
     Backpressure, ShardConfig, ShardPlan, ShardRun, ShardTier, ShardTimings, ShardedSwitch,
     SteerMode,
 };
 pub use slot::{SlotMachine, SlotPipeline};
-pub use switch::{DropCounters, DropReason, PipelineEngine, Switch};
+pub use switch::{DropCounters, DropReason, PipelineEngine, SchedDeparture, Switch};
 pub use target::Target;
 pub use wire::{
     deparse, encode, parse, BoundParser, FlatWireLayout, FrameSpec, ParseVerdict, WireConfig,

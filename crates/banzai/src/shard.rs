@@ -71,8 +71,11 @@
 
 use crate::error::{Accounting, FaultCause, FaultReport, ShardError, ShardSalvage, SwitchError};
 use crate::machine::AtomPipeline;
+use crate::pifo::{SchedKey, SchedQueue, SchedSpec, Scheduler};
 use crate::slot::SlotMachine;
-use crate::switch::{DropCounters, DropReason, PipelineEngine, Switch};
+use crate::switch::{
+    DropCounters, DropReason, PipelineEngine, SchedDeparture, Switch, QUEUE_METADATA_FIELDS,
+};
 use crate::wire::{self, WireConfig};
 use domino_ast::{StateKind, StateVar};
 use domino_ir::layout::{mix64, FlowKeySpec, Partitionability, ReplicaSpec, StateLayout};
@@ -113,6 +116,9 @@ pub struct ShardConfig {
     /// collector waits for a worker's outcome, before declaring the
     /// worker stalled and abandoning it.
     pub watchdog_ms: u64,
+    /// The scheduling policy every shard's queue runs (default: drop-tail
+    /// FIFO — see [`SchedSpec`] and [`ShardedSwitch::run_sched_trace`]).
+    pub sched: SchedSpec,
 }
 
 impl ShardConfig {
@@ -129,6 +135,7 @@ impl ShardConfig {
             steer: SteerMode::Auto,
             backpressure: Backpressure::Block,
             watchdog_ms: 5_000,
+            sched: SchedSpec::Fifo,
         }
     }
 
@@ -171,6 +178,12 @@ impl ShardConfig {
     /// Overrides the watchdog window (milliseconds, floored at 1).
     pub fn with_watchdog_ms(mut self, ms: u64) -> ShardConfig {
         self.watchdog_ms = ms.max(1);
+        self
+    }
+
+    /// Overrides the scheduling policy every shard's queue runs.
+    pub fn with_scheduler(mut self, sched: SchedSpec) -> ShardConfig {
+        self.sched = sched;
         self
     }
 }
@@ -351,7 +364,7 @@ impl ShardPlan {
     /// when both carry keyed state the two keys must agree, and an
     /// egress-derived key must not depend on fields the ingress pipeline
     /// (or the queue's metadata stamps, under their default names —
-    /// [`QUEUE_METADATA_FIELDS`](crate::switch::QUEUE_METADATA_FIELDS);
+    /// [`QUEUE_METADATA_FIELDS`];
     /// renamed metadata is outside this model) rewrites — the dispatcher
     /// evaluates the key on the *input* packet. Any violation produces a
     /// single-shard plan carrying the diagnostic.
@@ -715,9 +728,19 @@ pub struct ShardedSwitch<E: PipelineEngine = SlotMachine> {
     seed: u64,
     backpressure: Backpressure,
     watchdog_ms: u64,
+    /// The scheduling policy every shard runs (and the merge obeys).
+    sched: SchedSpec,
+    /// The dedicated serial egress engine of the scheduling path: after a
+    /// PIFO the output link is a single serialized stream, so the
+    /// post-merge egress pass runs here — its state evolves over exactly
+    /// the serial departure sequence, bit-identical to a serial switch's
+    /// egress engine. Built lazily on the first
+    /// [`ShardedSwitch::run_sched_trace`].
+    sched_egress: Option<E>,
     /// Counters salvaged from shards that have since been rebuilt, plus
-    /// feeder-side backpressure sheds — folded into [`Self::transmitted`]
-    /// / [`Self::drop_counters`] so the totals stay conservation-exact
+    /// feeder-side backpressure sheds and post-merge scheduling
+    /// departures — folded into [`Self::transmitted`] /
+    /// [`Self::drop_counters`] so the totals stay conservation-exact
     /// across faults.
     extra_transmitted: u64,
     extra_drops: DropCounters,
@@ -776,7 +799,12 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         let plan = ShardPlan::plan(ingress, egress, config.shards, &config.steer);
         let mut shards = Vec::with_capacity(plan.effective());
         for s in 0..plan.effective() {
-            shards.push(factory(s, ingress, egress, config.capacity)?);
+            // The factory builds the engines; the configured scheduling
+            // policy is applied uniformly on top (so injected-fault
+            // factories compose with programmed schedulers).
+            shards.push(
+                factory(s, ingress, egress, config.capacity)?.with_scheduler(config.sched.clone()),
+            );
         }
         Ok(ShardedSwitch {
             plan,
@@ -789,6 +817,8 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
             seed: config.seed,
             backpressure: config.backpressure,
             watchdog_ms: config.watchdog_ms.max(1),
+            sched: config.sched,
+            sched_egress: None,
             extra_transmitted: 0,
             extra_drops: DropCounters::new(),
         })
@@ -906,100 +936,10 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         E: Send + 'static,
     {
         let n = self.shards.len();
-        let batch_size = self.batch;
-        let watchdog = Duration::from_millis(self.watchdog_ms);
-        let policy = self.backpressure;
-
         // Move the switches into their workers; survivors come back
         // through the outcome channels, failed shards are rebuilt below.
         let switches = std::mem::take(&mut self.shards);
-        let mut txs: Vec<BatchSender> = Vec::with_capacity(n);
-        let mut dones = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
-        for sw in switches {
-            let (tx, rx) = mpsc::sync_channel::<Vec<(i64, Packet)>>(self.ring);
-            let (done_tx, done_rx) = mpsc::channel::<WorkerOutcome<E>>();
-            handles.push(std::thread::spawn(move || {
-                let outcome = worker_loop(sw, rx);
-                let _ = done_tx.send(outcome);
-            }));
-            txs.push(Some(tx));
-            dones.push(done_rx);
-        }
-
-        // Feed. A shard marked dead/stalled keeps accumulating `offered`
-        // (for the books) but receives nothing further.
-        let mut offered = vec![0u64; n];
-        let mut sheds = vec![0u64; n];
-        let mut stalled = vec![false; n];
-        let mut dead = vec![false; n];
-        let mut pending: Vec<Vec<(i64, Packet)>> =
-            (0..n).map(|_| Vec::with_capacity(batch_size)).collect();
-        let flush = |s: usize,
-                     batch: Vec<(i64, Packet)>,
-                     txs: &mut [BatchSender],
-                     sheds: &mut [u64],
-                     stalled: &mut [bool],
-                     dead: &mut [bool]| {
-            let len = batch.len() as u64;
-            let Some(tx) = txs[s].as_ref() else { return };
-            match feed_batch(tx, batch, policy, watchdog) {
-                FeedResult::Sent => {}
-                FeedResult::Shed => sheds[s] += len,
-                FeedResult::Stalled => {
-                    stalled[s] = true;
-                    txs[s] = None;
-                }
-                FeedResult::Dead => {
-                    dead[s] = true;
-                    txs[s] = None;
-                }
-            }
-        };
-        for (i, pkt) in trace.iter().enumerate() {
-            let s = self.plan.steer(i, pkt);
-            offered[s] += 1;
-            if dead[s] || stalled[s] {
-                continue;
-            }
-            pending[s].push((i as i64, pkt.clone()));
-            if pending[s].len() == batch_size {
-                let full = std::mem::replace(&mut pending[s], Vec::with_capacity(batch_size));
-                flush(s, full, &mut txs, &mut sheds, &mut stalled, &mut dead);
-            }
-        }
-        for (s, rest) in pending.into_iter().enumerate() {
-            if !rest.is_empty() && !dead[s] && !stalled[s] {
-                flush(s, rest, &mut txs, &mut sheds, &mut stalled, &mut dead);
-            }
-        }
-        drop(txs); // close every ring: drained workers exit their loops
-
-        // Collect, bounded by the watchdog per shard. A worker that never
-        // reports is abandoned (its thread handle is dropped, detaching
-        // it) — never joined, so a wedged engine cannot hang the caller.
-        let mut collected: Vec<Collected<E>> = Vec::with_capacity(n);
-        for (s, (done_rx, handle)) in dones.into_iter().zip(handles).enumerate() {
-            if stalled[s] {
-                collected.push(Collected::Stalled);
-                drop(handle);
-                continue;
-            }
-            match done_rx.recv_timeout(watchdog) {
-                Ok(outcome) => {
-                    let _ = handle.join();
-                    collected.push(Collected::Reported(outcome));
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    collected.push(Collected::Stalled);
-                    drop(handle);
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    let _ = handle.join();
-                    collected.push(Collected::Vanished);
-                }
-            }
-        }
+        let (offered, sheds, collected) = self.supervised_scatter(switches, trace, worker_loop);
 
         // Account for dispatcher sheds whether or not anything faulted.
         for &shed in &sheds {
@@ -1111,7 +1051,8 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
                     E::build(&self.ingress_pipeline)?,
                     E::build(&self.egress_pipeline)?,
                     self.capacity,
-                ),
+                )
+                .with_scheduler(self.sched.clone()),
             });
         }
         self.shards = shards;
@@ -1129,6 +1070,342 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
             merged,
             accounting,
         })))
+    }
+
+    /// The shared supervision skeleton of [`ShardedSwitch::run_trace`]
+    /// and [`ShardedSwitch::run_sched_trace`]: spawn one worker per
+    /// shard, steer the trace into bounded batch rings under the
+    /// configured [`Backpressure`] policy, and collect each worker's
+    /// outcome bounded by the watchdog. Generic over the worker body and
+    /// its outcome type, so forwarding runs and scheduling runs get the
+    /// identical failure model. Returns per-shard `(offered, sheds,
+    /// outcome)` observations.
+    fn supervised_scatter<O, W>(
+        &self,
+        switches: Vec<Switch<E>>,
+        trace: &[Packet],
+        worker: W,
+    ) -> (Vec<u64>, Vec<u64>, Vec<Collected<O>>)
+    where
+        E: Send + 'static,
+        O: Send + 'static,
+        W: Fn(Switch<E>, mpsc::Receiver<StampedBatch>) -> O + Send + Clone + 'static,
+    {
+        let n = switches.len();
+        let batch_size = self.batch;
+        let watchdog = Duration::from_millis(self.watchdog_ms);
+        let policy = self.backpressure;
+
+        let mut txs: Vec<BatchSender> = Vec::with_capacity(n);
+        let mut dones = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for sw in switches {
+            let (tx, rx) = mpsc::sync_channel::<StampedBatch>(self.ring);
+            let (done_tx, done_rx) = mpsc::channel::<O>();
+            let work = worker.clone();
+            handles.push(std::thread::spawn(move || {
+                let outcome = work(sw, rx);
+                let _ = done_tx.send(outcome);
+            }));
+            txs.push(Some(tx));
+            dones.push(done_rx);
+        }
+
+        // Feed. A shard marked dead/stalled keeps accumulating `offered`
+        // (for the books) but receives nothing further.
+        let mut offered = vec![0u64; n];
+        let mut sheds = vec![0u64; n];
+        let mut stalled = vec![false; n];
+        let mut dead = vec![false; n];
+        let mut pending: Vec<StampedBatch> =
+            (0..n).map(|_| Vec::with_capacity(batch_size)).collect();
+        let flush = |s: usize,
+                     batch: StampedBatch,
+                     txs: &mut [BatchSender],
+                     sheds: &mut [u64],
+                     stalled: &mut [bool],
+                     dead: &mut [bool]| {
+            let len = batch.len() as u64;
+            let Some(tx) = txs[s].as_ref() else { return };
+            match feed_batch(tx, batch, policy, watchdog) {
+                FeedResult::Sent => {}
+                FeedResult::Shed => sheds[s] += len,
+                FeedResult::Stalled => {
+                    stalled[s] = true;
+                    txs[s] = None;
+                }
+                FeedResult::Dead => {
+                    dead[s] = true;
+                    txs[s] = None;
+                }
+            }
+        };
+        for (i, pkt) in trace.iter().enumerate() {
+            let s = self.plan.steer(i, pkt);
+            offered[s] += 1;
+            if dead[s] || stalled[s] {
+                continue;
+            }
+            pending[s].push((i as i64, pkt.clone()));
+            if pending[s].len() == batch_size {
+                let full = std::mem::replace(&mut pending[s], Vec::with_capacity(batch_size));
+                flush(s, full, &mut txs, &mut sheds, &mut stalled, &mut dead);
+            }
+        }
+        for (s, rest) in pending.into_iter().enumerate() {
+            if !rest.is_empty() && !dead[s] && !stalled[s] {
+                flush(s, rest, &mut txs, &mut sheds, &mut stalled, &mut dead);
+            }
+        }
+        drop(txs); // close every ring: drained workers exit their loops
+
+        // Collect, bounded by the watchdog per shard. A worker that never
+        // reports is abandoned (its thread handle is dropped, detaching
+        // it) — never joined, so a wedged engine cannot hang the caller.
+        let mut collected: Vec<Collected<O>> = Vec::with_capacity(n);
+        for (s, (done_rx, handle)) in dones.into_iter().zip(handles).enumerate() {
+            if stalled[s] {
+                collected.push(Collected::Stalled);
+                drop(handle);
+                continue;
+            }
+            match done_rx.recv_timeout(watchdog) {
+                Ok(outcome) => {
+                    let _ = handle.join();
+                    collected.push(Collected::Reported(outcome));
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    collected.push(Collected::Stalled);
+                    drop(handle);
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    let _ = handle.join();
+                    collected.push(Collected::Vanished);
+                }
+            }
+        }
+        (offered, sheds, collected)
+    }
+
+    /// Runs a **scheduling experiment** across all shards on supervised
+    /// worker threads — the sharded twin of
+    /// [`Switch::run_sched_trace`], bit-identical to it on
+    /// [`ShardTier::Exact`] plans.
+    ///
+    /// Each worker ingress-processes its steered packets and pushes them
+    /// into a **shard-local PIFO** under the configured [`SchedSpec`];
+    /// at collect time the per-shard streams (each already in pop order)
+    /// merge by `(class, rank, global arrival cycle)` — exactly the
+    /// serial PIFO's pop order, because the serial tie-break *is* arrival
+    /// order — and a dedicated serial egress engine assigns departure
+    /// cycles with the same recurrence as the serial switch. Admission is
+    /// the serial burst rule applied per worker: during the arrival phase
+    /// the queue only grows, so the serial switch admits exactly the
+    /// first `capacity` arrivals — a globally computable rule, which is
+    /// what keeps sharded `SchedFull` drops bit-identical to serial even
+    /// under overload.
+    ///
+    /// # Failure model
+    ///
+    /// Supervision is identical to [`ShardedSwitch::run_trace`] (same
+    /// feeder, rings, watchdog, and collector). A faulted run returns
+    /// [`SwitchError::Fault`]; the failed shard's salvage is its PIFO
+    /// contents **popped in rank order** (the queue lives outside the
+    /// per-batch `catch_unwind`, so a mid-batch panic cannot corrupt or
+    /// lose it), and [`Accounting`] closes the books exactly.
+    pub fn run_sched_trace(&mut self, trace: &[Packet]) -> Result<Vec<SchedDeparture>, SwitchError>
+    where
+        E: Send + 'static,
+    {
+        let n = self.shards.len();
+        let capacity = self.capacity;
+        let switches = std::mem::take(&mut self.shards);
+        let (offered, sheds, collected) =
+            self.supervised_scatter(switches, trace, move |sw, rx| {
+                sched_worker_loop(sw, rx, capacity)
+            });
+
+        for &shed in &sheds {
+            self.extra_drops.bump_by(DropReason::Backpressure, shed);
+        }
+
+        let faulted = collected
+            .iter()
+            .any(|c| !matches!(c, Collected::Reported(SchedOutcome::Done(..))));
+        if !faulted {
+            let mut entries: Vec<(SchedKey, i64, Packet)> = Vec::new();
+            for c in collected {
+                if let Collected::Reported(SchedOutcome::Done(sw, stream)) = c {
+                    self.shards.push(*sw);
+                    entries.extend(stream);
+                }
+            }
+            // Each per-shard stream is sorted by (key, shard-local
+            // arrival); the global arrival cycle is unique, so sorting
+            // the union by (key, arrival) *is* the deterministic k-way
+            // merge — and equals the serial pop order.
+            entries.sort_by_key(|&(key, arrival, _)| (key, arrival));
+
+            // Serial egress pass over the merged departure sequence, on
+            // the dedicated engine (see the field docs).
+            if self.sched_egress.is_none() {
+                self.sched_egress = Some(E::build(&self.egress_pipeline)?);
+            }
+            let egress = self.sched_egress.as_mut().expect("just built");
+            let total = entries.len();
+            let shaping = self.sched.is_shaping();
+            let mut next_free = trace.len() as i64;
+            let mut out = Vec::with_capacity(total);
+            for (k, (key, arrival, mut pkt)) in entries.into_iter().enumerate() {
+                let departure = if shaping {
+                    next_free.max(key.rank)
+                } else {
+                    next_free
+                };
+                pkt.set(QUEUE_METADATA_FIELDS[0], arrival as i32);
+                pkt.set(QUEUE_METADATA_FIELDS[1], departure as i32);
+                pkt.set(QUEUE_METADATA_FIELDS[2], (total - k - 1) as i32);
+                let egressed = egress.process(pkt);
+                self.extra_transmitted += 1;
+                out.push(SchedDeparture {
+                    arrival,
+                    key,
+                    departure,
+                    pkt: egressed,
+                });
+                next_free = departure + 1;
+            }
+            return Ok(out);
+        }
+
+        // At least one worker faulted: salvage everything reachable and
+        // assemble the report. Nothing reached egress (the run faults
+        // before the merge), so every salvaged stream — survivor and
+        // failed alike — is booked through `extra_transmitted`; no
+        // shard's own transmit counter saw these packets.
+        let mut failures: Vec<ShardError> = Vec::new();
+        let mut salvage: Vec<ShardSalvage> = Vec::with_capacity(n);
+        let mut parts: Vec<Vec<Packet>> = vec![Vec::new(); n];
+        let mut restored: Vec<Option<Switch<E>>> = (0..n).map(|_| None).collect();
+        for (s, c) in collected.into_iter().enumerate() {
+            let mut shard_drops = DropCounters::new();
+            shard_drops.bump_by(DropReason::Backpressure, sheds[s]);
+            match c {
+                Collected::Reported(SchedOutcome::Done(sw, stream)) => {
+                    shard_drops.merge(sw.drop_counters());
+                    let out: Vec<Packet> = stream.into_iter().map(|(_, _, p)| p).collect();
+                    self.extra_transmitted += out.len() as u64;
+                    salvage.push(ShardSalvage {
+                        shard: s,
+                        failed: false,
+                        offered: offered[s],
+                        output: out.clone(),
+                        drops: shard_drops,
+                        state: Some((sw.export_ingress_state(), sw.export_egress_state())),
+                    });
+                    parts[s] = out;
+                    restored[s] = Some(*sw);
+                }
+                Collected::Reported(SchedOutcome::Fault {
+                    out,
+                    packet,
+                    cause,
+                    drops,
+                }) => {
+                    shard_drops.merge(&drops);
+                    failures.push(ShardError {
+                        shard: s,
+                        packet,
+                        cause,
+                    });
+                    self.extra_transmitted += out.len() as u64;
+                    self.extra_drops.merge(&drops);
+                    salvage.push(ShardSalvage {
+                        shard: s,
+                        failed: true,
+                        offered: offered[s],
+                        output: out,
+                        drops: shard_drops,
+                        state: None,
+                    });
+                }
+                Collected::Stalled => {
+                    failures.push(ShardError {
+                        shard: s,
+                        packet: None,
+                        cause: FaultCause::Stall {
+                            watchdog_ms: self.watchdog_ms,
+                        },
+                    });
+                    salvage.push(ShardSalvage {
+                        shard: s,
+                        failed: true,
+                        offered: offered[s],
+                        output: Vec::new(),
+                        drops: shard_drops,
+                        state: None,
+                    });
+                }
+                Collected::Vanished => {
+                    failures.push(ShardError {
+                        shard: s,
+                        packet: None,
+                        cause: FaultCause::Disconnected,
+                    });
+                    salvage.push(ShardSalvage {
+                        shard: s,
+                        failed: true,
+                        offered: offered[s],
+                        output: Vec::new(),
+                        drops: shard_drops,
+                        state: None,
+                    });
+                }
+            }
+        }
+
+        // Rebuild dead shards with fresh engines so the switch stays
+        // usable (through the plain build hook: no inherited faults).
+        let mut shards = Vec::with_capacity(n);
+        for slot in restored {
+            shards.push(match slot {
+                Some(sw) => sw,
+                None => Switch::from_engines(
+                    E::build(&self.ingress_pipeline)?,
+                    E::build(&self.egress_pipeline)?,
+                    self.capacity,
+                )
+                .with_scheduler(self.sched.clone()),
+            });
+        }
+        self.shards = shards;
+
+        let accounting = Accounting {
+            offered: trace.len() as u64,
+            transmitted: salvage.iter().map(|s| s.output.len() as u64).sum(),
+            dropped: salvage.iter().map(|s| s.drops.total()).sum(),
+            lost_in_fault: salvage.iter().map(ShardSalvage::lost).sum(),
+        };
+        let merged = self.merge(parts);
+        Err(SwitchError::Fault(Box::new(FaultReport {
+            failures,
+            salvage,
+            merged,
+            accounting,
+        })))
+    }
+
+    /// The scheduling policy every shard runs.
+    pub fn scheduler(&self) -> &SchedSpec {
+        &self.sched
+    }
+
+    /// Snapshot of the dedicated scheduling-path egress engine's state
+    /// (`None` until the first [`ShardedSwitch::run_sched_trace`]).
+    /// Bit-identical to a serial switch's egress state over the same
+    /// departures, because the post-merge egress pass *is* serial.
+    pub fn export_sched_egress_state(&self) -> Option<StateStore> {
+        self.sched_egress.as_ref().map(PipelineEngine::export_state)
     }
 
     /// Runs the trace shard-by-shard on the calling thread and returns
@@ -1398,15 +1675,89 @@ fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
         .unwrap_or_else(|| "<non-string panic payload>".to_string())
 }
 
-/// What the collector observed for one shard.
-enum Collected<E: PipelineEngine> {
+/// What the collector observed for one shard (generic over the worker's
+/// outcome type: [`WorkerOutcome`] for forwarding runs, [`SchedOutcome`]
+/// for scheduling runs).
+enum Collected<O> {
     /// The worker reported an outcome within the watchdog window.
-    Reported(WorkerOutcome<E>),
+    Reported(O),
     /// No outcome within the window — the worker was abandoned.
     Stalled,
     /// The outcome channel disconnected with no report: the thread died
     /// outside the supervised path.
     Vanished,
+}
+
+/// What a scheduling-run worker reports back (see
+/// [`ShardedSwitch::run_sched_trace`]).
+enum SchedOutcome<E: PipelineEngine> {
+    /// Ring drained; the switch comes back with the shard-local PIFO's
+    /// full contents popped in order: `(key, global arrival cycle,
+    /// ingress-processed packet)`.
+    Done(Box<Switch<E>>, Vec<(SchedKey, i64, Packet)>),
+    /// The engine faulted mid-batch. `out` is the shard's PIFO contents
+    /// at the instant of the fault, salvaged in rank order.
+    Fault {
+        out: Vec<Packet>,
+        packet: Option<u64>,
+        cause: FaultCause,
+        drops: DropCounters,
+    },
+}
+
+/// One scheduling-run worker: ingress-process each steered packet,
+/// admit it into the shard-local PIFO (or count the configured full-drop
+/// reason), each batch inside `catch_unwind`. The PIFO itself lives
+/// *outside* the unwind scope: a panicking engine loses at most the
+/// in-flight packet, never the queue — which is what makes rank-ordered
+/// salvage possible.
+fn sched_worker_loop<E: PipelineEngine>(
+    mut sw: Switch<E>,
+    rx: mpsc::Receiver<StampedBatch>,
+    capacity: usize,
+) -> SchedOutcome<E> {
+    let spec = sw.scheduler().clone();
+    let reason = spec.full_drop_reason();
+    // Unbounded: the serial admission rule below bounds total occupancy
+    // across *all* shards at `capacity`, so no per-shard bound applies.
+    let mut pifo: SchedQueue<(i64, Packet)> = spec.build_queue(usize::MAX);
+    while let Ok(batch) = rx.recv() {
+        // `pifo.len() + drops` advances by one per fully handled packet,
+        // so the delta across a failing batch pinpoints the fault.
+        let before = pifo.len() as u64 + sw.drops();
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            for (t, pkt) in &batch {
+                let processed = sw.ingress_process(pkt.clone());
+                // The serial burst admission: during the arrival phase
+                // the queue only grows, so the serial switch admits
+                // exactly the arrivals with global cycle < capacity.
+                if (*t as usize) < capacity {
+                    let key = spec.key_of(&processed);
+                    let _ = pifo.push(key, (*t, processed));
+                } else {
+                    sw.record_drop(reason);
+                }
+            }
+        }));
+        if let Err(payload) = res {
+            let handled = (pifo.len() as u64 + sw.drops() - before) as usize;
+            let mut salvaged = Vec::with_capacity(pifo.len());
+            while let Some((_, (_, pkt))) = pifo.pop() {
+                salvaged.push(pkt);
+            }
+            return SchedOutcome::Fault {
+                packet: batch.get(handled).map(|(t, _)| *t as u64),
+                cause: FaultCause::Panic(panic_payload_string(payload.as_ref())),
+                drops: sw.drop_counters().clone(),
+                out: salvaged,
+            };
+        }
+    }
+    let mut stream = Vec::with_capacity(pifo.len());
+    while let Some((key, (t, pkt))) = pifo.pop() {
+        stream.push((key, t, pkt));
+    }
+    SchedOutcome::Done(Box::new(sw), stream)
 }
 
 /// Outcome of pushing one batch into a shard's ring.

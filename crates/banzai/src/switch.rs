@@ -17,6 +17,7 @@
 
 use crate::error::SwitchError;
 use crate::machine::{AtomPipeline, Machine};
+use crate::pifo::{SchedKey, SchedQueue, SchedSpec, Scheduler};
 use crate::slot::SlotMachine;
 use crate::wire::{self, ParseVerdict, WireConfig, WireLayout};
 use domino_ir::{Packet, StateStore};
@@ -104,15 +105,23 @@ pub enum DropReason {
     /// [`Backpressure::Shed`](crate::shard::Backpressure::Shed) — an
     /// overload loss upstream of any per-shard queue.
     Backpressure,
+    /// The packet parsed and cleared ingress, but the **programmed
+    /// scheduler** ([`crate::pifo`]: PIFO, shaping, or hierarchy — any
+    /// non-FIFO [`SchedSpec`]) was at capacity — a congestion loss on a
+    /// rank-ordered queue, split from [`DropReason::QueueFull`] so a
+    /// drowning scheduler is distinguishable from a drowning drop-tail
+    /// FIFO.
+    SchedFull,
 }
 
 impl DropReason {
     /// Number of distinct reasons (queue-full, one per parse verdict,
-    /// backpressure).
-    pub const COUNT: usize = 2 + ParseVerdict::COUNT;
+    /// backpressure, sched-full).
+    pub const COUNT: usize = 3 + ParseVerdict::COUNT;
 
     /// Dense index of this reason (0 is queue-full; parse verdicts follow
-    /// in [`ParseVerdict::ALL`] order; backpressure is last).
+    /// in [`ParseVerdict::ALL`] order; then backpressure, then
+    /// sched-full).
     ///
     /// New reasons are **appended**, never inserted: the dense index is
     /// part of exported diagnostics (`BENCH_throughput.json`, merged
@@ -123,6 +132,7 @@ impl DropReason {
             DropReason::QueueFull => 0,
             DropReason::Parse(v) => 1 + v.index(),
             DropReason::Backpressure => 1 + ParseVerdict::COUNT,
+            DropReason::SchedFull => 2 + ParseVerdict::COUNT,
         }
     }
 
@@ -130,7 +140,7 @@ impl DropReason {
     pub fn all() -> impl Iterator<Item = DropReason> {
         std::iter::once(DropReason::QueueFull)
             .chain(ParseVerdict::ALL.into_iter().map(DropReason::Parse))
-            .chain(std::iter::once(DropReason::Backpressure))
+            .chain([DropReason::Backpressure, DropReason::SchedFull])
     }
 
     /// Stable snake_case label (counter name in logs and bench JSON).
@@ -139,6 +149,7 @@ impl DropReason {
             DropReason::QueueFull => "queue_full",
             DropReason::Parse(v) => v.label(),
             DropReason::Backpressure => "backpressure",
+            DropReason::SchedFull => "sched_full",
         }
     }
 }
@@ -199,9 +210,15 @@ impl DropCounters {
         self.counts[DropReason::Backpressure.index()]
     }
 
+    /// Congestion losses on a programmed (non-FIFO) scheduler (the
+    /// sched-full reason alone; always 0 under the default FIFO policy).
+    pub fn sched_full(&self) -> u64 {
+        self.counts[DropReason::SchedFull.index()]
+    }
+
     /// Malformed-traffic discards (every parse verdict summed).
     pub fn parse_total(&self) -> u64 {
-        self.total() - self.queue_full() - self.backpressure()
+        self.total() - self.queue_full() - self.backpressure() - self.sched_full()
     }
 
     /// Adds another set of counters into this one (shard merging).
@@ -215,6 +232,21 @@ impl DropCounters {
     pub fn iter(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
         DropReason::all().map(|r| (r, self.counts[r.index()]))
     }
+}
+
+/// One transmitted packet of a scheduling run
+/// ([`Switch::run_sched_trace`]): the packet after egress, plus the
+/// scheduling observables the invariant suites assert on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedDeparture {
+    /// The packet's arrival cycle (0-based within the run).
+    pub arrival: i64,
+    /// The key the scheduler ordered it by.
+    pub key: SchedKey,
+    /// The cycle it left the switch (drain starts at `trace.len()`).
+    pub departure: i64,
+    /// The packet, after the egress pipeline.
+    pub pkt: Packet,
 }
 
 /// The metadata fields the queue stamps on every packet handed to the
@@ -241,11 +273,15 @@ pub const QUEUE_METADATA_FIELDS: [&str; 3] = ["enq_ts", "now", "qdepth"];
 pub struct Switch<E: PipelineEngine = Machine> {
     ingress: E,
     egress: E,
-    /// `(enqueue_cycle, packet)` FIFO between the pipelines. Byte-born
-    /// packets ([`Switch::run_wire_trace`]) ride a run-local queue that
+    /// `(enqueue_cycle, packet)` queue between the pipelines, running the
+    /// discipline `sched` selected (drop-tail FIFO by default). Byte-born
+    /// packets ([`Switch::run_wire_trace`]) ride a run-local FIFO that
     /// additionally carries each packet's [`WireLayout`]; both queues
     /// share `capacity` and the drop accounting.
-    queue: VecDeque<(i64, Packet)>,
+    queue: SchedQueue<(i64, Packet)>,
+    /// The scheduling policy `queue` was built from (see
+    /// [`Switch::with_scheduler`]).
+    sched: SchedSpec,
     capacity: usize,
     /// Cycles taken to transmit one packet from the queue (≥1): values
     /// above 1 create standing queues under load, which is what egress
@@ -300,7 +336,8 @@ impl<E: PipelineEngine> Switch<E> {
         Switch {
             ingress,
             egress,
-            queue: VecDeque::new(),
+            queue: SchedSpec::Fifo.build_queue(capacity),
+            sched: SchedSpec::Fifo,
             capacity,
             drain_period: 1,
             now: 0,
@@ -316,6 +353,43 @@ impl<E: PipelineEngine> Switch<E> {
     pub fn with_drain_period(mut self, cycles: u64) -> Switch<E> {
         self.drain_period = cycles.max(1);
         self
+    }
+
+    /// Replaces the queue's discipline (default: drop-tail FIFO) with the
+    /// given [`SchedSpec`] — a PIFO, shaper, or strict-priority hierarchy
+    /// whose rank fields an ingress Domino program writes. Call before
+    /// running traffic; any queued packets are discarded.
+    ///
+    /// ```
+    /// use banzai::pifo::SchedSpec;
+    /// use banzai::{AtomPipeline, Switch};
+    /// use domino_ir::Packet;
+    ///
+    /// // A PIFO ranked by the packets' own `start` field: a burst
+    /// // admitted back-to-back departs in rank order, not arrival order.
+    /// let mut sw = Switch::new(
+    ///     AtomPipeline::passthrough("in"),
+    ///     AtomPipeline::passthrough("out"),
+    ///     64,
+    /// )
+    /// .with_scheduler(SchedSpec::Pifo { rank: "start".into() });
+    /// let trace: Vec<Packet> = [30, 10, 20]
+    ///     .iter()
+    ///     .map(|&r| Packet::new().with("start", r))
+    ///     .collect();
+    /// let deps = sw.run_sched_trace(&trace);
+    /// let order: Vec<i64> = deps.iter().map(|d| d.key.rank).collect();
+    /// assert_eq!(order, [10, 20, 30]);
+    /// ```
+    pub fn with_scheduler(mut self, spec: SchedSpec) -> Switch<E> {
+        self.queue = spec.build_queue(self.capacity);
+        self.sched = spec;
+        self
+    }
+
+    /// The scheduling policy the queue runs.
+    pub fn scheduler(&self) -> &SchedSpec {
+        &self.sched
     }
 
     /// Renames the metadata fields exposed to egress programs.
@@ -490,14 +564,16 @@ impl<E: PipelineEngine> Switch<E> {
             );
             last_t = Some(*t);
             let processed = self.ingress.process(pkt.borrow().clone());
-            if self.queue.len() >= self.capacity {
-                self.drops.bump(DropReason::QueueFull);
+            let key = self.sched.key_of(&processed);
+            if self.queue.push(key, (*t, processed)).is_err() {
+                self.drops.bump(self.sched.full_drop_reason());
                 continue;
             }
-            self.queue.push_back((*t, processed));
             // At line rate the packet just pushed drains immediately (the
-            // if-let always matches; no unwrap on the hot path).
-            if let Some((enq_ts, mut p)) = self.queue.pop_front() {
+            // if-let always matches; no unwrap on the hot path). With at
+            // most one occupant any discipline pops it, so stamped runs
+            // stay shard-composable under every [`SchedSpec`].
+            if let Some((_, (enq_ts, mut p))) = self.queue.pop() {
                 p.set(&self.enqueue_ts_field, enq_ts as i32);
                 p.set("now", (*t + 1) as i32);
                 p.set(&self.depth_field, self.queue.len() as i32);
@@ -522,24 +598,30 @@ impl<E: PipelineEngine> Switch<E> {
         let mut out = Vec::new();
         let mut inputs = trace.iter();
         loop {
-            // Dequeue + egress on drain cycles.
+            // Dequeue + egress on drain cycles: whatever packet the
+            // configured discipline says departs next (arrival order on
+            // the default FIFO; rank order on a PIFO). A shaper
+            // additionally gates the head until the cycle its rank names.
             if (self.now as u64).is_multiple_of(self.drain_period) {
-                if let Some((enq_ts, mut pkt)) = self.queue.pop_front() {
-                    pkt.set(&self.enqueue_ts_field, enq_ts as i32);
-                    pkt.set("now", self.now as i32);
-                    pkt.set(&self.depth_field, self.queue.len() as i32);
-                    out.push(self.egress.process(pkt));
-                    self.transmitted += 1;
+                let gated = self.sched.is_shaping()
+                    && self.queue.peek_key().is_some_and(|k| k.rank > self.now);
+                if !gated {
+                    if let Some((_, (enq_ts, mut pkt))) = self.queue.pop() {
+                        pkt.set(&self.enqueue_ts_field, enq_ts as i32);
+                        pkt.set("now", self.now as i32);
+                        pkt.set(&self.depth_field, self.queue.len() as i32);
+                        out.push(self.egress.process(pkt));
+                        self.transmitted += 1;
+                    }
                 }
             }
             // Admit one packet per cycle.
             match inputs.next() {
                 Some(p) => {
                     let processed = self.ingress.process(p.clone());
-                    if self.queue.len() >= self.capacity {
-                        self.drops.bump(DropReason::QueueFull);
-                    } else {
-                        self.queue.push_back((self.now, processed));
+                    let key = self.sched.key_of(&processed);
+                    if self.queue.push(key, (self.now, processed)).is_err() {
+                        self.drops.bump(self.sched.full_drop_reason());
                     }
                 }
                 None => {
@@ -551,6 +633,84 @@ impl<E: PipelineEngine> Switch<E> {
             self.now += 1;
         }
         out
+    }
+
+    /// Runs a **scheduling experiment**: the whole trace arrives as a
+    /// back-to-back burst (one packet per cycle, cycles `0..n`), then the
+    /// queue drains at one packet per cycle from cycle `n` in whatever
+    /// order the configured [`SchedSpec`] dictates. Returns one
+    /// [`SchedDeparture`] per transmitted packet, in departure order.
+    ///
+    /// This is the regime where a scheduler is observable at all: under
+    /// [`Switch::run_trace`]'s line-rate admission the queue never holds
+    /// more than one packet, so every discipline degenerates to FIFO. The
+    /// burst builds a standing queue of up to `capacity` packets
+    /// (arrivals beyond that drop under the policy's reason —
+    /// [`DropReason::SchedFull`] for rank schedulers), and the drain
+    /// exposes the discipline's order. `drain_period` is ignored: the
+    /// drain *is* the one-packet-per-cycle output link.
+    ///
+    /// Under a [`SchedSpec::Shaping`] policy a packet's rank is its
+    /// earliest-departure cycle: the link idles until the head's rank, so
+    /// departure times (not just order) are programmed.
+    ///
+    /// Egress metadata is stamped per departure (`enq_ts` = arrival
+    /// cycle, `now` = departure cycle, `qdepth` = packets still queued),
+    /// so sojourn-aware egress programs (CoDel) observe the scheduler's
+    /// actual queueing delays. The arrival clock is run-local (restarts
+    /// at 0 each call); engine state and the drop/transmit counters
+    /// accumulate across calls as usual.
+    pub fn run_sched_trace(&mut self, trace: &[Packet]) -> Vec<SchedDeparture> {
+        // Arrival phase: ingress + admission, one packet per cycle. No
+        // pops happen here, so occupancy is monotone and admission is
+        // by-occupancy exactly as in `run_trace`.
+        for (i, p) in trace.iter().enumerate() {
+            let processed = self.ingress.process(p.clone());
+            let key = self.sched.key_of(&processed);
+            if self.queue.push(key, (i as i64, processed)).is_err() {
+                self.drops.bump(self.sched.full_drop_reason());
+            }
+        }
+        // Drain phase: one departure per cycle, rank-gated under shaping.
+        let mut next_free = trace.len() as i64;
+        let mut out = Vec::with_capacity(self.queue.len());
+        while let Some(head) = self.queue.peek_key() {
+            let departure = if self.sched.is_shaping() {
+                next_free.max(head.rank)
+            } else {
+                next_free
+            };
+            let (key, (arrival, mut pkt)) = self
+                .queue
+                .pop()
+                .expect("peek_key said the queue is non-empty");
+            pkt.set(&self.enqueue_ts_field, arrival as i32);
+            pkt.set("now", departure as i32);
+            pkt.set(&self.depth_field, self.queue.len() as i32);
+            let egressed = self.egress.process(pkt);
+            self.transmitted += 1;
+            out.push(SchedDeparture {
+                arrival,
+                key,
+                departure,
+                pkt: egressed,
+            });
+            next_free = departure + 1;
+        }
+        self.now = next_free;
+        out
+    }
+
+    /// Runs one packet through the ingress pipeline alone — the sharded
+    /// scheduling path's per-worker step (rank computation happens at
+    /// ingress; the PIFO and the egress pass live outside the worker).
+    pub(crate) fn ingress_process(&mut self, pkt: Packet) -> Packet {
+        self.ingress.process(pkt)
+    }
+
+    /// Bumps a drop counter directly (sharded scheduling admission).
+    pub(crate) fn record_drop(&mut self, reason: DropReason) {
+        self.drops.bump(reason);
     }
 
     /// Runs a trace of **raw byte frames** through the whole switch:
@@ -805,6 +965,55 @@ mod tests {
         assert_eq!(a.get(DropReason::Parse(ParseVerdict::TruncatedTcp)), 1);
         assert_eq!(a.total(), 4);
         assert_eq!(a.iter().map(|(_, n)| n).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn sched_trace_under_fifo_departs_in_arrival_order() {
+        let mut sw = Switch::new(passthrough("in"), passthrough("out"), 64);
+        let trace: Vec<Packet> = (0..10).map(|i| Packet::new().with("seq", 9 - i)).collect();
+        let deps = sw.run_sched_trace(&trace);
+        assert_eq!(deps.len(), 10);
+        for (i, d) in deps.iter().enumerate() {
+            assert_eq!(d.arrival, i as i64, "FIFO keeps arrival order");
+            // Burst of 10, drain starts at cycle 10.
+            assert_eq!(d.departure, 10 + i as i64);
+            assert_eq!(d.pkt.get("enq_ts"), Some(i as i32));
+            assert_eq!(d.pkt.get("now"), Some(d.departure as i32));
+        }
+        assert_eq!(sw.transmitted(), 10);
+    }
+
+    #[test]
+    fn sched_trace_pifo_orders_by_rank_and_drops_sched_full() {
+        use crate::pifo::SchedSpec;
+
+        let mut sw = Switch::new(passthrough("in"), passthrough("out"), 4)
+            .with_scheduler(SchedSpec::Pifo { rank: "r".into() });
+        // 6 packets into capacity 4: the last two drop as SchedFull.
+        let ranks = [40, 10, 30, 20, 99, 98];
+        let trace: Vec<Packet> = ranks.iter().map(|&r| Packet::new().with("r", r)).collect();
+        let deps = sw.run_sched_trace(&trace);
+        let got: Vec<i64> = deps.iter().map(|d| d.key.rank).collect();
+        assert_eq!(got, [10, 20, 30, 40]);
+        assert_eq!(sw.drop_counters().sched_full(), 2);
+        assert_eq!(sw.drop_counters().queue_full(), 0);
+        assert_eq!(sw.transmitted() + sw.drops(), 6);
+    }
+
+    #[test]
+    fn sched_trace_shaping_delays_departures_to_their_ranks() {
+        use crate::pifo::SchedSpec;
+
+        let mut sw = Switch::new(passthrough("in"), passthrough("out"), 64)
+            .with_scheduler(SchedSpec::Shaping { rank: "edt".into() });
+        // Earliest-departure times well past the burst end (cycle 3).
+        let trace: Vec<Packet> = [20, 10, 40]
+            .iter()
+            .map(|&t| Packet::new().with("edt", t))
+            .collect();
+        let deps = sw.run_sched_trace(&trace);
+        let times: Vec<i64> = deps.iter().map(|d| d.departure).collect();
+        assert_eq!(times, [10, 20, 40], "the link idles until each EDT");
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! (the CI perf-regression check).
 //!
 //! ```text
-//! throughput [--smoke] [--wire] [--chaos] [--packets <n>] [--out <path>]
-//!            [--shards <csv>] [--check <baseline.json>] [--tolerance <f>]
-//!            [--scaling-tolerance <f>]
+//! throughput [--smoke] [--wire] [--chaos] [--sched] [--packets <n>]
+//!            [--out <path>] [--shards <csv>] [--check <baseline.json>]
+//!            [--tolerance <f>] [--scaling-tolerance <f>]
+//!            [--sched-tolerance <f>]
 //!
 //!   --smoke            small traces (CI: exercises both engines, the
 //!                      sharded switch, and the JSON emission quickly)
@@ -20,14 +21,21 @@
 //!                      supervised sharded switch (kill / stall / shed /
 //!                      bit-flip); every row asserts the failure-model
 //!                      invariants before it is recorded
+//!   --sched            add the E13 programmable-scheduling workloads
+//!                      (WFQ fairness, strict priority, token-bucket
+//!                      shaping through the PIFO on both engines, each
+//!                      re-run 4-way sharded and held to its scheduling
+//!                      invariant); sched rows land in the JSON and are
+//!                      gated by --check
 //!   --packets <n>      packets for the headline flowlet trace (default 1000000)
 //!   --out <path>       where to write the JSON (default BENCH_throughput.json)
 //!   --shards <csv>     shard counts for the E10 sweep (default 1,2,4,8)
 //!   --check <path>     compare fresh slot speedups AND E10 shard-scaling
 //!                      rows (effective shard count exactly, modeled
-//!                      speedup within tolerance) against a committed
-//!                      baseline; exit nonzero on regression — a sketch
-//!                      workload regressing to a 1-shard fallback fails
+//!                      speedup within tolerance) AND E13 sched rows
+//!                      against a committed baseline; exit nonzero on
+//!                      regression — a sketch workload regressing to a
+//!                      1-shard fallback fails
 //!   --tolerance <f>    regression floor for the engine-speedup rows, as
 //!                      a fraction of the committed speedup (default 0.5).
 //!                      Engine speedups divide a map time by a slot time
@@ -39,12 +47,19 @@
 //!                      come from one instrumented run (interleaved
 //!                      lanes, min-of-reps), so they are far more stable
 //!                      than engine speedups and can hold a tighter floor
+//!   --sched-tolerance <f>
+//!                      regression floor for the E13 sched rows (default:
+//!                      the --tolerance value). Sched speedups are engine
+//!                      ratios like the E9 rows, but the timed region
+//!                      includes the shared PIFO on both sides, so the
+//!                      ratio is compressed toward 1 and steadier
 //! ```
 
 use bench::throughput::{
-    chaos_suite, check_regressions, check_scaling_regressions, machine_workload, parse_baseline,
-    parse_scaling_baseline, render_json, scaling_speedup, shard_sweep, switch_workload,
-    wire_stress, wire_workload, ChaosOutcome, Measurement, ShardMeasurement,
+    chaos_suite, check_regressions, check_scaling_regressions, check_sched_regressions,
+    machine_workload, parse_baseline, parse_scaling_baseline, parse_sched_baseline, render_json,
+    scaling_speedup, sched_workload, shard_sweep, switch_workload, wire_stress, wire_workload,
+    ChaosOutcome, Measurement, SchedMeasurement, ShardMeasurement, SCHED_DISCIPLINES,
 };
 use std::process::ExitCode;
 
@@ -64,12 +79,14 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut smoke = false;
     let mut with_wire = false;
     let mut with_chaos = false;
+    let mut with_sched = false;
     let mut flowlet_n: Option<usize> = None;
     let mut out_path = "BENCH_throughput.json".to_string();
     let mut shard_counts: Vec<usize> = vec![1, 2, 4, 8];
     let mut check: Option<String> = None;
     let mut tolerance = 0.5f64;
     let mut scaling_tolerance: Option<f64> = None;
+    let mut sched_tolerance: Option<f64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -77,6 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
             "--smoke" => smoke = true,
             "--wire" => with_wire = true,
             "--chaos" => with_chaos = true,
+            "--sched" => with_sched = true,
             "--packets" => {
                 i += 1;
                 let v = args.get(i).ok_or("--packets needs a value")?;
@@ -114,11 +132,19 @@ fn run(args: &[String]) -> Result<(), String> {
                         .map_err(|_| format!("bad --scaling-tolerance `{v}`"))?,
                 );
             }
+            "--sched-tolerance" => {
+                i += 1;
+                let v = args.get(i).ok_or("--sched-tolerance needs a value")?;
+                sched_tolerance = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --sched-tolerance `{v}`"))?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "throughput [--smoke] [--wire] [--chaos] [--packets <n>] [--out <path>] \
-                     [--shards <csv>] [--check <baseline.json>] [--tolerance <f>] \
-                     [--scaling-tolerance <f>]"
+                    "throughput [--smoke] [--wire] [--chaos] [--sched] [--packets <n>] \
+                     [--out <path>] [--shards <csv>] [--check <baseline.json>] \
+                     [--tolerance <f>] [--scaling-tolerance <f>] [--sched-tolerance <f>]"
                 );
                 return Ok(());
             }
@@ -322,7 +348,52 @@ fn run(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let doc = render_json(&measurements, &scaling, &chaos, host_cores);
+    let mut sched: Vec<SchedMeasurement> = Vec::new();
+    if with_sched {
+        let sched_n = if smoke { 20_000 } else { 1_000_000 };
+        println!(
+            "E13 — programmable scheduling, rank transactions driving the PIFO \
+             (each row is a verified map-vs-slot differential on the scheduling \
+             run, re-run 4-way sharded bit-identically, and held to its \
+             discipline's invariant — fairness bound, priority exactness, or \
+             pacing — before it is recorded)\n"
+        );
+        sched = SCHED_DISCIPLINES
+            .iter()
+            .map(|d| sched_workload(d, sched_n, SEED))
+            .collect();
+        let sched_rows: Vec<Vec<String>> = sched
+            .iter()
+            .map(|m| {
+                vec![
+                    m.sched.clone(),
+                    m.packets.to_string(),
+                    format!("{:.0}", m.map_pps()),
+                    format!("{:.0}", m.slot_pps()),
+                    format!("{:.1}x", m.speedup()),
+                    "yes".to_string(),
+                    "yes".to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            bench::render_table(
+                &[
+                    "discipline",
+                    "packets",
+                    "map pkts/s",
+                    "slot pkts/s",
+                    "speedup",
+                    "identical",
+                    "invariant"
+                ],
+                &sched_rows
+            )
+        );
+    }
+
+    let doc = render_json(&measurements, &scaling, &chaos, &sched, host_cores);
     std::fs::write(&out_path, &doc).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
     println!("wrote {out_path}");
 
@@ -336,6 +407,7 @@ fn run(args: &[String]) -> Result<(), String> {
             ));
         }
         let scaling_tolerance = scaling_tolerance.unwrap_or(tolerance);
+        let sched_tolerance = sched_tolerance.unwrap_or(tolerance);
         let mut failures = check_regressions(&measurements, &baseline, tolerance);
         let scaling_baseline = parse_scaling_baseline(&baseline_doc);
         failures.extend(check_scaling_regressions(
@@ -343,9 +415,18 @@ fn run(args: &[String]) -> Result<(), String> {
             &scaling_baseline,
             scaling_tolerance,
         ));
+        // Committed sched rows gate even when --sched was forgotten: a
+        // fresh run without them trips the missing-row check, same as
+        // dropping a workload from the other sections.
+        let sched_baseline = parse_sched_baseline(&baseline_doc);
+        failures.extend(check_sched_regressions(
+            &sched,
+            &sched_baseline,
+            sched_tolerance,
+        ));
         println!(
             "\nperf-regression gate vs {baseline_path} (tolerance {tolerance}, scaling \
-             {scaling_tolerance}): {}",
+             {scaling_tolerance}, sched {sched_tolerance}): {}",
             if failures.is_empty() { "PASS" } else { "FAIL" }
         );
         for m in &measurements {
@@ -376,6 +457,17 @@ fn run(args: &[String]) -> Result<(), String> {
                     b.effective,
                     fresh.map(|v| format!("{v:.2}x")).unwrap_or("-".into()),
                     b.speedup.map(|v| format!("{v:.2}x")).unwrap_or("-".into()),
+                );
+            }
+        }
+        for m in &sched {
+            if let Some(b) = sched_baseline.iter().find(|b| b.sched == m.sched) {
+                println!(
+                    "  sched/{:<10} fresh {:>6.2}x  committed {:>6.2}x  floor {:>6.2}x",
+                    m.sched,
+                    m.speedup(),
+                    b.speedup,
+                    b.speedup * sched_tolerance
                 );
             }
         }

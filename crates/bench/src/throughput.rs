@@ -22,8 +22,19 @@
 //! Every run *is* a differential test: divergence panics, so any recorded
 //! [`Measurement`] is also a correctness witness.
 //!
-//! Two additions ride on the same machinery:
+//! Three additions ride on the same machinery:
 //!
+//! * **E13 — the programmable-scheduling workloads** ([`sched_workload`]):
+//!   the three PIFO disciplines — WFQ via `stfq`'s `start` ranks, strict
+//!   priority over per-class WFQ, and token-bucket shaping via the
+//!   pacer's earliest-departure ranks — each driven through
+//!   [`Switch::run_sched_trace`] on both engines (bit-identical
+//!   departures, counters, and state), re-run 4-way sharded
+//!   (bit-identical to serial), and checked against its scheduling
+//!   invariant (fairness bound / priority exactness / pacing) before the
+//!   timing is recorded. Rows land in the JSON under the `sched` key and
+//!   are gated by [`parse_sched_baseline`] /
+//!   [`check_sched_regressions`].
 //! * **E10 — the shard-scaling sweep** ([`shard_sweep`]): the flowlet,
 //!   heavy-hitters, and bloom-filter traces through a [`ShardedSwitch`]
 //!   at 1/2/4/8 shards. Every configuration is verified against the
@@ -50,8 +61,8 @@ use crate::wiregen::{self, GenOptions};
 use banzai::fault::{FaultPlan, FaultSpec, FaultyEngine};
 use banzai::wire::{self, BoundParser};
 use banzai::{
-    Backpressure, DropReason, Machine, ShardConfig, ShardTimings, ShardedSwitch, SlotMachine,
-    Switch, Target,
+    Backpressure, DropReason, Machine, SchedDeparture, SchedSpec, ShardConfig, ShardTimings,
+    ShardedSwitch, SlotMachine, Switch, Target,
 };
 use domino_ir::Packet;
 use std::time::Instant;
@@ -1015,6 +1026,287 @@ pub fn chaos_suite(name: &str, n: usize, seed: u64) -> Vec<ChaosOutcome> {
     outcomes
 }
 
+/// The E13 scheduling disciplines, in emission order.
+pub const SCHED_DISCIPLINES: [&str; 3] = ["wfq", "strict_priority", "shaping"];
+
+/// One maximum-size packet (trace lengths are drawn from 64..1500): the
+/// fairness slack WFQ is allowed, same bound as `tests/scheduling.rs`.
+const SCHED_MAX_PKT: i64 = 1500;
+
+/// Stateful egress for the scheduling runs: prefix sums over the
+/// departure sequence, so any order or timing divergence between engines
+/// (or between serial and sharded) corrupts `sum` and the exported
+/// `total_sojourn` register — the departure-order-sensitive witness.
+const SCHED_EGRESS: &str = "struct P { int enq_ts; int now; int qdepth; int soj; int sum; };\n\
+                            int total_sojourn = 0;\n\
+                            void sojourn(struct P pkt) {\n\
+                              pkt.soj = pkt.now - pkt.enq_ts;\n\
+                              total_sojourn = total_sojourn + pkt.soj;\n\
+                              pkt.sum = total_sojourn;\n\
+                            }";
+
+/// One E13 scheduling workload's timed, verified comparison of the two
+/// engines driving the programmable scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedMeasurement {
+    /// Discipline name (one of [`SCHED_DISCIPLINES`]).
+    pub sched: String,
+    /// Packets offered to the scheduler.
+    pub packets: usize,
+    /// Packets transmitted (== `packets`: E13 runs at full capacity).
+    pub transmitted: u64,
+    /// Wall-clock nanoseconds for the map-based reference path.
+    pub map_ns: u128,
+    /// Wall-clock nanoseconds for the slot-compiled fast path.
+    pub slot_ns: u128,
+}
+
+impl SchedMeasurement {
+    /// Packets per second through the map-based reference path.
+    pub fn map_pps(&self) -> f64 {
+        self.packets as f64 / (self.map_ns as f64 / 1e9)
+    }
+
+    /// Packets per second through the slot-compiled fast path.
+    pub fn slot_pps(&self) -> f64 {
+        self.packets as f64 / (self.slot_ns as f64 / 1e9)
+    }
+
+    /// Fast-path speedup over the reference path.
+    pub fn speedup(&self) -> f64 {
+        self.map_ns as f64 / self.slot_ns.max(1) as f64
+    }
+}
+
+/// Rank transaction, scheduler spec, and trace for one E13 discipline.
+fn sched_setup(
+    discipline: &str,
+    n: usize,
+    seed: u64,
+) -> (banzai::AtomPipeline, SchedSpec, Vec<Packet>) {
+    match discipline {
+        "wfq" => {
+            // Flow-major burst: the most unfair arrival order; stfq's
+            // `start` ranks must drain it byte-by-byte fair.
+            const FLOWS: usize = 32;
+            (
+                compile_least("stfq"),
+                SchedSpec::Pifo {
+                    rank: "start".into(),
+                },
+                algorithms::sched::backlogged_burst(FLOWS, n.div_ceil(FLOWS), seed),
+            )
+        }
+        "strict_priority" => (
+            compile_least("stfq"),
+            SchedSpec::Priority {
+                class: "class".into(),
+                rank: "start".into(),
+            },
+            algorithms::sched::classed_stfq_trace(n, 4, seed),
+        ),
+        "shaping" => (
+            domino_compiler::compile(
+                algorithms::sched::PACER_SOURCE,
+                &Target::banzai(banzai::AtomKind::Nested),
+            )
+            .expect("pacer compiles on Nested"),
+            SchedSpec::Shaping { rank: "dl".into() },
+            algorithms::sched::pacer_trace(n, seed),
+        ),
+        other => panic!("unknown scheduling discipline `{other}`"),
+    }
+}
+
+/// The discipline's scheduling invariant, checked over the verified
+/// departure sequence before the measurement is recorded.
+fn assert_sched_invariants(discipline: &str, deps: &[SchedDeparture]) {
+    match discipline {
+        "wfq" => {
+            // SFQ fairness: every pair of still-backlogged flows stays
+            // within one maximum packet of served bytes at every
+            // departure (equivalently max-min over backlogged flows).
+            let flows = deps
+                .iter()
+                .map(|d| d.pkt.expect("flow") as usize + 1)
+                .max()
+                .unwrap_or(0);
+            let mut remaining = vec![0usize; flows];
+            for d in deps {
+                remaining[d.pkt.expect("flow") as usize] += 1;
+            }
+            let mut served = vec![0i64; flows];
+            for d in deps {
+                let flow = d.pkt.expect("flow") as usize;
+                served[flow] += i64::from(d.pkt.expect("length"));
+                remaining[flow] -= 1;
+                let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+                for f in 0..flows {
+                    if remaining[f] > 0 {
+                        lo = lo.min(served[f]);
+                        hi = hi.max(served[f]);
+                    }
+                }
+                assert!(
+                    lo == i64::MAX || hi - lo <= SCHED_MAX_PKT,
+                    "wfq: backlogged flows {hi} vs {lo} bytes served — more \
+                     than one max packet apart after arrival {}",
+                    d.arrival
+                );
+            }
+        }
+        "strict_priority" => {
+            // One co-resident burst, so priority is absolute: strictly
+            // increasing (class, rank, arrival) departure order.
+            for w in deps.windows(2) {
+                assert!(
+                    (w[0].key, w[0].arrival) < (w[1].key, w[1].arrival),
+                    "strict_priority: departure order not increasing in \
+                     (class, rank, arrival): {:?} then {:?}",
+                    (w[0].key, w[0].arrival),
+                    (w[1].key, w[1].arrival)
+                );
+            }
+        }
+        "shaping" => {
+            // Never before the programmed earliest-departure cycle, link
+            // serial (strictly increasing cycles), per-flow spacing at
+            // least the pacer's GAP.
+            let mut prev_cycle = i64::MIN;
+            let mut last_dep: std::collections::HashMap<i32, i64> = Default::default();
+            for d in deps {
+                assert!(
+                    d.departure >= d.key.rank,
+                    "shaping: departed at {} before its EDT {}",
+                    d.departure,
+                    d.key.rank
+                );
+                assert!(d.departure > prev_cycle, "shaping: link not serial");
+                prev_cycle = d.departure;
+                let flow = d.pkt.expect("flow");
+                if let Some(prev) = last_dep.insert(flow, d.departure) {
+                    assert!(
+                        d.departure - prev >= i64::from(algorithms::sched::PACER_GAP),
+                        "shaping: flow {flow} released {prev} then {} — under GAP",
+                        d.departure
+                    );
+                }
+            }
+        }
+        other => panic!("unknown scheduling discipline `{other}`"),
+    }
+}
+
+/// E13 — drives one scheduling discipline (rank transaction + PIFO)
+/// through [`Switch::run_sched_trace`] on both engines and returns the
+/// timed, verified measurement. The queue capacity equals the trace
+/// length, so the run is lossless and the whole burst is co-resident —
+/// scheduling order is fully observable.
+///
+/// # Panics
+///
+/// Panics if the engines diverge on any departure (packet, key, arrival,
+/// or departure cycle), counter, or exported state; if the untimed 4-way
+/// sharded re-run is not bit-identical to serial; or if the departure
+/// sequence violates the discipline's scheduling invariant — the
+/// measurement doubles as a differential test and an invariant witness.
+pub fn sched_workload(discipline: &str, n: usize, seed: u64) -> SchedMeasurement {
+    let (ingress, spec, trace) = sched_setup(discipline, n, seed);
+    let egress = domino_compiler::compile(SCHED_EGRESS, &Target::banzai(banzai::AtomKind::Raw))
+        .expect("sojourn egress compiles on Raw");
+    let capacity = trace.len();
+
+    // Min over fresh-switch reps, for the same reason as `machine_workload`.
+    let mut map_switch =
+        Switch::new(ingress.clone(), egress.clone(), capacity).with_scheduler(spec.clone());
+    let mut map_out = Vec::new();
+    let mut map_ns = u128::MAX;
+    for _ in 0..ENGINE_REPS {
+        map_switch =
+            Switch::new(ingress.clone(), egress.clone(), capacity).with_scheduler(spec.clone());
+        let t = Instant::now();
+        map_out = map_switch.run_sched_trace(&trace);
+        map_ns = map_ns.min(t.elapsed().as_nanos());
+    }
+
+    let mut slot_switch = Switch::new_slot(&ingress, &egress, capacity)
+        .expect("compiled pipelines are slot-executable")
+        .with_scheduler(spec.clone());
+    let mut slot_out = Vec::new();
+    let mut slot_ns = u128::MAX;
+    for _ in 0..ENGINE_REPS {
+        slot_switch = Switch::new_slot(&ingress, &egress, capacity)
+            .expect("compiled pipelines are slot-executable")
+            .with_scheduler(spec.clone());
+        let t = Instant::now();
+        slot_out = slot_switch.run_sched_trace(&trace);
+        slot_ns = slot_ns.min(t.elapsed().as_nanos());
+    }
+
+    assert_eq!(
+        map_out, slot_out,
+        "{discipline}: engines diverged on departures"
+    );
+    assert_eq!(
+        map_switch.transmitted(),
+        slot_switch.transmitted(),
+        "{discipline}: transmit counts diverged"
+    );
+    assert_eq!(
+        map_switch.drop_counters(),
+        slot_switch.drop_counters(),
+        "{discipline}: drop counters diverged"
+    );
+    assert_eq!(
+        map_switch.export_ingress_state(),
+        slot_switch.export_ingress_state(),
+        "{discipline}: ingress state diverged"
+    );
+    assert_eq!(
+        map_switch.export_egress_state(),
+        slot_switch.export_egress_state(),
+        "{discipline}: egress state diverged"
+    );
+
+    // The sharded scheduler must reproduce the serial run bit-for-bit
+    // (untimed: this is the correctness witness, not the timing).
+    let cfg = ShardConfig::new(4)
+        .with_capacity(capacity)
+        .with_scheduler(spec);
+    let mut sharded = ShardedSwitch::new_slot(&ingress, &egress, cfg)
+        .expect("compiled pipelines are slot-executable");
+    let sharded_out = sharded.run_sched_trace(&trace).expect("no faults armed");
+    assert_eq!(
+        sharded_out, slot_out,
+        "{discipline}: sharded departures diverged from serial"
+    );
+    assert_eq!(
+        sharded.drop_counters(),
+        slot_switch.drop_counters().clone(),
+        "{discipline}: sharded drop counters diverged"
+    );
+    assert_eq!(
+        sharded.export_sched_egress_state().expect("sched ran"),
+        slot_switch.export_egress_state(),
+        "{discipline}: sharded egress state diverged"
+    );
+
+    assert_eq!(
+        slot_out.len(),
+        trace.len(),
+        "{discipline}: lossless at full capacity"
+    );
+    assert_sched_invariants(discipline, &slot_out);
+
+    SchedMeasurement {
+        sched: discipline.to_string(),
+        packets: trace.len(),
+        transmitted: slot_switch.transmitted(),
+        map_ns,
+        slot_ns,
+    }
+}
+
 /// The modeled speedup of each sweep row over the 1-shard row of the same
 /// workload (`None` when no 1-shard row exists).
 pub fn scaling_speedup(rows: &[ShardMeasurement], row: &ShardMeasurement) -> Option<f64> {
@@ -1217,6 +1509,81 @@ pub fn check_scaling_regressions(
         .collect()
 }
 
+/// One parsed E13 scheduling row of a committed `BENCH_throughput.json` —
+/// the fields the sched regression gate compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedBaselineRow {
+    /// Discipline name.
+    pub sched: String,
+    /// Committed slot-over-map speedup for the scheduling run.
+    pub speedup: f64,
+}
+
+/// Extracts the E13 scheduling rows from a committed baseline document.
+///
+/// The same deliberately minimal line scanner as [`parse_baseline`]: only
+/// sched rows carry the `sched` key, and a row is emitted when its
+/// `speedup` line arrives with a pending `sched` name — E9 workload rows
+/// pair their `speedup` with `name` instead, so neither scanner sees the
+/// other's rows.
+pub fn parse_sched_baseline(doc: &str) -> Vec<SchedBaselineRow> {
+    let mut rows = Vec::new();
+    let mut sched: Option<String> = None;
+    for line in doc.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(rest) = t.strip_prefix("\"sched\": \"") {
+            sched = rest.strip_suffix('"').map(str::to_string);
+        } else if let Some(rest) = t.strip_prefix("\"speedup\": ") {
+            if let (Some(s), Ok(v)) = (sched.take(), rest.parse::<f64>()) {
+                rows.push(SchedBaselineRow {
+                    sched: s,
+                    speedup: v,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// The E13 half of the CI gate: every scheduling discipline in the
+/// committed baseline must be present in the fresh run and keep at least
+/// `tolerance` × its committed slot speedup. Returns one message per
+/// violation (empty = gate passes). Like [`check_regressions`], iterating
+/// the baseline means a discipline cannot be silently un-gated by
+/// dropping it from the harness.
+pub fn check_sched_regressions(
+    fresh: &[SchedMeasurement],
+    baseline: &[SchedBaselineRow],
+    tolerance: f64,
+) -> Vec<String> {
+    baseline
+        .iter()
+        .filter_map(|base| {
+            let Some(m) = fresh.iter().find(|m| m.sched == base.sched) else {
+                return Some(format!(
+                    "sched/{}: discipline is in the committed baseline but missing \
+                     from the fresh run — renamed or dropped? (update the baseline \
+                     deliberately instead)",
+                    base.sched
+                ));
+            };
+            let floor = base.speedup * tolerance;
+            if m.speedup() < floor {
+                Some(format!(
+                    "sched/{}: slot speedup {:.2}x regressed below {:.2}x \
+                     (tolerance {tolerance} x committed {:.2}x)",
+                    m.sched,
+                    m.speedup(),
+                    floor,
+                    base.speedup
+                ))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
 /// Renders the measurements as the machine-readable `BENCH_throughput.json`
 /// document (hand-rolled: the build environment is offline, no serde).
 ///
@@ -1227,10 +1594,13 @@ pub fn check_scaling_regressions(
 /// judge which of the two is meaningful on the recording machine. The
 /// `chaos` section (E12, keyed `scenario` — deliberately *not* `name`, so
 /// the baseline scanner skips it) records the fault-injection outcomes.
+/// The `sched` section (E13, keyed `sched`) records the scheduling
+/// disciplines and is what [`parse_sched_baseline`] reads back.
 pub fn render_json(
     measurements: &[Measurement],
     scaling: &[ShardMeasurement],
     chaos: &[ChaosOutcome],
+    sched: &[SchedMeasurement],
     host_cores: usize,
 ) -> String {
     let rows: Vec<String> = measurements
@@ -1320,14 +1690,35 @@ pub fn render_json(
             )
         })
         .collect();
+    let sched_rows: Vec<String> = sched
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\n      \"sched\": \"{}\",\n      \"packets\": {},\n      \
+                 \"transmitted\": {},\n      \
+                 \"map_ns\": {},\n      \"slot_ns\": {},\n      \
+                 \"map_pkts_per_sec\": {:.0},\n      \"slot_pkts_per_sec\": {:.0},\n      \
+                 \"speedup\": {:.2},\n      \"identical\": true\n    }}",
+                m.sched,
+                m.packets,
+                m.transmitted,
+                m.map_ns,
+                m.slot_ns,
+                m.map_pps(),
+                m.slot_pps(),
+                m.speedup()
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"suite\": \"throughput\",\n  \"engines\": [\"map\", \"slot\"],\n  \
          \"host_cores\": {},\n  \"workloads\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ],\n  \
-         \"chaos\": [\n{}\n  ]\n}}\n",
+         \"chaos\": [\n{}\n  ],\n  \"sched\": [\n{}\n  ]\n}}\n",
         host_cores,
         rows.join(",\n"),
         scaling_rows.join(",\n"),
-        chaos_rows.join(",\n")
+        chaos_rows.join(",\n"),
+        sched_rows.join(",\n")
     )
 }
 
@@ -1402,8 +1793,17 @@ mod tests {
             survivors: 3,
             wall_ns: 40,
         };
-        let doc = render_json(&[m], &[s], &[c], 1);
+        let sm = SchedMeasurement {
+            sched: "wfq".into(),
+            packets: 10,
+            transmitted: 10,
+            map_ns: 80,
+            slot_ns: 20,
+        };
+        let doc = render_json(&[m], &[s], &[c], &[sm], 1);
         assert!(doc.contains("\"name\": \"flowlet\""), "{doc}");
+        assert!(doc.contains("\"sched\": \"wfq\""), "{doc}");
+        assert!(doc.contains("\"speedup\": 4.00"), "{doc}");
         assert!(doc.contains("\"speedup\": 10.00"), "{doc}");
         assert!(doc.contains("\"workload\": \"flowlet\""), "{doc}");
         assert!(doc.contains("\"tier\": \"Exact\""), "{doc}");
@@ -1502,7 +1902,15 @@ mod tests {
             survivors: 4,
             wall_ns: 40,
         }];
-        let parsed = parse_baseline(&render_json(&ms, &[], &chaos, 1));
+        // …and sched rows are keyed `sched`, also skipped by this scanner.
+        let sched = vec![SchedMeasurement {
+            sched: "wfq".into(),
+            packets: 10,
+            transmitted: 10,
+            map_ns: 90,
+            slot_ns: 30,
+        }];
+        let parsed = parse_baseline(&render_json(&ms, &[], &chaos, &sched, 1));
         assert_eq!(
             parsed,
             vec![
@@ -1604,7 +2012,7 @@ mod tests {
             survivors: 3,
             wall_ns: 40,
         }];
-        let parsed = parse_scaling_baseline(&render_json(&[], &rows, &chaos, 1));
+        let parsed = parse_scaling_baseline(&render_json(&[], &rows, &chaos, &[], 1));
         assert_eq!(
             parsed,
             vec![
@@ -1677,5 +2085,93 @@ mod tests {
         let failures = check_scaling_regressions(&fresh_ok[..1], &baseline, 0.5);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("missing"), "{failures:?}");
+    }
+
+    #[test]
+    fn sched_workloads_verify_and_measure() {
+        // Small but real: each discipline runs both engines, the 4-way
+        // sharded re-run, and its scheduling invariant.
+        for discipline in SCHED_DISCIPLINES {
+            let m = sched_workload(discipline, 800, 0xE13);
+            assert_eq!(m.sched, discipline);
+            assert!(m.packets >= 800, "{discipline}");
+            assert_eq!(m.transmitted, m.packets as u64, "{discipline}: lossless");
+            assert!(m.map_ns > 0 && m.slot_ns > 0, "{discipline}");
+        }
+    }
+
+    #[test]
+    fn sched_baseline_roundtrips_through_the_json_emitter() {
+        let sched = vec![
+            SchedMeasurement {
+                sched: "wfq".into(),
+                packets: 10,
+                transmitted: 10,
+                map_ns: 100,
+                slot_ns: 10,
+            },
+            SchedMeasurement {
+                sched: "shaping".into(),
+                packets: 10,
+                transmitted: 10,
+                map_ns: 30,
+                slot_ns: 20,
+            },
+        ];
+        // E9 rows ride in the same document, keyed `name` — the sched
+        // scanner must skip them (and vice versa, tested above).
+        let ms = vec![Measurement {
+            name: "flowlet".into(),
+            packets: 10,
+            map_ns: 50,
+            slot_ns: 10,
+        }];
+        let doc = render_json(&ms, &[], &[], &sched, 1);
+        let parsed = parse_sched_baseline(&doc);
+        assert_eq!(
+            parsed,
+            vec![
+                SchedBaselineRow {
+                    sched: "wfq".into(),
+                    speedup: 10.0
+                },
+                SchedBaselineRow {
+                    sched: "shaping".into(),
+                    speedup: 1.5
+                },
+            ]
+        );
+        // The E9 scanner still sees exactly its own row.
+        assert_eq!(parse_baseline(&doc).len(), 1);
+    }
+
+    #[test]
+    fn sched_gate_trips_only_below_tolerance() {
+        let baseline = vec![SchedBaselineRow {
+            sched: "wfq".into(),
+            speedup: 8.0,
+        }];
+        let fresh_ok = SchedMeasurement {
+            sched: "wfq".into(),
+            packets: 10,
+            transmitted: 10,
+            map_ns: 50,
+            slot_ns: 10, // 5x ≥ 0.5 × 8x
+        };
+        assert!(check_sched_regressions(&[fresh_ok], &baseline, 0.5).is_empty());
+        let fresh_bad = SchedMeasurement {
+            sched: "wfq".into(),
+            packets: 10,
+            transmitted: 10,
+            map_ns: 30,
+            slot_ns: 10, // 3x < 0.5 × 8x
+        };
+        let failures = check_sched_regressions(&[fresh_bad], &baseline, 0.5);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("regressed"), "{}", failures[0]);
+        // A committed discipline missing from the fresh run trips.
+        let failures = check_sched_regressions(&[], &baseline, 0.5);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"), "{}", failures[0]);
     }
 }

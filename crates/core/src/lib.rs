@@ -60,8 +60,9 @@ pub mod prelude {
     };
     pub use banzai::{
         Accounting, AtomKind, Backpressure, DropCounters, DropReason, FaultCause, FaultKind,
-        FaultPlan, FaultReport, FaultSpec, FaultyEngine, Machine, ShardConfig, ShardError,
-        ShardSalvage, ShardedSwitch, SlotMachine, SteerMode, Switch, SwitchError, Target,
+        FaultPlan, FaultReport, FaultSpec, FaultyEngine, Fifo, HierPifo, Machine, Pifo,
+        SchedDeparture, SchedKey, SchedSpec, Scheduler, ShardConfig, ShardError, ShardSalvage,
+        ShardedSwitch, SlotMachine, SteerMode, Switch, SwitchError, Target,
     };
     pub use domino_ir::{Packet, StateStore};
 }
@@ -158,6 +159,60 @@ pub fn sharded_switch(
             format!("internal error: sharded switch construction failed: {e}"),
         )
     })
+}
+
+/// Compiles ingress/egress programs and assembles a slot-compiled
+/// [`Switch`](banzai::Switch) whose queue runs a **programmed scheduler**
+/// ([`banzai::pifo`]): the ingress program computes the rank field, the
+/// configured [`SchedSpec`](banzai::SchedSpec) turns it into departure
+/// order. Drive it with
+/// [`Switch::run_sched_trace`](banzai::Switch::run_sched_trace).
+///
+/// ```
+/// use domino::prelude::*;
+///
+/// // The rank is computed by a packet transaction: two priority bands
+/// // by the `urgent` field, FIFO within each (rank = arrival index).
+/// let ingress = "struct P { int urgent; int at; int rank; };\n\
+///                void classify(struct P pkt) {\n\
+///                  pkt.rank = ((1 - pkt.urgent) << 14) + pkt.at;\n\
+///                }";
+/// let egress = "struct P { int rank; };\nvoid pass(struct P pkt) {}";
+/// let mut sw = domino::scheduled_switch(
+///     ingress,
+///     egress,
+///     &Target::banzai(AtomKind::Raw),
+///     64,
+///     SchedSpec::Pifo { rank: "rank".into() },
+/// )
+/// .unwrap();
+///
+/// // A burst where every urgent packet arrives *last*...
+/// let trace: Vec<Packet> = (0..8)
+///     .map(|i| Packet::new().with("urgent", (i >= 4) as i32).with("at", i))
+///     .collect();
+/// let deps = sw.run_sched_trace(&trace);
+/// // ...yet departs first, in arrival order within its band.
+/// let order: Vec<i32> = deps.iter().map(|d| d.pkt.expect("at")).collect();
+/// assert_eq!(order, [4, 5, 6, 7, 0, 1, 2, 3]);
+/// ```
+pub fn scheduled_switch(
+    ingress: &str,
+    egress: &str,
+    target: &Target,
+    capacity: usize,
+    sched: banzai::SchedSpec,
+) -> Result<banzai::Switch<banzai::SlotMachine>, Diagnostic> {
+    let ingress = compile(ingress, target)?;
+    let egress = compile(egress, target)?;
+    banzai::Switch::new_slot(&ingress, &egress, capacity)
+        .map(|sw| sw.with_scheduler(sched))
+        .map_err(|e| {
+            Diagnostic::global(
+                domino_ast::Stage::CodeGen,
+                format!("internal error: switch construction failed: {e}"),
+            )
+        })
 }
 
 /// Compiles a program and emits the equivalent P4 (the code a programmer

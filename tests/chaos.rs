@@ -59,14 +59,11 @@ fn armed(
 }
 
 /// Unwraps a run result into its fault report, asserting it faulted.
-fn expect_fault(res: Result<Vec<Packet>, SwitchError>, ctx: &str) -> banzai::FaultReport {
+fn expect_fault<T>(res: Result<T, SwitchError>, ctx: &str) -> banzai::FaultReport {
     match res {
         Err(SwitchError::Fault(report)) => *report,
         Err(other) => panic!("{ctx}: wrong error variant: {other}"),
-        Ok(out) => panic!(
-            "{ctx}: run succeeded ({} packets) despite armed fault",
-            out.len()
-        ),
+        Ok(_) => panic!("{ctx}: run succeeded despite armed fault"),
     }
 }
 
@@ -375,6 +372,102 @@ fn switch_is_rebuilt_and_usable_after_a_fault() {
 
     // Cumulative counters: both runs' transmissions are accounted.
     assert_eq!(sw.transmitted(), salvaged_tx + trace.len() as u64);
+}
+
+/// Scheduling-path fault coverage: a shard killed mid-trace during a
+/// PIFO run ([`ShardedSwitch::run_sched_trace`]) salvages its queue
+/// contents **in rank order** — the shard-local PIFO lives outside the
+/// per-batch unwind boundary, so the panic loses only the packets from
+/// the failing one onward, never the queue — and the report's
+/// [`Accounting`](banzai::Accounting) closes the books exactly.
+#[test]
+fn killed_shard_mid_sched_trace_salvages_pifo_in_rank_order() {
+    const SHARDS: usize = 4;
+    const LOCAL_K: u64 = 17;
+    let (ingress, egress) = counter_pipelines();
+    let trace = trace(480, 48);
+    // Rank = the flow's running count: dense cross-flow ties, so the
+    // rank order the salvage must exhibit is not the arrival order.
+    let spec = banzai::SchedSpec::Pifo { rank: "c".into() };
+
+    let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(SHARDS)).unwrap();
+    let assignment: Vec<usize> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, p)| probe.plan().steer(i, p))
+        .collect();
+
+    for victim in 0..SHARDS {
+        let ctx = format!("sched victim {victim}");
+        let victim_positions: Vec<u64> = assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &sh)| sh == victim)
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert!(victim_positions.len() as u64 > LOCAL_K, "{ctx}: starved");
+
+        let cfg = ShardConfig::new(SHARDS)
+            .with_batch(8)
+            .with_scheduler(spec.clone());
+        let faults = FaultPlan::kill(SHARDS, victim, LOCAL_K);
+        let mut sw = armed(&ingress, &egress, cfg, &faults);
+        let report = expect_fault(sw.run_sched_trace(&trace), &ctx);
+
+        // Typed failure at the exact global packet index.
+        assert_eq!(report.failures.len(), 1, "{ctx}");
+        assert_eq!(report.failures[0].shard, victim, "{ctx}");
+        assert_eq!(
+            report.failures[0].packet,
+            Some(victim_positions[LOCAL_K as usize]),
+            "{ctx}"
+        );
+
+        // The victim's salvage: every packet ingress-processed before
+        // the failing one — finer than batch granularity, because the
+        // PIFO survives the unwind — popped in rank order.
+        let victim_salvage = report.shard(victim).unwrap();
+        assert!(victim_salvage.failed, "{ctx}");
+        assert_eq!(victim_salvage.output.len(), LOCAL_K as usize, "{ctx}");
+        assert_eq!(
+            victim_salvage.lost(),
+            victim_positions.len() as u64 - LOCAL_K,
+            "{ctx}"
+        );
+        for salvage in &report.salvage {
+            let keys: Vec<_> = salvage.output.iter().map(|p| spec.key_of(p)).collect();
+            assert!(
+                keys.windows(2).all(|w| w[0] <= w[1]),
+                "{ctx}: shard {} salvage not in rank order: {keys:?}",
+                salvage.shard
+            );
+            if !salvage.failed {
+                assert_eq!(salvage.output.len() as u64, salvage.offered, "{ctx}");
+                assert_eq!(salvage.lost(), 0, "{ctx}");
+            }
+        }
+
+        // The books close exactly: nothing was dropped (capacity 512 >
+        // trace), so offered == salvaged + lost-with-the-fault.
+        assert_eq!(report.accounting.offered, trace.len() as u64, "{ctx}");
+        assert_eq!(report.accounting.dropped, 0, "{ctx}");
+        assert_eq!(
+            report.accounting.lost_in_fault,
+            victim_positions.len() as u64 - LOCAL_K,
+            "{ctx}"
+        );
+        assert!(
+            report.accounting.conserved(),
+            "{ctx}: {}",
+            report.accounting
+        );
+
+        // The rebuilt switch schedules cleanly on the next trace.
+        let deps = sw
+            .run_sched_trace(&trace)
+            .expect("rebuilt switch must run clean");
+        assert_eq!(deps.len(), trace.len(), "{ctx}: rerun lost packets");
+    }
 }
 
 /// Replica-tier fault coverage: killing a shard of a replicated sketch

@@ -13,7 +13,7 @@ use domino_ir::Packet;
 
 /// The pinned assignment: (dense index, label), in iteration order.
 /// Appending a reason appends a row; nothing else may change.
-const GOLDEN: [(usize, &str); 13] = [
+const GOLDEN: [(usize, &str); 14] = [
     (0, "queue_full"),
     (1, "truncated_ethernet"),
     (2, "truncated_vlan"),
@@ -27,6 +27,7 @@ const GOLDEN: [(usize, &str); 13] = [
     (10, "truncated_udp"),
     (11, "truncated_metadata"),
     (12, "backpressure"),
+    (13, "sched_full"),
 ];
 
 #[test]
@@ -57,12 +58,18 @@ fn all_is_exhaustive_dense_and_ordered() {
         "parse verdicts start right after queue_full"
     );
     assert_eq!(
-        DropReason::Backpressure.index(),
+        DropReason::SchedFull.index(),
         DropReason::COUNT - 1,
-        "backpressure is the most recently appended reason"
+        "sched_full is the most recently appended reason"
+    );
+    assert_eq!(
+        DropReason::Backpressure.index(),
+        DropReason::COUNT - 2,
+        "backpressure sits just before it, frozen in place"
     );
     // Display goes through the same stable labels.
     assert_eq!(DropReason::Backpressure.to_string(), "backpressure");
+    assert_eq!(DropReason::SchedFull.to_string(), "sched_full");
 }
 
 /// Builds counters holding real queue-full drops: a zero-capacity switch
@@ -91,11 +98,28 @@ fn parse_counters(n: usize) -> DropCounters {
     sw.drop_counters().clone()
 }
 
+/// Builds counters holding real scheduler drops: a zero-capacity PIFO
+/// rejects every push with `SchedFull` (distinct from FIFO tail drop).
+fn sched_full_counters(n: usize) -> DropCounters {
+    let mut sw = Switch::new(
+        AtomPipeline::passthrough("in"),
+        AtomPipeline::passthrough("out"),
+        0,
+    )
+    .with_scheduler(banzai::SchedSpec::Pifo {
+        rank: "rank".into(),
+    });
+    sw.run_sched_trace(&vec![Packet::new(); n]);
+    assert_eq!(sw.drops(), n as u64);
+    sw.drop_counters().clone()
+}
+
 #[test]
 fn merge_is_componentwise_addition() {
     let mut merged = queue_full_counters(3);
     merged.merge(&parse_counters(2));
     merged.merge(&queue_full_counters(4));
+    merged.merge(&sched_full_counters(5));
 
     assert_eq!(merged.get(DropReason::QueueFull), 7);
     assert_eq!(
@@ -103,10 +127,11 @@ fn merge_is_componentwise_addition() {
         2
     );
     assert_eq!(merged.get(DropReason::Backpressure), 0);
-    assert_eq!(merged.total(), 9);
+    assert_eq!(merged.get(DropReason::SchedFull), 5);
+    assert_eq!(merged.total(), 14);
     // The category accessors partition the total.
     assert_eq!(
-        merged.queue_full() + merged.parse_total() + merged.backpressure(),
+        merged.queue_full() + merged.parse_total() + merged.backpressure() + merged.sched_full(),
         merged.total()
     );
     // iter() walks the same dense order with the merged values.
