@@ -24,6 +24,7 @@
 //! Verification of Packet Processing" hand the operator a counterexample
 //! rather than a crash.
 
+use crate::stream::SourceError;
 use crate::switch::DropCounters;
 use domino_ir::{Packet, StateStore};
 use std::fmt;
@@ -167,13 +168,45 @@ impl fmt::Display for Accounting {
     }
 }
 
-/// The structured report a faulted sharded run returns instead of
-/// crashing: who failed and why, everything salvaged, and where every
-/// single offered packet went.
+/// An ingestion failure that ended a run early: the
+/// [`PacketSource`](crate::stream::PacketSource) (or
+/// [`FrameSource`](crate::stream::FrameSource)) errored mid-stream.
+///
+/// Everything pulled before the failure was processed and accounted
+/// normally — the switch drains its queues and closes the books
+/// (`lost_in_fault == 0` when no worker also faulted), so a torn
+/// capture file degrades into an exact partial run, not a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFault {
+    /// Items the source yielded successfully before failing — equal to
+    /// the report's [`Accounting::offered`] when the source was the only
+    /// fault.
+    pub at: u64,
+    /// The ingestion error itself.
+    pub error: SourceError,
+}
+
+impl fmt::Display for SourceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "source failed after {} packet(s): {}",
+            self.at, self.error
+        )
+    }
+}
+
+/// The structured report a faulted run returns instead of crashing: who
+/// failed and why, everything salvaged, and where every single offered
+/// packet went.
 #[derive(Debug, Clone)]
 pub struct FaultReport {
-    /// Every failed shard's error, in shard order (at least one).
+    /// Every failed shard's error, in shard order (empty only when the
+    /// fault was the source's — see [`FaultReport::source`]).
     pub failures: Vec<ShardError>,
+    /// The ingestion failure that cut the run short, if the source (not
+    /// a worker) was what faulted.
+    pub source: Option<SourceFault>,
     /// Per-shard salvage, in shard order — one entry per shard,
     /// surviving shards included.
     pub salvage: Vec<ShardSalvage>,
@@ -247,16 +280,25 @@ impl fmt::Display for SwitchError {
             SwitchError::Unsupported(msg) => write!(f, "unsupported configuration: {msg}"),
             SwitchError::StatePartition(msg) => write!(f, "no state partition: {msg}"),
             SwitchError::Fault(report) => {
-                let failures: Vec<String> =
-                    report.failures.iter().map(ShardError::to_string).collect();
-                write!(
-                    f,
-                    "{} of {} shard worker(s) faulted [{}]; {}",
-                    report.failures.len(),
-                    report.salvage.len(),
-                    failures.join("; "),
-                    report.accounting
-                )
+                if !report.failures.is_empty() {
+                    let failures: Vec<String> =
+                        report.failures.iter().map(ShardError::to_string).collect();
+                    write!(
+                        f,
+                        "{} of {} shard worker(s) faulted [{}]",
+                        report.failures.len(),
+                        report.salvage.len(),
+                        failures.join("; "),
+                    )?;
+                    if let Some(src) = &report.source {
+                        write!(f, "; {src}")?;
+                    }
+                } else if let Some(src) = &report.source {
+                    write!(f, "{src}")?;
+                } else {
+                    write!(f, "run faulted")?;
+                }
+                write!(f, "; {}", report.accounting)
             }
         }
     }
@@ -328,6 +370,7 @@ mod tests {
                 packet: Some(7),
                 cause: FaultCause::Panic("injected".into()),
             }],
+            source: None,
             salvage: vec![
                 ShardSalvage {
                     shard: 0,

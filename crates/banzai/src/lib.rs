@@ -59,22 +59,31 @@ pub mod machine;
 pub mod pifo;
 pub mod shard;
 pub mod slot;
+pub mod stream;
 pub mod switch;
 pub mod target;
 pub mod wire;
 
 pub use atom::{Guard, GuardOperand, RelOp, StatefulConfig, Tree, Update};
-pub use error::{Accounting, FaultCause, FaultReport, ShardError, ShardSalvage, SwitchError};
+pub use error::{
+    Accounting, FaultCause, FaultReport, ShardError, ShardSalvage, SourceFault, SwitchError,
+};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, FaultyEngine};
 pub use kind::{AtomKind, StatefulCaps};
 pub use machine::{AtomPipeline, AtomRole, CompiledAtom, Machine};
 pub use pifo::{Fifo, HierPifo, Pifo, SchedKey, SchedQueue, SchedSpec, Scheduler};
 pub use shard::{
-    Backpressure, ShardConfig, ShardPlan, ShardRun, ShardTier, ShardTimings, ShardedSwitch,
-    SteerMode,
+    Backpressure, ShardConfig, ShardPlan, ShardRun, ShardTier, ShardTimings, ShardedFrameRun,
+    ShardedRun, ShardedSchedRun, ShardedSwitch, SteerMode,
 };
 pub use slot::{SlotMachine, SlotPipeline};
-pub use switch::{DropCounters, DropReason, PipelineEngine, SchedDeparture, Switch};
+pub use stream::{
+    FailAfter, FrameGenSource, FrameSliceSource, FrameSource, GenSource, IntoFrameSource,
+    IntoPacketSource, PacketSource, Rewind, RunStats, SliceSource, SourceError,
+};
+pub use switch::{
+    DropCounters, DropReason, FrameRun, PipelineEngine, Run, SchedDeparture, SchedRun, Switch,
+};
 pub use target::Target;
 pub use wire::{
     deparse, encode, parse, BoundParser, FlatWireLayout, FrameSpec, ParseVerdict, WireConfig,

@@ -69,10 +69,15 @@
 //! accounting. Failed shards are rebuilt with fresh engines, so the
 //! switch stays usable after a fault.
 
-use crate::error::{Accounting, FaultCause, FaultReport, ShardError, ShardSalvage, SwitchError};
+use crate::error::{
+    Accounting, FaultCause, FaultReport, ShardError, ShardSalvage, SourceFault, SwitchError,
+};
 use crate::machine::AtomPipeline;
 use crate::pifo::{SchedKey, SchedQueue, SchedSpec, Scheduler};
 use crate::slot::SlotMachine;
+use crate::stream::{
+    FrameSource, IntoFrameSource, IntoPacketSource, PacketSource, RunStats, SourceError,
+};
 use crate::switch::{
     DropCounters, DropReason, PipelineEngine, SchedDeparture, Switch, QUEUE_METADATA_FIELDS,
 };
@@ -80,7 +85,7 @@ use crate::wire::{self, WireConfig};
 use domino_ast::{StateKind, StateVar};
 use domino_ir::layout::{mix64, FlowKeySpec, Partitionability, ReplicaSpec, StateLayout};
 use domino_ir::{Packet, StateStore, TacStmt};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -707,7 +712,7 @@ pub struct ShardRun {
 /// )
 /// .unwrap();
 /// let trace: Vec<Packet> = (0..100).map(|i| Packet::new().with("flow", i % 7)).collect();
-/// let out = sw.run_trace(&trace).unwrap();
+/// let out = sw.run(&trace).collect().unwrap();
 /// assert_eq!(out.len(), 100);
 /// assert_eq!(sw.transmitted(), 100);
 /// assert_eq!(sw.plan().effective(), 4);
@@ -863,13 +868,29 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         self.shards.iter().map(|s| s.transmitted()).sum::<u64>() + self.extra_transmitted
     }
 
-    /// Steers the trace into per-shard `(global_cycle, packet)` streams.
-    fn partition(&self, trace: &[Packet]) -> Vec<Vec<(i64, Packet)>> {
+    /// Drains the source into per-shard `(global_cycle, packet)` streams.
+    /// Returns the streams, the number of packets pulled, and the
+    /// source's error if it failed rather than ended (the streams then
+    /// hold everything pulled *before* the failure).
+    #[allow(clippy::type_complexity)]
+    fn partition_source<S: PacketSource>(
+        &self,
+        source: &mut S,
+    ) -> (Vec<Vec<(i64, Packet)>>, u64, Option<SourceError>) {
         let mut streams: Vec<Vec<(i64, Packet)>> = vec![Vec::new(); self.shards.len()];
-        for (i, pkt) in trace.iter().enumerate() {
-            streams[self.plan.steer(i, pkt)].push((i as i64, pkt.clone()));
-        }
-        streams
+        let mut pulled: u64 = 0;
+        let error = loop {
+            match source.next_packet() {
+                Ok(Some(pkt)) => {
+                    let i = pulled as usize;
+                    pulled += 1;
+                    streams[self.plan.steer(i, &pkt)].push((i as i64, pkt));
+                }
+                Ok(None) => break None,
+                Err(e) => break Some(e),
+            }
+        };
+        (streams, pulled, error)
     }
 
     /// Merges per-shard output streams by seeded round-robin: starting at
@@ -931,7 +952,75 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
     /// [`ShardedSwitch::import_state`] if desired. In the practically
     /// unreachable case that rebuilding itself fails, that `Build` error
     /// is returned and the switch must be reconstructed.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified run builder: `switch.run(trace).collect()`"
+    )]
     pub fn run_trace(&mut self, trace: &[Packet]) -> Result<Vec<Packet>, SwitchError>
+    where
+        E: Send + 'static,
+    {
+        self.run(trace).collect()
+    }
+
+    /// Opens a streaming run session: anything convertible to a
+    /// [`PacketSource`] drives the sharded switch through the returned
+    /// [`ShardedRun`] builder — the single entry point the old
+    /// `run_trace` / `run_sched_trace` / `run_trace_partitioned` /
+    /// `run_trace_instrumented` family collapsed into.
+    ///
+    /// The supervised terminal ([`ShardedRun::collect`]) pulls from the
+    /// source on the dispatcher thread and feeds the bounded batch rings,
+    /// so *input* memory stays O(batch × shards) however long the run;
+    /// [`ShardedRun::for_each`] additionally streams outputs to a sink.
+    ///
+    /// ```
+    /// use banzai::{AtomPipeline, ShardConfig, ShardedSwitch};
+    /// use domino_ir::Packet;
+    ///
+    /// let mut sw = ShardedSwitch::new_slot(
+    ///     &AtomPipeline::passthrough("in"),
+    ///     &AtomPipeline::passthrough("out"),
+    ///     ShardConfig::new(2),
+    /// )
+    /// .unwrap();
+    /// let trace: Vec<Packet> = (0..50).map(|i| Packet::new().with("flow", i % 5)).collect();
+    /// let merged = sw.run(&trace).collect().unwrap();
+    /// assert_eq!(merged.len(), 50);
+    /// ```
+    pub fn run<S: IntoPacketSource>(&mut self, source: S) -> ShardedRun<'_, E, S::Source> {
+        ShardedRun {
+            switch: self,
+            source: source.into_packet_source(),
+        }
+    }
+
+    /// Opens a streaming byte-frame run session over anything convertible
+    /// to a [`FrameSource`] — the sharded twin of
+    /// [`Switch::run_frames`], terminated by
+    /// [`ShardedFrameRun::partitioned`].
+    pub fn run_frames<'c, S: IntoFrameSource>(
+        &mut self,
+        source: S,
+        cfg: &'c WireConfig,
+    ) -> ShardedFrameRun<'_, 'c, E, S::Source> {
+        ShardedFrameRun {
+            switch: self,
+            source: source.into_frame_source(),
+            cfg,
+        }
+    }
+
+    /// The supervised streaming core behind [`ShardedRun::collect`]: the
+    /// historical threaded `run_trace`, generalized to pull from a
+    /// [`PacketSource`]. A source that errors mid-stream stops the
+    /// feeder; every worker still drains its ring and reports, so the
+    /// returned [`FaultReport`] carries a [`SourceFault`] alongside
+    /// complete per-shard salvage and closed books.
+    fn run_source_threaded<S: PacketSource>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<Vec<Packet>, SwitchError>
     where
         E: Send + 'static,
     {
@@ -939,16 +1028,23 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         // Move the switches into their workers; survivors come back
         // through the outcome channels, failed shards are rebuilt below.
         let switches = std::mem::take(&mut self.shards);
-        let (offered, sheds, collected) = self.supervised_scatter(switches, trace, worker_loop);
+        let Scatter {
+            offered,
+            sheds,
+            collected,
+            pulled,
+            source_error,
+        } = self.supervised_scatter(switches, source, worker_loop);
 
         // Account for dispatcher sheds whether or not anything faulted.
         for &shed in &sheds {
             self.extra_drops.bump_by(DropReason::Backpressure, shed);
         }
 
-        let faulted = collected
-            .iter()
-            .any(|c| !matches!(c, Collected::Reported(WorkerOutcome::Done(..))));
+        let faulted = source_error.is_some()
+            || collected
+                .iter()
+                .any(|c| !matches!(c, Collected::Reported(WorkerOutcome::Done(..))));
         if !faulted {
             let mut parts: Vec<Vec<Packet>> = Vec::with_capacity(n);
             for c in collected {
@@ -960,8 +1056,8 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
             return Ok(self.merge(parts));
         }
 
-        // At least one worker faulted: salvage everything reachable and
-        // assemble the report.
+        // At least one worker (or the source itself) faulted: salvage
+        // everything reachable and assemble the report.
         let mut failures: Vec<ShardError> = Vec::new();
         let mut salvage: Vec<ShardSalvage> = Vec::with_capacity(n);
         let mut parts: Vec<Vec<Packet>> = vec![Vec::new(); n];
@@ -1058,7 +1154,7 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         self.shards = shards;
 
         let accounting = Accounting {
-            offered: trace.len() as u64,
+            offered: pulled,
             transmitted: salvage.iter().map(|s| s.output.len() as u64).sum(),
             dropped: salvage.iter().map(|s| s.drops.total()).sum(),
             lost_in_fault: salvage.iter().map(ShardSalvage::lost).sum(),
@@ -1066,29 +1162,37 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         let merged = self.merge(parts);
         Err(SwitchError::Fault(Box::new(FaultReport {
             failures,
+            source: source_error.map(|error| SourceFault { at: pulled, error }),
             salvage,
             merged,
             accounting,
         })))
     }
 
-    /// The shared supervision skeleton of [`ShardedSwitch::run_trace`]
-    /// and [`ShardedSwitch::run_sched_trace`]: spawn one worker per
-    /// shard, steer the trace into bounded batch rings under the
-    /// configured [`Backpressure`] policy, and collect each worker's
-    /// outcome bounded by the watchdog. Generic over the worker body and
-    /// its outcome type, so forwarding runs and scheduling runs get the
-    /// identical failure model. Returns per-shard `(offered, sheds,
-    /// outcome)` observations.
-    fn supervised_scatter<O, W>(
+    /// The shared supervision skeleton of the threaded forwarding and
+    /// scheduling cores: spawn one worker per shard, pull packets off the
+    /// [`PacketSource`] one at a time and steer them into bounded batch
+    /// rings under the configured [`Backpressure`] policy, and collect
+    /// each worker's outcome bounded by the watchdog. Generic over the
+    /// worker body and its outcome type, so forwarding runs and
+    /// scheduling runs get the identical failure model.
+    ///
+    /// Input memory is O(batch × shards): at most one pending batch per
+    /// shard on the dispatcher plus `ring` batches in each channel —
+    /// never the whole trace. A source error stops the pull loop; the
+    /// rings are then closed normally, so every live worker drains what
+    /// it was fed and reports, and the error rides back in
+    /// [`Scatter::source_error`].
+    fn supervised_scatter<O, W, S>(
         &self,
         switches: Vec<Switch<E>>,
-        trace: &[Packet],
+        source: &mut S,
         worker: W,
-    ) -> (Vec<u64>, Vec<u64>, Vec<Collected<O>>)
+    ) -> Scatter<O>
     where
         E: Send + 'static,
         O: Send + 'static,
+        S: PacketSource,
         W: Fn(Switch<E>, mpsc::Receiver<StampedBatch>) -> O + Send + Clone + 'static,
     {
         let n = switches.len();
@@ -1140,13 +1244,25 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
                 }
             }
         };
-        for (i, pkt) in trace.iter().enumerate() {
-            let s = self.plan.steer(i, pkt);
+        let mut pulled: u64 = 0;
+        let mut source_error: Option<SourceError> = None;
+        loop {
+            let pkt = match source.next_packet() {
+                Ok(Some(pkt)) => pkt,
+                Ok(None) => break,
+                Err(e) => {
+                    source_error = Some(e);
+                    break;
+                }
+            };
+            let i = pulled as usize;
+            pulled += 1;
+            let s = self.plan.steer(i, &pkt);
             offered[s] += 1;
             if dead[s] || stalled[s] {
                 continue;
             }
-            pending[s].push((i as i64, pkt.clone()));
+            pending[s].push((i as i64, pkt));
             if pending[s].len() == batch_size {
                 let full = std::mem::replace(&mut pending[s], Vec::with_capacity(batch_size));
                 flush(s, full, &mut txs, &mut sheds, &mut stalled, &mut dead);
@@ -1184,7 +1300,13 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
                 }
             }
         }
-        (offered, sheds, collected)
+        Scatter {
+            offered,
+            sheds,
+            collected,
+            pulled,
+            source_error,
+        }
     }
 
     /// Runs a **scheduling experiment** across all shards on supervised
@@ -1213,25 +1335,50 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
     /// contents **popped in rank order** (the queue lives outside the
     /// per-batch `catch_unwind`, so a mid-batch panic cannot corrupt or
     /// lose it), and [`Accounting`] closes the books exactly.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified run builder: `switch.run(trace).scheduled().collect()`"
+    )]
     pub fn run_sched_trace(&mut self, trace: &[Packet]) -> Result<Vec<SchedDeparture>, SwitchError>
+    where
+        E: Send + 'static,
+    {
+        self.run(trace).scheduled().collect()
+    }
+
+    /// The supervised scheduling core behind [`ShardedSchedRun::collect`],
+    /// generalized to pull from a [`PacketSource`]. A source error lands
+    /// like a worker fault: the feeder stops, every shard-local PIFO
+    /// drains in rank order into salvage, and the report carries a
+    /// [`SourceFault`] with closed books.
+    fn run_sched_source<S: PacketSource>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<Vec<SchedDeparture>, SwitchError>
     where
         E: Send + 'static,
     {
         let n = self.shards.len();
         let capacity = self.capacity;
         let switches = std::mem::take(&mut self.shards);
-        let (offered, sheds, collected) =
-            self.supervised_scatter(switches, trace, move |sw, rx| {
-                sched_worker_loop(sw, rx, capacity)
-            });
+        let Scatter {
+            offered,
+            sheds,
+            collected,
+            pulled,
+            source_error,
+        } = self.supervised_scatter(switches, source, move |sw, rx| {
+            sched_worker_loop(sw, rx, capacity)
+        });
 
         for &shed in &sheds {
             self.extra_drops.bump_by(DropReason::Backpressure, shed);
         }
 
-        let faulted = collected
-            .iter()
-            .any(|c| !matches!(c, Collected::Reported(SchedOutcome::Done(..))));
+        let faulted = source_error.is_some()
+            || collected
+                .iter()
+                .any(|c| !matches!(c, Collected::Reported(SchedOutcome::Done(..))));
         if !faulted {
             let mut entries: Vec<(SchedKey, i64, Packet)> = Vec::new();
             for c in collected {
@@ -1254,7 +1401,7 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
             let egress = self.sched_egress.as_mut().expect("just built");
             let total = entries.len();
             let shaping = self.sched.is_shaping();
-            let mut next_free = trace.len() as i64;
+            let mut next_free = pulled as i64;
             let mut out = Vec::with_capacity(total);
             for (k, (key, arrival, mut pkt)) in entries.into_iter().enumerate() {
                 let departure = if shaping {
@@ -1381,7 +1528,7 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         self.shards = shards;
 
         let accounting = Accounting {
-            offered: trace.len() as u64,
+            offered: pulled,
             transmitted: salvage.iter().map(|s| s.output.len() as u64).sum(),
             dropped: salvage.iter().map(|s| s.drops.total()).sum(),
             lost_in_fault: salvage.iter().map(ShardSalvage::lost).sum(),
@@ -1389,6 +1536,7 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
         let merged = self.merge(parts);
         Err(SwitchError::Fault(Box::new(FaultReport {
             failures,
+            source: source_error.map(|error| SourceFault { at: pulled, error }),
             salvage,
             merged,
             accounting,
@@ -1414,27 +1562,211 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
     ///
     /// This sequential twin is **unsupervised** (no threads, no rings):
     /// engine errors propagate as `Result`s, engine panics propagate as
-    /// panics. Supervision lives on [`ShardedSwitch::run_trace`].
+    /// panics. Supervision lives on [`ShardedRun::collect`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified run builder: `switch.run(trace).partitioned()`"
+    )]
     pub fn run_trace_partitioned(
         &mut self,
         trace: &[Packet],
     ) -> Result<Vec<Vec<Packet>>, SwitchError> {
-        let streams = self.partition(trace);
-        self.shards
-            .iter_mut()
-            .zip(&streams)
-            .map(|(sw, stream)| sw.run_stamped(stream))
-            .collect()
+        self.run(trace).partitioned()
     }
 
-    /// Like [`ShardedSwitch::run_trace_partitioned`], but instrumented:
-    /// times the steer, each shard's busy run, and the merge. Used by the
-    /// E10 scaling harness (on a single-core host, per-shard busy times
-    /// are the honest scaling observable — see [`ShardTimings`]).
+    /// The sequential per-shard core behind [`ShardedRun::partitioned`].
+    /// A source error still runs every stream gathered before the
+    /// failure, then reports a [`SourceFault`] with complete per-shard
+    /// salvage (outputs, per-run drop deltas, state snapshots).
+    fn run_source_partitioned<S: PacketSource>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<Vec<Vec<Packet>>, SwitchError> {
+        let (streams, pulled, source_error) = self.partition_source(source);
+        let drops_before: Vec<DropCounters> = self
+            .shards
+            .iter()
+            .map(|s| s.drop_counters().clone())
+            .collect();
+        let mut parts: Vec<Vec<Packet>> = Vec::with_capacity(self.shards.len());
+        for (sw, stream) in self.shards.iter_mut().zip(&streams) {
+            parts.push(sw.run_stamped_batch(stream)?);
+        }
+        match source_error {
+            None => Ok(parts),
+            Some(error) => {
+                let lens: Vec<usize> = streams.iter().map(Vec::len).collect();
+                Err(self.partitioned_source_fault(pulled, error, &lens, parts, &drops_before))
+            }
+        }
+    }
+
+    /// Assembles the [`SourceFault`] report of an unsupervised
+    /// (partitioned / instrumented) run whose source failed mid-stream:
+    /// every shard ran its pre-failure stream to completion, so salvage
+    /// is complete — outputs, per-run drop deltas, and state snapshots —
+    /// and the books close with `lost_in_fault == 0`.
+    fn partitioned_source_fault(
+        &mut self,
+        pulled: u64,
+        error: SourceError,
+        stream_lens: &[usize],
+        parts: Vec<Vec<Packet>>,
+        drops_before: &[DropCounters],
+    ) -> SwitchError {
+        let mut salvage: Vec<ShardSalvage> = Vec::with_capacity(parts.len());
+        for (s, (sw, out)) in self.shards.iter().zip(&parts).enumerate() {
+            salvage.push(ShardSalvage {
+                shard: s,
+                failed: false,
+                offered: stream_lens[s] as u64,
+                output: out.clone(),
+                drops: sw.drop_counters().since(&drops_before[s]),
+                state: Some((sw.export_ingress_state(), sw.export_egress_state())),
+            });
+        }
+        let accounting = Accounting {
+            offered: pulled,
+            transmitted: salvage.iter().map(|s| s.output.len() as u64).sum(),
+            dropped: salvage.iter().map(|s| s.drops.total()).sum(),
+            lost_in_fault: salvage.iter().map(ShardSalvage::lost).sum(),
+        };
+        let merged = self.merge(parts);
+        SwitchError::Fault(Box::new(FaultReport {
+            failures: Vec::new(),
+            source: Some(SourceFault { at: pulled, error }),
+            salvage,
+            merged,
+            accounting,
+        }))
+    }
+
+    /// The single-threaded streaming core behind [`ShardedRun::for_each`]:
+    /// pull one packet, run it through its steered shard, buffer the
+    /// shard's output, and emit buffered packets to the sink in exactly
+    /// the seeded round-robin order [`ShardedSwitch::merge`] produces —
+    /// one packet per cursor visit, waiting on a shard whose next output
+    /// has not materialized yet and skipping it only once the stream has
+    /// ended (when an empty buffer is provably final). Output is
+    /// bit-identical to [`ShardedRun::collect`].
+    ///
+    /// Memory is bounded by the *output skew*: per-shard buffers hold
+    /// only packets the round-robin cursor has not reached, so balanced
+    /// steering keeps them O(1); a pathologically imbalanced trace (every
+    /// packet on one shard) degrades to buffering that shard's output.
+    fn run_source_streamed<S: PacketSource>(
+        &mut self,
+        source: &mut S,
+        sink: &mut dyn FnMut(Packet),
+    ) -> Result<RunStats, SwitchError> {
+        let n = self.shards.len();
+        let drops_before: Vec<DropCounters> = self
+            .shards
+            .iter()
+            .map(|s| s.drop_counters().clone())
+            .collect();
+        let mut offered = vec![0u64; n];
+        let mut buffers: Vec<VecDeque<Packet>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut cursor = (mix64(self.seed) % n as u64) as usize;
+        let mut pulled: u64 = 0;
+        let mut emitted: u64 = 0;
+        let mut source_error: Option<SourceError> = None;
+        let mut ended = false;
+        while !ended {
+            match source.next_packet() {
+                Ok(Some(pkt)) => {
+                    let i = pulled as usize;
+                    pulled += 1;
+                    let s = self.plan.steer(i, &pkt);
+                    offered[s] += 1;
+                    let out = self.shards[s].run_stamped_batch(&[(i as i64, pkt)])?;
+                    buffers[s].extend(out);
+                }
+                Ok(None) => ended = true,
+                Err(e) => {
+                    source_error = Some(e);
+                    ended = true;
+                }
+            }
+            loop {
+                if let Some(pkt) = buffers[cursor].pop_front() {
+                    emitted += 1;
+                    sink(pkt);
+                    cursor = (cursor + 1) % n;
+                } else if ended {
+                    if buffers.iter().all(VecDeque::is_empty) {
+                        break;
+                    }
+                    cursor = (cursor + 1) % n;
+                } else {
+                    break;
+                }
+            }
+        }
+        let stats = RunStats {
+            offered: pulled,
+            transmitted: emitted,
+        };
+        let Some(error) = source_error else {
+            return Ok(stats);
+        };
+        // Outputs already streamed to the sink, so salvage carries the
+        // books and state snapshots but no packet payloads.
+        let mut salvage: Vec<ShardSalvage> = Vec::with_capacity(n);
+        let mut dropped = 0u64;
+        for (s, sw) in self.shards.iter().enumerate() {
+            let delta = sw.drop_counters().since(&drops_before[s]);
+            dropped += delta.total();
+            salvage.push(ShardSalvage {
+                shard: s,
+                failed: false,
+                offered: offered[s],
+                output: Vec::new(),
+                drops: delta,
+                state: Some((sw.export_ingress_state(), sw.export_egress_state())),
+            });
+        }
+        let accounting = Accounting {
+            offered: pulled,
+            transmitted: emitted,
+            dropped,
+            lost_in_fault: pulled.saturating_sub(emitted + dropped),
+        };
+        Err(SwitchError::Fault(Box::new(FaultReport {
+            failures: Vec::new(),
+            source: Some(SourceFault { at: pulled, error }),
+            salvage,
+            merged: Vec::new(),
+            accounting,
+        })))
+    }
+
+    /// Like [`ShardedRun::partitioned`], but instrumented: times the
+    /// steer, each shard's busy run, and the merge. Used by the E10
+    /// scaling harness (on a single-core host, per-shard busy times are
+    /// the honest scaling observable — see [`ShardTimings`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified run builder: `switch.run(trace).instrumented()`"
+    )]
     pub fn run_trace_instrumented(&mut self, trace: &[Packet]) -> Result<ShardRun, SwitchError> {
+        self.run(trace).instrumented()
+    }
+
+    /// The timed sequential core behind [`ShardedRun::instrumented`].
+    fn run_source_instrumented<S: PacketSource>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<ShardRun, SwitchError> {
         let t = Instant::now();
-        let streams = self.partition(trace);
+        let (streams, pulled, source_error) = self.partition_source(source);
         let steer_ns = t.elapsed().as_nanos();
+        let stream_lens: Vec<usize> = streams.iter().map(Vec::len).collect();
+        let drops_before: Vec<DropCounters> = self
+            .shards
+            .iter()
+            .map(|s| s.drop_counters().clone())
+            .collect();
 
         // Lane times accumulate over *interleaved slices* rather than one
         // contiguous run per lane. Host interference (virtualization
@@ -1461,12 +1793,22 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
                     continue;
                 }
                 let t = Instant::now();
-                let out = sw.run_stamped(&stream[lo..hi])?;
+                let out = sw.run_stamped_batch(&stream[lo..hi])?;
                 shard_ns[s] += t.elapsed().as_nanos();
                 partitioned[s].extend(out);
             }
         }
         drop(streams);
+
+        if let Some(error) = source_error {
+            return Err(self.partitioned_source_fault(
+                pulled,
+                error,
+                &stream_lens,
+                partitioned,
+                &drops_before,
+            ));
+        }
 
         // Time the merge the production path performs: a move, no clones.
         let t = Instant::now();
@@ -1494,26 +1836,99 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
     /// frames carry no fields to steer by; they are dealt round-robin by
     /// frame index, so exactly one shard's parser re-rejects each one and
     /// counts the typed drop — frame conservation holds shard by shard.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified run builder: `switch.run_frames(frames, cfg).partitioned()`"
+    )]
     pub fn run_wire_trace_partitioned<F: AsRef<[u8]>>(
         &mut self,
         frames: &[F],
         cfg: &WireConfig,
     ) -> Vec<Vec<Vec<u8>>> {
+        self.run_frames(frames, cfg)
+            .partitioned()
+            .expect("slice-backed sources cannot fail mid-stream")
+    }
+
+    /// The byte-level sequential core behind
+    /// [`ShardedFrameRun::partitioned`]: pull frames, steer each by its
+    /// parsed packet (malformed frames dealt round-robin by index), run
+    /// every shard's stream, and return the per-shard output frames. A
+    /// source error reports a [`SourceFault`] whose salvage carries the
+    /// per-shard books and state snapshots (output frames are bytes, not
+    /// packets, so the salvage `output` vectors stay empty — the typed
+    /// parse-drop counters still close the accounting exactly).
+    fn run_frames_partitioned<S: FrameSource>(
+        &mut self,
+        source: &mut S,
+        cfg: &WireConfig,
+    ) -> Result<Vec<Vec<Vec<u8>>>, SwitchError> {
         let shards = self.shards.len();
-        let mut streams: Vec<Vec<&[u8]>> = vec![Vec::new(); shards];
-        for (i, frame) in frames.iter().enumerate() {
-            let frame = frame.as_ref();
-            let shard = match wire::parse(frame, cfg) {
-                Ok(wp) => self.plan.steer(i, &wp.pkt),
-                Err(_) => i % shards,
-            };
-            streams[shard].push(frame);
+        let mut streams: Vec<Vec<Vec<u8>>> = vec![Vec::new(); shards];
+        let mut pulled: u64 = 0;
+        let mut source_error: Option<SourceError> = None;
+        loop {
+            match source.next_frame() {
+                Ok(Some(frame)) => {
+                    let i = pulled as usize;
+                    pulled += 1;
+                    let shard = match wire::parse(frame, cfg) {
+                        Ok(wp) => self.plan.steer(i, &wp.pkt),
+                        Err(_) => i % shards,
+                    };
+                    streams[shard].push(frame.to_vec());
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    source_error = Some(e);
+                    break;
+                }
+            }
         }
-        self.shards
-            .iter_mut()
-            .zip(&streams)
-            .map(|(sw, stream)| sw.run_wire_trace(stream, cfg))
-            .collect()
+        let drops_before: Vec<DropCounters> = self
+            .shards
+            .iter()
+            .map(|s| s.drop_counters().clone())
+            .collect();
+        let mut parts: Vec<Vec<Vec<u8>>> = Vec::with_capacity(shards);
+        for (sw, stream) in self.shards.iter_mut().zip(&streams) {
+            parts.push(
+                sw.run_frames(stream, cfg)
+                    .collect()
+                    .expect("slice-backed sources cannot fail mid-stream"),
+            );
+        }
+        let Some(error) = source_error else {
+            return Ok(parts);
+        };
+        let transmitted: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        let mut salvage: Vec<ShardSalvage> = Vec::with_capacity(shards);
+        let mut dropped = 0u64;
+        for (s, sw) in self.shards.iter().enumerate() {
+            let delta = sw.drop_counters().since(&drops_before[s]);
+            dropped += delta.total();
+            salvage.push(ShardSalvage {
+                shard: s,
+                failed: false,
+                offered: streams[s].len() as u64,
+                output: Vec::new(),
+                drops: delta,
+                state: Some((sw.export_ingress_state(), sw.export_egress_state())),
+            });
+        }
+        let accounting = Accounting {
+            offered: pulled,
+            transmitted,
+            dropped,
+            lost_in_fault: pulled.saturating_sub(transmitted + dropped),
+        };
+        Err(SwitchError::Fault(Box::new(FaultReport {
+            failures: Vec::new(),
+            source: Some(SourceFault { at: pulled, error }),
+            salvage,
+            merged: Vec::new(),
+            accounting,
+        })))
     }
 
     /// Each shard's `(ingress, egress)` state snapshot.
@@ -1609,6 +2024,166 @@ impl<E: PipelineEngine> ShardedSwitch<E> {
     }
 }
 
+/// A pending sharded streaming run, opened by [`ShardedSwitch::run`].
+///
+/// Terminal methods pick the execution strategy:
+///
+/// * [`ShardedRun::collect`] — supervised worker threads, merged output
+///   (the production path);
+/// * [`ShardedRun::for_each`] — single-threaded, outputs streamed to a
+///   sink in merge order (bounded memory end to end);
+/// * [`ShardedRun::partitioned`] — unsupervised sequential twin, un-merged
+///   per-shard outputs (the differential observable);
+/// * [`ShardedRun::instrumented`] — the partitioned run with lane timings;
+/// * [`ShardedRun::scheduled`] — switch to the PIFO scheduling experiment.
+#[must_use = "a run session does nothing until a terminal method consumes it"]
+pub struct ShardedRun<'s, E: PipelineEngine, S: PacketSource> {
+    switch: &'s mut ShardedSwitch<E>,
+    source: S,
+}
+
+impl<'s, E: PipelineEngine, S: PacketSource> ShardedRun<'s, E, S> {
+    /// Switches this run to the scheduling experiment under the
+    /// [`SchedSpec`] the switch was configured with (see
+    /// [`ShardConfig::with_scheduler`]).
+    pub fn scheduled(self) -> ShardedSchedRun<'s, E, S> {
+        ShardedSchedRun {
+            switch: self.switch,
+            source: self.source,
+        }
+    }
+
+    /// Runs the source across all shards on **supervised worker
+    /// threads** — the caller thread pulls packets and steers them into
+    /// per-shard bounded batch rings, each worker drains its ring through
+    /// its own switch inside `catch_unwind`, and the outputs merge
+    /// deterministically. Input memory is O(batch × ring × shards).
+    ///
+    /// # Failure model
+    ///
+    /// * A **panicking** worker is isolated: its panic is caught, the
+    ///   remaining shards drain cleanly, and the run returns
+    ///   [`SwitchError::Fault`] with a [`FaultReport`] naming the shard,
+    ///   the global index of the packet that triggered the fault, the
+    ///   panic payload, every surviving shard's complete output and state
+    ///   snapshot, the failed shard's completed-batch output prefix, and
+    ///   [`Accounting`] that balances exactly
+    ///   (`offered == transmitted + dropped + lost_in_fault`).
+    /// * A **source error** mid-stream stops the feeder; every worker
+    ///   still drains what it was fed, and the report carries the
+    ///   [`SourceFault`] alongside complete per-shard salvage.
+    /// * A **full ring** degrades per the configured [`Backpressure`]
+    ///   policy: `Block` waits up to [`ShardConfig::watchdog_ms`] then
+    ///   declares the worker stalled; `Shed` drops the batch under the
+    ///   [`DropReason::Backpressure`] counter and keeps going.
+    /// * A **stalled or silently dead** worker is detected by the
+    ///   feeder/collector watchdog and abandoned — this method never
+    ///   hangs on a wedged worker and never joins one.
+    ///
+    /// After a fault, failed shards are **rebuilt** with fresh engines
+    /// (surviving shards keep their state), so the switch remains usable;
+    /// warm-start a rebuilt shard from the salvaged snapshots via
+    /// [`ShardedSwitch::import_state`] if desired.
+    pub fn collect(mut self) -> Result<Vec<Packet>, SwitchError>
+    where
+        E: Send + 'static,
+    {
+        self.switch.run_source_threaded(&mut self.source)
+    }
+
+    /// Streams every merged output packet to `sink` instead of
+    /// materializing them, single-threaded, in exactly the order
+    /// [`ShardedRun::collect`] would return — bit-identical output with
+    /// memory bounded by the steering balance rather than the trace
+    /// length. Returns the run's [`RunStats`].
+    pub fn for_each<F: FnMut(Packet)>(mut self, mut sink: F) -> Result<RunStats, SwitchError> {
+        self.switch.run_source_streamed(&mut self.source, &mut sink)
+    }
+
+    /// Runs shard-by-shard on the calling thread and returns each shard's
+    /// output subsequence (un-merged) — the observable the differential
+    /// suites compare against serial execution. Unsupervised: engine
+    /// errors propagate as `Result`s, engine panics as panics.
+    pub fn partitioned(mut self) -> Result<Vec<Vec<Packet>>, SwitchError> {
+        self.switch.run_source_partitioned(&mut self.source)
+    }
+
+    /// Like [`ShardedRun::partitioned`], but timed (steer, per-shard busy
+    /// runs, merge) and merged — see [`ShardTimings`].
+    pub fn instrumented(mut self) -> Result<ShardRun, SwitchError> {
+        self.switch.run_source_instrumented(&mut self.source)
+    }
+}
+
+/// A pending sharded **scheduling** run (see [`ShardedRun::scheduled`]).
+#[must_use = "a run session does nothing until a terminal method consumes it"]
+pub struct ShardedSchedRun<'s, E: PipelineEngine, S: PacketSource> {
+    switch: &'s mut ShardedSwitch<E>,
+    source: S,
+}
+
+impl<E: PipelineEngine, S: PacketSource> ShardedSchedRun<'_, E, S> {
+    /// Runs the scheduling experiment across all shards on supervised
+    /// worker threads — the sharded twin of the serial
+    /// `run(..).scheduled().collect()`, bit-identical to it on
+    /// [`ShardTier::Exact`] plans.
+    ///
+    /// Each worker ingress-processes its steered packets and pushes them
+    /// into a **shard-local PIFO** under the configured [`SchedSpec`];
+    /// at collect time the per-shard streams (each already in pop order)
+    /// merge by `(class, rank, global arrival cycle)` — exactly the
+    /// serial PIFO's pop order, because the serial tie-break *is* arrival
+    /// order — and a dedicated serial egress engine assigns departure
+    /// cycles with the same recurrence as the serial switch. Admission is
+    /// the serial burst rule applied per worker: during the arrival phase
+    /// the queue only grows, so the serial switch admits exactly the
+    /// first `capacity` arrivals — a globally computable rule, which is
+    /// what keeps sharded `SchedFull` drops bit-identical to serial even
+    /// under overload.
+    ///
+    /// # Failure model
+    ///
+    /// Supervision is identical to [`ShardedRun::collect`] (same feeder,
+    /// rings, watchdog, and collector). A faulted run returns
+    /// [`SwitchError::Fault`]; the failed shard's salvage is its PIFO
+    /// contents **popped in rank order** (the queue lives outside the
+    /// per-batch `catch_unwind`, so a mid-batch panic cannot corrupt or
+    /// lose it), and [`Accounting`] closes the books exactly.
+    pub fn collect(mut self) -> Result<Vec<SchedDeparture>, SwitchError>
+    where
+        E: Send + 'static,
+    {
+        self.switch.run_sched_source(&mut self.source)
+    }
+}
+
+/// A pending sharded **byte-level** run, opened by
+/// [`ShardedSwitch::run_frames`].
+#[must_use = "a run session does nothing until a terminal method consumes it"]
+pub struct ShardedFrameRun<'s, 'c, E: PipelineEngine, S: FrameSource> {
+    switch: &'s mut ShardedSwitch<E>,
+    source: S,
+    cfg: &'c WireConfig,
+}
+
+impl<E: PipelineEngine, S: FrameSource> ShardedFrameRun<'_, '_, E, S> {
+    /// Steers the frame stream and runs each shard's slice on the calling
+    /// thread ([`Switch::run_frames`]), returning the per-shard output
+    /// frames (un-merged).
+    ///
+    /// The dispatcher runs the same parser the shards run
+    /// ([`wire::parse`]) and steers by the parsed packet and frame
+    /// index, so a frame lands on exactly the shard its packet-born twin
+    /// would (under replica mode both paths deal by index). Malformed
+    /// frames carry no fields to steer by; they are dealt round-robin by
+    /// frame index, so exactly one shard's parser re-rejects each one and
+    /// counts the typed drop — frame conservation holds shard by shard.
+    pub fn partitioned(mut self) -> Result<Vec<Vec<Vec<u8>>>, SwitchError> {
+        self.switch
+            .run_frames_partitioned(&mut self.source, self.cfg)
+    }
+}
+
 /// What a shard worker reports back on its outcome channel.
 enum WorkerOutcome<E: PipelineEngine> {
     /// Ring drained, switch handed back with its complete output stream.
@@ -1638,7 +2213,7 @@ fn worker_loop<E: PipelineEngine>(
         // packet, so the delta across the failing batch pinpoints the
         // packet whose processing faulted.
         let before = sw.transmitted() + sw.drops();
-        match catch_unwind(AssertUnwindSafe(|| sw.run_stamped(&batch))) {
+        match catch_unwind(AssertUnwindSafe(|| sw.run_stamped_batch(&batch))) {
             Ok(Ok(mut produced)) => out.append(&mut produced),
             Ok(Err(err)) => {
                 return WorkerOutcome::Fault {
@@ -1686,6 +2261,20 @@ enum Collected<O> {
     /// The outcome channel disconnected with no report: the thread died
     /// outside the supervised path.
     Vanished,
+}
+
+/// Everything the dispatcher observed during one supervised scatter.
+struct Scatter<O> {
+    /// Packets steered to each shard (fed or not — the books).
+    offered: Vec<u64>,
+    /// Packets shed per shard under [`Backpressure::Shed`].
+    sheds: Vec<u64>,
+    /// Each worker's collected outcome.
+    collected: Vec<Collected<O>>,
+    /// Total packets pulled from the source before it ended or failed.
+    pulled: u64,
+    /// The source's mid-stream error, if it failed rather than ended.
+    source_error: Option<SourceError>,
 }
 
 /// What a scheduling-run worker reports back (see
@@ -1952,12 +2541,12 @@ mod tests {
         let trace = flow_trace(500);
 
         let mut serial = Switch::new_slot(&ingress, &egress, 512).unwrap();
-        let serial_out = serial.run_trace(&trace);
+        let serial_out = serial.run(&trace).collect().unwrap();
 
         for shards in [1, 2, 4, 8] {
             let mut sharded =
                 ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(shards)).unwrap();
-            let parts = sharded.run_trace_partitioned(&trace).unwrap();
+            let parts = sharded.run(&trace).partitioned().unwrap();
             // Each shard's outputs are the serial outputs at the
             // positions steered to it (serial output order == input
             // order at line rate).
@@ -1988,10 +2577,10 @@ mod tests {
         let cfg = ShardConfig::new(4).with_batch(32);
 
         let mut a = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone()).unwrap();
-        let threaded = a.run_trace(&trace).unwrap();
+        let threaded = a.run(&trace).collect().unwrap();
 
         let mut b = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone()).unwrap();
-        let run = b.run_trace_instrumented(&trace).unwrap();
+        let run = b.run(&trace).instrumented().unwrap();
         assert_eq!(threaded, run.merged);
         assert_eq!(
             a.export_merged_ingress_state().unwrap(),
@@ -2000,7 +2589,7 @@ mod tests {
 
         // And a second threaded run from fresh state is bit-identical.
         let mut c = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-        assert_eq!(c.run_trace(&trace).unwrap(), threaded);
+        assert_eq!(c.run(&trace).collect().unwrap(), threaded);
     }
 
     #[test]
@@ -2036,10 +2625,10 @@ mod tests {
         let egress = passthrough("out");
         let trace = flow_trace(200);
         let mut serial = Switch::new_slot(&ingress, &egress, 512).unwrap();
-        let serial_out = serial.run_trace(&trace);
+        let serial_out = serial.run(&trace).collect().unwrap();
         let mut sharded = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(4)).unwrap();
         assert_eq!(sharded.shard_count(), 1);
-        assert_eq!(sharded.run_trace(&trace).unwrap(), serial_out);
+        assert_eq!(sharded.run(&trace).collect().unwrap(), serial_out);
         assert_eq!(
             sharded.export_merged_ingress_state().unwrap(),
             serial.export_ingress_state()
@@ -2052,7 +2641,7 @@ mod tests {
         let egress = passthrough("out");
         // Build a warm serial state.
         let mut serial = Switch::new_slot(&ingress, &egress, 512).unwrap();
-        serial.run_trace(&flow_trace(300));
+        serial.run(&flow_trace(300)).collect().unwrap();
         let warm_in = serial.export_ingress_state();
         let warm_eg = serial.export_egress_state();
 
@@ -2062,8 +2651,8 @@ mod tests {
 
         // Continuing from the warm state matches serial continuation.
         let more = flow_trace(100);
-        let serial_more = serial.run_trace(&more);
-        let parts = sharded.run_trace_partitioned(&more).unwrap();
+        let serial_more = serial.run(&more).collect().unwrap();
+        let parts = sharded.run(&more).partitioned().unwrap();
         let mut flat: Vec<(usize, Packet)> = Vec::new();
         for (s, part) in parts.iter().enumerate() {
             let idxs: Vec<usize> = more
@@ -2093,6 +2682,88 @@ mod tests {
     }
 
     #[test]
+    fn sharded_for_each_streams_bit_identical_to_collect() {
+        let ingress = array_counter("count", "counts", 64);
+        let egress = passthrough("out");
+        let trace = flow_trace(500);
+        let cfg = ShardConfig::new(4).with_batch(32);
+
+        let mut a = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone()).unwrap();
+        let collected = a.run(&trace).collect().unwrap();
+
+        let mut b = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
+        let mut streamed = Vec::new();
+        let stats = b.run(&trace).for_each(|p| streamed.push(p)).unwrap();
+        assert_eq!(streamed, collected);
+        assert_eq!(stats.offered, 500);
+        assert_eq!(stats.transmitted, collected.len() as u64);
+        assert_eq!(
+            a.export_merged_ingress_state().unwrap(),
+            b.export_merged_ingress_state().unwrap()
+        );
+    }
+
+    #[test]
+    fn sharded_source_error_mid_stream_closes_the_books() {
+        use crate::stream::{FailAfter, GenSource};
+
+        let ingress = array_counter("count", "counts", 64);
+        let egress = passthrough("out");
+        let cfg = ShardConfig::new(4).with_batch(16);
+        let mut sw = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
+        let src = FailAfter::new(
+            GenSource::new(|i| Some(Packet::new().with("flow", (i % 23) as i32))),
+            100,
+            "link flap",
+        );
+        let err = sw.run(src).collect().unwrap_err();
+        let SwitchError::Fault(report) = err else {
+            panic!("expected a fault report");
+        };
+        let fault = report.source.as_ref().expect("source fault recorded");
+        assert_eq!(fault.at, 100);
+        assert!(report.failures.is_empty(), "no shard failed");
+        assert!(report.accounting.conserved(), "{}", report.accounting);
+        assert_eq!(report.accounting.offered, 100);
+        assert_eq!(report.accounting.lost_in_fault, 0);
+        assert_eq!(report.merged.len(), report.accounting.transmitted as usize);
+        assert!(report
+            .salvage
+            .iter()
+            .all(|s| !s.failed && s.state.is_some()));
+        // The switch stays usable after the fault.
+        let out = sw.run(&flow_trace(50)).collect().unwrap();
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn partitioned_source_error_salvages_every_shard() {
+        use crate::stream::{FailAfter, GenSource};
+
+        let ingress = array_counter("count", "counts", 64);
+        let egress = passthrough("out");
+        let mut sw = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(2)).unwrap();
+        let src = FailAfter::new(
+            GenSource::new(|i| Some(Packet::new().with("flow", (i % 23) as i32))),
+            40,
+            "disk error",
+        );
+        let err = sw.run(src).partitioned().unwrap_err();
+        let SwitchError::Fault(report) = err else {
+            panic!("expected a fault report");
+        };
+        assert_eq!(report.source.as_ref().unwrap().at, 40);
+        assert_eq!(report.salvage.len(), 2);
+        assert!(report
+            .salvage
+            .iter()
+            .all(|s| !s.failed && s.state.is_some()));
+        assert_eq!(report.salvage.iter().map(|s| s.offered).sum::<u64>(), 40);
+        assert_eq!(report.accounting.offered, 40);
+        assert!(report.accounting.conserved(), "{}", report.accounting);
+    }
+
+    #[test]
     fn explicit_field_steering_declines_merged_state() {
         let ingress = array_counter("count", "counts", 64);
         let mut sharded = ShardedSwitch::new_slot(
@@ -2101,7 +2772,7 @@ mod tests {
             ShardConfig::new(2).with_steer(SteerMode::Fields(vec!["flow".into()])),
         )
         .unwrap();
-        sharded.run_trace(&flow_trace(50)).unwrap();
+        sharded.run(&flow_trace(50)).collect().unwrap();
         assert!(matches!(
             sharded.export_merged_ingress_state(),
             Err(SwitchError::StatePartition(_))

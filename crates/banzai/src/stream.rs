@@ -1,0 +1,508 @@
+//! Streaming ingestion: pull-based packet and frame sources.
+//!
+//! Every run entry point used to take a fully materialized `&[Packet]`
+//! slice, capping runs at whatever trace fits in memory. This module is
+//! the bounded-memory replacement: a [`PacketSource`] is a fallible,
+//! pull-based iterator of packets (with a byte-level [`FrameSource`]
+//! twin), and the switch entry points ([`Switch::run`],
+//! [`ShardedSwitch::run`]) pull from a source through the existing
+//! bounded batch machinery instead of indexing a slice — memory stays
+//! O(batch × shards) for arbitrarily long runs, with outputs optionally
+//! streamed to a sink rather than collected.
+//!
+//! The layering:
+//!
+//! * [`PacketSource`] / [`FrameSource`] — the pull traits. `next_*`
+//!   returns `Ok(Some(..))` per item, `Ok(None)` at end of stream, and
+//!   `Err(SourceError)` when ingestion itself fails (a torn capture
+//!   file, a dead NIC ring). A source failure is a first-class fault:
+//!   the run drains everything already admitted and returns
+//!   [`SwitchError::Fault`](crate::error::SwitchError::Fault) with
+//!   closed [`Accounting`](crate::error::Accounting) books.
+//! * [`Rewind`] — the multi-rep bench hook: rewindable sources
+//!   ([`SliceSource`], [`GenSource`]) restart from the first item so a
+//!   benchmark can replay the identical stream without re-materializing
+//!   it.
+//! * [`IntoPacketSource`] / [`IntoFrameSource`] — conversions so the
+//!   run builders accept `&[Packet]` / `&Vec<Packet>` slices (the
+//!   migration path for every old call site) as well as any source.
+//! * Concrete sources — [`SliceSource`]/[`FrameSliceSource`] (borrowed
+//!   slices, rewindable, exact size hints), [`GenSource`]/
+//!   [`FrameGenSource`] (closure generators: O(1) memory for
+//!   multi-million-packet runs), and [`FailAfter`] (a fault-injection
+//!   wrapper that errors mid-stream, for the chaos suite).
+//!
+//! The pcap/pcapng replay reader in `bench::pcap` implements
+//! [`FrameSource`] on top of this layer, so real capture files drive
+//! the wire path end-to-end.
+//!
+//! [`Switch::run`]: crate::switch::Switch::run
+//! [`ShardedSwitch::run`]: crate::shard::ShardedSwitch::run
+
+use domino_ir::Packet;
+use std::fmt;
+
+/// An ingestion failure: the source could not produce its next item.
+///
+/// Distinct from [`SwitchError`](crate::error::SwitchError) — a source
+/// error happens *upstream* of the switch, and the run machinery
+/// converts it into a fault report with exact packet accounting rather
+/// than propagating it raw.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceError {
+    msg: String,
+}
+
+impl SourceError {
+    /// A source error carrying a human-readable cause.
+    pub fn new(msg: impl Into<String>) -> SourceError {
+        SourceError { msg: msg.into() }
+    }
+
+    /// The failure description.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Statistics of one streamed run: what was pulled and what was
+/// delivered. Drop counters live on the switch itself
+/// ([`Switch::drop_counters`](crate::switch::Switch::drop_counters)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Packets (or frames) successfully pulled from the source.
+    pub offered: u64,
+    /// Packets (or frames) delivered to the caller's sink.
+    pub transmitted: u64,
+}
+
+/// A pull-based source of packets — the streaming replacement for
+/// `&[Packet]` traces.
+///
+/// The contract mirrors a fused iterator, with errors: `next_packet`
+/// yields `Ok(Some(..))` per packet in arrival order, `Ok(None)` once at
+/// end of stream (the run machinery never calls it again afterwards),
+/// and `Err` if ingestion fails mid-stream. Sources are pulled one
+/// packet per simulated arrival cycle, so a source *is* the arrival
+/// process.
+pub trait PacketSource {
+    /// Pulls the next packet, `Ok(None)` at end of stream.
+    fn next_packet(&mut self) -> Result<Option<Packet>, SourceError>;
+
+    /// `(lower, upper)` bounds on the packets remaining, iterator-style.
+    /// Used only for pre-allocation; `(0, None)` is always correct.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
+}
+
+/// A pull-based source of raw byte frames — the wire-path twin of
+/// [`PacketSource`], feeding `parse → pipeline → deparse` runs.
+///
+/// `next_frame` returns a borrow of the source's internal buffer, so a
+/// file reader (the pcap replay in `bench::pcap`) re-uses one buffer for
+/// the whole run instead of allocating per frame.
+pub trait FrameSource {
+    /// Pulls the next frame, `Ok(None)` at end of stream. The returned
+    /// slice is valid until the next call.
+    fn next_frame(&mut self) -> Result<Option<&[u8]>, SourceError>;
+
+    /// `(lower, upper)` bounds on the frames remaining.
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, None)
+    }
+}
+
+/// A source that can restart from its first item — the multi-rep bench
+/// hook: criterion-style harnesses replay the identical stream each
+/// repetition without re-materializing it.
+///
+/// Implementations must reproduce the same item sequence after a
+/// rewind; for [`GenSource`] that means the generator closure must be a
+/// pure function of the index it is handed.
+pub trait Rewind {
+    /// Restarts the source from its first item.
+    fn rewind(&mut self);
+}
+
+/// A [`PacketSource`] over a borrowed slice: rewindable, exact size
+/// hint, clones one packet per pull (exactly what the slice-based entry
+/// points always did).
+#[derive(Debug, Clone)]
+pub struct SliceSource<'a> {
+    items: &'a [Packet],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a slice.
+    pub fn new(items: &'a [Packet]) -> SliceSource<'a> {
+        SliceSource { items, pos: 0 }
+    }
+}
+
+impl PacketSource for SliceSource<'_> {
+    fn next_packet(&mut self) -> Result<Option<Packet>, SourceError> {
+        match self.items.get(self.pos) {
+            Some(p) => {
+                self.pos += 1;
+                Ok(Some(p.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.items.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl Rewind for SliceSource<'_> {
+    fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// A [`PacketSource`] generating packets from a closure of the arrival
+/// index — O(1) memory however long the run: the 10M-packet streaming
+/// workload (EXPERIMENTS.md E14) is a `GenSource`.
+///
+/// The closure returns `None` to end the stream (or never, for an
+/// unbounded source the run bounds by other means). [`Rewind`] resets
+/// the index to 0; the replayed stream is identical iff the closure is
+/// a pure function of the index.
+#[derive(Debug, Clone)]
+pub struct GenSource<F> {
+    f: F,
+    next: u64,
+    len: Option<u64>,
+}
+
+impl<F: FnMut(u64) -> Option<Packet>> GenSource<F> {
+    /// A generator with no length hint (ends when `f` returns `None`).
+    pub fn new(f: F) -> GenSource<F> {
+        GenSource {
+            f,
+            next: 0,
+            len: None,
+        }
+    }
+
+    /// A generator that ends after `len` packets (whichever of the cap
+    /// and the closure's own `None` comes first), with an exact hint.
+    pub fn with_len(len: u64, f: F) -> GenSource<F> {
+        GenSource {
+            f,
+            next: 0,
+            len: Some(len),
+        }
+    }
+}
+
+impl<F: FnMut(u64) -> Option<Packet>> PacketSource for GenSource<F> {
+    fn next_packet(&mut self) -> Result<Option<Packet>, SourceError> {
+        if self.len.is_some_and(|n| self.next >= n) {
+            return Ok(None);
+        }
+        match (self.f)(self.next) {
+            Some(p) => {
+                self.next += 1;
+                Ok(Some(p))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.len {
+            Some(n) => {
+                let left = n.saturating_sub(self.next) as usize;
+                (left, Some(left))
+            }
+            None => (0, None),
+        }
+    }
+}
+
+impl<F> Rewind for GenSource<F> {
+    fn rewind(&mut self) {
+        self.next = 0;
+    }
+}
+
+/// A [`FrameSource`] over a borrowed slice of frames.
+#[derive(Debug, Clone)]
+pub struct FrameSliceSource<'a, F: AsRef<[u8]>> {
+    items: &'a [F],
+    pos: usize,
+}
+
+impl<'a, F: AsRef<[u8]>> FrameSliceSource<'a, F> {
+    /// Wraps a slice of frames.
+    pub fn new(items: &'a [F]) -> FrameSliceSource<'a, F> {
+        FrameSliceSource { items, pos: 0 }
+    }
+}
+
+impl<F: AsRef<[u8]>> FrameSource for FrameSliceSource<'_, F> {
+    fn next_frame(&mut self) -> Result<Option<&[u8]>, SourceError> {
+        match self.items.get(self.pos) {
+            Some(f) => {
+                self.pos += 1;
+                Ok(Some(f.as_ref()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.items.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl<F: AsRef<[u8]>> Rewind for FrameSliceSource<'_, F> {
+    fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// A [`FrameSource`] generating frames from a closure of the arrival
+/// index, buffer-reusing like a capture reader.
+#[derive(Debug, Clone)]
+pub struct FrameGenSource<F> {
+    f: F,
+    next: u64,
+    buf: Vec<u8>,
+}
+
+impl<F: FnMut(u64) -> Option<Vec<u8>>> FrameGenSource<F> {
+    /// A frame generator (ends when `f` returns `None`).
+    pub fn new(f: F) -> FrameGenSource<F> {
+        FrameGenSource {
+            f,
+            next: 0,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl<F: FnMut(u64) -> Option<Vec<u8>>> FrameSource for FrameGenSource<F> {
+    fn next_frame(&mut self) -> Result<Option<&[u8]>, SourceError> {
+        match (self.f)(self.next) {
+            Some(frame) => {
+                self.next += 1;
+                self.buf = frame;
+                Ok(Some(&self.buf))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl<F> Rewind for FrameGenSource<F> {
+    fn rewind(&mut self) {
+        self.next = 0;
+    }
+}
+
+/// A fault-injection wrapper: yields the inner source's first `fail_at`
+/// items, then fails with a [`SourceError`] — the chaos suite's model of
+/// an ingestion path that dies mid-stream (torn capture file, dead NIC
+/// ring).
+///
+/// Wraps packet and frame sources alike.
+#[derive(Debug, Clone)]
+pub struct FailAfter<S> {
+    inner: S,
+    yielded: u64,
+    fail_at: u64,
+    msg: String,
+}
+
+impl<S> FailAfter<S> {
+    /// Fails after `fail_at` successful pulls, with `msg` as the cause.
+    pub fn new(inner: S, fail_at: u64, msg: impl Into<String>) -> FailAfter<S> {
+        FailAfter {
+            inner,
+            yielded: 0,
+            fail_at,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl<S: PacketSource> PacketSource for FailAfter<S> {
+    fn next_packet(&mut self) -> Result<Option<Packet>, SourceError> {
+        if self.yielded >= self.fail_at {
+            return Err(SourceError::new(self.msg.clone()));
+        }
+        let item = self.inner.next_packet()?;
+        if item.is_some() {
+            self.yielded += 1;
+        }
+        Ok(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<S: FrameSource> FrameSource for FailAfter<S> {
+    fn next_frame(&mut self) -> Result<Option<&[u8]>, SourceError> {
+        if self.yielded >= self.fail_at {
+            return Err(SourceError::new(self.msg.clone()));
+        }
+        let item = self.inner.next_frame()?;
+        if item.is_some() {
+            self.yielded += 1;
+        }
+        Ok(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Conversion into a [`PacketSource`] — what the run builders accept.
+///
+/// Implemented by every source (identity) and by `&[Packet]` /
+/// `&Vec<Packet>` (wrapped in a [`SliceSource`]), so
+/// `switch.run(&trace)` keeps working on materialized traces.
+pub trait IntoPacketSource {
+    /// The source this converts into.
+    type Source: PacketSource;
+
+    /// Performs the conversion.
+    fn into_packet_source(self) -> Self::Source;
+}
+
+impl<S: PacketSource> IntoPacketSource for S {
+    type Source = S;
+
+    fn into_packet_source(self) -> S {
+        self
+    }
+}
+
+impl<'a> IntoPacketSource for &'a [Packet] {
+    type Source = SliceSource<'a>;
+
+    fn into_packet_source(self) -> SliceSource<'a> {
+        SliceSource::new(self)
+    }
+}
+
+impl<'a> IntoPacketSource for &'a Vec<Packet> {
+    type Source = SliceSource<'a>;
+
+    fn into_packet_source(self) -> SliceSource<'a> {
+        SliceSource::new(self)
+    }
+}
+
+/// Conversion into a [`FrameSource`] — the byte-level twin of
+/// [`IntoPacketSource`].
+pub trait IntoFrameSource {
+    /// The source this converts into.
+    type Source: FrameSource;
+
+    /// Performs the conversion.
+    fn into_frame_source(self) -> Self::Source;
+}
+
+impl<S: FrameSource> IntoFrameSource for S {
+    type Source = S;
+
+    fn into_frame_source(self) -> S {
+        self
+    }
+}
+
+impl<'a, F: AsRef<[u8]>> IntoFrameSource for &'a [F] {
+    type Source = FrameSliceSource<'a, F>;
+
+    fn into_frame_source(self) -> FrameSliceSource<'a, F> {
+        FrameSliceSource::new(self)
+    }
+}
+
+impl<'a, F: AsRef<[u8]>> IntoFrameSource for &'a Vec<F> {
+    type Source = FrameSliceSource<'a, F>;
+
+    fn into_frame_source(self) -> FrameSliceSource<'a, F> {
+        FrameSliceSource::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_source_yields_in_order_with_exact_hint() {
+        let trace: Vec<Packet> = (0..5).map(|i| Packet::new().with("seq", i)).collect();
+        let mut src = SliceSource::new(&trace);
+        assert_eq!(src.size_hint(), (5, Some(5)));
+        let mut got = Vec::new();
+        while let Some(p) = src.next_packet().unwrap() {
+            got.push(p);
+        }
+        assert_eq!(got, trace);
+        assert_eq!(src.size_hint(), (0, Some(0)));
+        // Fused: keeps returning None.
+        assert_eq!(src.next_packet().unwrap(), None);
+        src.rewind();
+        assert_eq!(src.next_packet().unwrap().unwrap().get("seq"), Some(0));
+    }
+
+    #[test]
+    fn gen_source_bounded_and_rewindable() {
+        let mut src = GenSource::with_len(3, |i| Some(Packet::new().with("i", i as i32)));
+        assert_eq!(src.size_hint(), (3, Some(3)));
+        let mut n = 0;
+        while src.next_packet().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+        src.rewind();
+        assert_eq!(src.next_packet().unwrap().unwrap().get("i"), Some(0));
+    }
+
+    #[test]
+    fn fail_after_errors_midstream() {
+        let trace: Vec<Packet> = (0..10).map(|i| Packet::new().with("seq", i)).collect();
+        let mut src = FailAfter::new(SliceSource::new(&trace), 4, "ring died");
+        for _ in 0..4 {
+            assert!(src.next_packet().unwrap().is_some());
+        }
+        let err = src.next_packet().unwrap_err();
+        assert_eq!(err.message(), "ring died");
+        assert!(err.to_string().contains("ring died"));
+    }
+
+    #[test]
+    fn frame_sources_yield_borrowed_frames() {
+        let frames: Vec<Vec<u8>> = vec![vec![1, 2], vec![3]];
+        let mut src = FrameSliceSource::new(&frames);
+        assert_eq!(src.next_frame().unwrap(), Some(&[1u8, 2][..]));
+        assert_eq!(src.next_frame().unwrap(), Some(&[3u8][..]));
+        assert_eq!(src.next_frame().unwrap(), None);
+
+        let mut gen = FrameGenSource::new(|i| if i < 2 { Some(vec![i as u8; 3]) } else { None });
+        assert_eq!(gen.next_frame().unwrap(), Some(&[0u8, 0, 0][..]));
+        assert_eq!(gen.next_frame().unwrap(), Some(&[1u8, 1, 1][..]));
+        assert_eq!(gen.next_frame().unwrap(), None);
+    }
+}

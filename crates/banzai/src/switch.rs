@@ -15,10 +15,13 @@
 //! [`SlotMachine`] fast path — the two are observably identical, which the
 //! differential throughput harness asserts.
 
-use crate::error::SwitchError;
+use crate::error::{Accounting, FaultReport, ShardSalvage, SourceFault, SwitchError};
 use crate::machine::{AtomPipeline, Machine};
 use crate::pifo::{SchedKey, SchedQueue, SchedSpec, Scheduler};
 use crate::slot::SlotMachine;
+use crate::stream::{
+    FrameSource, IntoFrameSource, IntoPacketSource, PacketSource, RunStats, SourceError,
+};
 use crate::wire::{self, ParseVerdict, WireConfig, WireLayout};
 use domino_ir::{Packet, StateStore};
 use std::collections::VecDeque;
@@ -228,6 +231,16 @@ impl DropCounters {
         }
     }
 
+    /// The per-reason difference since an earlier snapshot — what one
+    /// run contributed to cumulative counters.
+    pub(crate) fn since(&self, earlier: &DropCounters) -> DropCounters {
+        let mut diff = DropCounters::new();
+        for (i, (now, then)) in self.counts.iter().zip(&earlier.counts).enumerate() {
+            diff.counts[i] = now - then;
+        }
+        diff
+    }
+
     /// Iterates `(reason, count)` in dense-index order.
     pub fn iter(&self) -> impl Iterator<Item = (DropReason, u64)> + '_ {
         DropReason::all().map(|r| (r, self.counts[r.index()]))
@@ -261,11 +274,12 @@ pub const QUEUE_METADATA_FIELDS: [&str; 3] = ["enq_ts", "now", "qdepth"];
 ///
 /// # Panic freedom
 ///
-/// The run entry points ([`Switch::run_trace`], [`Switch::run_stamped`],
-/// [`Switch::run_wire_trace`]) never panic on any input trace: malformed
-/// frames become typed [`DropReason::Parse`] counters, overfull queues
-/// become [`DropReason::QueueFull`] counters, and unsupported
-/// configurations are rejected up front as typed [`SwitchError`]s. A
+/// The run entry points ([`Switch::run`], [`Switch::run_frames`], and
+/// the deprecated slice adapters over them) never panic on any input
+/// trace: malformed frames become typed [`DropReason::Parse`] counters,
+/// overfull queues become [`DropReason::QueueFull`] counters, and
+/// unsupported configurations are rejected up front as typed
+/// [`SwitchError`]s. A
 /// panic can only originate inside a custom [`PipelineEngine`] (e.g. a
 /// deliberately faulty one — see [`crate::fault`]); the sharded switch
 /// supervises even those (see [`crate::shard`]).
@@ -377,14 +391,21 @@ impl<E: PipelineEngine> Switch<E> {
     ///     .iter()
     ///     .map(|&r| Packet::new().with("start", r))
     ///     .collect();
-    /// let deps = sw.run_sched_trace(&trace);
+    /// let deps = sw.run(&trace).scheduled().collect().unwrap();
     /// let order: Vec<i64> = deps.iter().map(|d| d.key.rank).collect();
     /// assert_eq!(order, [10, 20, 30]);
     /// ```
     pub fn with_scheduler(mut self, spec: SchedSpec) -> Switch<E> {
+        self.set_scheduler(spec);
+        self
+    }
+
+    /// The in-place form of [`Switch::with_scheduler`] (the [`Run::sched`]
+    /// builder step uses it): replaces the queue's discipline, discarding
+    /// any queued packets.
+    pub fn set_scheduler(&mut self, spec: SchedSpec) {
         self.queue = spec.build_queue(self.capacity);
         self.sched = spec;
-        self
     }
 
     /// The scheduling policy the queue runs.
@@ -414,7 +435,7 @@ impl<E: PipelineEngine> Switch<E> {
     ///     2,
     /// )
     /// .with_drain_period(4);
-    /// let out = sw.run_trace(&vec![Packet::new(); 10]);
+    /// let out = sw.run(&vec![Packet::new(); 10]).collect().unwrap();
     /// assert!(sw.drops() > 0);
     /// // Conservation: every admitted packet is eventually transmitted.
     /// assert_eq!(out.len() as u64, sw.transmitted());
@@ -440,7 +461,8 @@ impl<E: PipelineEngine> Switch<E> {
     /// let cfg = WireConfig::new();
     /// let good = encode(&Packet::new(), &cfg, &FrameSpec::default());
     /// let runt = good[..9].to_vec(); // cut inside the Ethernet header
-    /// let out = sw.run_wire_trace(&[good, runt], &cfg);
+    /// let frames = vec![good, runt];
+    /// let out = sw.run_frames(&frames, &cfg).collect().unwrap();
     ///
     /// // One frame made it through; the runt was counted by reason.
     /// assert_eq!(out.len(), 1);
@@ -468,7 +490,7 @@ impl<E: PipelineEngine> Switch<E> {
     ///     AtomPipeline::passthrough("out"),
     ///     64,
     /// );
-    /// sw.run_trace(&vec![Packet::new(); 5]);
+    /// sw.run(&vec![Packet::new(); 5]).collect().unwrap();
     /// assert_eq!(sw.transmitted(), 5);
     /// assert_eq!(sw.drops(), 0);
     /// ```
@@ -488,8 +510,8 @@ impl<E: PipelineEngine> Switch<E> {
     ///     64,
     /// );
     /// assert_eq!(sw.queue_depth(), 0); // empty between full traces
-    /// sw.run_trace(&vec![Packet::new(); 8]);
-    /// assert_eq!(sw.queue_depth(), 0); // run_trace drains the queue
+    /// sw.run(&vec![Packet::new(); 8]).collect().unwrap();
+    /// assert_eq!(sw.queue_depth(), 0); // a full run drains the queue
     /// assert_eq!(sw.capacity(), 64);
     /// ```
     pub fn queue_depth(&self) -> usize {
@@ -544,7 +566,22 @@ impl<E: PipelineEngine> Switch<E> {
     /// Returns [`SwitchError::Unsupported`] if `drain_period != 1` (an
     /// oversubscribed egress link couples shards through the shared queue
     /// and cannot be partitioned). Never panics.
+    #[deprecated(
+        since = "0.2.0",
+        note = "stamped batches are an internal sharding detail; drive the switch \
+                through the unified `Switch::run` builder instead"
+    )]
     pub fn run_stamped<P: std::borrow::Borrow<Packet>>(
+        &mut self,
+        batch: &[(i64, P)],
+    ) -> Result<Vec<Packet>, SwitchError> {
+        self.run_stamped_batch(batch)
+    }
+
+    /// The stamped-batch core behind the sharded workers (see
+    /// [`Switch::run_stamped`] for the semantics and the line-rate
+    /// restriction).
+    pub(crate) fn run_stamped_batch<P: std::borrow::Borrow<Packet>>(
         &mut self,
         batch: &[(i64, P)],
     ) -> Result<Vec<Packet>, SwitchError> {
@@ -594,9 +631,38 @@ impl<E: PipelineEngine> Switch<E> {
     /// `enq_ts`/`qdepth` metadata (or the configured names) are stamped at
     /// enqueue, and `now` is refreshed at dequeue so egress programs can
     /// compute sojourn times.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified run builder: `switch.run(trace).collect()`"
+    )]
     pub fn run_trace(&mut self, trace: &[Packet]) -> Vec<Packet> {
-        let mut out = Vec::new();
-        let mut inputs = trace.iter();
+        self.run(trace)
+            .collect()
+            .expect("slice-backed sources cannot fail mid-stream")
+    }
+
+    /// The streaming line-rate core: pulls packets from `source` one per
+    /// cycle, drains through egress on the configured period, and hands
+    /// each transmitted packet to `emit` the cycle it departs — memory
+    /// stays O(queue capacity) regardless of trace length. Bit-identical
+    /// to the historical slice loop: admission order, drain gating, and
+    /// metadata stamps are unchanged; only where the next packet comes
+    /// from differs.
+    ///
+    /// On a mid-stream source error the switch stops admitting, drains
+    /// everything already queued (so the books close with
+    /// `lost_in_fault == 0`), and returns a [`FaultReport`] whose
+    /// `merged`/salvage output the caller fills in from its sink.
+    pub(crate) fn run_source_core<S: PacketSource>(
+        &mut self,
+        source: &mut S,
+        emit: &mut dyn FnMut(Packet),
+    ) -> Result<RunStats, Box<FaultReport>> {
+        let drops_before = self.drops.clone();
+        let mut offered: u64 = 0;
+        let mut transmitted: u64 = 0;
+        let mut ended = false;
+        let mut src_err: Option<SourceError> = None;
         loop {
             // Dequeue + egress on drain cycles: whatever packet the
             // configured discipline says departs next (arrival order on
@@ -610,29 +676,80 @@ impl<E: PipelineEngine> Switch<E> {
                         pkt.set(&self.enqueue_ts_field, enq_ts as i32);
                         pkt.set("now", self.now as i32);
                         pkt.set(&self.depth_field, self.queue.len() as i32);
-                        out.push(self.egress.process(pkt));
+                        emit(self.egress.process(pkt));
                         self.transmitted += 1;
+                        transmitted += 1;
                     }
                 }
             }
-            // Admit one packet per cycle.
-            match inputs.next() {
-                Some(p) => {
-                    let processed = self.ingress.process(p.clone());
-                    let key = self.sched.key_of(&processed);
-                    if self.queue.push(key, (self.now, processed)).is_err() {
-                        self.drops.bump(self.sched.full_drop_reason());
+            // Admit one packet per cycle, until the source ends (or
+            // fails — a failed source is never pulled again).
+            if !ended {
+                match source.next_packet() {
+                    Ok(Some(p)) => {
+                        offered += 1;
+                        let processed = self.ingress.process(p);
+                        let key = self.sched.key_of(&processed);
+                        if self.queue.push(key, (self.now, processed)).is_err() {
+                            self.drops.bump(self.sched.full_drop_reason());
+                        }
+                    }
+                    Ok(None) => ended = true,
+                    Err(e) => {
+                        ended = true;
+                        src_err = Some(e);
                     }
                 }
-                None => {
-                    if self.queue.is_empty() {
-                        break;
-                    }
-                }
+            }
+            if ended && self.queue.is_empty() {
+                break;
             }
             self.now += 1;
         }
-        out
+        match src_err {
+            None => Ok(RunStats {
+                offered,
+                transmitted,
+            }),
+            Some(error) => Err(self.source_fault_report(
+                offered,
+                transmitted,
+                self.drops.since(&drops_before),
+                error,
+            )),
+        }
+    }
+
+    /// Assembles the [`FaultReport`] for a run cut short by its source:
+    /// one salvage entry (this switch is "shard 0" of itself), closed
+    /// books, and the caller's collected output patched in afterwards.
+    fn source_fault_report(
+        &self,
+        offered: u64,
+        transmitted: u64,
+        drops: DropCounters,
+        error: SourceError,
+    ) -> Box<FaultReport> {
+        let dropped = drops.total();
+        Box::new(FaultReport {
+            failures: Vec::new(),
+            source: Some(SourceFault { at: offered, error }),
+            salvage: vec![ShardSalvage {
+                shard: 0,
+                failed: false,
+                offered,
+                output: Vec::new(),
+                drops,
+                state: Some((self.ingress.export_state(), self.egress.export_state())),
+            }],
+            merged: Vec::new(),
+            accounting: Accounting {
+                offered,
+                transmitted,
+                dropped,
+                lost_in_fault: offered.saturating_sub(transmitted + dropped),
+            },
+        })
     }
 
     /// Runs a **scheduling experiment**: the whole trace arrives as a
@@ -660,19 +777,53 @@ impl<E: PipelineEngine> Switch<E> {
     /// actual queueing delays. The arrival clock is run-local (restarts
     /// at 0 each call); engine state and the drop/transmit counters
     /// accumulate across calls as usual.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified run builder: `switch.run(trace).scheduled().collect()` \
+                (or `.sched(spec)` to set the discipline in the same chain)"
+    )]
     pub fn run_sched_trace(&mut self, trace: &[Packet]) -> Vec<SchedDeparture> {
+        self.run(trace)
+            .scheduled()
+            .collect()
+            .expect("slice-backed sources cannot fail mid-stream")
+    }
+
+    /// The scheduling-experiment core behind
+    /// [`SchedRun`](crate::switch::SchedRun): burst arrival from a
+    /// source, then a rank-ordered drain (see [`Switch::run_sched_trace`]
+    /// for the regime's semantics). A mid-stream source error ends the
+    /// arrival phase early; the drain still runs, so everything admitted
+    /// departs and the books close.
+    pub(crate) fn run_sched_source_core<S: PacketSource>(
+        &mut self,
+        source: &mut S,
+    ) -> Result<Vec<SchedDeparture>, Box<FaultReport>> {
+        let drops_before = self.drops.clone();
+        let mut src_err: Option<SourceError> = None;
         // Arrival phase: ingress + admission, one packet per cycle. No
         // pops happen here, so occupancy is monotone and admission is
-        // by-occupancy exactly as in `run_trace`.
-        for (i, p) in trace.iter().enumerate() {
-            let processed = self.ingress.process(p.clone());
-            let key = self.sched.key_of(&processed);
-            if self.queue.push(key, (i as i64, processed)).is_err() {
-                self.drops.bump(self.sched.full_drop_reason());
+        // by-occupancy exactly as in the line-rate core.
+        let mut arrivals: i64 = 0;
+        loop {
+            match source.next_packet() {
+                Ok(Some(p)) => {
+                    let processed = self.ingress.process(p);
+                    let key = self.sched.key_of(&processed);
+                    if self.queue.push(key, (arrivals, processed)).is_err() {
+                        self.drops.bump(self.sched.full_drop_reason());
+                    }
+                    arrivals += 1;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    src_err = Some(e);
+                    break;
+                }
             }
         }
         // Drain phase: one departure per cycle, rank-gated under shaping.
-        let mut next_free = trace.len() as i64;
+        let mut next_free = arrivals;
         let mut out = Vec::with_capacity(self.queue.len());
         while let Some(head) = self.queue.peek_key() {
             let departure = if self.sched.is_shaping() {
@@ -698,7 +849,20 @@ impl<E: PipelineEngine> Switch<E> {
             next_free = departure + 1;
         }
         self.now = next_free;
-        out
+        match src_err {
+            None => Ok(out),
+            Some(error) => {
+                let mut report = self.source_fault_report(
+                    arrivals as u64,
+                    out.len() as u64,
+                    self.drops.since(&drops_before),
+                    error,
+                );
+                report.merged = out.iter().map(|d| d.pkt.clone()).collect();
+                report.salvage[0].output = report.merged.clone();
+                Err(report)
+            }
+        }
     }
 
     /// Runs one packet through the ingress pipeline alone — the sharded
@@ -726,18 +890,44 @@ impl<E: PipelineEngine> Switch<E> {
     /// [`WireLayout`] through the queue, so egress re-serializes every
     /// pipeline-modified field back into its wire position and all
     /// unparsed bytes (options, payloads) survive verbatim.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the unified run builder: `switch.run_frames(frames, &cfg).collect()`"
+    )]
     pub fn run_wire_trace<F: AsRef<[u8]>>(
         &mut self,
         frames: &[F],
         cfg: &WireConfig,
     ) -> Vec<Vec<u8>> {
+        self.run_frames(frames, cfg)
+            .collect()
+            .expect("slice-backed sources cannot fail mid-stream")
+    }
+
+    /// The streaming byte-frame core behind
+    /// [`FrameRun`](crate::switch::FrameRun): pull a frame per cycle from
+    /// the source, parse → ingress → queue → egress → deparse, hand each
+    /// transmitted frame to `emit`. Malformed frames become
+    /// [`DropReason::Parse`] counters on their arrival cycle exactly as
+    /// in the slice path; a mid-stream source error (e.g. a capture file
+    /// torn mid-record) stops admission, drains the queue, and closes
+    /// the books in a [`FaultReport`].
+    pub(crate) fn run_wire_source_core<S: FrameSource>(
+        &mut self,
+        source: &mut S,
+        cfg: &WireConfig,
+        emit: &mut dyn FnMut(Vec<u8>),
+    ) -> Result<RunStats, Box<FaultReport>> {
         // Byte-born packets carry their wire layout alongside the FIFO
         // entry so egress can deparse; the queue is run-local (the shared
         // map-packet FIFO is always drained between runs) but shares
         // `capacity` and the drop/transmit accounting.
+        let drops_before = self.drops.clone();
         let mut queue: VecDeque<(i64, Packet, WireLayout)> = VecDeque::new();
-        let mut out = Vec::new();
-        let mut inputs = frames.iter();
+        let mut offered: u64 = 0;
+        let mut transmitted: u64 = 0;
+        let mut ended = false;
+        let mut src_err: Option<SourceError> = None;
         loop {
             if (self.now as u64).is_multiple_of(self.drain_period) {
                 if let Some((enq_ts, mut pkt, layout)) = queue.pop_front() {
@@ -745,13 +935,32 @@ impl<E: PipelineEngine> Switch<E> {
                     pkt.set("now", self.now as i32);
                     pkt.set(&self.depth_field, queue.len() as i32);
                     let egressed = self.egress.process(pkt);
-                    out.push(wire::deparse(&egressed, &layout));
+                    emit(wire::deparse(&egressed, &layout));
                     self.transmitted += 1;
+                    transmitted += 1;
                 }
             }
-            match inputs.next() {
-                Some(frame) => match wire::parse(frame.as_ref(), cfg) {
-                    Ok(wp) => {
+            if !ended {
+                // The borrowed frame is parsed to owned form before the
+                // match arm ends, so the source can be pulled again next
+                // cycle.
+                let parsed = match source.next_frame() {
+                    Ok(Some(frame)) => {
+                        offered += 1;
+                        Some(wire::parse(frame, cfg))
+                    }
+                    Ok(None) => {
+                        ended = true;
+                        None
+                    }
+                    Err(e) => {
+                        ended = true;
+                        src_err = Some(e);
+                        None
+                    }
+                };
+                match parsed {
+                    Some(Ok(wp)) => {
                         let processed = self.ingress.process(wp.pkt);
                         if queue.len() >= self.capacity {
                             self.drops.bump(DropReason::QueueFull);
@@ -759,17 +968,220 @@ impl<E: PipelineEngine> Switch<E> {
                             queue.push_back((self.now, processed, wp.layout));
                         }
                     }
-                    Err(verdict) => self.drops.bump(DropReason::Parse(verdict)),
-                },
-                None => {
-                    if queue.is_empty() {
-                        break;
-                    }
+                    Some(Err(verdict)) => self.drops.bump(DropReason::Parse(verdict)),
+                    None => {}
                 }
+            }
+            if ended && queue.is_empty() {
+                break;
             }
             self.now += 1;
         }
-        out
+        match src_err {
+            None => Ok(RunStats {
+                offered,
+                transmitted,
+            }),
+            Some(error) => Err(self.source_fault_report(
+                offered,
+                transmitted,
+                self.drops.since(&drops_before),
+                error,
+            )),
+        }
+    }
+
+    /// Opens a streaming run session: anything convertible to a
+    /// [`PacketSource`] (a `&[Packet]` slice, a `&Vec<Packet>`, a
+    /// generator, a pcap-backed source) drives the switch through the
+    /// returned [`Run`] builder. This is the single entry point the old
+    /// `run_trace`/`run_sched_trace` family collapsed into.
+    ///
+    /// ```
+    /// use banzai::stream::GenSource;
+    /// use banzai::{AtomPipeline, Switch};
+    /// use domino_ir::Packet;
+    ///
+    /// let mut sw = Switch::new(
+    ///     AtomPipeline::passthrough("in"),
+    ///     AtomPipeline::passthrough("out"),
+    ///     64,
+    /// );
+    /// // Slices are sources…
+    /// let out = sw.run(&vec![Packet::new(); 3]).collect().unwrap();
+    /// assert_eq!(out.len(), 3);
+    /// // …and so is a bounded generator that never materializes the
+    /// // trace: outputs stream to the sink, memory stays O(queue).
+    /// let stats = sw
+    ///     .run(GenSource::with_len(1000, |i| {
+    ///         Some(Packet::new().with("seq", i as i32))
+    ///     }))
+    ///     .for_each(|_pkt| {})
+    ///     .unwrap();
+    /// assert_eq!(stats.offered, 1000);
+    /// assert_eq!(stats.transmitted, 1000);
+    /// ```
+    pub fn run<S: IntoPacketSource>(&mut self, source: S) -> Run<'_, E, S::Source> {
+        Run {
+            switch: self,
+            source: source.into_packet_source(),
+        }
+    }
+
+    /// Opens a streaming **byte-frame** run session: anything convertible
+    /// to a [`FrameSource`] (a slice of frames, a pcap reader) drives the
+    /// parse → pipeline → deparse path through the returned [`FrameRun`]
+    /// builder.
+    pub fn run_frames<'c, S: IntoFrameSource>(
+        &mut self,
+        source: S,
+        cfg: &'c WireConfig,
+    ) -> FrameRun<'_, 'c, E, S::Source> {
+        FrameRun {
+            switch: self,
+            source: source.into_frame_source(),
+            cfg,
+        }
+    }
+}
+
+/// A configured line-rate run session on a serial [`Switch`] — the
+/// builder [`Switch::run`] returns. Terminal methods consume it:
+/// [`Run::collect`] materializes the transmitted packets,
+/// [`Run::for_each`] streams them to a sink (O(queue) memory), and
+/// [`Run::sched`]/[`Run::scheduled`] switch to the burst-then-drain
+/// scheduling regime first.
+#[must_use = "a run session does nothing until a terminal method (`collect`, `for_each`) runs it"]
+pub struct Run<'s, E: PipelineEngine, S: PacketSource> {
+    switch: &'s mut Switch<E>,
+    source: S,
+}
+
+impl<'s, E: PipelineEngine, S: PacketSource> Run<'s, E, S> {
+    /// Installs `spec` as the queue's discipline (discarding anything
+    /// queued, like [`Switch::with_scheduler`]) and switches this session
+    /// to the scheduling regime — burst arrival, then a rank-ordered
+    /// drain that makes the discipline observable.
+    pub fn sched(self, spec: SchedSpec) -> SchedRun<'s, E, S> {
+        self.switch.set_scheduler(spec);
+        SchedRun {
+            switch: self.switch,
+            source: self.source,
+        }
+    }
+
+    /// Switches this session to the scheduling regime under the queue's
+    /// **already-configured** discipline (see [`Switch::with_scheduler`]).
+    pub fn scheduled(self) -> SchedRun<'s, E, S> {
+        SchedRun {
+            switch: self.switch,
+            source: self.source,
+        }
+    }
+
+    /// Runs the session and collects every transmitted packet, in order —
+    /// bit-identical to streaming them through [`Run::for_each`].
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::Fault`] if the source fails mid-stream; the report
+    /// carries everything transmitted before (and drained after) the
+    /// failure, with closed books.
+    pub fn collect(mut self) -> Result<Vec<Packet>, SwitchError> {
+        let (lo, hi) = self.source.size_hint();
+        let mut out = Vec::with_capacity(hi.unwrap_or(lo).min(1 << 20));
+        match self
+            .switch
+            .run_source_core(&mut self.source, &mut |p| out.push(p))
+        {
+            Ok(_) => Ok(out),
+            Err(mut report) => {
+                report.merged.clone_from(&out);
+                report.salvage[0].output = out;
+                Err(SwitchError::Fault(report))
+            }
+        }
+    }
+
+    /// Runs the session, streaming each transmitted packet to `sink` the
+    /// cycle it departs — the bounded-memory terminal for arbitrarily
+    /// long sources. Returns offered/transmitted totals for this run.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::Fault`] if the source fails mid-stream (packets
+    /// already handed to `sink` are not replayed in the report's salvage;
+    /// the sink saw them the moment they departed).
+    pub fn for_each<F: FnMut(Packet)>(mut self, mut sink: F) -> Result<RunStats, SwitchError> {
+        self.switch
+            .run_source_core(&mut self.source, &mut sink)
+            .map_err(SwitchError::Fault)
+    }
+}
+
+/// A run session in the scheduling regime (see
+/// [`Switch::run_sched_trace`]'s historical docs for the burst-then-drain
+/// semantics) — built by [`Run::sched`] or [`Run::scheduled`].
+#[must_use = "a run session does nothing until `collect` runs it"]
+pub struct SchedRun<'s, E: PipelineEngine, S: PacketSource> {
+    switch: &'s mut Switch<E>,
+    source: S,
+}
+
+impl<E: PipelineEngine, S: PacketSource> SchedRun<'_, E, S> {
+    /// Runs the burst + drain and returns one [`SchedDeparture`] per
+    /// transmitted packet, in departure order.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::Fault`] if the source fails mid-burst; everything
+    /// admitted still drains and is reported, with closed books.
+    pub fn collect(mut self) -> Result<Vec<SchedDeparture>, SwitchError> {
+        self.switch
+            .run_sched_source_core(&mut self.source)
+            .map_err(SwitchError::Fault)
+    }
+}
+
+/// A streaming byte-frame run session (parse → pipeline → deparse) — the
+/// builder [`Switch::run_frames`] returns.
+#[must_use = "a run session does nothing until a terminal method (`collect`, `for_each`) runs it"]
+pub struct FrameRun<'s, 'c, E: PipelineEngine, S: FrameSource> {
+    switch: &'s mut Switch<E>,
+    source: S,
+    cfg: &'c WireConfig,
+}
+
+impl<E: PipelineEngine, S: FrameSource> FrameRun<'_, '_, E, S> {
+    /// Runs the session and collects every transmitted frame, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::Fault`] if the source fails mid-stream (a torn
+    /// capture file); frames transmitted before the failure are in the
+    /// report's accounting, and malformed-but-complete frames are *not*
+    /// errors — they are [`DropReason::Parse`] drops as always.
+    pub fn collect(mut self) -> Result<Vec<Vec<u8>>, SwitchError> {
+        let mut out = Vec::new();
+        match self
+            .switch
+            .run_wire_source_core(&mut self.source, self.cfg, &mut |f| out.push(f))
+        {
+            Ok(_) => Ok(out),
+            Err(report) => Err(SwitchError::Fault(report)),
+        }
+    }
+
+    /// Runs the session, streaming each transmitted frame to `sink` —
+    /// the bounded-memory terminal. Returns offered/transmitted totals.
+    ///
+    /// # Errors
+    ///
+    /// [`SwitchError::Fault`] if the source fails mid-stream.
+    pub fn for_each<F: FnMut(Vec<u8>)>(mut self, mut sink: F) -> Result<RunStats, SwitchError> {
+        self.switch
+            .run_wire_source_core(&mut self.source, self.cfg, &mut sink)
+            .map_err(SwitchError::Fault)
     }
 }
 
@@ -788,7 +1200,7 @@ mod tests {
     fn queue_preserves_order_and_count() {
         let mut sw = Switch::new(passthrough("in"), passthrough("out"), 64);
         let trace: Vec<Packet> = (0..40).map(|i| Packet::new().with("seq", i)).collect();
-        let out = sw.run_trace(&trace);
+        let out = sw.run(&trace).collect().unwrap();
         assert_eq!(out.len(), 40);
         for (i, p) in out.iter().enumerate() {
             assert_eq!(p.get("seq"), Some(i as i32));
@@ -802,7 +1214,7 @@ mod tests {
         // Drain every 2 cycles with capacity 8: arrivals outpace the link.
         let mut sw = Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
         let trace: Vec<Packet> = (0..100).map(|i| Packet::new().with("seq", i)).collect();
-        let out = sw.run_trace(&trace);
+        let out = sw.run(&trace).collect().unwrap();
         assert!(sw.drops() > 0, "expected drops, got none");
         assert_eq!(out.len() as u64 + sw.drops(), 100);
         assert_eq!(sw.transmitted(), out.len() as u64);
@@ -812,7 +1224,7 @@ mod tests {
     fn egress_sees_sojourn_metadata() {
         let mut sw = Switch::new(passthrough("in"), passthrough("out"), 64).with_drain_period(3);
         let trace: Vec<Packet> = (0..30).map(|i| Packet::new().with("seq", i)).collect();
-        let out = sw.run_trace(&trace);
+        let out = sw.run(&trace).collect().unwrap();
         // Sojourn = now - enq_ts grows as the queue builds.
         let sojourns: Vec<i32> = out
             .iter()
@@ -826,14 +1238,14 @@ mod tests {
     fn stamped_run_equals_serial_run_at_line_rate() {
         let trace: Vec<Packet> = (0..20).map(|i| Packet::new().with("seq", i)).collect();
         let mut serial = Switch::new(passthrough("in"), passthrough("out"), 8);
-        let serial_out = serial.run_trace(&trace);
+        let serial_out = serial.run(&trace).collect().unwrap();
         let mut stamped = Switch::new(passthrough("in"), passthrough("out"), 8);
         let batch: Vec<(i64, Packet)> = trace
             .iter()
             .enumerate()
             .map(|(i, p)| (i as i64, p.clone()))
             .collect();
-        let stamped_out = stamped.run_stamped(&batch).unwrap();
+        let stamped_out = stamped.run_stamped_batch(&batch).unwrap();
         assert_eq!(serial_out, stamped_out);
         assert_eq!(serial.transmitted(), stamped.transmitted());
         assert_eq!(serial.drops(), stamped.drops());
@@ -846,7 +1258,7 @@ mod tests {
         // the global stamps carry the shared clock.
         let trace: Vec<Packet> = (0..30).map(|i| Packet::new().with("seq", i)).collect();
         let mut serial = Switch::new(passthrough("in"), passthrough("out"), 8);
-        let serial_out = serial.run_trace(&trace);
+        let serial_out = serial.run(&trace).collect().unwrap();
         for parity in 0..2usize {
             let mut shard = Switch::new(passthrough("in"), passthrough("out"), 8);
             let batch: Vec<(i64, Packet)> = trace
@@ -855,7 +1267,7 @@ mod tests {
                 .filter(|(i, _)| i % 2 == parity)
                 .map(|(i, p)| (i as i64, p.clone()))
                 .collect();
-            let out = shard.run_stamped(&batch).unwrap();
+            let out = shard.run_stamped_batch(&batch).unwrap();
             let expected: Vec<Packet> = serial_out
                 .iter()
                 .enumerate()
@@ -869,7 +1281,7 @@ mod tests {
     #[test]
     fn stamped_rejects_oversubscribed_links() {
         let mut sw = Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
-        let err = sw.run_stamped::<Packet>(&[]).unwrap_err();
+        let err = sw.run_stamped_batch::<Packet>(&[]).unwrap_err();
         assert!(
             matches!(&err, SwitchError::Unsupported(msg) if msg.contains("line-rate egress link")),
             "{err}"
@@ -902,7 +1314,7 @@ mod tests {
             })
             .collect();
         let mut sw = Switch::new(passthrough("in"), passthrough("out"), 64);
-        let out = sw.run_wire_trace(&frames, &cfg);
+        let out = sw.run_frames(&frames, &cfg).collect().unwrap();
         assert_eq!(out.len(), 10);
         assert_eq!(sw.transmitted(), 10);
         assert_eq!(sw.drops(), 0);
@@ -929,7 +1341,7 @@ mod tests {
         frames.push(good[..20].to_vec()); // cut inside IPv4
                                           // Capacity 2, slow link: some good frames tail-drop too.
         let mut sw = Switch::new(passthrough("in"), passthrough("out"), 2).with_drain_period(4);
-        let out = sw.run_wire_trace(&frames, &cfg);
+        let out = sw.run_frames(&frames, &cfg).collect().unwrap();
         let c = sw.drop_counters();
         assert_eq!(c.get(DropReason::Parse(ParseVerdict::TruncatedEthernet)), 1);
         assert_eq!(c.get(DropReason::Parse(ParseVerdict::TruncatedIpv4)), 1);
@@ -971,7 +1383,7 @@ mod tests {
     fn sched_trace_under_fifo_departs_in_arrival_order() {
         let mut sw = Switch::new(passthrough("in"), passthrough("out"), 64);
         let trace: Vec<Packet> = (0..10).map(|i| Packet::new().with("seq", 9 - i)).collect();
-        let deps = sw.run_sched_trace(&trace);
+        let deps = sw.run(&trace).scheduled().collect().unwrap();
         assert_eq!(deps.len(), 10);
         for (i, d) in deps.iter().enumerate() {
             assert_eq!(d.arrival, i as i64, "FIFO keeps arrival order");
@@ -992,7 +1404,7 @@ mod tests {
         // 6 packets into capacity 4: the last two drop as SchedFull.
         let ranks = [40, 10, 30, 20, 99, 98];
         let trace: Vec<Packet> = ranks.iter().map(|&r| Packet::new().with("r", r)).collect();
-        let deps = sw.run_sched_trace(&trace);
+        let deps = sw.run(&trace).scheduled().collect().unwrap();
         let got: Vec<i64> = deps.iter().map(|d| d.key.rank).collect();
         assert_eq!(got, [10, 20, 30, 40]);
         assert_eq!(sw.drop_counters().sched_full(), 2);
@@ -1011,7 +1423,7 @@ mod tests {
             .iter()
             .map(|&t| Packet::new().with("edt", t))
             .collect();
-        let deps = sw.run_sched_trace(&trace);
+        let deps = sw.run(&trace).scheduled().collect().unwrap();
         let times: Vec<i64> = deps.iter().map(|d| d.departure).collect();
         assert_eq!(times, [10, 20, 40], "the link idles until each EDT");
     }
@@ -1026,8 +1438,128 @@ mod tests {
         };
         let trace: Vec<Packet> = (0..100).map(|i| Packet::new().with("seq", i)).collect();
         let (mut a, mut b) = (mk_map(), mk_slot());
-        assert_eq!(a.run_trace(&trace), b.run_trace(&trace));
+        assert_eq!(
+            a.run(&trace).collect().unwrap(),
+            b.run(&trace).collect().unwrap()
+        );
         assert_eq!(a.drops(), b.drops());
         assert_eq!(a.transmitted(), b.transmitted());
+    }
+
+    #[test]
+    fn for_each_streams_bit_identical_to_collect() {
+        let trace: Vec<Packet> = (0..50).map(|i| Packet::new().with("seq", i)).collect();
+        let mut collected =
+            Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
+        let out = collected.run(&trace).collect().unwrap();
+        let mut streamed =
+            Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
+        let mut sunk = Vec::new();
+        let stats = streamed.run(&trace).for_each(|p| sunk.push(p)).unwrap();
+        assert_eq!(out, sunk);
+        assert_eq!(stats.offered, 50);
+        assert_eq!(stats.transmitted, out.len() as u64);
+        assert_eq!(collected.drops(), streamed.drops());
+        assert_eq!(collected.transmitted(), streamed.transmitted());
+    }
+
+    #[test]
+    fn generated_source_matches_materialized_slice() {
+        use crate::stream::GenSource;
+
+        let mk = |i: u64| Packet::new().with("seq", i as i32);
+        let trace: Vec<Packet> = (0..200).map(mk).collect();
+        let mut a = Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(3);
+        let mut b = Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(3);
+        let from_slice = a.run(&trace).collect().unwrap();
+        let from_gen = b
+            .run(GenSource::with_len(200, |i| Some(mk(i))))
+            .collect()
+            .unwrap();
+        assert_eq!(from_slice, from_gen);
+        assert_eq!(a.drops(), b.drops());
+    }
+
+    #[test]
+    fn source_error_mid_stream_closes_the_books() {
+        use crate::stream::{FailAfter, GenSource};
+
+        let mut sw = Switch::new(passthrough("in"), passthrough("out"), 4).with_drain_period(3);
+        let source = FailAfter::new(
+            GenSource::new(|i| Some(Packet::new().with("seq", i as i32))),
+            25,
+            "disk torn mid-record",
+        );
+        let err = sw.run(source).collect().unwrap_err();
+        let report = err.fault().expect("source failures are faults");
+        let src = report.source.as_ref().expect("a SourceFault is attached");
+        assert_eq!(src.at, 25);
+        assert!(src.error.to_string().contains("disk torn"), "{src}");
+        assert!(report.failures.is_empty(), "no worker faulted");
+        // Everything pulled before the failure was processed and drained:
+        // the books close with nothing lost to the fault.
+        let acc = report.accounting;
+        assert!(acc.conserved(), "{acc}");
+        assert_eq!(acc.offered, 25);
+        assert_eq!(acc.lost_in_fault, 0);
+        assert_eq!(report.merged.len() as u64, acc.transmitted);
+        assert_eq!(acc.transmitted + acc.dropped, 25);
+        assert!(acc.dropped > 0, "capacity 4 at drain 3 must tail-drop");
+        assert!(err.to_string().contains("source failed after 25"), "{err}");
+    }
+
+    #[test]
+    fn sched_run_source_error_still_drains_admitted_burst() {
+        use crate::pifo::SchedSpec;
+        use crate::stream::{FailAfter, GenSource};
+
+        let mut sw = Switch::new(passthrough("in"), passthrough("out"), 64);
+        let source = FailAfter::new(
+            GenSource::new(|i| Some(Packet::new().with("r", 100 - i as i32))),
+            10,
+            "burst cut short",
+        );
+        let err = sw
+            .run(source)
+            .sched(SchedSpec::Pifo { rank: "r".into() })
+            .collect()
+            .unwrap_err();
+        let report = err.fault().unwrap();
+        assert_eq!(report.accounting.offered, 10);
+        assert_eq!(report.accounting.transmitted, 10, "admitted burst drains");
+        assert!(report.accounting.conserved());
+        assert_eq!(report.merged.len(), 10);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_adapters_match_the_builder() {
+        use crate::pifo::SchedSpec;
+        use crate::wire::{encode, FrameSpec, WireConfig};
+
+        let trace: Vec<Packet> = (0..30).map(|i| Packet::new().with("seq", i)).collect();
+        let mut old = Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
+        let mut new = Switch::new(passthrough("in"), passthrough("out"), 8).with_drain_period(2);
+        assert_eq!(old.run_trace(&trace), new.run(&trace).collect().unwrap());
+
+        let mut old = Switch::new(passthrough("in"), passthrough("out"), 8)
+            .with_scheduler(SchedSpec::Pifo { rank: "seq".into() });
+        let mut new = Switch::new(passthrough("in"), passthrough("out"), 8)
+            .with_scheduler(SchedSpec::Pifo { rank: "seq".into() });
+        assert_eq!(
+            old.run_sched_trace(&trace),
+            new.run(&trace).scheduled().collect().unwrap()
+        );
+
+        let cfg = WireConfig::new();
+        let frames: Vec<Vec<u8>> = (0..5)
+            .map(|_| encode(&Packet::new(), &cfg, &FrameSpec::default()))
+            .collect();
+        let mut old = Switch::new(passthrough("in"), passthrough("out"), 8);
+        let mut new = Switch::new(passthrough("in"), passthrough("out"), 8);
+        assert_eq!(
+            old.run_wire_trace(&frames, &cfg),
+            new.run_frames(&frames, &cfg).collect().unwrap()
+        );
     }
 }

@@ -6,10 +6,10 @@
 //! (the CI perf-regression check).
 //!
 //! ```text
-//! throughput [--smoke] [--wire] [--chaos] [--sched] [--packets <n>]
+//! throughput [--smoke] [--wire] [--chaos] [--sched] [--stream] [--packets <n>]
 //!            [--out <path>] [--shards <csv>] [--check <baseline.json>]
 //!            [--tolerance <f>] [--scaling-tolerance <f>]
-//!            [--sched-tolerance <f>]
+//!            [--sched-tolerance <f>] [--stream-packets <n>] [--rss-limit-kb <n>]
 //!
 //!   --smoke            small traces (CI: exercises both engines, the
 //!                      sharded switch, and the JSON emission quickly)
@@ -27,6 +27,20 @@
 //!                      re-run 4-way sharded and held to its scheduling
 //!                      invariant); sched rows land in the JSON and are
 //!                      gated by --check
+//!   --stream           add the E14 bounded-memory streaming run: a
+//!                      generator-born flowlet stream pulled through
+//!                      `run(source).for_each(sink)` with **no trace and no
+//!                      output vector ever materialized**, gated by a hard
+//!                      peak-RSS (VmHWM) growth assertion. Runs before the
+//!                      trace-materializing sections so the high-water mark
+//!                      is honest; CI drives it as its own invocation
+//!   --stream-packets <n>
+//!                      packets for the E14 stream (default 10000000;
+//!                      1000000 under --smoke)
+//!   --rss-limit-kb <n> peak-RSS growth ceiling for the E14 run in KiB
+//!                      (default 262144 = 256 MiB — an order of magnitude
+//!                      under what materializing the default stream would
+//!                      take); exceeded = exit nonzero
 //!   --packets <n>      packets for the headline flowlet trace (default 1000000)
 //!   --out <path>       where to write the JSON (default BENCH_throughput.json)
 //!   --shards <csv>     shard counts for the E10 sweep (default 1,2,4,8)
@@ -58,8 +72,9 @@
 use bench::throughput::{
     chaos_suite, check_regressions, check_scaling_regressions, check_sched_regressions,
     machine_workload, parse_baseline, parse_scaling_baseline, parse_sched_baseline, render_json,
-    scaling_speedup, sched_workload, shard_sweep, switch_workload, wire_stress, wire_workload,
-    ChaosOutcome, Measurement, SchedMeasurement, ShardMeasurement, SCHED_DISCIPLINES,
+    scaling_speedup, sched_workload, shard_sweep, stream_workload, switch_workload, wire_stress,
+    wire_workload, ChaosOutcome, Measurement, SchedMeasurement, ShardMeasurement,
+    StreamMeasurement, SCHED_DISCIPLINES,
 };
 use std::process::ExitCode;
 
@@ -80,6 +95,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut with_wire = false;
     let mut with_chaos = false;
     let mut with_sched = false;
+    let mut with_stream = false;
+    let mut stream_n: Option<usize> = None;
+    let mut rss_limit_kb = 262_144u64;
     let mut flowlet_n: Option<usize> = None;
     let mut out_path = "BENCH_throughput.json".to_string();
     let mut shard_counts: Vec<usize> = vec![1, 2, 4, 8];
@@ -95,6 +113,20 @@ fn run(args: &[String]) -> Result<(), String> {
             "--wire" => with_wire = true,
             "--chaos" => with_chaos = true,
             "--sched" => with_sched = true,
+            "--stream" => with_stream = true,
+            "--stream-packets" => {
+                i += 1;
+                let v = args.get(i).ok_or("--stream-packets needs a value")?;
+                stream_n = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --stream-packets `{v}`"))?,
+                );
+            }
+            "--rss-limit-kb" => {
+                i += 1;
+                let v = args.get(i).ok_or("--rss-limit-kb needs a value")?;
+                rss_limit_kb = v.parse().map_err(|_| format!("bad --rss-limit-kb `{v}`"))?;
+            }
             "--packets" => {
                 i += 1;
                 let v = args.get(i).ok_or("--packets needs a value")?;
@@ -142,9 +174,10 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "throughput [--smoke] [--wire] [--chaos] [--sched] [--packets <n>] \
+                    "throughput [--smoke] [--wire] [--chaos] [--sched] [--stream] [--packets <n>] \
                      [--out <path>] [--shards <csv>] [--check <baseline.json>] \
-                     [--tolerance <f>] [--scaling-tolerance <f>] [--sched-tolerance <f>]"
+                     [--tolerance <f>] [--scaling-tolerance <f>] [--sched-tolerance <f>] \
+                     [--stream-packets <n>] [--rss-limit-kb <n>]"
                 );
                 return Ok(());
             }
@@ -159,6 +192,42 @@ fn run(args: &[String]) -> Result<(), String> {
         (1_000_000, 300_000, 300_000, 200_000, 1_000_000)
     };
     let flowlet = flowlet_n.unwrap_or(flowlet);
+
+    // E14 runs first: every later section materializes million-packet
+    // traces, which would push the process high-water mark far above
+    // anything the streamed run adds — measuring it on a fresh process
+    // keeps the RSS-growth gate honest.
+    let mut stream: Vec<StreamMeasurement> = Vec::new();
+    if with_stream {
+        let n = stream_n.unwrap_or(if smoke { 1_000_000 } else { 10_000_000 });
+        println!(
+            "E14 — bounded-memory streaming ingestion: {n} generator-born packets \
+             through run(source).for_each(sink), no trace and no output vector \
+             ever materialized\n"
+        );
+        let m = stream_workload(n, SEED);
+        let growth = m.rss_growth_kb();
+        println!(
+            "  offered {}  transmitted {}  dropped {}  {:.0} pkts/s  \
+             peak-RSS growth {} (limit {rss_limit_kb} KiB)\n",
+            m.packets,
+            m.transmitted,
+            m.dropped,
+            m.pps(),
+            growth
+                .map(|k| format!("{k} KiB"))
+                .unwrap_or_else(|| "unreadable".into()),
+        );
+        if let Some(growth) = growth {
+            if growth > rss_limit_kb {
+                return Err(format!(
+                    "E14: streamed run grew peak RSS by {growth} KiB, over the \
+                     {rss_limit_kb} KiB limit — the run API is buffering somewhere"
+                ));
+            }
+        }
+        stream.push(m);
+    }
 
     println!("E9 — execution-engine throughput (every row is a verified differential run)\n");
     let mut measurements = vec![
@@ -393,7 +462,7 @@ fn run(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let doc = render_json(&measurements, &scaling, &chaos, &sched, host_cores);
+    let doc = render_json(&measurements, &scaling, &chaos, &sched, &stream, host_cores);
     std::fs::write(&out_path, &doc).map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
     println!("wrote {out_path}");
 

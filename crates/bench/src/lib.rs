@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod pcap;
 pub mod sketch;
 pub mod throughput;
 pub mod wiregen;

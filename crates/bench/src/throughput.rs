@@ -12,8 +12,9 @@
 //!   into the PHV happens once at the parser, execution is pure integer
 //!   indexing);
 //! * **the Figure-1 switch workload** — flowlet at ingress, CoDel (LUT) at
-//!   egress, a real queue in between, driven once per engine through
-//!   [`Switch::run_trace`] (map-packet edges included on both sides);
+//!   egress, a real queue in between, driven once per engine through the
+//!   unified run builder (`switch.run(trace).collect()`, map-packet edges
+//!   included on both sides);
 //! * **wire roundtrip workloads (E11)** — the same traces born as raw
 //!   byte frames (`bench::wiregen`) through the full
 //!   parse → pipeline → deparse path ([`wire_workload`]), plus the
@@ -28,7 +29,7 @@
 //!   the three PIFO disciplines — WFQ via `stfq`'s `start` ranks, strict
 //!   priority over per-class WFQ, and token-bucket shaping via the
 //!   pacer's earliest-departure ranks — each driven through
-//!   [`Switch::run_sched_trace`] on both engines (bit-identical
+//!   `switch.run(trace).scheduled().collect()` on both engines (bit-identical
 //!   departures, counters, and state), re-run 4-way sharded
 //!   (bit-identical to serial), and checked against its scheduling
 //!   invariant (fairness bound / priority exactness / pacing) before the
@@ -197,7 +198,10 @@ pub fn switch_workload(n: usize, seed: u64) -> Measurement {
     for _ in 0..ENGINE_REPS {
         map_switch = Switch::new(ingress.clone(), egress.clone(), 512).with_drain_period(3);
         let t = Instant::now();
-        map_out = map_switch.run_trace(&trace);
+        map_out = map_switch
+            .run(&trace)
+            .collect()
+            .expect("slice-backed sources cannot fail mid-stream");
         map_ns = map_ns.min(t.elapsed().as_nanos());
     }
 
@@ -211,7 +215,10 @@ pub fn switch_workload(n: usize, seed: u64) -> Measurement {
             .expect("compiled pipelines are slot-executable")
             .with_drain_period(3);
         let t = Instant::now();
-        slot_out = slot_switch.run_trace(&trace);
+        slot_out = slot_switch
+            .run(&trace)
+            .collect()
+            .expect("slice-backed sources cannot fail mid-stream");
         slot_ns = slot_ns.min(t.elapsed().as_nanos());
     }
 
@@ -332,8 +339,8 @@ pub fn wire_workload(name: &str, n: usize, seed: u64) -> Measurement {
 }
 
 /// The parser-stress differential: a malformed-heavy wire trace through
-/// the whole Figure-1 switch ([`Switch::run_wire_trace`]) on both
-/// engines, with the per-reason drop counters checked three ways.
+/// the whole Figure-1 switch (`switch.run_frames(frames, cfg).collect()`)
+/// on both engines, with the per-reason drop counters checked three ways.
 #[derive(Debug, Clone)]
 pub struct StressReport {
     /// Frames offered to the switch.
@@ -367,11 +374,17 @@ pub fn wire_stress(n: usize, seed: u64, malform_rate: f64) -> StressReport {
     let (expected_accepted, expected_counts) = wiregen::expected_verdicts(&wt.frames, &wt.cfg);
 
     let mut map_switch = Switch::new(ingress.clone(), egress.clone(), 256).with_drain_period(2);
-    let map_out = map_switch.run_wire_trace(&wt.frames, &wt.cfg);
+    let map_out = map_switch
+        .run_frames(&wt.frames, &wt.cfg)
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
     let mut slot_switch = Switch::new_slot(&ingress, &egress, 256)
         .expect("compiled pipelines are slot-executable")
         .with_drain_period(2);
-    let slot_out = slot_switch.run_wire_trace(&wt.frames, &wt.cfg);
+    let slot_out = slot_switch
+        .run_frames(&wt.frames, &wt.cfg)
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
 
     assert_eq!(map_out, slot_out, "stress: transmitted bytes diverged");
     assert_eq!(
@@ -497,7 +510,10 @@ pub fn shard_sweep(
 
     let mut serial = Switch::new_slot(&ingress, &egress, CAPACITY)
         .expect("compiled pipelines are slot-executable");
-    let serial_out = serial.run_trace(&trace);
+    let serial_out = serial
+        .run(&trace)
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
     let serial_state = serial.export_ingress_state();
 
     // One discarded instrumented pass: the partition/replay allocation
@@ -510,7 +526,8 @@ pub fn shard_sweep(
         ShardConfig::new(1).with_capacity(CAPACITY),
     )
     .expect("compiled pipelines are slot-executable")
-    .run_trace_instrumented(&trace)
+    .run(&trace)
+    .instrumented()
     .expect("line-rate shard switches support stamped runs");
 
     shard_counts
@@ -527,7 +544,8 @@ pub fn shard_sweep(
             let mut verify_sw = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone())
                 .expect("compiled pipelines are slot-executable");
             let parts = verify_sw
-                .run_trace_partitioned(&trace)
+                .run(&trace)
+                .partitioned()
                 .expect("line-rate shard switches support stamped runs");
             let tier = verify_sw.plan().tier();
             match tier {
@@ -621,7 +639,8 @@ pub fn shard_sweep(
                 let mut timed_sw = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone())
                     .expect("compiled pipelines are slot-executable");
                 let run = timed_sw
-                    .run_trace_instrumented(&trace)
+                    .run(&trace)
+                    .instrumented()
                     .expect("line-rate shard switches support stamped runs");
                 timings = Some(match timings.take() {
                     None => run.timings,
@@ -652,7 +671,8 @@ pub fn shard_sweep(
                 .expect("compiled pipelines are slot-executable");
             let t = Instant::now();
             let threaded = threaded_sw
-                .run_trace(&trace)
+                .run(&trace)
+                .collect()
                 .expect("no faults injected in the scaling sweep");
             let wall_ns = t.elapsed().as_nanos();
             assert_eq!(
@@ -769,7 +789,10 @@ pub fn chaos_suite(name: &str, n: usize, seed: u64) -> Vec<ChaosOutcome> {
 
     let mut serial = Switch::new_slot(&ingress, &egress, CAPACITY)
         .expect("compiled pipelines are slot-executable");
-    let serial_out = serial.run_trace(&trace);
+    let serial_out = serial
+        .run(&trace)
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
 
     let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(SHARDS))
         .expect("compiled pipelines are slot-executable");
@@ -803,7 +826,8 @@ pub fn chaos_suite(name: &str, n: usize, seed: u64) -> Vec<ChaosOutcome> {
         );
         let t = Instant::now();
         let err = sw
-            .run_trace(&trace)
+            .run(&trace)
+            .collect()
             .expect_err("an armed panic must surface as an error");
         let wall_ns = t.elapsed().as_nanos();
         let report = err.fault().expect("worker faults carry a report").clone();
@@ -845,7 +869,9 @@ pub fn chaos_suite(name: &str, n: usize, seed: u64) -> Vec<ChaosOutcome> {
                 .collect();
             let mut twin = Switch::new_slot(&ingress, &egress, CAPACITY)
                 .expect("compiled pipelines are slot-executable");
-            twin.run_trace(&sub);
+            twin.run(&sub)
+                .for_each(|_| {})
+                .expect("slice-backed sources cannot fail mid-stream");
             let (ing_state, _) = salvage.state.as_ref().expect("survivors report state");
             assert_eq!(
                 ing_state,
@@ -887,7 +913,8 @@ pub fn chaos_suite(name: &str, n: usize, seed: u64) -> Vec<ChaosOutcome> {
         let mut sw = armed_sharded(&ingress, &egress, cfg, &faults);
         let t = Instant::now();
         let err = sw
-            .run_trace(&trace)
+            .run(&trace)
+            .collect()
             .expect_err("a stall past the watchdog must surface as an error");
         let wall_ns = t.elapsed().as_nanos();
         assert!(
@@ -943,7 +970,8 @@ pub fn chaos_suite(name: &str, n: usize, seed: u64) -> Vec<ChaosOutcome> {
         let mut sw = armed_sharded(&ingress, &egress, cfg, &faults);
         let t = Instant::now();
         let out = sw
-            .run_trace(&trace)
+            .run(&trace)
+            .collect()
             .expect("shedding is an overload policy, not a fault");
         let wall_ns = t.elapsed().as_nanos();
         let shed = sw.drop_counters().backpressure();
@@ -987,11 +1015,12 @@ pub fn chaos_suite(name: &str, n: usize, seed: u64) -> Vec<ChaosOutcome> {
         let cfg = ShardConfig::new(SHARDS).with_capacity(CAPACITY);
 
         let mut clean = armed_sharded(&ingress, &egress, cfg.clone(), &FaultPlan::none(SHARDS));
-        let clean_out = clean.run_trace(&trace).expect("no faults armed");
+        let clean_out = clean.run(&trace).collect().expect("no faults armed");
         let mut sw = armed_sharded(&ingress, &egress, cfg, &faults);
         let t = Instant::now();
         let out = sw
-            .run_trace(&trace)
+            .run(&trace)
+            .collect()
             .expect("silent corruption is invisible to the supervisor");
         let wall_ns = t.elapsed().as_nanos();
         assert_eq!(out.len(), clean_out.len(), "{name}: bit flip lost packets");
@@ -1198,7 +1227,7 @@ fn assert_sched_invariants(discipline: &str, deps: &[SchedDeparture]) {
 }
 
 /// E13 — drives one scheduling discipline (rank transaction + PIFO)
-/// through [`Switch::run_sched_trace`] on both engines and returns the
+/// through `switch.run(trace).scheduled().collect()` on both engines and returns the
 /// timed, verified measurement. The queue capacity equals the trace
 /// length, so the run is lossless and the whole burst is co-resident —
 /// scheduling order is fully observable.
@@ -1225,7 +1254,11 @@ pub fn sched_workload(discipline: &str, n: usize, seed: u64) -> SchedMeasurement
         map_switch =
             Switch::new(ingress.clone(), egress.clone(), capacity).with_scheduler(spec.clone());
         let t = Instant::now();
-        map_out = map_switch.run_sched_trace(&trace);
+        map_out = map_switch
+            .run(&trace)
+            .scheduled()
+            .collect()
+            .expect("slice-backed sources cannot fail mid-stream");
         map_ns = map_ns.min(t.elapsed().as_nanos());
     }
 
@@ -1239,7 +1272,11 @@ pub fn sched_workload(discipline: &str, n: usize, seed: u64) -> SchedMeasurement
             .expect("compiled pipelines are slot-executable")
             .with_scheduler(spec.clone());
         let t = Instant::now();
-        slot_out = slot_switch.run_sched_trace(&trace);
+        slot_out = slot_switch
+            .run(&trace)
+            .scheduled()
+            .collect()
+            .expect("slice-backed sources cannot fail mid-stream");
         slot_ns = slot_ns.min(t.elapsed().as_nanos());
     }
 
@@ -1275,7 +1312,11 @@ pub fn sched_workload(discipline: &str, n: usize, seed: u64) -> SchedMeasurement
         .with_scheduler(spec);
     let mut sharded = ShardedSwitch::new_slot(&ingress, &egress, cfg)
         .expect("compiled pipelines are slot-executable");
-    let sharded_out = sharded.run_sched_trace(&trace).expect("no faults armed");
+    let sharded_out = sharded
+        .run(&trace)
+        .scheduled()
+        .collect()
+        .expect("no faults armed");
     assert_eq!(
         sharded_out, slot_out,
         "{discipline}: sharded departures diverged from serial"
@@ -1305,6 +1346,129 @@ pub fn sched_workload(discipline: &str, n: usize, seed: u64) -> SchedMeasurement
         map_ns,
         slot_ns,
     }
+}
+
+/// One E14 streaming-ingestion run: the Figure-1 switch pulled from a
+/// generator [`banzai::GenSource`] through the bounded-memory
+/// `run(..).for_each(..)` path, with the process's peak RSS sampled
+/// before and after.
+///
+/// The point of the row is the memory bound: `n` packets flow through
+/// without ever materializing a `Vec<Packet>` on either side, so
+/// [`StreamMeasurement::rss_growth_kb`] stays flat no matter how large
+/// `n` is — the witness that the unified run API actually streams.
+#[derive(Debug, Clone)]
+pub struct StreamMeasurement {
+    /// Packets offered by the generator source.
+    pub packets: usize,
+    /// Packets that reached the sink.
+    pub transmitted: u64,
+    /// Packets under typed drop counters.
+    pub dropped: u64,
+    /// Wall-clock nanoseconds for the streamed run.
+    pub wall_ns: u128,
+    /// Peak RSS (`VmHWM`) in KiB before the run, if readable.
+    pub rss_before_kb: Option<u64>,
+    /// Peak RSS (`VmHWM`) in KiB after the run, if readable.
+    pub rss_after_kb: Option<u64>,
+}
+
+impl StreamMeasurement {
+    /// Packets per second through the streamed path.
+    pub fn pps(&self) -> f64 {
+        self.packets as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    /// How much the process's peak RSS grew across the run, in KiB
+    /// (`None` where `/proc/self/status` is unavailable).
+    pub fn rss_growth_kb(&self) -> Option<u64> {
+        Some(self.rss_after_kb?.saturating_sub(self.rss_before_kb?))
+    }
+}
+
+/// The process's peak resident set size (`VmHWM`) in KiB, read from
+/// `/proc/self/status`. `None` on platforms without procfs — callers
+/// treat an unreadable high-water mark as "cannot assert", not a failure.
+pub fn max_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// E14 — streams `n` generator-born flowlet packets through the
+/// slot-compiled Figure-1 switch via `run(source).for_each(sink)`: no
+/// input trace and no output vector ever exist, so memory stays flat at
+/// any `n`. The sink folds a checksum so the compiler cannot elide the
+/// packets; conservation (`offered == transmitted + dropped`) is asserted
+/// before the measurement is returned.
+///
+/// The generator produces the same bursty flowlet mix as
+/// `algorithms::workload::flowlet_trace`, but derives each packet
+/// arithmetically from its index (splitmix-style), so it needs no
+/// materialized trace and no RNG state proportional to `n`.
+///
+/// # Panics
+///
+/// Panics if the books do not balance or the source under-delivers.
+pub fn stream_workload(n: usize, seed: u64) -> StreamMeasurement {
+    let ingress = compile_least("flowlet");
+    let egress = banzai::AtomPipeline::passthrough("egress");
+    let mut sw = Switch::new_slot(&ingress, &egress, 512)
+        .expect("compiled pipelines are slot-executable")
+        .with_drain_period(3);
+
+    let rss_before_kb = max_rss_kb();
+    let mut checksum = 0u64;
+    let t = Instant::now();
+    let stats = sw
+        .run(banzai::GenSource::with_len(n as u64, move |i| {
+            Some(flowlet_stream_packet(i, seed))
+        }))
+        .for_each(|pkt| {
+            checksum ^= pkt.get("arrival").unwrap_or(0) as u64;
+        })
+        .expect("generator sources cannot fail mid-stream");
+    let wall_ns = t.elapsed().as_nanos();
+    let rss_after_kb = max_rss_kb();
+
+    assert_eq!(stats.offered, n as u64, "stream: source under-delivered");
+    assert_eq!(
+        stats.transmitted + sw.drops(),
+        n as u64,
+        "stream: books out of balance"
+    );
+
+    StreamMeasurement {
+        packets: n,
+        transmitted: stats.transmitted,
+        dropped: sw.drops(),
+        wall_ns,
+        rss_before_kb,
+        rss_after_kb,
+    }
+}
+
+/// The `i`-th packet of the E14 streaming workload: the flowlet-trace
+/// field mix (bursty arrivals over a small flow space) derived purely
+/// from the packet index, so any suffix of the stream can be regenerated
+/// without storing anything.
+fn flowlet_stream_packet(i: u64, seed: u64) -> Packet {
+    // splitmix64: a full-avalanche index hash, the standard trick for
+    // stateless deterministic streams.
+    let mut z = i.wrapping_add(seed).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    // ~15% of packets open a gap past the flowlet threshold; the clock is
+    // index-derived (mean inter-arrival ≈ 4.5) so it needs no state.
+    let gap = if z % 100 < 15 { 20 } else { 2 };
+    Packet::new()
+        .with("sport", (z % 16) as i32)
+        .with("dport", 80 + ((z >> 8) % 4) as i32)
+        .with("arrival", (i / 2) as i32 * 9 / 2 + gap)
+        .with("new_hop", 0)
+        .with("next_hop", 0)
+        .with("id", 0)
 }
 
 /// The modeled speedup of each sweep row over the 1-shard row of the same
@@ -1595,12 +1759,16 @@ pub fn check_sched_regressions(
 /// `chaos` section (E12, keyed `scenario` — deliberately *not* `name`, so
 /// the baseline scanner skips it) records the fault-injection outcomes.
 /// The `sched` section (E13, keyed `sched`) records the scheduling
-/// disciplines and is what [`parse_sched_baseline`] reads back.
+/// disciplines and is what [`parse_sched_baseline`] reads back. The
+/// `stream` section (E14, keyed `mode`) records the bounded-memory
+/// streaming runs with their peak-RSS growth; no scanner reads it back —
+/// its gate is the hard RSS assertion in the binary, not a speedup ratio.
 pub fn render_json(
     measurements: &[Measurement],
     scaling: &[ShardMeasurement],
     chaos: &[ChaosOutcome],
     sched: &[SchedMeasurement],
+    stream: &[StreamMeasurement],
     host_cores: usize,
 ) -> String {
     let rows: Vec<String> = measurements
@@ -1710,15 +1878,36 @@ pub fn render_json(
             )
         })
         .collect();
+    let stream_rows: Vec<String> = stream
+        .iter()
+        .map(|m| {
+            let opt = |v: Option<u64>| v.map(|k| k.to_string()).unwrap_or_else(|| "null".into());
+            format!(
+                "    {{\n      \"mode\": \"generator\",\n      \"packets\": {},\n      \
+                 \"transmitted\": {},\n      \"dropped\": {},\n      \"wall_ns\": {},\n      \
+                 \"pkts_per_sec\": {:.0},\n      \"rss_before_kb\": {},\n      \
+                 \"rss_after_kb\": {},\n      \"rss_growth_kb\": {}\n    }}",
+                m.packets,
+                m.transmitted,
+                m.dropped,
+                m.wall_ns,
+                m.pps(),
+                opt(m.rss_before_kb),
+                opt(m.rss_after_kb),
+                opt(m.rss_growth_kb())
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"suite\": \"throughput\",\n  \"engines\": [\"map\", \"slot\"],\n  \
          \"host_cores\": {},\n  \"workloads\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ],\n  \
-         \"chaos\": [\n{}\n  ],\n  \"sched\": [\n{}\n  ]\n}}\n",
+         \"chaos\": [\n{}\n  ],\n  \"sched\": [\n{}\n  ],\n  \"stream\": [\n{}\n  ]\n}}\n",
         host_cores,
         rows.join(",\n"),
         scaling_rows.join(",\n"),
         chaos_rows.join(",\n"),
-        sched_rows.join(",\n")
+        sched_rows.join(",\n"),
+        stream_rows.join(",\n")
     )
 }
 
@@ -1800,7 +1989,15 @@ mod tests {
             map_ns: 80,
             slot_ns: 20,
         };
-        let doc = render_json(&[m], &[s], &[c], &[sm], 1);
+        let st = StreamMeasurement {
+            packets: 10,
+            transmitted: 9,
+            dropped: 1,
+            wall_ns: 100,
+            rss_before_kb: Some(1000),
+            rss_after_kb: Some(1004),
+        };
+        let doc = render_json(&[m], &[s], &[c], &[sm], &[st], 1);
         assert!(doc.contains("\"name\": \"flowlet\""), "{doc}");
         assert!(doc.contains("\"sched\": \"wfq\""), "{doc}");
         assert!(doc.contains("\"speedup\": 4.00"), "{doc}");
@@ -1814,7 +2011,33 @@ mod tests {
         assert!(doc.contains("\"conserved\": true"), "{doc}");
         // Quotes inside causes are sanitized so the document stays valid.
         assert!(doc.contains("worker panicked: 'boom'"), "{doc}");
+        assert!(doc.contains("\"mode\": \"generator\""), "{doc}");
+        assert!(doc.contains("\"rss_growth_kb\": 4"), "{doc}");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn stream_workload_balances_and_stays_bounded() {
+        let m = stream_workload(50_000, 0xE14);
+        assert_eq!(m.packets, 50_000);
+        assert_eq!(m.transmitted + m.dropped, 50_000);
+        assert!(m.wall_ns > 0);
+        // procfs is available on every host this suite targets; if it
+        // ever is not, the binary's RSS gate degrades to unasserted.
+        if let Some(growth) = m.rss_growth_kb() {
+            // 50k packets materialized twice (trace + outputs) would be
+            // several MB; the streamed run must stay far under that.
+            assert!(growth < 512 * 1024, "streamed run grew {growth} KiB");
+        }
+    }
+
+    #[test]
+    fn stream_generator_is_deterministic() {
+        let a: Vec<Packet> = (0..64).map(|i| flowlet_stream_packet(i, 7)).collect();
+        let b: Vec<Packet> = (0..64).map(|i| flowlet_stream_packet(i, 7)).collect();
+        assert_eq!(a, b);
+        let c: Vec<Packet> = (0..64).map(|i| flowlet_stream_packet(i, 8)).collect();
+        assert_ne!(a, c, "seed must matter");
     }
 
     #[test]
@@ -1910,7 +2133,7 @@ mod tests {
             map_ns: 90,
             slot_ns: 30,
         }];
-        let parsed = parse_baseline(&render_json(&ms, &[], &chaos, &sched, 1));
+        let parsed = parse_baseline(&render_json(&ms, &[], &chaos, &sched, &[], 1));
         assert_eq!(
             parsed,
             vec![
@@ -2012,7 +2235,7 @@ mod tests {
             survivors: 3,
             wall_ns: 40,
         }];
-        let parsed = parse_scaling_baseline(&render_json(&[], &rows, &chaos, &[], 1));
+        let parsed = parse_scaling_baseline(&render_json(&[], &rows, &chaos, &[], &[], 1));
         assert_eq!(
             parsed,
             vec![
@@ -2126,7 +2349,7 @@ mod tests {
             map_ns: 50,
             slot_ns: 10,
         }];
-        let doc = render_json(&ms, &[], &[], &sched, 1);
+        let doc = render_json(&ms, &[], &[], &sched, &[], 1);
         let parsed = parse_sched_baseline(&doc);
         assert_eq!(
             parsed,

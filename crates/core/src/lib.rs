@@ -37,6 +37,33 @@
 //! let out = machine.process(Packet::new().with("sport", 99).with("dport", 80));
 //! assert_eq!(out.get("count"), Some(1));
 //! ```
+//!
+//! ## Streaming ingestion
+//!
+//! Whole-switch runs pull packets from a [`PacketSource`](banzai::PacketSource)
+//! through the unified `run` builder, so a trace never has to be
+//! materialized — memory stays bounded however long the run:
+//!
+//! ```
+//! use domino::prelude::*;
+//!
+//! let mut sw = Switch::new_slot(
+//!     &banzai::AtomPipeline::passthrough("in"),
+//!     &banzai::AtomPipeline::passthrough("out"),
+//!     64,
+//! )
+//! .unwrap();
+//!
+//! // One million generated packets, never held in memory at once: the
+//! // source yields them on demand and the sink consumes them as they
+//! // depart.
+//! let src = GenSource::with_len(1_000_000, |i| {
+//!     Some(Packet::new().with("flow", (i % 97) as i32))
+//! });
+//! let stats = sw.run(src).for_each(|_pkt| {}).unwrap();
+//! assert_eq!(stats.offered, 1_000_000);
+//! assert_eq!(stats.transmitted, 1_000_000);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,10 +86,13 @@ pub mod prelude {
         deparse, encode, parse, BoundParser, FrameSpec, ParseVerdict, WireConfig, WirePacket,
     };
     pub use banzai::{
-        Accounting, AtomKind, Backpressure, DropCounters, DropReason, FaultCause, FaultKind,
-        FaultPlan, FaultReport, FaultSpec, FaultyEngine, Fifo, HierPifo, Machine, Pifo,
-        SchedDeparture, SchedKey, SchedSpec, Scheduler, ShardConfig, ShardError, ShardSalvage,
-        ShardedSwitch, SlotMachine, SteerMode, Switch, SwitchError, Target,
+        Accounting, AtomKind, Backpressure, DropCounters, DropReason, FailAfter, FaultCause,
+        FaultKind, FaultPlan, FaultReport, FaultSpec, FaultyEngine, Fifo, FrameGenSource, FrameRun,
+        FrameSliceSource, FrameSource, GenSource, HierPifo, IntoFrameSource, IntoPacketSource,
+        Machine, PacketSource, Pifo, Rewind, Run, RunStats, SchedDeparture, SchedKey, SchedRun,
+        SchedSpec, Scheduler, ShardConfig, ShardError, ShardSalvage, ShardedFrameRun, ShardedRun,
+        ShardedSchedRun, ShardedSwitch, SliceSource, SlotMachine, SourceError, SourceFault,
+        SteerMode, Switch, SwitchError, Target,
     };
     pub use domino_ir::{Packet, StateStore};
 }
@@ -140,7 +170,7 @@ pub fn slot_machine(source: &str, target: &Target) -> Result<banzai::SlotMachine
 /// assert_eq!(sw.plan().effective(), 4);
 ///
 /// let trace: Vec<Packet> = (0..40).map(|i| Packet::new().with("flow", i % 8)).collect();
-/// let out = sw.run_trace(&trace).unwrap();
+/// let out = sw.run(&trace).collect().unwrap();
 /// assert_eq!(out.len(), 40);
 /// // Five packets per flow: every flow's last packet is marked heavy.
 /// assert_eq!(out.iter().filter(|p| p.get("heavy") == Some(1)).count(), 8);
@@ -165,8 +195,8 @@ pub fn sharded_switch(
 /// [`Switch`](banzai::Switch) whose queue runs a **programmed scheduler**
 /// ([`banzai::pifo`]): the ingress program computes the rank field, the
 /// configured [`SchedSpec`](banzai::SchedSpec) turns it into departure
-/// order. Drive it with
-/// [`Switch::run_sched_trace`](banzai::Switch::run_sched_trace).
+/// order. Drive it with the unified run builder:
+/// `sw.run(trace).scheduled().collect()`.
 ///
 /// ```
 /// use domino::prelude::*;
@@ -191,7 +221,7 @@ pub fn sharded_switch(
 /// let trace: Vec<Packet> = (0..8)
 ///     .map(|i| Packet::new().with("urgent", (i >= 4) as i32).with("at", i))
 ///     .collect();
-/// let deps = sw.run_sched_trace(&trace);
+/// let deps = sw.run(&trace).scheduled().collect().unwrap();
 /// // ...yet departs first, in arrival order within its band.
 /// let order: Vec<i32> = deps.iter().map(|d| d.pkt.expect("at")).collect();
 /// assert_eq!(order, [4, 5, 6, 7, 0, 1, 2, 3]);

@@ -80,7 +80,10 @@ fn kill_any_shard_at_any_packet_is_isolated_and_accounted() {
 
     // Serial reference (the ground truth survivors must match).
     let mut serial = Switch::new_slot(&ingress, &egress, CAPACITY).unwrap();
-    let serial_out = serial.run_trace(&trace);
+    let serial_out = serial
+        .run(&trace)
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
 
     // Steering assignment, from an unarmed twin (the plan is pure).
     let probe = ShardedSwitch::new_slot(&ingress, &egress, ShardConfig::new(SHARDS)).unwrap();
@@ -110,7 +113,7 @@ fn kill_any_shard_at_any_packet_is_isolated_and_accounted() {
             let cfg = ShardConfig::new(SHARDS).with_batch(BATCH);
             let faults = FaultPlan::kill(SHARDS, victim, local_k);
             let mut sw = armed(&ingress, &egress, cfg, &faults);
-            let report = expect_fault(sw.run_trace(&trace), &ctx);
+            let report = expect_fault(sw.run(&trace).collect(), &ctx);
 
             // Typed error: shard, global packet index, payload marker.
             assert_eq!(report.failures.len(), 1, "{ctx}");
@@ -158,7 +161,9 @@ fn kill_any_shard_at_any_packet_is_isolated_and_accounted() {
                     .map(|(i, _)| trace[i].clone())
                     .collect();
                 let mut twin = Switch::new_slot(&ingress, &egress, CAPACITY).unwrap();
-                twin.run_trace(&sub);
+                twin.run(&sub)
+                    .for_each(|_| {})
+                    .expect("slice-backed sources cannot fail mid-stream");
                 let (salvaged_ingress, salvaged_egress) = salvage
                     .state
                     .as_ref()
@@ -206,7 +211,7 @@ fn single_shard_fault_is_supervised_too() {
     let trace = trace(60, 4);
     let cfg = ShardConfig::new(1).with_batch(16);
     let mut sw = armed(&ingress, &egress, cfg, &FaultPlan::kill(1, 0, 21));
-    let report = expect_fault(sw.run_trace(&trace), "single shard");
+    let report = expect_fault(sw.run(&trace).collect(), "single shard");
 
     assert_eq!(report.failures[0].shard, 0);
     assert_eq!(report.failures[0].packet, Some(21));
@@ -235,7 +240,7 @@ fn stalled_worker_trips_watchdog_without_hanging() {
     let mut sw = armed(&ingress, &egress, cfg, &faults);
 
     let started = std::time::Instant::now();
-    let report = expect_fault(sw.run_trace(&trace), "stall");
+    let report = expect_fault(sw.run(&trace).collect(), "stall");
     assert!(
         started.elapsed() < std::time::Duration::from_millis(1_500),
         "caller waited on a wedged worker: {:?}",
@@ -280,7 +285,7 @@ fn shed_policy_counts_overload_and_conserves() {
     let mut sw = armed(&ingress, &egress, cfg, &faults);
     assert_eq!(sw.backpressure(), Backpressure::Shed);
 
-    let out = sw.run_trace(&trace).expect("shedding is not a fault");
+    let out = sw.run(&trace).collect().expect("shedding is not a fault");
     let shed = sw.drop_counters().backpressure();
     assert!(
         shed > 0,
@@ -307,14 +312,14 @@ fn bit_flip_diverges_output_but_conserves() {
     let cfg = ShardConfig::new(4).with_batch(8);
 
     let mut clean = armed(&ingress, &egress, cfg.clone(), &FaultPlan::none(4));
-    let clean_out = clean.run_trace(&trace).unwrap();
+    let clean_out = clean.run(&trace).collect().unwrap();
 
     let victim = clean.plan().steer(0, &trace[0]);
     let mut faults = FaultPlan::none(4);
     // Flip bit 2 of the flow id: flows stay in 0..12, inside the table.
     faults.push(victim, FaultSpec::bit_flip_at(3, "flow", 2));
     let mut flipped = armed(&ingress, &egress, cfg, &faults);
-    let flipped_out = flipped.run_trace(&trace).unwrap();
+    let flipped_out = flipped.run(&trace).collect().unwrap();
 
     assert_eq!(flipped_out.len(), clean_out.len());
     assert_ne!(flipped_out, clean_out, "corruption must be observable");
@@ -336,7 +341,7 @@ fn feeding_a_dead_worker_reports_the_panic_not_the_send() {
     // channel long after the worker died on packet 0.
     let cfg = ShardConfig::new(4).with_batch(1).with_ring(1);
     let mut sw = armed(&ingress, &egress, cfg, &FaultPlan::kill(4, victim, 0));
-    let report = expect_fault(sw.run_trace(&trace), "dead worker");
+    let report = expect_fault(sw.run(&trace).collect(), "dead worker");
 
     assert_eq!(report.failures.len(), 1);
     assert_eq!(report.failures[0].shard, victim);
@@ -363,11 +368,14 @@ fn switch_is_rebuilt_and_usable_after_a_fault() {
     let victim = probe.plan().steer(0, &trace[0]);
 
     let mut sw = armed(&ingress, &egress, cfg, &FaultPlan::kill(4, victim, 3));
-    let report = expect_fault(sw.run_trace(&trace), "first run");
+    let report = expect_fault(sw.run(&trace).collect(), "first run");
     let salvaged_tx = report.accounting.transmitted;
 
     // Second run: the rebuilt shard carries no fault schedule.
-    let out = sw.run_trace(&trace).expect("rebuilt switch must run clean");
+    let out = sw
+        .run(&trace)
+        .collect()
+        .expect("rebuilt switch must run clean");
     assert_eq!(out.len(), trace.len());
 
     // Cumulative counters: both runs' transmissions are accounted.
@@ -412,7 +420,7 @@ fn killed_shard_mid_sched_trace_salvages_pifo_in_rank_order() {
             .with_scheduler(spec.clone());
         let faults = FaultPlan::kill(SHARDS, victim, LOCAL_K);
         let mut sw = armed(&ingress, &egress, cfg, &faults);
-        let report = expect_fault(sw.run_sched_trace(&trace), &ctx);
+        let report = expect_fault(sw.run(&trace).scheduled().collect(), &ctx);
 
         // Typed failure at the exact global packet index.
         assert_eq!(report.failures.len(), 1, "{ctx}");
@@ -464,7 +472,9 @@ fn killed_shard_mid_sched_trace_salvages_pifo_in_rank_order() {
 
         // The rebuilt switch schedules cleanly on the next trace.
         let deps = sw
-            .run_sched_trace(&trace)
+            .run(&trace)
+            .scheduled()
+            .collect()
             .expect("rebuilt switch must run clean");
         assert_eq!(deps.len(), trace.len(), "{ctx}: rerun lost packets");
     }
@@ -503,7 +513,7 @@ fn killed_replica_shard_salvage_merges_into_a_bound_respecting_sketch() {
         let ctx = format!("victim {victim}");
         let cfg = ShardConfig::new(SHARDS).with_batch(8);
         let mut sw = armed(&ingress, &egress, cfg, &FaultPlan::kill(SHARDS, victim, 5));
-        let report = expect_fault(sw.run_trace(&trace), &ctx);
+        let report = expect_fault(sw.run(&trace).collect(), &ctx);
         assert!(
             report.accounting.conserved(),
             "{ctx}: {}",
@@ -543,4 +553,85 @@ fn killed_replica_shard_salvage_merges_into_a_bound_respecting_sketch() {
         );
         bench::sketch::verify_sketch(&spec, &survivor_trace, &merged, &ctx);
     }
+}
+
+/// A source that errors mid-stream is a **source** fault, not a worker
+/// fault: the run returns a typed [`SwitchError::Fault`] whose report
+/// carries a [`banzai::SourceFault`] (which packet the source died at,
+/// and why), an **empty** worker-failure list, and exactly balanced
+/// books — everything the source delivered before dying was drained
+/// through the shards and accounted. The switch survives: no engine
+/// panicked, so a follow-up run on the same instance works.
+#[test]
+fn source_error_mid_stream_lands_in_the_fault_report_with_closed_books() {
+    use banzai::{FailAfter, GenSource};
+    const SHARDS: usize = 4;
+    const DIES_AT: u64 = 200;
+    let (ingress, egress) = counter_pipelines();
+    let cfg = ShardConfig::new(SHARDS)
+        .with_capacity(CAPACITY)
+        .with_batch(16);
+    let mut sw = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
+
+    let gen = GenSource::new(|i| Some(Packet::new().with("flow", (i % 48) as i32).with("c", 0)));
+    let report = expect_fault(
+        sw.run(FailAfter::new(gen, DIES_AT, "link reset")).collect(),
+        "source error",
+    );
+
+    let src = report.source.as_ref().expect("a SourceFault is attached");
+    assert_eq!(src.at, DIES_AT, "fault names the packet the source died at");
+    assert!(src.error.message().contains("link reset"), "{}", src.error);
+    assert!(
+        src.to_string()
+            .contains("source failed after 200 packet(s)"),
+        "{src}"
+    );
+    assert!(
+        report.failures.is_empty(),
+        "no worker failed — the *source* did"
+    );
+
+    // Books: everything delivered pre-death was offered, drained, and
+    // accounted; nothing is attributed to a worker fault.
+    assert_eq!(report.accounting.offered, DIES_AT);
+    assert!(report.accounting.conserved(), "{}", report.accounting);
+    assert_eq!(report.accounting.lost_in_fault, 0);
+    let offered_per_shard: u64 = report.salvage.iter().map(|s| s.offered).sum();
+    assert_eq!(offered_per_shard, DIES_AT);
+    assert_eq!(
+        report.merged.len() as u64,
+        report.accounting.transmitted,
+        "merged output is the transmitted stream"
+    );
+
+    // No engine died, so the same switch instance keeps working.
+    let follow_up = trace(100, 48);
+    let out = sw
+        .run(&follow_up)
+        .collect()
+        .expect("switch must remain usable after a source fault");
+    assert_eq!(out.len(), 100);
+}
+
+/// The serial switch speaks the same failure model: a mid-stream source
+/// error surfaces as the same typed report — `SourceFault` attached,
+/// no shard failures, books closed over what was actually pulled.
+#[test]
+fn serial_source_error_is_typed_and_conserved() {
+    use banzai::{FailAfter, GenSource};
+    let (ingress, egress) = counter_pipelines();
+    let mut sw = Switch::new_slot(&ingress, &egress, CAPACITY).unwrap();
+
+    let gen = GenSource::new(|i| Some(Packet::new().with("flow", (i % 7) as i32).with("c", 0)));
+    let report = expect_fault(
+        sw.run(FailAfter::new(gen, 33, "fiber cut")).collect(),
+        "serial source error",
+    );
+    let src = report.source.as_ref().expect("a SourceFault is attached");
+    assert_eq!(src.at, 33);
+    assert!(src.error.message().contains("fiber cut"), "{}", src.error);
+    assert!(report.failures.is_empty());
+    assert_eq!(report.accounting.offered, 33);
+    assert!(report.accounting.conserved(), "{}", report.accounting);
 }

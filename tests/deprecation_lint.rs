@@ -1,0 +1,123 @@
+//! Repo-wide lint: the deprecated `run_*` trace adapters exist for one
+//! release so external callers can migrate, but **in-repo** code must
+//! already be on the unified `run(source)` builder. This scan fails if
+//! any source file outside the adapter definitions calls one of the old
+//! names.
+//!
+//! `run_trace` itself is not in the pattern set: `Machine::run_trace`
+//! (the engine-level trace runner) legitimately shares the name and is
+//! not deprecated. Switch-level `run_trace` calls are instead caught by
+//! the CI clippy job (`-D warnings` denies deprecation warnings), which
+//! uses the compiler's own resolution rather than text.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The unambiguous deprecated names — these exist only on `Switch` /
+/// `ShardedSwitch`, so any textual hit is a real deprecated call.
+/// Spelled head + tail so this file's own strings don't self-match.
+const FORBIDDEN: [(&str, &str); 6] = [
+    (".run_", "stamped("),
+    (".run_", "sched_trace("),
+    (".run_", "wire_trace("),
+    (".run_", "trace_partitioned("),
+    (".run_", "trace_instrumented("),
+    (".run_", "wire_trace_partitioned("),
+];
+
+/// Files allowed to mention the old names: the adapter definitions
+/// themselves (and their `#[allow(deprecated)]` coverage tests).
+const ADAPTER_FILES: [&str; 2] = ["crates/banzai/src/switch.rs", "crates/banzai/src/shard.rs"];
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Vendored deps and build products are not ours to lint.
+            if !matches!(name.as_ref(), "target" | "vendor" | ".git" | "node_modules") {
+                collect_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_in_repo_code_calls_the_deprecated_run_family() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    collect_rs(&root, &mut files);
+    assert!(
+        files.len() > 30,
+        "scan found only {} .rs files — walk is broken",
+        files.len()
+    );
+
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap()
+            .to_string_lossy()
+            .replace('\\', "/");
+        if ADAPTER_FILES.contains(&rel.as_ref()) || rel == "tests/deprecation_lint.rs" {
+            continue;
+        }
+        let Ok(text) = fs::read_to_string(path) else {
+            continue;
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            for (head, tail) in FORBIDDEN {
+                let pat = format!("{head}{tail}");
+                if line.contains(&pat) {
+                    violations.push(format!("{rel}:{}: `{pat}`", lineno + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "deprecated run_* adapters called outside their definitions — \
+         migrate to `run(source)` / `run_frames(source, cfg)`:\n{}",
+        violations.join("\n")
+    );
+}
+
+/// The other half of the one-release contract: the adapters must still
+/// *exist* (deprecated, not deleted) so external callers get a warning,
+/// not a build break.
+#[test]
+fn the_deprecated_adapters_still_exist_for_one_release() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    for rel in ADAPTER_FILES {
+        let text = fs::read_to_string(root.join(rel)).unwrap();
+        assert!(
+            text.contains("#[deprecated"),
+            "{rel}: adapter file lost its deprecation attributes"
+        );
+    }
+    let switch = fs::read_to_string(root.join(ADAPTER_FILES[0])).unwrap();
+    for tail in ["stamped", "sched_trace", "wire_trace"] {
+        assert!(
+            switch.contains(&format!("pub fn run_{tail}")),
+            "Switch adapter run_{tail} was removed before its grace release"
+        );
+    }
+    let shard = fs::read_to_string(root.join(ADAPTER_FILES[1])).unwrap();
+    for tail in [
+        "trace_partitioned",
+        "trace_instrumented",
+        "wire_trace_partitioned",
+    ] {
+        assert!(
+            shard.contains(&format!("pub fn run_{tail}")),
+            "ShardedSwitch adapter run_{tail} was removed before its grace release"
+        );
+    }
+}

@@ -80,7 +80,10 @@ fn queue_full_counters(n: usize) -> DropCounters {
         AtomPipeline::passthrough("out"),
         0,
     );
-    sw.run_trace(&vec![Packet::new(); n]);
+    let trace = vec![Packet::new(); n];
+    sw.run(&trace)
+        .for_each(|_| {})
+        .expect("slice-backed sources cannot fail mid-stream");
     assert_eq!(sw.drops(), n as u64);
     sw.drop_counters().clone()
 }
@@ -93,7 +96,10 @@ fn parse_counters(n: usize) -> DropCounters {
         64,
     );
     let frames = vec![[0u8; 4]; n];
-    sw.run_wire_trace(&frames, &WireConfig::new());
+    let cfg = WireConfig::new();
+    sw.run_frames(&frames, &cfg)
+        .for_each(|_| {})
+        .expect("slice-backed sources cannot fail mid-stream");
     assert_eq!(sw.drops(), n as u64);
     sw.drop_counters().clone()
 }
@@ -109,7 +115,11 @@ fn sched_full_counters(n: usize) -> DropCounters {
     .with_scheduler(banzai::SchedSpec::Pifo {
         rank: "rank".into(),
     });
-    sw.run_sched_trace(&vec![Packet::new(); n]);
+    let trace = vec![Packet::new(); n];
+    sw.run(&trace)
+        .scheduled()
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
     assert_eq!(sw.drops(), n as u64);
     sw.drop_counters().clone()
 }

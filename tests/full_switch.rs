@@ -25,7 +25,10 @@ fn trace(n: usize) -> Vec<Packet> {
 #[test]
 fn uncongested_switch_forwards_without_drops_or_codel_drops() {
     let mut sw = build_switch(256, 1);
-    let out = sw.run_trace(&trace(2000));
+    let out = sw
+        .run(&trace(2000))
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
     assert_eq!(out.len(), 2000);
     assert_eq!(sw.drops(), 0);
     // Line-rate drain ⇒ no standing queue ⇒ CoDel never enters dropping.
@@ -42,7 +45,10 @@ fn congested_switch_builds_queue_and_codel_reacts() {
     // Egress link at 1/3 line rate: a standing queue must form and CoDel
     // must start signalling.
     let mut sw = build_switch(512, 3);
-    let out = sw.run_trace(&trace(3000));
+    let out = sw
+        .run(&trace(3000))
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
     assert!(out.len() > 500);
     let max_sojourn = out
         .iter()
@@ -66,7 +72,9 @@ fn congested_switch_builds_queue_and_codel_reacts() {
 #[test]
 fn ingress_flowlet_state_and_egress_codel_state_both_live() {
     let mut sw = build_switch(128, 2);
-    sw.run_trace(&trace(1500));
+    sw.run(&trace(1500))
+        .for_each(|_| {})
+        .expect("slice-backed sources cannot fail mid-stream");
     // Ingress owns the flowlet tables...
     assert!(sw.ingress_state().get("saved_hop").is_some());
     assert!(sw.ingress_state().get("last_time").is_some());

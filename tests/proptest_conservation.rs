@@ -8,7 +8,7 @@
 //!   across random traces, shard counts 1..=8, queue capacities (including
 //!   the pathological 0), batch/ring geometries, and both backpressure
 //!   policies;
-//! * the wire path (`run_wire_trace`): every frame — valid, truncated,
+//! * the wire path (`run_frames`): every frame — valid, truncated,
 //!   or garbage — is transmitted or counted under queue-full/parse;
 //! * seeded-fault runs: a faulted run's [`Accounting`] balances
 //!   (`offered == transmitted + dropped + lost_in_fault`), and a run the
@@ -70,7 +70,7 @@ proptest! {
         let mut sw = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
 
         let trace = to_trace(&flows);
-        let out = sw.run_trace(&trace).expect("no faults armed");
+        let out = sw.run(&trace).collect().expect("no faults armed");
 
         prop_assert_eq!(out.len() as u64, sw.transmitted());
         prop_assert_eq!(
@@ -112,7 +112,7 @@ proptest! {
         })
         .unwrap();
 
-        match sw.run_trace(&trace) {
+        match sw.run(&trace).collect() {
             Ok(out) => {
                 // The seeded fault landed past the victim's offered count.
                 prop_assert_eq!(out.len() as u64 + sw.drops(), trace.len() as u64);
@@ -177,7 +177,11 @@ proptest! {
             AtomPipeline::passthrough("out"),
             capacity,
         );
-        let out = sw.run_wire_trace(&frames, &WireConfig::new());
+        let cfg = WireConfig::new();
+        let out = sw
+            .run_frames(&frames, &cfg)
+            .collect()
+            .expect("slice-backed sources cannot fail mid-stream");
         prop_assert_eq!(out.len() as u64, sw.transmitted());
         prop_assert_eq!(
             sw.transmitted() + sw.drops(),
@@ -238,7 +242,7 @@ proptest! {
                     .with("h1", 0)
             })
             .collect();
-        let out = sw.run_trace(&trace).expect("no faults armed");
+        let out = sw.run(&trace).collect().expect("no faults armed");
         prop_assert_eq!(out.len() as u64, sw.transmitted());
         prop_assert_eq!(sw.transmitted() + sw.drops(), trace.len() as u64);
         prop_assert_eq!(sw.drops(), 0, "line-rate run must not drop");

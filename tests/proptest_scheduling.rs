@@ -163,7 +163,8 @@ proptest! {
         let mut serial = Switch::new_slot(&ingress, &egress, capacity)
             .unwrap()
             .with_scheduler(spec.clone());
-        let serial_out = serial.run_sched_trace(&trace);
+        let serial_out = serial.run(&trace).scheduled().collect()
+        .expect("slice-backed sources cannot fail mid-stream");
 
         let cfg = ShardConfig::new(shards)
             .with_capacity(capacity)
@@ -171,7 +172,7 @@ proptest! {
             .with_ring(ring)
             .with_scheduler(spec);
         let mut sharded = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-        let sharded_out = sharded.run_sched_trace(&trace).expect("no faults armed");
+        let sharded_out = sharded.run(&trace).scheduled().collect().expect("no faults armed");
 
         prop_assert_eq!(sharded_out, serial_out);
         prop_assert_eq!(sharded.transmitted(), serial.transmitted());
@@ -202,7 +203,7 @@ proptest! {
             .with_capacity(capacity)
             .with_scheduler(spec_of(spec_sel));
         let mut sw = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-        let out = sw.run_sched_trace(&trace).expect("no faults armed");
+        let out = sw.run(&trace).scheduled().collect().expect("no faults armed");
 
         let admitted = n.min(capacity);
         prop_assert_eq!(out.len(), admitted);

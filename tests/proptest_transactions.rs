@@ -377,7 +377,7 @@ proptest! {
             banzai::ShardConfig::new(shards),
         )
         .unwrap_or_else(|e| panic!("sharded build failed: {e}\n{src}"));
-        let parts = sharded.run_trace_partitioned(&trace).unwrap();
+        let parts = sharded.run(&trace).partitioned().unwrap();
 
         // Per-shard outputs == serial outputs at the steered positions
         // (projected onto declared fields: the switch adds queue

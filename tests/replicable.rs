@@ -72,7 +72,10 @@ fn serial_state_and_spec(
 ) -> (StateStore, ReplicaSpec, ShardedSwitch) {
     let egress = AtomPipeline::passthrough("egress");
     let mut serial = Switch::new_slot(ingress, &egress, CAPACITY).unwrap();
-    serial.run_trace(trace);
+    serial
+        .run(trace)
+        .for_each(|_| {})
+        .expect("slice-backed sources cannot fail mid-stream");
     let sw = ShardedSwitch::new_slot(ingress, &egress, ShardConfig::new(shards)).unwrap();
     assert_eq!(
         sw.plan().tier(),
@@ -105,7 +108,7 @@ proptest! {
         let ingress = compile_count_min(&geometry);
         let trace = to_trace(&keys);
         let (serial_state, spec, mut sw) = serial_state_and_spec(&ingress, &trace, shards);
-        sw.run_trace(&trace).expect("no faults armed");
+        sw.run(&trace).collect().expect("no faults armed");
 
         let snaps: Vec<StateStore> = sw
             .export_shard_states()
@@ -161,7 +164,7 @@ proptest! {
         prop_assert!(spec.epsilon().unwrap() > 0.0);
         prop_assert!(spec.delta().unwrap() < 1.0);
         verify_sketch(&spec, &trace, &serial_state, "count-min serial");
-        sw.run_trace(&trace).expect("no faults armed");
+        sw.run(&trace).collect().expect("no faults armed");
         let merged = sw.export_merged_ingress_state().unwrap();
         verify_sketch(&spec, &trace, &merged, &format!("count-min@{shards} merged"));
     }
@@ -184,10 +187,16 @@ fn replicable_programs_honor_their_bound_on_both_paths() {
 
         // Serial references for both paths.
         let mut serial = Switch::new_slot(&ingress, &egress, CAPACITY).unwrap();
-        serial.run_trace(&trace);
+        serial
+            .run(&trace)
+            .for_each(|_| {})
+            .expect("slice-backed sources cannot fail mid-stream");
         let serial_state = serial.export_ingress_state();
         let mut serial_wire = Switch::new_slot(&ingress, &egress, CAPACITY).unwrap();
-        serial_wire.run_wire_trace(&wt.frames, &wt.cfg);
+        serial_wire
+            .run_frames(&wt.frames, &wt.cfg)
+            .collect()
+            .expect("slice-backed sources cannot fail mid-stream");
         let serial_wire_state = serial_wire.export_ingress_state();
 
         for shards in [1usize, 2, 4, 8] {
@@ -198,7 +207,7 @@ fn replicable_programs_honor_their_bound_on_both_paths() {
             let spec = sw.plan().ingress_replica().unwrap().clone();
 
             // Packet-born path.
-            sw.run_trace(&trace).expect("no faults armed");
+            sw.run(&trace).collect().expect("no faults armed");
             let merged = sw.export_merged_ingress_state().unwrap();
             assert_eq!(merged, serial_state, "{name}@{shards}: merged != serial");
             verify_sketch(&spec, &trace, &serial_state, &format!("{name} serial"));
@@ -206,7 +215,9 @@ fn replicable_programs_honor_their_bound_on_both_paths() {
 
             // Wire path: same invariants over the parsed-frame trace.
             let mut wsw = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-            wsw.run_wire_trace_partitioned(&wt.frames, &wt.cfg);
+            wsw.run_frames(&wt.frames, &wt.cfg)
+                .partitioned()
+                .expect("no faults armed");
             let wire_merged = wsw.export_merged_ingress_state().unwrap();
             assert_eq!(
                 wire_merged, serial_wire_state,

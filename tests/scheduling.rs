@@ -75,13 +75,17 @@ fn serial_and_sharded(
     let mut serial = Switch::new_slot(ingress, egress, capacity)
         .unwrap()
         .with_scheduler(spec.clone());
-    let serial_out = serial.run_sched_trace(trace);
+    let serial_out = serial
+        .run(trace)
+        .scheduled()
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
 
     let cfg = ShardConfig::new(4)
         .with_capacity(capacity)
         .with_scheduler(spec);
     let mut sharded = ShardedSwitch::new_slot(ingress, egress, cfg).unwrap();
-    let sharded_out = sharded.run_sched_trace(trace).unwrap();
+    let sharded_out = sharded.run(trace).scheduled().collect().unwrap();
 
     assert_eq!(
         sharded_out, serial_out,
@@ -292,7 +296,11 @@ fn hierarchical_pifo_matches_flat_composite_sort_with_sched_full_overflow() {
     let mut serial = Switch::new_slot(&stfq_pipeline(), &sojourn_egress(), CAPACITY)
         .unwrap()
         .with_scheduler(spec);
-    let out = serial.run_sched_trace(&trace);
+    let out = serial
+        .run(&trace)
+        .scheduled()
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
     assert_eq!(out.len(), CAPACITY);
     assert_eq!(serial.drop_counters().sched_full(), (N - CAPACITY) as u64);
     assert_eq!(serial.drop_counters().queue_full(), 0);

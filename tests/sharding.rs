@@ -54,10 +54,13 @@ fn sharded_pair_differential(
     shards: usize,
 ) {
     let mut serial = Switch::new_slot(ingress, egress, CAPACITY).unwrap();
-    let serial_out = serial.run_trace(trace);
+    let serial_out = serial
+        .run(trace)
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
 
     let mut sharded = ShardedSwitch::new_slot(ingress, egress, ShardConfig::new(shards)).unwrap();
-    let parts = sharded.run_trace_partitioned(trace).unwrap();
+    let parts = sharded.run(trace).partitioned().unwrap();
 
     let assignment: Vec<usize> = trace
         .iter()
@@ -263,9 +266,9 @@ fn threaded_run_is_deterministic_for_flowlet() {
     for batch in [7, 64, 1024] {
         let cfg = ShardConfig::new(4).with_batch(batch);
         let mut threaded = ShardedSwitch::new_slot(&ingress, &egress, cfg.clone()).unwrap();
-        let got = threaded.run_trace(&trace).unwrap();
+        let got = threaded.run(&trace).collect().unwrap();
         let mut sequential = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-        let run = sequential.run_trace_instrumented(&trace).unwrap();
+        let run = sequential.run(&trace).instrumented().unwrap();
         assert_eq!(got, run.merged, "batch {batch}: threaded vs sequential");
         match &reference {
             None => reference = Some(got),
@@ -287,7 +290,7 @@ fn merge_seed_only_permutes_across_flows() {
     for seed in [1u64, 0xDEAD_BEEF] {
         let cfg = ShardConfig::new(4).with_seed(seed);
         let mut sw = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-        let merged = sw.run_trace(&trace).unwrap();
+        let merged = sw.run(&trace).collect().unwrap();
         // Reconstruct per-shard subsequences from the merged stream by
         // steering each *output* packet (flowlet passes its key roots
         // through untouched).
@@ -316,7 +319,7 @@ fn explicit_field_steering_preserves_per_flow_order() {
         .collect();
     let cfg = ShardConfig::new(4).with_steer(SteerMode::Fields(vec!["flow".into()]));
     let mut sw = ShardedSwitch::new_slot(&ingress, &egress, cfg).unwrap();
-    let merged = sw.run_trace(&trace).unwrap();
+    let merged = sw.run(&trace).collect().unwrap();
     assert_eq!(merged.len(), 300);
     for flow in 0..13 {
         let seqs: Vec<i32> = merged
@@ -342,7 +345,7 @@ fn facade_sharded_switch_runs_flowlet_end_to_end() {
     )
     .unwrap();
     assert_eq!(sw.plan().effective(), 4);
-    let out = sw.run_trace(&a.trace(500, SEED)).unwrap();
+    let out = sw.run(&a.trace(500, SEED)).collect().unwrap();
     assert_eq!(out.len(), 500);
     assert_eq!(sw.transmitted(), 500);
 }

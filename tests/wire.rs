@@ -250,7 +250,10 @@ fn every_truncation_increments_exactly_its_drop_counter() {
         AtomPipeline::passthrough("out"),
         256,
     );
-    let out = sw.run_wire_trace(&cuts, &cfg);
+    let out = sw
+        .run_frames(&cuts, &cfg)
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
     assert!(out.is_empty(), "no truncated frame may be transmitted");
 
     // The counters must match the per-length goldens exactly.
@@ -300,7 +303,10 @@ fn garbage_ethertype_bad_ihl_and_bad_offset_goldens() {
         256,
     );
     let all: Vec<Vec<u8>> = frames.iter().map(|(f, _)| f.clone()).collect();
-    let out = sw.run_wire_trace(&all, &cfg);
+    let out = sw
+        .run_frames(&all, &cfg)
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
     assert!(out.is_empty());
     for (frame, verdict) in &frames {
         assert_eq!(wire::parse(frame, &cfg).unwrap_err(), *verdict);
@@ -331,11 +337,17 @@ fn stressed_wire_switches_agree_across_engines() {
     );
 
     let mut map_sw = Switch::new(ingress.clone(), egress.clone(), 128).with_drain_period(2);
-    let map_out = map_sw.run_wire_trace(&wt.frames, &wt.cfg);
+    let map_out = map_sw
+        .run_frames(&wt.frames, &wt.cfg)
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
     let mut slot_sw = Switch::new_slot(&ingress, &egress, 128)
         .unwrap()
         .with_drain_period(2);
-    let slot_out = slot_sw.run_wire_trace(&wt.frames, &wt.cfg);
+    let slot_out = slot_sw
+        .run_frames(&wt.frames, &wt.cfg)
+        .collect()
+        .expect("slice-backed sources cannot fail mid-stream");
 
     assert_eq!(map_out, slot_out, "transmitted bytes diverged");
     assert_eq!(map_sw.drop_counters(), slot_sw.drop_counters());
